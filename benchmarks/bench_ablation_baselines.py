@@ -1,0 +1,77 @@
+"""Ablation: this paper's analytic model vs related-work baselines.
+
+The related-work claims to check (Section II):
+
+* Sparks et al.'s model assumes communication grows *linearly* with the
+  cluster, which "is inaccurate for all-reduce ... and other
+  communication paradigms";
+* Ernest adds a logarithmic term — and fits well — "however, the model
+  requires experimental data for parameter estimation";
+* the paper's model needs no profiling runs at all.
+
+Protocol: simulate a synchronous SGD workload whose gradient exchange is
+a tree (logarithmic rounds) on the TensorFlow-like runtime, fit the
+baselines on profiling runs at 1..6 workers, and score every model on
+the 16..64 extrapolation region.
+"""
+
+from repro.core.baselines import ErnestModel, SparksModel
+from repro.core.metrics import mape
+from repro.distributed.gradient_descent import simulate_gd_iterations
+from repro.distributed.tensorflow_like import inception_workload, tensorflow_cluster
+from repro.experiments.plotting import render_table
+from repro.models.deep_learning import chen_inception_figure3_model
+
+TRAIN_GRID = (1, 2, 3, 4, 5, 6)
+TEST_GRID = (16, 24, 32, 48, 64)
+
+
+def run_protocol() -> dict[str, float]:
+    cluster = tensorflow_cluster(workers=max(TEST_GRID), seed=0)
+    measured = simulate_gd_iterations(
+        cluster,
+        inception_workload(),
+        TRAIN_GRID + TEST_GRID,
+        iterations=3,
+        weak_scaling=True,
+        aggregation="tree",
+    )
+    train_times = [measured.time(n) for n in TRAIN_GRID]
+    test_times = [measured.time(n) for n in TEST_GRID]
+
+    sparks = SparksModel.fit(TRAIN_GRID, train_times)
+    ernest = ErnestModel.fit(TRAIN_GRID, train_times)
+    # The analytic superstep time: C*S/F + 2*(32W/B)*log2(n), no fitting.
+    analytic = chen_inception_figure3_model()
+    analytic_times = [analytic.superstep_time(n) for n in TEST_GRID]
+    return {
+        "analytic_mape": mape(test_times, analytic_times),
+        "sparks_mape": mape(test_times, [sparks.time(n) for n in TEST_GRID]),
+        "ernest_mape": mape(test_times, [ernest.time(n) for n in TEST_GRID]),
+    }
+
+
+def test_baseline_extrapolation(benchmark):
+    scores = benchmark.pedantic(run_protocol, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            [
+                {
+                    "model": "this paper (no profiling)",
+                    "extrapolation_mape_pct": scores["analytic_mape"],
+                },
+                {"model": "Sparks et al. (fitted)", "extrapolation_mape_pct": scores["sparks_mape"]},
+                {"model": "Ernest (fitted)", "extrapolation_mape_pct": scores["ernest_mape"]},
+            ]
+        )
+    )
+    for key, value in scores.items():
+        benchmark.extra_info[key] = value
+    # The linear family badly over-predicts log-shaped communication.
+    assert scores["sparks_mape"] > 50.0
+    assert scores["analytic_mape"] < scores["sparks_mape"]
+    # The profiling-free model stays accurate in absolute terms...
+    assert scores["analytic_mape"] < 20.0
+    # ... while Ernest needs fitting data but then also models log growth.
+    assert scores["ernest_mape"] < scores["sparks_mape"]

@@ -1,0 +1,58 @@
+"""Ablation: batch size and achievable-FLOPS fraction on the Figure 2 model.
+
+Two knobs the model exposes without any new experiments: the batch size
+(more computation per superstep pushes the knee right) and the fraction
+of peak FLOPS actually achieved (which cancels in speedup only when it
+is the *same* at every scale; here we show it moves the optimum).
+"""
+
+from repro.experiments.plotting import render_table
+from repro.models.gradient_descent import SparkGradientDescentModel
+
+WEIGHTS = 12e6
+BANDWIDTH = 1e9
+
+
+def model_with(batch_size: float, efficiency: float) -> SparkGradientDescentModel:
+    return SparkGradientDescentModel(
+        operations_per_sample=6 * WEIGHTS,
+        batch_size=batch_size,
+        flops=efficiency * 105.6e9,
+        parameters=WEIGHTS,
+        bandwidth_bps=BANDWIDTH,
+    )
+
+
+def sweep() -> list[dict[str, object]]:
+    rows = []
+    for batch in (6000, 60000, 600000):
+        for efficiency in (0.4, 0.8):
+            model = model_with(batch, efficiency)
+            optimum = model.optimal_workers(128)
+            rows.append(
+                {
+                    "batch_size": batch,
+                    "efficiency": efficiency,
+                    "optimal_workers": optimum,
+                    "peak_speedup": model.speedup(optimum),
+                }
+            )
+    return rows
+
+
+def test_batch_and_efficiency_ablation(benchmark):
+    rows = benchmark(sweep)
+    print()
+    print(render_table(rows))
+    by_key = {(row["batch_size"], row["efficiency"]): row for row in rows}
+    # Bigger batches amortise communication: the knee moves right.
+    assert (
+        by_key[(600000, 0.8)]["optimal_workers"] > by_key[(60000, 0.8)]["optimal_workers"]
+    )
+    assert by_key[(60000, 0.8)]["optimal_workers"] > by_key[(6000, 0.8)]["optimal_workers"]
+    # A slower node (lower fraction of peak) also favours more workers.
+    assert (
+        by_key[(60000, 0.4)]["optimal_workers"] >= by_key[(60000, 0.8)]["optimal_workers"]
+    )
+    # Peak speedup grows with the batch.
+    assert by_key[(600000, 0.8)]["peak_speedup"] > by_key[(6000, 0.8)]["peak_speedup"]

@@ -1,0 +1,72 @@
+"""Ablation: communication topology on the Figure 2 workload.
+
+The paper criticises Sparks et al.'s linear-only communication model;
+this bench quantifies the claim by swapping the topology under the same
+gradient payload and compute and reporting who wins where.
+"""
+
+import pytest
+
+from repro.core.communication import (
+    LinearCommunication,
+    RingAllReduce,
+    TorrentBroadcast,
+    TreeCommunication,
+    TwoWaveAggregation,
+)
+from repro.core.complexity import CommunicationCost, ComputationCost
+from repro.core.model import BSPModel
+from repro.core.speedup import crossover_workers
+from repro.experiments.plotting import render_table
+
+BITS = 64 * 12e6
+FLOPS = 0.8 * 105.6e9
+OPERATIONS = 6 * 12e6 * 60000.0
+BANDWIDTH = 1e9
+
+TOPOLOGIES = {
+    "linear": LinearCommunication(BANDWIDTH),
+    "tree": TreeCommunication(BANDWIDTH),
+    "torrent": TorrentBroadcast(BANDWIDTH),
+    "two_wave": TwoWaveAggregation(BANDWIDTH),
+    "ring_allreduce": RingAllReduce(BANDWIDTH),
+}
+
+
+def build_models() -> dict[str, BSPModel]:
+    computation = ComputationCost(OPERATIONS, FLOPS)
+    return {
+        name: BSPModel(computation, CommunicationCost(topology, BITS))
+        for name, topology in TOPOLOGIES.items()
+    }
+
+
+def sweep() -> list[dict[str, object]]:
+    models = build_models()
+    rows = []
+    for workers in (1, 4, 9, 16, 32, 64):
+        row: dict[str, object] = {"workers": workers}
+        for name, model in models.items():
+            row[name] = model.speedup(workers)
+        rows.append(row)
+    return rows
+
+
+def test_topology_ablation(benchmark):
+    rows = benchmark(sweep)
+    print()
+    print(render_table(rows))
+    models = build_models()
+    final = rows[-1]
+    # Who wins at scale: anything logarithmic or all-reduce beats linear.
+    assert final["tree"] > final["linear"]
+    assert final["ring_allreduce"] > final["linear"]
+    assert final["two_wave"] > final["linear"]
+    # Linear's optimum comes far earlier than tree's.
+    assert models["linear"].optimal_workers(64) < models["tree"].optimal_workers(64)
+    # Crossover: tree overtakes linear within a handful of workers.
+    crossover = crossover_workers(
+        models["linear"].time, models["tree"].time, max_workers=64
+    )
+    assert crossover is not None
+    assert crossover <= 4

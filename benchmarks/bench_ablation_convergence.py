@@ -1,0 +1,69 @@
+"""Ablation: throughput speedup vs time-to-accuracy speedup (future work).
+
+The paper's conclusion flags the parallelization-convergence trade-off:
+weak-scaling throughput (Figure 3's metric) overstates the value of big
+clusters because growing the effective batch inflates the iterations
+needed.  This bench overlays both metrics for the Figure 3 workload and
+the async-SGD extension, quantifying the gap.
+"""
+
+from repro.experiments.plotting import render_table
+from repro.models.asynchronous import AsyncSGDModel
+from repro.models.convergence import CriticalBatchRule, TimeToAccuracyModel
+from repro.models.deep_learning import chen_inception_figure3_model
+
+GRID = (1, 4, 16, 64, 256)
+
+#: A critical batch of 4096 images (reached at 32 workers x 128).
+RULE = CriticalBatchRule(iterations_floor=10_000, critical_batch=4096)
+
+
+def sweep() -> list[dict[str, object]]:
+    sync = chen_inception_figure3_model()
+    tta = TimeToAccuracyModel(
+        superstep_time=sync.superstep_time,
+        batch_for_workers=lambda n: 128.0 * n,
+        rule=RULE,
+    )
+    async_sgd = AsyncSGDModel(
+        operations_per_sample=sync.operations_per_sample,
+        batch_size=sync.batch_size,
+        flops=sync.flops,
+        parameters=sync.parameters,
+        bandwidth_bps=sync.bandwidth_bps,
+        server_links=4,
+        staleness_penalty=0.02,
+    )
+    rows = []
+    for workers in GRID:
+        rows.append(
+            {
+                "workers": workers,
+                "throughput_speedup": tta.throughput_speedup(workers),
+                "time_to_accuracy_speedup": tta.speedup(workers),
+                "async_raw_speedup": async_sgd.speedup(workers),
+                "async_effective_speedup": async_sgd.effective_speedup(workers),
+            }
+        )
+    return rows
+
+
+def test_convergence_tradeoff(benchmark):
+    rows = benchmark(sweep)
+    print()
+    print(render_table(rows))
+    by_workers = {row["workers"]: row for row in rows}
+    for workers in GRID[1:]:
+        row = by_workers[workers]
+        # Convergence-aware speedups never exceed the raw throughput ones.
+        assert row["time_to_accuracy_speedup"] <= row["throughput_speedup"] + 1e-9
+        assert row["async_effective_speedup"] <= row["async_raw_speedup"] + 1e-9
+    # The gap widens with scale: at 256 workers the throughput metric
+    # overstates the real benefit severalfold.
+    overstatement = (
+        by_workers[256]["throughput_speedup"] / by_workers[256]["time_to_accuracy_speedup"]
+    )
+    assert overstatement > 3.0
+    # Async staleness gives an interior optimum rather than a plateau.
+    async_values = [by_workers[n]["async_effective_speedup"] for n in GRID]
+    assert max(async_values) > async_values[-1]

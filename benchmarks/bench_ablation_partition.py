@@ -1,0 +1,53 @@
+"""Ablation: partitioner choice for graph inference.
+
+The paper models *random* vertex assignment; this bench quantifies how
+much of the Figure 4 imbalance a smarter partitioner would recover,
+which is exactly the headroom its future-work feedback loop would find.
+"""
+
+from repro.experiments.plotting import render_table
+from repro.graph.generators import dns_like
+from repro.graph.partition import (
+    block_partition,
+    degree_loads,
+    greedy_balanced_partition,
+    hash_partition,
+    random_partition,
+)
+
+WORKERS = (8, 32, 80)
+
+
+def sweep() -> list[dict[str, object]]:
+    workload = dns_like("16k", seed=0)
+    degrees = workload.degree_sequence.degrees
+    rows = []
+    for workers in WORKERS:
+        ideal = float(degrees.sum()) / workers
+        partitions = {
+            "random": random_partition(degrees.size, workers, seed=1),
+            "hash": hash_partition(degrees.size, workers),
+            "block": block_partition(degrees.size, workers),
+            "greedy": greedy_balanced_partition(degrees, workers),
+        }
+        row: dict[str, object] = {"workers": workers, "ideal_load": ideal}
+        for name, partition in partitions.items():
+            row[f"{name}_imbalance"] = float(
+                degree_loads(partition, degrees).max() / ideal
+            )
+        rows.append(row)
+    return rows
+
+
+def test_partitioner_ablation(benchmark):
+    rows = benchmark(sweep)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        # Greedy is the balance winner at every worker count.
+        assert row["greedy_imbalance"] <= row["random_imbalance"]
+        assert row["greedy_imbalance"] <= row["hash_imbalance"]
+        assert row["greedy_imbalance"] < 1.5
+    # Random imbalance grows with worker count (the Figure 4 cap).
+    random_imbalances = [row["random_imbalance"] for row in rows]
+    assert random_imbalances == sorted(random_imbalances)

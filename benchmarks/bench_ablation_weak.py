@@ -1,0 +1,45 @@
+"""Ablation: logarithmic vs linear communication under weak scaling.
+
+Section V-A: "the logarithmic model ... allows infinite weak scaling;
+the linear communication model allows only finite scaling."
+"""
+
+from repro.experiments.plotting import render_table
+from repro.models.deep_learning import (
+    chen_inception_figure3_model,
+    chen_inception_linear_comm_model,
+)
+
+GRID = (50, 100, 200, 400, 800, 1600)
+
+
+def sweep() -> list[dict[str, object]]:
+    log_model = chen_inception_figure3_model()
+    linear_model = chen_inception_linear_comm_model()
+    rows = []
+    for workers in GRID:
+        rows.append(
+            {
+                "workers": workers,
+                "log_speedup_vs_50": log_model.time(50) / log_model.time(workers),
+                "linear_speedup_vs_50": linear_model.time(50) / linear_model.time(workers),
+            }
+        )
+    return rows
+
+
+def test_weak_scaling_ablation(benchmark):
+    rows = benchmark(sweep)
+    print()
+    print(render_table(rows))
+    log_speedups = [row["log_speedup_vs_50"] for row in rows]
+    linear_speedups = [row["linear_speedup_vs_50"] for row in rows]
+    # Log model keeps growing across the whole sweep.
+    assert log_speedups == sorted(log_speedups)
+    assert log_speedups[-1] > 10.0
+    # Linear model saturates: the last doubling gains almost nothing.
+    assert linear_speedups[-1] / linear_speedups[-2] < 1.05
+    # And the ceiling matches the analytic floor 32W/B.
+    linear_model = chen_inception_linear_comm_model()
+    ceiling = linear_model.time(50) / linear_model.asymptotic_time
+    assert linear_speedups[-1] < ceiling

@@ -1,0 +1,18 @@
+"""Bench: Figure 1 — the illustrative speedup example (peak ~14 nodes)."""
+
+from conftest import report
+
+from repro.experiments import run_experiment
+
+
+def test_figure1(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure1"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(benchmark, result)
+    assert abs(result.metrics["peak_workers"] - 14) <= 1
+    speedups = [row["speedup"] for row in result.rows]
+    peak_index = speedups.index(max(speedups))
+    # Rises to the peak, falls after it — the Figure 1 shape.
+    assert speedups[: peak_index + 1] == sorted(speedups[: peak_index + 1])
+    assert speedups[peak_index:] == sorted(speedups[peak_index:], reverse=True)

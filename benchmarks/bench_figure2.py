@@ -1,0 +1,23 @@
+"""Bench: Figure 2 — FC ANN iteration speedup on the (simulated) Spark cluster.
+
+Acceptance: the model's optimal worker count is the paper's nine; the
+model-vs-experiment speedup MAPE falls inside the acceptance band around
+the paper's 13.7 %.
+"""
+
+from conftest import report
+
+from repro.experiments import MAPE_ACCEPTANCE, run_experiment
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure2"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    report(benchmark, result)
+    assert result.metrics["model_optimal_workers"] == 9
+    assert result.metrics["mape_pct"] < MAPE_ACCEPTANCE["figure2"]
+    assert 3.0 < result.metrics["model_peak_speedup"] < 5.0
+    # "Adding more workers does not provide any speedup": plateau past 9.
+    speedups = {row["workers"]: row["experiment_speedup"] for row in result.rows}
+    assert speedups[13] - speedups[9] < 1.0

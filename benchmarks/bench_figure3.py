@@ -1,0 +1,25 @@
+"""Bench: Figure 3 — per-instance weak-scaling speedup of Inception v3.
+
+Acceptance: MAPE within the band around the paper's 1.2 %; the shape
+holds (monotone speedup vs 50 workers, ~3x at 200, <1 at 25).
+"""
+
+from conftest import report
+
+from repro.experiments import MAPE_ACCEPTANCE, run_experiment
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure3"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    report(benchmark, result)
+    assert result.metrics["mape_pct"] < MAPE_ACCEPTANCE["figure3"]
+    by_workers = {row["workers"]: row for row in result.rows}
+    assert by_workers[25]["model_speedup_vs_50"] < 1.0
+    assert 2.5 < by_workers[200]["model_speedup_vs_50"] < 3.5
+    assert 2.5 < by_workers[200]["experiment_speedup_vs_50"] < 3.5
+    # The log model beats the linear model at scale (who-wins check).
+    assert (
+        by_workers[200]["model_speedup_vs_50"] > by_workers[200]["linear_comm_model_vs_50"]
+    )

@@ -1,0 +1,37 @@
+"""Bench: Figure 4 — BP speedup on DNS-like graphs, model vs experiment.
+
+``test_figure4_full_scale`` runs the paper's headline 16M-vertex study
+(degree-sequence representation); ``test_figure4_small_graphs`` covers
+the 16K/165K scales of Section V-B.  Acceptance: MAPE within the band
+around the paper's 25.4 %, model conservative at few workers, overhead
+dominating at many.
+"""
+
+from conftest import report
+
+from repro.experiments import MAPE_ACCEPTANCE, run_experiment
+
+
+def test_figure4_full_scale(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure4"), rounds=1, iterations=1, warmup_rounds=0
+    )
+    report(benchmark, result)
+    assert result.metrics["mape_pct"] < MAPE_ACCEPTANCE["figure4"]
+    by_workers = {row["workers"]: row for row in result.rows}
+    # Saturating, far-from-linear speedup.
+    assert by_workers[80]["model_speedup"] < 40
+    # Execution overhead takes over at many cores (paper V-B).
+    assert by_workers[80]["experiment_speedup"] < by_workers[80]["model_speedup"]
+
+
+def test_figure4_small_graphs(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("figure4-small", quick=True),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report(benchmark, result)
+    assert result.metrics["mape_pct_16k"] < MAPE_ACCEPTANCE["figure4"]
+    assert result.metrics["mape_pct_165k"] < MAPE_ACCEPTANCE["figure4"]

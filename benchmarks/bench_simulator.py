@@ -1,0 +1,62 @@
+"""Bench: raw throughput of the simulation substrates themselves.
+
+Not a paper artifact — these keep the simulator and the estimator honest
+as engineering (collective scheduling cost, Monte-Carlo cost per trial,
+BP message-passing rate).
+"""
+
+import numpy as np
+
+from repro.graph.generators import dns_like
+from repro.graph.montecarlo import estimate_max_edges
+from repro.hardware import gigabit_ethernet, xeon_e3_1240
+from repro.mrf.bp import LoopyBP
+from repro.mrf.model import ising_mrf
+from repro.simulate import BSPEngine, Network, SuperstepPlan, Trace, ring_allreduce
+
+
+def test_bsp_superstep_throughput(benchmark):
+    def run():
+        engine = BSPEngine(xeon_e3_1240(), gigabit_ethernet(), workers=32, keep_trace=False)
+        plan = SuperstepPlan(
+            operations_per_worker=1e9,
+            broadcast_bits=1e8,
+            aggregate_bits=1e8,
+            aggregation="two_wave",
+        )
+        return engine.run(plan, iterations=20).total_seconds
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_ring_allreduce_scheduling(benchmark):
+    ready = {node: 0.0 for node in range(64)}
+
+    def run():
+        network = Network(gigabit_ethernet(), 64, trace=Trace())
+        return max(ring_allreduce(network, ready, bits=1e9).values())
+
+    finish = benchmark(run)
+    assert finish > 0
+
+
+def test_montecarlo_estimator_165k(benchmark):
+    sequence = dns_like("165k", seed=0, materialize_limit=0).degree_sequence
+
+    def run():
+        return estimate_max_edges(sequence, workers=80, trials=3, seed=0).mean
+
+    mean = benchmark(run)
+    assert mean > 0
+
+
+def test_loopy_bp_iteration_rate(benchmark):
+    workload = dns_like("16k", seed=0)
+    mrf = ising_mrf(workload.graph, coupling=0.3, field=0.2, seed=1)
+
+    def run():
+        return LoopyBP(mrf, damping=0.2).run(max_iterations=5).message_updates
+
+    updates = benchmark(run)
+    assert updates == 5 * 2 * workload.graph.edge_count

@@ -1,0 +1,23 @@
+"""Bench: Table I — network parameter and computation counts.
+
+Regenerates both rows of the paper's Table I from the architecture specs
+and asserts they land within the paper's own rounding (15 %).
+"""
+
+from conftest import report
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(benchmark, result)
+    assert result.metrics["worst_abs_error_pct"] < 15.0
+    by_network = {row["network"]: row for row in result.rows}
+    fc = by_network["Fully connected (MNIST)"]
+    assert abs(fc["param_err_pct"]) < 1.0
+    assert abs(fc["comp_err_pct"]) < 1.0
+    inception = by_network["Inception v.3 (ImageNet)"]
+    assert abs(inception["param_err_pct"]) < 10.0

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+
+
+def report(benchmark, result: ExperimentResult) -> None:
+    """Attach an experiment's metrics to the benchmark record and print it.
+
+    The printed block is the paper-artifact reproduction (visible with
+    ``pytest -s``); the metrics also land in ``--benchmark-json`` output
+    via ``extra_info``.
+    """
+    for key, value in result.metrics.items():
+        benchmark.extra_info[key] = value
+    print()
+    print(result.render())

@@ -1,0 +1,100 @@
+"""Figure 4 end to end: loopy BP on a DNS-like heavy-tailed graph.
+
+Three parts:
+
+1. run *real* loopy belief propagation on a 16K-vertex DNS-like MRF
+   (partitioned execution, identical beliefs to sequential BP);
+2. reproduce the paper's speedup study: Monte-Carlo model vs a
+   simulated 80-core shared-memory run;
+3. the ablation the model enables: what if we partitioned by degree
+   (greedy balance) instead of randomly?
+
+Run:  python examples/belief_propagation_dns.py
+"""
+
+from repro.core.metrics import mape
+from repro.distributed.graph_inference import graphlab_dl980, measure_bp_iterations
+from repro.experiments.plotting import render_chart, render_table
+from repro.graph.generators import dns_like
+from repro.graph.partition import (
+    degree_loads,
+    greedy_balanced_partition,
+    random_partition,
+)
+from repro.models.belief_propagation import BeliefPropagationModel
+from repro.mrf.model import ising_mrf
+from repro.mrf.parallel import PartitionedBP
+
+GRID = (1, 2, 4, 8, 16, 32, 48, 64, 80)
+
+
+def run_real_bp(workload) -> None:
+    """Actual message passing on the materialised 16K graph."""
+    mrf = ising_mrf(workload.graph, coupling=0.4, field=0.3, seed=7)
+    partition = random_partition(workload.graph.vertex_count, 16, seed=1)
+    outcome = PartitionedBP(mrf, partition, damping=0.3).run(max_iterations=30)
+    print("real loopy BP on the 16K-vertex DNS-like MRF (16 workers):")
+    print(f"  converged: {outcome.result.converged} in {outcome.result.iterations} iterations")
+    print(f"  message updates: {outcome.result.message_updates:,}")
+    print(f"  work balance (mean/max): {outcome.profile.balance:.2f}")
+    print(f"  replication factor r: {outcome.profile.replication:.2f}")
+    print()
+
+
+def speedup_study(workload) -> None:
+    """The paper's model-vs-experiment comparison."""
+    machine = graphlab_dl980()
+    model = BeliefPropagationModel.from_source(
+        workload.degree_sequence, GRID, flops=machine.core_flops, trials=5, seed=0
+    )
+    measured = measure_bp_iterations(workload.graph, GRID, machine=machine, seed=100)
+    model_s = [model.speedup(n) for n in GRID]
+    exp_s = [measured.time(1) / measured.time(n) for n in GRID]
+    print(
+        render_chart(
+            {
+                "model (Monte Carlo)": list(zip(GRID, model_s)),
+                "simulated experiment": list(zip(GRID, exp_s)),
+            },
+            x_label="cores",
+        )
+    )
+    print()
+    print(f"speedup MAPE: {mape(exp_s, model_s):.1f}% (paper: 23.5% at this scale)")
+    print()
+
+
+def partitioner_ablation(workload) -> None:
+    """Random vs greedy-balanced assignment: the imbalance that caps Fig 4."""
+    degrees = workload.degree_sequence.degrees
+    rows = []
+    for workers in (8, 32, 80):
+        random_loads = degree_loads(
+            random_partition(degrees.size, workers, seed=3), degrees
+        )
+        greedy_loads = degree_loads(greedy_balanced_partition(degrees, workers), degrees)
+        rows.append(
+            {
+                "workers": workers,
+                "random_max_load": float(random_loads.max()),
+                "greedy_max_load": float(greedy_loads.max()),
+                "ideal_load": float(degrees.sum() / workers),
+            }
+        )
+    print(render_table(rows))
+    print(
+        "\nGreedy degree balancing removes nearly all the imbalance the"
+        " random-assignment model predicts — the feedback loop the paper's"
+        " conclusion asks for would catch this headroom."
+    )
+
+
+def main() -> None:
+    workload = dns_like("16k", seed=0)
+    run_real_bp(workload)
+    speedup_study(workload)
+    partitioner_ablation(workload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Capacity planning: the two questions from the paper's introduction.
+
+  (1) Strong scaling — "Given a workload, how many more machines are
+      needed to decrease the run time by a certain amount?"
+  (2) Weak scaling — "Given an increasing workload, how many more
+      machines to add to keep the run time the same?"
+
+We plan a VGG-16 training deployment on Xeon nodes, comparing 1 GbE and
+10 GbE interconnects (the what-if the analytic model makes free).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.scaling import (
+    workers_for_speedup,
+    workers_for_time,
+    workers_to_absorb_growth,
+)
+from repro.hardware import gigabit_ethernet, ten_gigabit_ethernet, xeon_e3_1240
+from repro.models import gd_model_for
+from repro.nn.architectures import vgg16
+
+
+def main() -> None:
+    node = xeon_e3_1240(precision="single")
+    architecture = vgg16()
+    batch = 4096
+
+    for link in (gigabit_ethernet(), ten_gigabit_ethernet()):
+        model = gd_model_for(architecture, node, link, batch_size=batch)
+        single_node_minutes = model.time(1) / 60
+
+        print(f"--- {architecture.name} on {node.name}, {link.name} ---")
+        print(f"one iteration on one node: {single_node_minutes:.1f} min")
+
+        # Question 1a: how many machines to go 4x faster?
+        four_x = workers_for_speedup(model, target_speedup=4.0, max_workers=256)
+        print(f"machines for a 4x speedup : {four_x}")
+
+        # Question 1b: how many machines to get below 10 minutes?
+        ten_minutes = workers_for_time(model, target_seconds=600.0, max_workers=256)
+        print(f"machines for <10 min      : {ten_minutes}")
+
+        # The honest ceiling: past this count, more machines hurt.
+        optimum = model.optimal_workers(256)
+        print(f"optimal cluster size      : {optimum} "
+              f"(peak speedup {model.speedup(optimum):.1f}x)")
+
+        # Question 2: the dataset doubles; keep iteration time flat.
+        def model_for_size(size: float):
+            return gd_model_for(architecture, node, link, batch_size=size)
+
+        grown = workers_to_absorb_growth(
+            model_for_size,
+            current_size=batch,
+            current_workers=8,
+            growth_factor=2.0,
+            max_workers=256,
+        )
+        print(f"workers to absorb 2x data (from 8): {grown}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

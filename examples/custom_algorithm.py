@@ -1,0 +1,82 @@
+"""Model your own algorithm: distributed k-means under the framework.
+
+The paper's framework is algorithm-independent: supply computation and
+communication complexity terms, get a speedup curve.  Here we model
+Lloyd's k-means (a MapReduce classic the paper's framework covers but
+does not evaluate), calibrate it against measurements with the
+calibration module (the paper's future-work "feedback loop"), and
+compare it to the related-work baselines.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BSPModel,
+    CommunicationCost,
+    ComputationCost,
+    ErnestModel,
+    SparksModel,
+    TreeCommunication,
+    compare_models,
+    fit_time_family,
+)
+from repro.experiments.plotting import render_table
+from repro.hardware import gigabit_ethernet, xeon_e3_1240
+
+# Workload: 10M points, 64 dims, k = 100 clusters, one Lloyd iteration.
+POINTS = 10_000_000
+DIMS = 64
+CLUSTERS = 100
+
+
+def build_model() -> BSPModel:
+    """Assignment step: n*k*d multiply-adds per point; centroid update:
+    tree-reduce k*d partial sums (32-bit)."""
+    node = xeon_e3_1240(precision="single")
+    link = gigabit_ethernet()
+    assignment_ops = float(POINTS) * CLUSTERS * DIMS
+    centroid_bits = 32.0 * CLUSTERS * DIMS
+    return BSPModel(
+        computation=ComputationCost(assignment_ops, node.effective_flops),
+        communication=CommunicationCost(TreeCommunication(link.bandwidth_bps), centroid_bits),
+    )
+
+
+def main() -> None:
+    model = build_model()
+    curve = model.grid(64)
+    rows = [row for row in curve.rows() if row["workers"] in (1, 2, 4, 8, 16, 32, 64)]
+    print("k-means, one Lloyd iteration (model):")
+    print(render_table(rows))
+    print(f"\noptimal workers <= 64: {curve.optimal_workers} "
+          f"(communication is tiny: k*d centroids, not the dataset)")
+
+    # --- the feedback loop: fit free parameters from noisy measurements ---
+    rng = np.random.default_rng(0)
+    grid = [1, 2, 4, 8, 16, 32, 64]
+    observed = np.array([model.time(n) * (1 + rng.normal(0, 0.04)) for n in grid])
+
+    def family(workers, params):
+        compute, comm = params
+        return compute / workers + comm * np.log2(np.maximum(workers, 1.0)) + 1e-12
+
+    fit = fit_time_family(family, (1.0, 0.01), grid, observed)
+    print(f"\ncalibrated from 7 noisy runs: compute={fit.params[0]:.1f}s "
+          f"comm={fit.params[1]:.4f}s/round, MAPE {fit.mape_pct:.1f}%")
+
+    # --- baselines from related work on the same measurements ---
+    candidates = {
+        "this paper (analytic)": model,
+        "calibrated (NNLS feedback)": fit.model,
+        "Sparks et al. (linear comm)": SparksModel.fit(grid, observed),
+        "Ernest (Venkataraman et al.)": ErnestModel.fit(grid, observed),
+    }
+    print("\nmodel ranking by MAPE against the measurements:")
+    for name, error in compare_models(candidates, grid, observed):
+        print(f"  {error:6.2f}%  {name}")
+
+
+if __name__ == "__main__":
+    main()

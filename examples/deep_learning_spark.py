@@ -1,0 +1,67 @@
+"""Figure 2 end to end: analytic model vs the simulated Spark cluster.
+
+Reproduces the paper's central validation: the smooth model curve, the
+noisy "experimental" markers from the discrete-event cluster simulator
+(standing in for the physical Xeon/1GbE testbed), and the MAPE between
+them.  Also demonstrates the *functional* side: real data-parallel
+gradient descent whose combined gradient equals the single-node one.
+
+Run:  python examples/deep_learning_spark.py
+"""
+
+import numpy as np
+
+from repro.core.metrics import mape
+from repro.distributed.gradient_descent import data_parallel_train_step
+from repro.distributed.spark_like import measure_fc_iterations
+from repro.experiments.plotting import render_chart
+from repro.models import spark_mnist_figure2_model
+from repro.nn.data import gaussian_blobs
+from repro.nn.layers import Affine, Sigmoid
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+
+
+def timing_study() -> None:
+    """The Figure 2 comparison."""
+    grid = list(range(1, 14))
+    model = spark_mnist_figure2_model()
+    measured = measure_fc_iterations(grid, iterations=5, seed=0)
+
+    model_speedups = [model.speedup(n) for n in grid]
+    experiment_speedups = [measured.time(1) / measured.time(n) for n in grid]
+
+    print(
+        render_chart(
+            {
+                "model": list(zip(grid, model_speedups)),
+                "simulated experiment": list(zip(grid, experiment_speedups)),
+            }
+        )
+    )
+    print()
+    print(f"model optimal workers: {model.optimal_workers(13)} (paper: 9)")
+    print(f"speedup MAPE: {mape(experiment_speedups, model_speedups):.1f}% (paper: 13.7%)")
+
+
+def functional_study() -> None:
+    """Mini data-parallel training run: the math behind the model."""
+    data = gaussian_blobs(samples=256, features=10, classes=4, seed=0)
+    rng = np.random.default_rng(1)
+    network = Sequential([Affine(10, 32, rng=rng), Sigmoid(), Affine(32, 4, rng=rng)])
+    loss = SoftmaxCrossEntropy()
+    print("\ndata-parallel batch GD on 4 logical workers:")
+    for step in range(10):
+        value = data_parallel_train_step(network, data, loss, workers=4, learning_rate=1.0)
+        if step % 3 == 0:
+            print(f"  step {step}: loss {value:.4f}")
+    print("  (each step's combined gradient is exactly the full-batch gradient)")
+
+
+def main() -> None:
+    timing_study()
+    functional_study()
+
+
+if __name__ == "__main__":
+    main()

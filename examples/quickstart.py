@@ -1,0 +1,45 @@
+"""Quickstart: how many Spark workers for the paper's MNIST network?
+
+This is the paper's headline use case in five steps: build the analytic
+model from hardware specs alone (no profiling), look at the speedup
+curve, and read off the optimal cluster size.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.plotting import render_chart, render_table
+from repro.models import spark_mnist_figure2_model
+
+
+def main() -> None:
+    # 1. The model is built purely from the hardware/model constants the
+    #    paper quotes: W = 12e6 64-bit parameters, batch 60000, a Xeon
+    #    E3-1240 at 80% of its double-precision peak, 1 Gbit/s Ethernet.
+    model = spark_mnist_figure2_model()
+
+    # 2. Evaluate the speedup on the cluster sizes you could rent.
+    curve = model.grid(max_workers=13)
+
+    # 3. Tabulate: time, speedup and efficiency per worker count.
+    print(render_table(curve.rows()))
+    print()
+
+    # 4. Plot the curve (the paper's Figure 2, model line).
+    points = [(n, s) for n, s in zip(curve.workers, curve.speedups)]
+    print(render_chart({"model speedup": points}))
+    print()
+
+    # 5. The answer the practitioner came for:
+    print(f"optimal workers : {curve.optimal_workers}")
+    print(f"peak speedup    : {curve.peak_speedup:.2f}x")
+    print(f"scalable        : {curve.is_scalable}")
+    print()
+    print(
+        "Communication overhead caps the speedup near "
+        f"{curve.peak_speedup:.1f}x — adding machines past "
+        f"{curve.optimal_workers} workers buys nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and lacks the ``wheel`` package,
+which PEP 660 editable installs require.  Keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

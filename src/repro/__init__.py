@@ -1,0 +1,39 @@
+"""repro — reproduction of "Modeling Scalability of Distributed Machine Learning".
+
+Ulanov, Simanovsky and Marwah (ICDE 2017) propose a profiling-free
+analytical framework for estimating the speedup of distributed ML
+algorithms from hardware specifications alone.  This package implements
+the framework (:mod:`repro.core`, :mod:`repro.models`) together with
+every substrate the paper's evaluation depends on, simulated where the
+original used unavailable hardware or data (:mod:`repro.simulate`,
+:mod:`repro.nn`, :mod:`repro.graph`, :mod:`repro.mrf`,
+:mod:`repro.distributed`), and drivers regenerating each table and
+figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.models import spark_mnist_figure2_model
+
+    model = spark_mnist_figure2_model()
+    print(model.optimal_workers(13))   # -> 9, as in the paper
+    print(model.speedup(9))            # -> ~4.1x
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-reproduction comparison of every artifact.
+"""
+
+from repro.core.model import BSPModel, CallableModel, MeasuredModel, ScalabilityModel
+from repro.core.speedup import SpeedupCurve, optimal_workers, speedup_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSPModel",
+    "CallableModel",
+    "MeasuredModel",
+    "ScalabilityModel",
+    "SpeedupCurve",
+    "optimal_workers",
+    "speedup_grid",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Installed as ``repro-experiments``:
+
+    repro-experiments list
+    repro-experiments run figure2
+    repro-experiments run-all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.errors import ReproError
+from repro.experiments import experiment_ids, run_all, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Modeling Scalability of"
+            " Distributed Machine Learning' (Ulanov et al., ICDE 2017)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="smaller grids/trials for a fast pass"
+    )
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument(
+        "--quick", action="store_true", help="smaller grids/trials for a fast pass"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for experiment_id in experiment_ids():
+                print(experiment_id)
+            return 0
+        if args.command == "run":
+            result = run_experiment(args.experiment, quick=args.quick)
+            print(result.render())
+            return 0
+        if args.command == "run-all":
+            for result in run_all(quick=args.quick):
+                print(result.render())
+                print()
+            return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""Communication time-complexity models (the ``fcm(M, n)`` of the paper).
+
+Section III of the paper defines the communication time of a superstep as
+``tcm = fcm(M, n)`` where ``M`` is the number of bits pushed through the
+medium and the *shape* of ``fcm`` depends on the communication topology.
+The related-work section criticises models that only support a linear
+shape (Sparks et al.); this module provides the full set of shapes the
+paper discusses:
+
+* linear gather/scatter through a single master,
+* logarithmic tree (and the torrent-like broadcast Spark uses),
+* the two-wave ``ceil(sqrt(n))`` aggregation Spark's ``treeAggregate``
+  performs (Figure 2),
+* ring all-reduce (the MPI-style collective mentioned in related work),
+* shuffle (the Hadoop/Spark repartitioning pattern),
+* a centralised parameter server.
+
+All models answer ``time(bits, workers)`` in seconds.  ``bits`` is the
+payload one logical transfer carries (e.g. ``32 * W`` for a gradient);
+each topology decides how many sequential transfer rounds it needs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+
+
+def _check_inputs(bits: float, workers: int) -> None:
+    if bits < 0:
+        raise ModelError(f"bits must be non-negative, got {bits}")
+    if workers < 1:
+        raise ModelError(f"workers must be >= 1, got {workers}")
+
+
+@dataclass(frozen=True)
+class CommunicationModel(ABC):
+    """Base class for communication topologies.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Point-to-point bandwidth between two computing devices, in bits
+        per second (``B`` in the paper).
+    latency_s:
+        Fixed per-message cost.  The paper's formulas omit latency (it is
+        negligible for the multi-megabyte gradients it studies); the
+        default of ``0.0`` reproduces the paper exactly, while a non-zero
+        value lets users model latency-bound regimes.
+    """
+
+    bandwidth_bps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ModelError(f"bandwidth_bps must be positive, got {self.bandwidth_bps}")
+        if self.latency_s < 0:
+            raise ModelError(f"latency_s must be non-negative, got {self.latency_s}")
+
+    def transfer_time(self, bits: float) -> float:
+        """Time for one point-to-point transfer of ``bits``."""
+        return self.latency_s + bits / self.bandwidth_bps
+
+    def rounds(self, workers: int) -> float:
+        """Number of sequential transfer rounds for ``workers`` nodes."""
+        raise NotImplementedError
+
+    def time(self, bits: float, workers: int) -> float:
+        """Communication time of one collective over ``workers`` nodes."""
+        _check_inputs(bits, workers)
+        return self.rounds(workers) * self.transfer_time(bits)
+
+
+@dataclass(frozen=True)
+class NoCommunication(CommunicationModel):
+    """Zero-cost communication (shared memory, as in the paper's BP model)."""
+
+    bandwidth_bps: float = 1.0
+
+    def rounds(self, workers: int) -> float:
+        return 0.0
+
+    def time(self, bits: float, workers: int) -> float:
+        _check_inputs(bits, workers)
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LinearCommunication(CommunicationModel):
+    """All workers talk to a single master, one after another.
+
+    This is the shape assumed by the Sparks et al. model the paper
+    criticises: total time grows linearly with the number of workers
+    because the master's link serialises all ``workers - 1`` transfers.
+    With ``include_self=True`` the master's own (local, but still
+    serialised) contribution is counted too, giving exactly ``n`` rounds.
+    """
+
+    include_self: bool = False
+
+    def rounds(self, workers: int) -> float:
+        if workers == 1:
+            return 0.0
+        return float(workers if self.include_self else workers - 1)
+
+
+@dataclass(frozen=True)
+class TreeCommunication(CommunicationModel):
+    """Binary-tree reduction/broadcast: ``ceil(log2 n)`` sequential rounds.
+
+    The paper's generic gradient-descent model uses this shape
+    (``tcm = 2 * (32 W / B) * log n`` counts a tree down and a tree up).
+    ``fan_out`` generalises to k-ary trees.
+    """
+
+    fan_out: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fan_out < 2:
+            raise ModelError(f"fan_out must be >= 2, got {self.fan_out}")
+
+    def rounds(self, workers: int) -> float:
+        if workers == 1:
+            return 0.0
+        return float(math.ceil(math.log(workers, self.fan_out)))
+
+
+@dataclass(frozen=True)
+class TorrentBroadcast(CommunicationModel):
+    """Spark's BitTorrent-like broadcast.
+
+    Every node that already holds the payload re-serves it, so the number
+    of sources doubles each round and the broadcast completes in
+    ``log2 n`` rounds.  The paper models it as ``(64 W / B) * log n``.
+    Whether the logarithm is discrete (``ceil``) or smooth is selectable;
+    the paper's plotted curves are smooth, so that is the default.
+    """
+
+    discrete_rounds: bool = False
+
+    def rounds(self, workers: int) -> float:
+        if workers == 1:
+            return 0.0
+        raw = math.log2(workers)
+        return float(math.ceil(raw)) if self.discrete_rounds else raw
+
+
+@dataclass(frozen=True)
+class TwoWaveAggregation(CommunicationModel):
+    """Spark's two-wave ``treeAggregate`` used for gradient collection.
+
+    Quoting the paper (Section V-A): "Aggregation is done in two waves.
+    First wave is done for the square root number of the nodes and the
+    second wave is done among the others."  Each wave costs
+    ``ceil(sqrt(n))`` sequential transfers at the aggregators, hence
+    ``tcm = 2 * (64 W / B) * ceil(sqrt(n))``.
+    """
+
+    waves: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.waves < 1:
+            raise ModelError(f"waves must be >= 1, got {self.waves}")
+
+    def rounds(self, workers: int) -> float:
+        if workers == 1:
+            # A single worker still hands its gradient to the driver once
+            # per wave in Spark; the paper's formula keeps the ceil(sqrt(1))
+            # = 1 term at n = 1, and we reproduce that.
+            return float(self.waves)
+        return float(self.waves * math.ceil(math.sqrt(workers)))
+
+
+@dataclass(frozen=True)
+class RingAllReduce(CommunicationModel):
+    """Bandwidth-optimal ring all-reduce (the MPI collective).
+
+    Each node sends ``2 * (n - 1) / n`` of the payload in total across
+    ``2 * (n - 1)`` latency-bound steps.  Included because the paper's
+    related-work section points out that linear models mis-estimate
+    all-reduce; this lets us quantify that in the ablation benches.
+    """
+
+    def rounds(self, workers: int) -> float:  # pragma: no cover - unused
+        raise NotImplementedError("RingAllReduce overrides time() directly")
+
+    def time(self, bits: float, workers: int) -> float:
+        _check_inputs(bits, workers)
+        if workers == 1:
+            return 0.0
+        steps = 2 * (workers - 1)
+        payload_fraction = 2.0 * (workers - 1) / workers
+        return steps * self.latency_s + payload_fraction * bits / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class ShuffleCommunication(CommunicationModel):
+    """Hadoop/Spark shuffle: every node exchanges a slice with every other.
+
+    ``bits`` is the total shuffled payload.  Each node holds ``bits / n``
+    and must send the fraction ``(n - 1) / n`` of it; transfers to distinct
+    peers are pairwise-parallel, so the port (not the fabric) is the
+    bottleneck: ``time = (bits / n) * (n - 1) / n / B`` plus ``n - 1``
+    message latencies.
+    """
+
+    def rounds(self, workers: int) -> float:  # pragma: no cover - unused
+        raise NotImplementedError("ShuffleCommunication overrides time() directly")
+
+    def time(self, bits: float, workers: int) -> float:
+        _check_inputs(bits, workers)
+        if workers == 1:
+            return 0.0
+        per_node = bits / workers
+        outgoing = per_node * (workers - 1) / workers
+        return (workers - 1) * self.latency_s + outgoing / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class ParameterServerCommunication(CommunicationModel):
+    """Centralised parameter server: the server link serialises all workers.
+
+    Each of the ``n`` workers pushes its gradient and pulls the new
+    parameters, so the server moves ``2 * n`` payloads through one link.
+    ``server_links`` models sharded parameter servers.
+    """
+
+    server_links: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.server_links < 1:
+            raise ModelError(f"server_links must be >= 1, got {self.server_links}")
+
+    def rounds(self, workers: int) -> float:
+        return 2.0 * workers / self.server_links
+
+
+@dataclass(frozen=True)
+class CompositeCommunication:
+    """Sum of several communication phases executed back to back.
+
+    Spark's gradient-descent iteration is a torrent broadcast followed by
+    a two-wave aggregation; this class expresses such pipelines while
+    keeping each phase's payload independent.
+    """
+
+    phases: tuple[tuple[CommunicationModel, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ModelError("CompositeCommunication needs at least one phase")
+        for model, scale in self.phases:
+            if scale < 0:
+                raise ModelError(f"phase payload scale must be non-negative, got {scale}")
+            if not hasattr(model, "time"):
+                raise ModelError(f"phase {model!r} is not a communication model")
+
+    def time(self, bits: float, workers: int) -> float:
+        """Total time; each phase carries ``bits * scale``."""
+        _check_inputs(bits, workers)
+        return sum(model.time(bits * scale, workers) for model, scale in self.phases)

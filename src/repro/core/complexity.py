@@ -1,0 +1,211 @@
+"""Composable time-complexity terms.
+
+The paper's framework views an algorithm as a series of BSP supersteps,
+each the *sum* of a computation term and a communication term:
+
+    t = tcp + tcm,    tcp = c(D) / n,    tcm = fcm(M, n)
+
+This module provides small composable objects for those terms.  Every term
+answers ``time(workers)`` in seconds; terms can be added (sequential
+phases), scaled (repeated iterations) and combined with ``max``
+(imbalanced parallel phases, used by the graph-inference model where the
+slowest worker gates the superstep).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.communication import CommunicationModel, CompositeCommunication
+from repro.core.errors import ModelError
+
+
+class CostTerm(ABC):
+    """A time-complexity term evaluable at any worker count."""
+
+    @abstractmethod
+    def time(self, workers: int) -> float:
+        """Seconds this term contributes when run on ``workers`` nodes."""
+
+    def _check_workers(self, workers: int) -> None:
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+
+    def __add__(self, other: "CostTerm") -> "SumCost":
+        if not isinstance(other, CostTerm):
+            return NotImplemented
+        return SumCost((self, other))
+
+    def __mul__(self, factor: float) -> "ScaledCost":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return ScaledCost(self, float(factor))
+
+    __rmul__ = __mul__
+
+
+@dataclass(frozen=True)
+class FixedCost(CostTerm):
+    """A constant term, independent of the worker count.
+
+    This is the classic Amdahl sequential fraction; the paper argues (via
+    Schreiber) that a well-engineered framework can make it irrelevant,
+    and our Spark runtime model uses a small one for scheduling overhead.
+    """
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ModelError(f"seconds must be non-negative, got {self.seconds}")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class ComputationCost(CostTerm):
+    """The paper's ``tcp = c(D) / n`` term.
+
+    ``total_operations`` is ``c(D)`` — the floating-point work of one
+    superstep over the whole input — and ``flops`` is the effective
+    per-node throughput ``F``.  With ``parallel=False`` the term models a
+    step that does not benefit from more workers.
+    """
+
+    total_operations: float
+    flops: float
+    parallel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_operations < 0:
+            raise ModelError(f"total_operations must be non-negative, got {self.total_operations}")
+        if self.flops <= 0:
+            raise ModelError(f"flops must be positive, got {self.flops}")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        single = self.total_operations / self.flops
+        return single / workers if self.parallel else single
+
+
+@dataclass(frozen=True)
+class ImbalancedComputationCost(CostTerm):
+    """Computation gated by the most loaded worker.
+
+    The graph-inference model uses ``tcp = max_i(E_i) * c(S) / F``: the
+    superstep ends when the worker holding the most edges finishes.
+    ``load_of_max_worker`` maps a worker count to the *operation count* on
+    that heaviest worker (e.g. the Monte-Carlo ``max_i(E_i)`` estimate
+    multiplied by the per-edge cost).
+    """
+
+    load_of_max_worker: Callable[[int], float]
+    flops: float
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0:
+            raise ModelError(f"flops must be positive, got {self.flops}")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        load = float(self.load_of_max_worker(workers))
+        if load < 0:
+            raise ModelError(f"load_of_max_worker returned a negative load: {load}")
+        return load / self.flops
+
+
+@dataclass(frozen=True)
+class CommunicationCost(CostTerm):
+    """The paper's ``tcm = fcm(M, n)`` term.
+
+    ``bits`` is the payload of one logical transfer (``M`` expressed in
+    bits); the topology decides how many sequential rounds occur.
+    """
+
+    model: CommunicationModel | CompositeCommunication
+    bits: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ModelError(f"bits must be non-negative, got {self.bits}")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        return self.model.time(self.bits, workers)
+
+
+@dataclass(frozen=True)
+class SumCost(CostTerm):
+    """Sequential composition: computation then communication, etc."""
+
+    terms: tuple[CostTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ModelError("SumCost needs at least one term")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        return sum(term.time(workers) for term in self.terms)
+
+
+@dataclass(frozen=True)
+class MaxCost(CostTerm):
+    """Concurrent composition: overlapping phases, the slowest one gates."""
+
+    terms: tuple[CostTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ModelError("MaxCost needs at least one term")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        return max(term.time(workers) for term in self.terms)
+
+
+@dataclass(frozen=True)
+class ScaledCost(CostTerm):
+    """A term repeated ``factor`` times (e.g. iterations of a superstep)."""
+
+    term: CostTerm
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 0:
+            raise ModelError(f"factor must be non-negative, got {self.factor}")
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        return self.factor * self.term.time(workers)
+
+
+@dataclass(frozen=True)
+class CallableCost(CostTerm):
+    """Escape hatch: wrap an arbitrary ``workers -> seconds`` function."""
+
+    fn: Callable[[int], float]
+    name: str = "callable"
+
+    def time(self, workers: int) -> float:
+        self._check_workers(workers)
+        value = float(self.fn(workers))
+        if value < 0:
+            raise ModelError(f"cost function {self.name!r} returned negative time {value}")
+        return value
+
+
+def superstep(computation: CostTerm, communication: CostTerm) -> SumCost:
+    """One BSP superstep: ``t = tcp + tcm`` (Section III of the paper)."""
+    return SumCost((computation, communication))
+
+
+def iterations(step: CostTerm, count: int) -> ScaledCost:
+    """``count`` repetitions of ``step`` (a full training run)."""
+    if count < 1:
+        raise ModelError(f"iteration count must be >= 1, got {count}")
+    return ScaledCost(step, float(count))

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity, unit or physical parameter is malformed or out of range."""
+
+
+class ModelError(ReproError, ValueError):
+    """An analytical model was constructed or evaluated with invalid inputs."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Fitting a model to measured data failed or was ill-posed."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph is malformed or an operation received an incompatible graph."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A partitioning request or result is invalid."""
+
+
+class ArchitectureError(ReproError, ValueError):
+    """A neural-network architecture specification is inconsistent."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """Training of a neural network failed (e.g. diverged)."""
+
+
+class InferenceError(ReproError, RuntimeError):
+    """Probabilistic inference failed (e.g. BP called on an empty model)."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver could not produce its result."""

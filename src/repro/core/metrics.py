@@ -1,0 +1,73 @@
+"""Error metrics used to compare model estimates with measurements.
+
+The paper reports the *mean absolute percentage error* (MAPE) between its
+analytical speedup estimates and the empirical speedups; we provide that
+plus the usual companions used in the calibration module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+
+
+def _as_arrays(actual: Sequence[float], predicted: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    actual_arr = np.asarray(actual, dtype=float)
+    predicted_arr = np.asarray(predicted, dtype=float)
+    if actual_arr.shape != predicted_arr.shape:
+        raise ModelError(
+            f"actual and predicted must have the same shape, got {actual_arr.shape} and {predicted_arr.shape}"
+        )
+    if actual_arr.size == 0:
+        raise ModelError("cannot compute a metric over zero points")
+    return actual_arr, predicted_arr
+
+
+def mape(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Mean absolute percentage error, in percent.
+
+    ``mape([1, 2], [1.1, 1.8]) == 10.0``.  Zero entries in ``actual`` are
+    rejected because the metric is undefined there.
+    """
+    actual_arr, predicted_arr = _as_arrays(actual, predicted)
+    if np.any(actual_arr == 0):
+        raise ModelError("MAPE is undefined when an actual value is zero")
+    return float(np.mean(np.abs((actual_arr - predicted_arr) / actual_arr)) * 100.0)
+
+
+def rmse(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Root mean squared error, in the units of the inputs."""
+    actual_arr, predicted_arr = _as_arrays(actual, predicted)
+    return float(np.sqrt(np.mean((actual_arr - predicted_arr) ** 2)))
+
+
+def max_absolute_percentage_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Worst-case absolute percentage error, in percent."""
+    actual_arr, predicted_arr = _as_arrays(actual, predicted)
+    if np.any(actual_arr == 0):
+        raise ModelError("percentage error is undefined when an actual value is zero")
+    return float(np.max(np.abs((actual_arr - predicted_arr) / actual_arr)) * 100.0)
+
+
+def r_squared(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of ``predicted`` against ``actual``.
+
+    Returns 1.0 for a perfect fit.  A constant ``actual`` series is rejected
+    because the statistic is undefined there.
+    """
+    actual_arr, predicted_arr = _as_arrays(actual, predicted)
+    total = float(np.sum((actual_arr - actual_arr.mean()) ** 2))
+    if total == 0:
+        raise ModelError("R^2 is undefined for a constant actual series")
+    residual = float(np.sum((actual_arr - predicted_arr) ** 2))
+    return 1.0 - residual / total
+
+
+def relative_error(actual: float, predicted: float) -> float:
+    """Signed relative error ``(predicted - actual) / actual``."""
+    if actual == 0:
+        raise ModelError("relative error is undefined for actual == 0")
+    return (predicted - actual) / actual

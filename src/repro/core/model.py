@@ -1,0 +1,134 @@
+"""Scalability-model base classes.
+
+A *scalability model* maps a worker count to an execution time; everything
+else (speedup curves, optimal node counts, planning) derives from it.  The
+paper's per-algorithm models in :mod:`repro.models` subclass
+:class:`ScalabilityModel`; :class:`BSPModel` covers the common
+``t = tcp + tcm`` case directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.complexity import CostTerm
+from repro.core.errors import ModelError
+from repro.core.speedup import SpeedupCurve, speedup_grid
+
+
+class ScalabilityModel(ABC):
+    """Maps a worker count ``n`` to execution time ``t(n)`` in seconds."""
+
+    @abstractmethod
+    def time(self, workers: int) -> float:
+        """Modelled execution time on ``workers`` homogeneous nodes."""
+
+    def speedup(self, workers: int, baseline_workers: int = 1) -> float:
+        """``s(n) = t(baseline) / t(n)``."""
+        return self.time(baseline_workers) / self.time(workers)
+
+    def curve(self, workers: Iterable[int], baseline_workers: int = 1) -> SpeedupCurve:
+        """Evaluate the model on an explicit worker grid."""
+        return SpeedupCurve.from_model(
+            self.time, workers, baseline_workers, label=type(self).__name__
+        )
+
+    def grid(self, max_workers: int) -> SpeedupCurve:
+        """Evaluate the model on ``1..max_workers``."""
+        return speedup_grid(self.time, max_workers)
+
+    def optimal_workers(self, max_workers: int) -> int:
+        """``argmax s(n)`` over ``1..max_workers`` — the paper's ``N``."""
+        return self.grid(max_workers).optimal_workers
+
+
+@dataclass(frozen=True)
+class BSPModel(ScalabilityModel):
+    """A bulk-synchronous-parallel algorithm: supersteps of ``tcp + tcm``.
+
+    ``computation`` and ``communication`` are cost terms; ``iterations``
+    multiplies the superstep (the paper ignores one-off initialisation
+    because iteration counts are large, and so do we).
+    """
+
+    computation: CostTerm
+    communication: CostTerm
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ModelError(f"iterations must be >= 1, got {self.iterations}")
+
+    def superstep_time(self, workers: int) -> float:
+        """Time of a single superstep at ``workers`` nodes."""
+        return self.computation.time(workers) + self.communication.time(workers)
+
+    def time(self, workers: int) -> float:
+        return self.iterations * self.superstep_time(workers)
+
+    def computation_time(self, workers: int) -> float:
+        """Total computation component (for decomposition plots)."""
+        return self.iterations * self.computation.time(workers)
+
+    def communication_time(self, workers: int) -> float:
+        """Total communication component (for decomposition plots)."""
+        return self.iterations * self.communication.time(workers)
+
+
+@dataclass(frozen=True)
+class CallableModel(ScalabilityModel):
+    """Wrap an arbitrary ``workers -> seconds`` function as a model."""
+
+    fn: Callable[[int], float]
+    label: str = "callable"
+
+    def time(self, workers: int) -> float:
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        value = float(self.fn(workers))
+        if value <= 0:
+            raise ModelError(f"model {self.label!r} returned non-positive time {value}")
+        return value
+
+
+@dataclass(frozen=True)
+class MeasuredModel(ScalabilityModel):
+    """A 'model' backed by measurements on a fixed grid.
+
+    Lets measured data flow through the same analysis APIs (speedup
+    curves, MAPE comparisons) as analytical models.  Queries off the grid
+    raise — we never silently interpolate measurements.
+    """
+
+    measurements: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.measurements:
+            raise ModelError("MeasuredModel needs at least one measurement")
+        seen = set()
+        for workers, seconds in self.measurements:
+            if workers < 1:
+                raise ModelError(f"worker counts must be >= 1, got {workers}")
+            if seconds <= 0:
+                raise ModelError(f"measured times must be positive, got {seconds}")
+            if workers in seen:
+                raise ModelError(f"duplicate measurement for {workers} workers")
+            seen.add(workers)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "MeasuredModel":
+        """Build from any iterable of ``(workers, seconds)`` pairs."""
+        return cls(tuple((int(n), float(t)) for n, t in pairs))
+
+    def time(self, workers: int) -> float:
+        for n, seconds in self.measurements:
+            if n == workers:
+                return seconds
+        raise ModelError(f"no measurement recorded for {workers} workers")
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        """The measured grid, in recording order."""
+        return tuple(n for n, _ in self.measurements)

@@ -1,0 +1,144 @@
+"""Strong/weak scaling studies and the practitioner's planning questions.
+
+The paper's introduction motivates two concrete questions:
+
+1. *Strong scaling* — "Given a workload, how many more machines are needed
+   to decrease the run time by a certain amount?"
+2. *Weak scaling* — "Given an increasing workload, how many more machines
+   to add to keep the run time the same?"
+
+:class:`StrongScalingStudy` and :class:`WeakScalingStudy` evaluate a model
+under the two regimes; :func:`workers_for_time`, :func:`workers_for_speedup`
+and :func:`workers_to_absorb_growth` answer the questions directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.model import ScalabilityModel
+from repro.core.speedup import SpeedupCurve
+
+#: Builds a model for a given input size ``D`` (weak scaling re-sizes D).
+ModelFactory = Callable[[float], ScalabilityModel]
+
+
+@dataclass(frozen=True)
+class StrongScalingStudy:
+    """Fixed input size, varying worker count (Figure 2 of the paper)."""
+
+    model: ScalabilityModel
+
+    def curve(self, workers: Iterable[int]) -> SpeedupCurve:
+        """Speedup relative to a single node on the given grid."""
+        return self.model.curve(workers)
+
+    def decomposition(self, workers: Iterable[int]) -> list[dict[str, float]]:
+        """Computation/communication split per grid point, when available.
+
+        Models that expose ``computation_time`` / ``communication_time``
+        (e.g. :class:`~repro.core.model.BSPModel`) are decomposed; others
+        report total time only.
+        """
+        rows = []
+        for n in workers:
+            row: dict[str, float] = {"workers": n, "time_s": self.model.time(n)}
+            if hasattr(self.model, "computation_time"):
+                row["computation_s"] = self.model.computation_time(n)
+            if hasattr(self.model, "communication_time"):
+                row["communication_s"] = self.model.communication_time(n)
+            rows.append(row)
+        return rows
+
+
+@dataclass(frozen=True)
+class WeakScalingStudy:
+    """Input size grows with the cluster (Figure 3 of the paper).
+
+    ``model_for_size`` builds the model for a given input size;
+    ``size_for_workers`` grows the input with the worker count (the
+    paper's deep-learning case uses ``S = 128 * n``: every node keeps a
+    fixed mini-batch).  Per the paper, the metric is the time to process
+    *one* unit of input, and speedup may be taken relative to a non-unit
+    baseline (Figure 3 uses 50 workers).
+    """
+
+    model_for_size: ModelFactory
+    size_for_workers: Callable[[int], float]
+
+    def time_per_unit(self, workers: int) -> float:
+        """Time to process one input unit with ``workers`` nodes."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        size = float(self.size_for_workers(workers))
+        if size <= 0:
+            raise ModelError(f"input size must be positive, got {size}")
+        return self.model_for_size(size).time(workers) / size
+
+    def curve(self, workers: Iterable[int], baseline_workers: int) -> SpeedupCurve:
+        """Per-unit speedup relative to ``baseline_workers``."""
+        return SpeedupCurve.from_model(
+            self.time_per_unit, workers, baseline_workers, label="weak-scaling"
+        )
+
+
+def workers_for_time(
+    model: ScalabilityModel, target_seconds: float, max_workers: int
+) -> int | None:
+    """Smallest worker count whose modelled time meets ``target_seconds``.
+
+    Returns ``None`` when no count up to ``max_workers`` reaches the
+    target — the honest answer when communication overhead caps speedup
+    below what the practitioner hoped for.
+    """
+    if target_seconds <= 0:
+        raise ModelError(f"target_seconds must be positive, got {target_seconds}")
+    if max_workers < 1:
+        raise ModelError(f"max_workers must be >= 1, got {max_workers}")
+    for n in range(1, max_workers + 1):
+        if model.time(n) <= target_seconds:
+            return n
+    return None
+
+
+def workers_for_speedup(
+    model: ScalabilityModel, target_speedup: float, max_workers: int
+) -> int | None:
+    """Smallest worker count achieving ``s(n) >= target_speedup``."""
+    if target_speedup <= 0:
+        raise ModelError(f"target_speedup must be positive, got {target_speedup}")
+    baseline = model.time(1)
+    return workers_for_time(model, baseline / target_speedup, max_workers)
+
+
+def workers_to_absorb_growth(
+    model_for_size: ModelFactory,
+    current_size: float,
+    current_workers: int,
+    growth_factor: float,
+    max_workers: int,
+    tolerance: float = 0.05,
+) -> int | None:
+    """Weak-scaling planner: keep run time flat as the workload grows.
+
+    Finds the smallest worker count at which the model for the *grown*
+    input (``current_size * growth_factor``) matches the current run time
+    within ``tolerance`` (relative).  Returns ``None`` if no count up to
+    ``max_workers`` suffices.
+    """
+    if current_size <= 0:
+        raise ModelError(f"current_size must be positive, got {current_size}")
+    if current_workers < 1:
+        raise ModelError(f"current_workers must be >= 1, got {current_workers}")
+    if growth_factor <= 0:
+        raise ModelError(f"growth_factor must be positive, got {growth_factor}")
+    if tolerance < 0:
+        raise ModelError(f"tolerance must be non-negative, got {tolerance}")
+    current_time = model_for_size(current_size).time(current_workers)
+    grown = model_for_size(current_size * growth_factor)
+    for n in range(current_workers, max_workers + 1):
+        if grown.time(n) <= current_time * (1.0 + tolerance):
+            return n
+    return None

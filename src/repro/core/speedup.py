@@ -1,0 +1,180 @@
+"""Speedup curves — the paper's central measuring instrument.
+
+Section III: ``s(n) = t(1) / t(n)``; the algorithm is *scalable* if some
+``k`` gives ``s(k) > 1``; the optimal number of nodes is
+``N = argmax s(n)``.  Speedup is preferred over raw time because it
+cancels proportional systematic errors (e.g. the exact fraction of peak
+FLOPS reached).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError
+
+TimeFunction = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class SpeedupCurve:
+    """A speedup curve evaluated on a grid of worker counts.
+
+    ``times[i]`` is the modelled (or measured) execution time with
+    ``workers[i]`` nodes.  ``baseline_time`` is ``t(1)``; when the grid
+    contains ``workers == 1`` it defaults to that entry.  ``baseline_workers``
+    records the reference point (1 for ordinary speedup; Figure 3 of the
+    paper uses 50).
+    """
+
+    workers: tuple[int, ...]
+    times: tuple[float, ...]
+    baseline_time: float
+    baseline_workers: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.workers) != len(self.times):
+            raise ModelError("workers and times must have the same length")
+        if not self.workers:
+            raise ModelError("a speedup curve needs at least one point")
+        if any(n < 1 for n in self.workers):
+            raise ModelError("worker counts must be >= 1")
+        if len(set(self.workers)) != len(self.workers):
+            raise ModelError("worker counts must be unique")
+        if any(t <= 0 for t in self.times):
+            raise ModelError("times must be positive")
+        if self.baseline_time <= 0:
+            raise ModelError("baseline_time must be positive")
+        if self.baseline_workers < 1:
+            raise ModelError("baseline_workers must be >= 1")
+
+    @classmethod
+    def from_times(
+        cls,
+        workers: Sequence[int],
+        times: Sequence[float],
+        baseline_workers: int = 1,
+        label: str = "",
+    ) -> "SpeedupCurve":
+        """Build a curve, taking ``t(baseline_workers)`` from the grid itself."""
+        workers_t = tuple(int(n) for n in workers)
+        times_t = tuple(float(t) for t in times)
+        if baseline_workers not in workers_t:
+            raise ModelError(
+                f"baseline worker count {baseline_workers} is not on the grid {workers_t}"
+            )
+        baseline_time = times_t[workers_t.index(baseline_workers)]
+        return cls(workers_t, times_t, baseline_time, baseline_workers, label)
+
+    @classmethod
+    def from_model(
+        cls,
+        time_fn: TimeFunction,
+        workers: Iterable[int],
+        baseline_workers: int = 1,
+        label: str = "",
+    ) -> "SpeedupCurve":
+        """Evaluate ``time_fn`` on a grid and on the baseline point."""
+        workers_t = tuple(int(n) for n in workers)
+        times_t = tuple(float(time_fn(n)) for n in workers_t)
+        baseline_time = float(time_fn(baseline_workers))
+        return cls(workers_t, times_t, baseline_time, baseline_workers, label)
+
+    @property
+    def speedups(self) -> tuple[float, ...]:
+        """``s(n) = t(baseline) / t(n)`` for every grid point."""
+        return tuple(self.baseline_time / t for t in self.times)
+
+    @property
+    def efficiencies(self) -> tuple[float, ...]:
+        """Parallel efficiency ``s(n) * baseline_workers / n``."""
+        return tuple(
+            s * self.baseline_workers / n for s, n in zip(self.speedups, self.workers)
+        )
+
+    def speedup_at(self, workers: int) -> float:
+        """Speedup at one grid point; raises if the point is absent."""
+        if workers not in self.workers:
+            raise ModelError(f"worker count {workers} is not on the grid")
+        return self.speedups[self.workers.index(workers)]
+
+    @property
+    def optimal_workers(self) -> int:
+        """``argmax s(n)`` over the grid (the paper's optimal node count)."""
+        speedups = self.speedups
+        best = int(np.argmax(speedups))
+        return self.workers[best]
+
+    @property
+    def peak_speedup(self) -> float:
+        """``max s(n)`` over the grid."""
+        return max(self.speedups)
+
+    @property
+    def is_scalable(self) -> bool:
+        """True if some grid point beats the baseline (``s(k) > 1``)."""
+        return any(s > 1.0 + 1e-12 for s in self.speedups)
+
+    def rows(self) -> list[dict[str, float]]:
+        """Tabular form for reports: one dict per grid point."""
+        return [
+            {
+                "workers": n,
+                "time_s": t,
+                "speedup": s,
+                "efficiency": e,
+            }
+            for n, t, s, e in zip(self.workers, self.times, self.speedups, self.efficiencies)
+        ]
+
+
+def speedup_grid(time_fn: TimeFunction, max_workers: int, baseline_workers: int = 1) -> SpeedupCurve:
+    """Evaluate ``time_fn`` on ``1..max_workers`` and wrap as a curve."""
+    if max_workers < 1:
+        raise ModelError(f"max_workers must be >= 1, got {max_workers}")
+    return SpeedupCurve.from_model(time_fn, range(1, max_workers + 1), baseline_workers)
+
+
+def optimal_workers(time_fn: TimeFunction, max_workers: int) -> int:
+    """``argmax_{1<=n<=max_workers} s(n)`` — the paper's ``N``."""
+    return speedup_grid(time_fn, max_workers).optimal_workers
+
+
+def scalability_limit(time_fn: TimeFunction, max_workers: int, tolerance: float = 0.0) -> int:
+    """Largest ``n`` whose marginal speedup is still positive.
+
+    Returns the last worker count at which adding a node improved the time
+    by more than ``tolerance`` (relative).  Useful for answering "when do
+    extra machines stop helping at all", which can differ from the argmax
+    on jagged curves like Spark's ``ceil(sqrt(n))`` aggregation.
+    """
+    if max_workers < 1:
+        raise ModelError(f"max_workers must be >= 1, got {max_workers}")
+    best = 1
+    previous = time_fn(1)
+    for n in range(2, max_workers + 1):
+        current = time_fn(n)
+        if current < previous * (1.0 - tolerance):
+            best = n
+        previous = current
+    return best
+
+
+def crossover_workers(
+    time_fn_a: TimeFunction, time_fn_b: TimeFunction, max_workers: int
+) -> int | None:
+    """Smallest ``n`` at which ``time_fn_b`` becomes faster than ``time_fn_a``.
+
+    Used by the benches to locate who-wins-where crossovers between
+    communication topologies.  Returns ``None`` if B never wins on the grid.
+    """
+    if max_workers < 1:
+        raise ModelError(f"max_workers must be >= 1, got {max_workers}")
+    for n in range(1, max_workers + 1):
+        if time_fn_b(n) < time_fn_a(n):
+            return n
+    return None

@@ -1,0 +1,168 @@
+"""Units and quantity helpers used across the library.
+
+The paper expresses model inputs in a small set of units: FLOPS for compute
+throughput, bits per second for network bandwidth, bits for message sizes,
+and seconds for time.  Everything in this library is stored in those base
+units (floats); this module provides the named constants and parsing helpers
+that keep call sites readable, e.g. ``2 * GIGA`` instead of ``2e9``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import UnitError
+
+#: SI multipliers.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+#: Binary multipliers (used for memory sizes).
+KIBI = 2**10
+MEBI = 2**20
+GIBI = 2**30
+TEBI = 2**40
+
+BITS_PER_BYTE = 8
+
+#: Bits used to encode one model parameter at a given precision.
+BITS_SINGLE_PRECISION = 32
+BITS_DOUBLE_PRECISION = 64
+
+_SI_PREFIXES = {
+    "": 1.0,
+    "k": KILO,
+    "K": KILO,
+    "M": MEGA,
+    "G": GIGA,
+    "T": TERA,
+    "P": PETA,
+    "Ki": KIBI,
+    "Mi": MEBI,
+    "Gi": GIBI,
+    "Ti": TEBI,
+}
+
+_UNIT_SCALES = {
+    # Compute throughput, in FLOPS.
+    "flops": 1.0,
+    "flop/s": 1.0,
+    # Bandwidth, in bits per second.
+    "bit/s": 1.0,
+    "bps": 1.0,
+    "b/s": 1.0,
+    "byte/s": float(BITS_PER_BYTE),
+    "B/s": float(BITS_PER_BYTE),
+    # Sizes, in bits.
+    "bit": 1.0,
+    "b": 1.0,
+    "byte": float(BITS_PER_BYTE),
+    "B": float(BITS_PER_BYTE),
+    # Time, in seconds.
+    "s": 1.0,
+    "sec": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "ns": 1e-9,
+    # Frequency, in Hz.
+    "Hz": 1.0,
+}
+
+_QUANTITY_RE = re.compile(
+    r"^\s*(?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*"
+    r"(?P<prefix>Ki|Mi|Gi|Ti|[kKMGTP]?)(?P<unit>[A-Za-z/]+)\s*$"
+)
+
+
+def parse_quantity(text: str) -> float:
+    """Parse a human-readable quantity into base units.
+
+    Base units are: FLOPS, bits, bits per second, seconds and hertz.
+
+    >>> parse_quantity("211.2 GFLOPS")
+    211200000000.0
+    >>> parse_quantity("1 Gbit/s")
+    1000000000.0
+    >>> parse_quantity("16 GiB")
+    137438953472.0
+
+    Raises :class:`~repro.core.errors.UnitError` for unknown units.
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity: {text!r}")
+    number = float(match.group("number"))
+    prefix = match.group("prefix")
+    unit = match.group("unit")
+    if unit not in _UNIT_SCALES:
+        # Units are matched case-sensitively first; fall back to a
+        # case-insensitive match for spellings such as "GFLOPS".
+        lowered = unit.lower()
+        if lowered in _UNIT_SCALES:
+            unit = lowered
+        else:
+            raise UnitError(f"unknown unit {unit!r} in {text!r}")
+    return number * _SI_PREFIXES[prefix] * _UNIT_SCALES[unit]
+
+
+def parameter_bits(parameter_count: float, bits_per_parameter: int = BITS_SINGLE_PRECISION) -> float:
+    """Return the message size, in bits, of a parameter vector.
+
+    This is the ``32 * W`` (or ``64 * W`` for Spark's double precision)
+    factor that appears in every communication formula of the paper.
+    """
+    if parameter_count < 0:
+        raise UnitError(f"parameter_count must be non-negative, got {parameter_count}")
+    if bits_per_parameter <= 0:
+        raise UnitError(f"bits_per_parameter must be positive, got {bits_per_parameter}")
+    return float(parameter_count) * float(bits_per_parameter)
+
+
+def transfer_seconds(bits: float, bandwidth_bps: float, latency_s: float = 0.0) -> float:
+    """Time to push ``bits`` through a link of ``bandwidth_bps``.
+
+    ``latency_s`` is added once; it models the per-message fixed cost.
+    """
+    if bits < 0:
+        raise UnitError(f"bits must be non-negative, got {bits}")
+    if bandwidth_bps <= 0:
+        raise UnitError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
+    if latency_s < 0:
+        raise UnitError(f"latency_s must be non-negative, got {latency_s}")
+    return latency_s + bits / bandwidth_bps
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a sensible unit for reports (e.g. ``"12.3 ms"``)."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.3g} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3g} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.3g} min"
+    return f"{seconds / 3600.0:.3g} h"
+
+
+def format_count(count: float) -> str:
+    """Render a large count the way the paper does (e.g. ``"25.0e6"``)."""
+    if count == 0:
+        return "0"
+    magnitude = 0
+    scaled = float(count)
+    while abs(scaled) >= 1000.0:
+        scaled /= 1000.0
+        magnitude += 3
+    if magnitude == 0:
+        return f"{scaled:g}"
+    return f"{scaled:.3g}e{magnitude}"

@@ -1,0 +1,59 @@
+"""Distributed executors: the simulated runtimes that produce 'experimental' data."""
+
+from repro.distributed.gradient_descent import (
+    GDWorkload,
+    data_parallel_gradient,
+    data_parallel_train_step,
+    per_instance_seconds,
+    simulate_gd_iterations,
+)
+from repro.distributed.graph_inference import (
+    GRAPHLAB_EFFECTIVE_FLOPS,
+    graphlab_dl980,
+    iteration_seconds,
+    measure_bp_iterations,
+    realized_max_edge_work,
+)
+from repro.models.belief_propagation import bp_cost_per_edge
+from repro.distributed.spark_like import (
+    SPARK_BATCH_SIZE,
+    SPARK_JITTER_SIGMA,
+    measure_fc_iterations,
+    mnist_fc_workload,
+    spark_cluster,
+)
+from repro.distributed.tensorflow_like import (
+    PAPER_INCEPTION_FORWARD,
+    PAPER_INCEPTION_WEIGHTS,
+    TENSORFLOW_JITTER_SIGMA,
+    WORKER_BATCH_SIZE,
+    inception_workload,
+    measure_inception_per_instance,
+    tensorflow_cluster,
+)
+
+__all__ = [
+    "GDWorkload",
+    "data_parallel_gradient",
+    "data_parallel_train_step",
+    "per_instance_seconds",
+    "simulate_gd_iterations",
+    "bp_cost_per_edge",
+    "GRAPHLAB_EFFECTIVE_FLOPS",
+    "graphlab_dl980",
+    "iteration_seconds",
+    "measure_bp_iterations",
+    "realized_max_edge_work",
+    "SPARK_BATCH_SIZE",
+    "SPARK_JITTER_SIGMA",
+    "measure_fc_iterations",
+    "mnist_fc_workload",
+    "spark_cluster",
+    "PAPER_INCEPTION_FORWARD",
+    "PAPER_INCEPTION_WEIGHTS",
+    "TENSORFLOW_JITTER_SIGMA",
+    "WORKER_BATCH_SIZE",
+    "inception_workload",
+    "measure_inception_per_instance",
+    "tensorflow_cluster",
+]

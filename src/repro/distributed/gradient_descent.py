@@ -1,0 +1,160 @@
+"""Data-parallel gradient descent: functional correctness + timing runs.
+
+Two layers:
+
+* :func:`data_parallel_gradient` / :func:`data_parallel_train_step` run
+  *real* data-parallel batch GD on a real network: every logical worker
+  computes the gradient of its shard, the driver combines them weighted
+  by shard size.  The tests pin the key invariant — the combined gradient
+  equals the single-node full-batch gradient — which is what makes the
+  paper's "computation is perfectly data parallel" assumption valid.
+* :func:`simulate_gd_iterations` times the same superstep on the
+  discrete-event cluster (broadcast, compute, aggregate) to produce the
+  "experimental" points of Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SimulationError, TrainingError
+from repro.core.model import MeasuredModel
+from repro.nn.data import Dataset
+from repro.nn.losses import Loss
+from repro.nn.network import Sequential
+from repro.simulate.bsp import SuperstepPlan
+from repro.simulate.cluster import SimulatedCluster
+
+
+def data_parallel_gradient(
+    network: Sequential, dataset: Dataset, loss: Loss, workers: int
+) -> tuple[float, list[np.ndarray]]:
+    """Gradient of the full batch, computed shard-by-shard and combined.
+
+    Mimics the paper's data-parallel scheme: "each node computes the
+    gradient in parallel using a part of the batch.  Then the results are
+    collected to the master node."  Per-shard mean gradients are combined
+    weighted by shard sizes, which reproduces the full-batch mean exactly.
+    Returns ``(weighted mean loss, combined gradients)``.
+    """
+    if workers < 1:
+        raise TrainingError(f"workers must be >= 1, got {workers}")
+    if dataset.size < workers:
+        raise TrainingError(f"{dataset.size} samples cannot feed {workers} workers")
+    combined: list[np.ndarray] | None = None
+    total_loss = 0.0
+    for worker in range(workers):
+        shard = dataset.shard(worker, workers)
+        value, gradients = network.loss_and_gradients(shard.inputs, shard.targets, loss)
+        weight = shard.size / dataset.size
+        total_loss += value * weight
+        if combined is None:
+            combined = [g * weight for g in gradients]
+        else:
+            for accumulator, gradient in zip(combined, gradients):
+                accumulator += gradient * weight
+    assert combined is not None
+    return total_loss, combined
+
+
+def data_parallel_train_step(
+    network: Sequential,
+    dataset: Dataset,
+    loss: Loss,
+    workers: int,
+    learning_rate: float,
+) -> float:
+    """One full data-parallel GD step (gradient + master update).
+
+    Returns the batch loss before the update.
+    """
+    if learning_rate <= 0:
+        raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+    value, gradients = data_parallel_gradient(network, dataset, loss, workers)
+    for parameter, gradient in zip(network.parameters(), gradients):
+        parameter -= learning_rate * gradient
+    return value
+
+
+@dataclass(frozen=True)
+class GDWorkload:
+    """The timing-relevant description of one gradient-descent iteration.
+
+    ``operations_per_sample`` is the paper's ``C`` (e.g. ``6 W`` for a
+    fully-connected network); ``parameter_bits`` is ``32 W`` or ``64 W``.
+    """
+
+    operations_per_sample: float
+    parameter_bits: float
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.operations_per_sample <= 0:
+            raise SimulationError(
+                f"operations_per_sample must be positive, got {self.operations_per_sample}"
+            )
+        if self.parameter_bits <= 0:
+            raise SimulationError(f"parameter_bits must be positive, got {self.parameter_bits}")
+        if self.batch_size < 1:
+            raise SimulationError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    def plan_strong_scaling(self, workers: int, aggregation: str = "two_wave") -> SuperstepPlan:
+        """The batch is fixed and split across workers (Figure 2)."""
+        total_operations = self.operations_per_sample * self.batch_size
+        return SuperstepPlan(
+            operations_per_worker=total_operations / workers,
+            broadcast_bits=self.parameter_bits,
+            aggregate_bits=self.parameter_bits,
+            aggregation=aggregation,
+        )
+
+    def plan_weak_scaling(self, aggregation: str = "tree") -> SuperstepPlan:
+        """Every worker keeps a full batch (Figure 3's regime)."""
+        return SuperstepPlan(
+            operations_per_worker=self.operations_per_sample * self.batch_size,
+            broadcast_bits=self.parameter_bits,
+            aggregate_bits=self.parameter_bits,
+            aggregation=aggregation,
+        )
+
+
+def simulate_gd_iterations(
+    cluster: SimulatedCluster,
+    workload: GDWorkload,
+    workers_grid: Iterable[int],
+    iterations: int = 5,
+    weak_scaling: bool = False,
+    aggregation: str | None = None,
+) -> MeasuredModel:
+    """Measure mean iteration time across a worker-count sweep.
+
+    Strong scaling splits ``workload.batch_size`` across workers (the
+    Spark experiment of Figure 2); weak scaling gives each worker the
+    whole batch (the TensorFlow experiment of Figure 3).
+    """
+    if aggregation is None:
+        aggregation = "tree" if weak_scaling else "two_wave"
+
+    def plan_for(workers: int) -> SuperstepPlan:
+        if weak_scaling:
+            return workload.plan_weak_scaling(aggregation=aggregation)
+        return workload.plan_strong_scaling(workers, aggregation=aggregation)
+
+    return cluster.measure_iteration_seconds(plan_for, workers_grid, iterations=iterations)
+
+
+def per_instance_seconds(measured: MeasuredModel, batch_size: int) -> MeasuredModel:
+    """Convert weak-scaling iteration times to time-per-training-instance.
+
+    With ``n`` workers each holding ``batch_size`` samples, one iteration
+    processes ``batch_size * n`` instances — the quantity Figure 3 plots.
+    """
+    if batch_size < 1:
+        raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
+    pairs = []
+    for workers in measured.workers:
+        pairs.append((workers, measured.time(workers) / (batch_size * workers)))
+    return MeasuredModel.from_pairs(pairs)

@@ -1,0 +1,135 @@
+"""Shared-memory distributed BP — the paper's Figure 4 experiment.
+
+The paper ran its GraphLab BP implementation on an 80-core DL980;
+communication happens through shared memory and is modelled as free, so
+an iteration's time is the heaviest worker's message work plus the
+engine's execution overhead (which the paper observed "taking over with
+larger number of workers").
+
+The experiment here: take a DNS-like graph, draw one concrete random
+vertex assignment per worker count (not the Monte-Carlo *expectation* —
+a single realisation, like a real run), and time supersteps as
+``max_i(work_i) * c(S) / F_core + overhead(n)``.  Worker ``i``'s work is
+its exact count of distinct incident edges (each edge is processed once
+per owning worker), which is the quantity the paper's
+``E_i = Ernd_i - Edup`` estimates.  The model therefore differs from the
+experiment through (a) expectation-vs-realisation of the max statistic,
+(b) the uniform-graph approximation inside ``Edup``, and (c) the engine
+overhead — the same three gaps that separated the paper's theoretical
+and experimental curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.errors import SimulationError
+from repro.core.model import MeasuredModel
+from repro.graph.graph import DegreeSequence, Graph
+from repro.graph.montecarlo import expected_duplicate_edges
+from repro.graph.partition import degree_loads, incident_edges_per_worker, random_partition
+from repro.hardware.specs import SharedMemoryMachineSpec
+from repro.models.belief_propagation import bp_cost_per_edge
+
+#: Effective engine throughput: a real graph engine spends ~1 microsecond
+#: per edge message (scheduling, cache misses, locks), far above the raw
+#: 14 flops of c(2).  F cancels in every speedup, so this constant only
+#: sets the absolute time scale against which overhead is calibrated.
+GRAPHLAB_EFFECTIVE_FLOPS = 14e6
+
+#: Engine overheads calibrated so the 16K-vertex study lands near the
+#: paper's observed behaviour (speedup saturating then dipping past ~64
+#: workers; MAPE in the paper's 20-26% band).
+GRAPHLAB_SYNC_OVERHEAD_S = 2e-4
+GRAPHLAB_PER_WORKER_OVERHEAD_S = 1e-5
+
+#: Memory-bandwidth saturation: BP is memory-bound, and an 80-core
+#: NUMA host cannot feed 80 cores at full rate.  This is the overhead
+#: mechanism that remains visible even on the 100M-edge graph, where the
+#: fixed per-superstep costs are negligible relative to compute.
+GRAPHLAB_CONTENTION_SATURATION_CORES = 120.0
+
+
+def graphlab_dl980() -> SharedMemoryMachineSpec:
+    """The DL980 as seen by a GraphLab-like engine (effective constants)."""
+    return SharedMemoryMachineSpec(
+        name="HP ProLiant DL980 (GraphLab-effective)",
+        cores=80,
+        core_flops=GRAPHLAB_EFFECTIVE_FLOPS,
+        sync_overhead_s=GRAPHLAB_SYNC_OVERHEAD_S,
+        per_worker_overhead_s=GRAPHLAB_PER_WORKER_OVERHEAD_S,
+        contention_saturation_cores=GRAPHLAB_CONTENTION_SATURATION_CORES,
+    )
+
+
+def iteration_seconds(
+    max_edge_work: float,
+    workers: int,
+    machine: SharedMemoryMachineSpec,
+    states: int = 2,
+) -> float:
+    """One BP superstep: the heaviest core's edge work plus engine overhead."""
+    if max_edge_work < 0:
+        raise SimulationError(f"max_edge_work must be non-negative, got {max_edge_work}")
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if workers > machine.cores:
+        raise SimulationError(
+            f"{workers} workers exceed the machine's {machine.cores} cores"
+        )
+    compute = (
+        max_edge_work
+        * bp_cost_per_edge(states)
+        / machine.core_flops
+        * machine.contention_factor(workers)
+    )
+    return compute + machine.overhead_seconds(workers)
+
+
+def realized_max_edge_work(
+    source: Graph | DegreeSequence, workers: int, seed: int = 0
+) -> float:
+    """The heaviest worker's edge count under one random assignment.
+
+    With a materialised graph the count is exact (distinct incident
+    edges).  With only a degree sequence (the paper's 16M-vertex scale)
+    the realised degree-sum maximum is corrected by the expected
+    duplicate count, mirroring the estimator's own correction.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if isinstance(source, Graph):
+        if workers == 1:
+            return float(source.edge_count)
+        partition = random_partition(source.vertex_count, workers, seed=seed)
+        return float(incident_edges_per_worker(source, partition).max())
+    sequence = source
+    if workers == 1:
+        return float(sequence.edge_count)
+    partition = random_partition(sequence.vertex_count, workers, seed=seed)
+    loads = degree_loads(partition, sequence.degrees)
+    duplicate = expected_duplicate_edges(sequence.vertex_count, sequence.edge_count, workers)
+    return float(loads.max()) - duplicate
+
+
+def measure_bp_iterations(
+    source: Graph | DegreeSequence,
+    workers_grid: Iterable[int],
+    machine: SharedMemoryMachineSpec | None = None,
+    states: int = 2,
+    seed: int = 0,
+) -> MeasuredModel:
+    """Simulated BP iteration times across worker counts (Figure 4's data).
+
+    For each worker count one concrete uniform-random vertex assignment
+    is drawn (a fresh one per count, like re-launching the engine) and
+    the superstep is timed off the realised worker loads.
+    """
+    if machine is None:
+        machine = graphlab_dl980()
+    pairs = []
+    for index, workers in enumerate(workers_grid):
+        workers = int(workers)
+        work = realized_max_edge_work(source, workers, seed=seed + index)
+        pairs.append((workers, iteration_seconds(work, workers, machine, states)))
+    return MeasuredModel.from_pairs(pairs)

@@ -1,0 +1,74 @@
+"""The Spark-like runtime of the paper's Figure 2 experiment.
+
+Reconstructs the paper's testbed in the simulator: Xeon E3-1240 workers
+(double precision, 80 % of peak), a dedicated driver, 1 Gbit/s Ethernet,
+torrent parameter broadcast, two-wave ``ceil(sqrt(n))`` gradient
+aggregation, JVM-ish scheduling overhead and straggler jitter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.model import MeasuredModel
+from repro.core.units import BITS_DOUBLE_PRECISION
+from repro.distributed.gradient_descent import GDWorkload, simulate_gd_iterations
+from repro.hardware.catalog import gigabit_ethernet, xeon_e3_1240
+from repro.hardware.specs import ClusterSpec
+from repro.nn.architectures import mnist_fc
+from repro.nn.flops import DENSE_TRAINING_OPERATIONS_PER_WEIGHT
+from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.overhead import SPARK_LIKE_OVERHEAD
+from repro.simulate.rng import LogNormalJitter
+
+#: The paper's Spark batch size: the full MNIST training set.
+SPARK_BATCH_SIZE = 60000
+
+#: Straggler severity observed on small JVM clusters; drives the gap
+#: between the smooth model curve and the "experimental" markers.
+SPARK_JITTER_SIGMA = 0.06
+
+
+def spark_cluster(workers: int = 16, seed: int = 0) -> SimulatedCluster:
+    """The paper's testbed: dedicated master + Xeon workers on 1 GbE."""
+    spec = ClusterSpec(
+        node=xeon_e3_1240(precision="double"),
+        link=gigabit_ethernet(),
+        workers=workers,
+        dedicated_master=True,
+    )
+    return SimulatedCluster(
+        spec=spec,
+        overhead=SPARK_LIKE_OVERHEAD,
+        jitter=LogNormalJitter(SPARK_JITTER_SIGMA),
+        seed=seed,
+    )
+
+
+def mnist_fc_workload() -> GDWorkload:
+    """The Figure 2 workload: 6W ops/sample, 64-bit parameters, S = 60000."""
+    spec = mnist_fc()
+    weights = spec.total_weights
+    return GDWorkload(
+        operations_per_sample=DENSE_TRAINING_OPERATIONS_PER_WEIGHT * weights,
+        parameter_bits=BITS_DOUBLE_PRECISION * weights,
+        batch_size=SPARK_BATCH_SIZE,
+    )
+
+
+def measure_fc_iterations(
+    workers_grid: Iterable[int],
+    iterations: int = 5,
+    seed: int = 0,
+) -> MeasuredModel:
+    """Simulated per-iteration times for the Figure 2 sweep."""
+    grid = list(workers_grid)
+    cluster = spark_cluster(workers=max(grid), seed=seed)
+    return simulate_gd_iterations(
+        cluster,
+        mnist_fc_workload(),
+        grid,
+        iterations=iterations,
+        weak_scaling=False,
+        aggregation="two_wave",
+    )

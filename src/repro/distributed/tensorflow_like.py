@@ -1,0 +1,96 @@
+"""The TensorFlow-like GPU runtime of the paper's Figure 3 experiment.
+
+Chen et al. trained Inception v3 with synchronous mini-batch SGD on
+nVidia K40 workers: every worker holds a fixed batch of 128 images, so
+adding workers grows the effective batch — weak scaling.  The paper
+models the gradient exchange logarithmically (``2 * (32W/B) * log n``);
+the simulator realises that with binomial broadcast down and tree
+aggregation up, plus a light in-process framework overhead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.model import MeasuredModel
+from repro.core.units import BITS_SINGLE_PRECISION
+from repro.distributed.gradient_descent import (
+    GDWorkload,
+    per_instance_seconds,
+    simulate_gd_iterations,
+)
+from repro.hardware.catalog import gigabit_ethernet, nvidia_k40
+from repro.hardware.specs import ClusterSpec
+from repro.nn.architectures import inception_v3
+from repro.nn.flops import training_operations
+from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.overhead import TENSORFLOW_LIKE_OVERHEAD
+from repro.simulate.rng import LogNormalJitter
+
+#: Chen et al.'s per-worker mini-batch ("a typical choice for one worker").
+WORKER_BATCH_SIZE = 128
+
+#: GPU kernels are much steadier than JVM tasks.
+TENSORFLOW_JITTER_SIGMA = 0.01
+
+#: The paper uses the published round numbers (W = 25e6, C = 3 * 5e9)
+#: rather than exact layer sums; we honour that here so the experiment
+#: and model quote identical inputs.
+PAPER_INCEPTION_WEIGHTS = 25e6
+PAPER_INCEPTION_FORWARD = 5e9
+
+
+def tensorflow_cluster(workers: int = 200, seed: int = 0) -> SimulatedCluster:
+    """Chen et al.'s testbed: K40 GPUs (50 % of peak) on 1 Gbit/s links."""
+    spec = ClusterSpec(
+        node=nvidia_k40(),
+        link=gigabit_ethernet(),
+        workers=workers,
+        dedicated_master=True,
+    )
+    return SimulatedCluster(
+        spec=spec,
+        overhead=TENSORFLOW_LIKE_OVERHEAD,
+        jitter=LogNormalJitter(TENSORFLOW_JITTER_SIGMA),
+        seed=seed,
+    )
+
+
+def inception_workload(use_paper_constants: bool = True) -> GDWorkload:
+    """The Figure 3 workload: C = 3 * 5e9 per sample, 32-bit parameters.
+
+    With ``use_paper_constants=False`` the exact layer-counted values of
+    our Inception v3 spec are used instead (about 14 % higher compute).
+    """
+    if use_paper_constants:
+        weights = PAPER_INCEPTION_WEIGHTS
+        forward = PAPER_INCEPTION_FORWARD
+    else:
+        spec = inception_v3()
+        weights = float(spec.total_weights)
+        forward = float(spec.forward_madds)
+    return GDWorkload(
+        operations_per_sample=training_operations(forward),
+        parameter_bits=BITS_SINGLE_PRECISION * weights,
+        batch_size=WORKER_BATCH_SIZE,
+    )
+
+
+def measure_inception_per_instance(
+    workers_grid: Iterable[int],
+    iterations: int = 3,
+    seed: int = 0,
+    use_paper_constants: bool = True,
+) -> MeasuredModel:
+    """Simulated per-training-instance times for the Figure 3 sweep."""
+    grid = list(workers_grid)
+    cluster = tensorflow_cluster(workers=max(grid), seed=seed)
+    iteration_times = simulate_gd_iterations(
+        cluster,
+        inception_workload(use_paper_constants),
+        grid,
+        iterations=iterations,
+        weak_scaling=True,
+        aggregation="tree",
+    )
+    return per_instance_seconds(iteration_times, WORKER_BATCH_SIZE)

@@ -1,0 +1,35 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from repro.experiments import figure1, figure2, figure3, figure4, table1  # noqa: F401  (registration)
+from repro.experiments.plotting import render_chart, render_table
+from repro.experiments.reference import (
+    FIGURE1_PEAK_WORKERS,
+    FIGURE2,
+    FIGURE3,
+    FIGURE4,
+    FIGURE4_SMALL_GRAPH_MAPE,
+    MAPE_ACCEPTANCE,
+    TABLE1,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "render_chart",
+    "render_table",
+    "FIGURE1_PEAK_WORKERS",
+    "FIGURE2",
+    "FIGURE3",
+    "FIGURE4",
+    "FIGURE4_SMALL_GRAPH_MAPE",
+    "MAPE_ACCEPTANCE",
+    "TABLE1",
+    "ExperimentResult",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+]

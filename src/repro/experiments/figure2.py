@@ -1,0 +1,72 @@
+"""Figure 2 reproduction: speedup of one iteration, FC ANN on Spark.
+
+Model: :func:`repro.models.deep_learning.spark_mnist_figure2_model` (the
+paper's exact formula).  Experiment: the Spark-like runtime on the
+discrete-event cluster (:mod:`repro.distributed.spark_like`), standing in
+for the paper's physical Xeon/1GbE cluster.  The comparison metric is
+the paper's: MAPE between model and experimental *speedups*.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import mape
+from repro.distributed.spark_like import measure_fc_iterations
+from repro.experiments.reference import FIGURE2, MAPE_ACCEPTANCE
+from repro.experiments.runner import ExperimentResult, register
+from repro.models.deep_learning import spark_mnist_figure2_model
+
+
+@register("figure2")
+def run(quick: bool = False) -> ExperimentResult:
+    """Model-vs-simulated-experiment speedup for 1..13 workers."""
+    max_workers = int(FIGURE2["max_plotted_workers"])
+    grid = list(range(1, max_workers + 1))
+    iterations = 2 if quick else 5
+
+    model = spark_mnist_figure2_model()
+    measured = measure_fc_iterations(grid, iterations=iterations, seed=0)
+
+    model_speedups = [model.speedup(n) for n in grid]
+    measured_baseline = measured.time(1)
+    measured_speedups = [measured_baseline / measured.time(n) for n in grid]
+
+    rows = []
+    for n, model_s, measured_s in zip(grid, model_speedups, measured_speedups):
+        rows.append(
+            {
+                "workers": n,
+                "model_time_s": model.time(n),
+                "experiment_time_s": measured.time(n),
+                "model_speedup": model_s,
+                "experiment_speedup": measured_s,
+            }
+        )
+
+    speedup_mape = mape(measured_speedups, model_speedups)
+    model_optimal = model.optimal_workers(max_workers)
+    experiment_optimal = grid[measured_speedups.index(max(measured_speedups))]
+    return ExperimentResult(
+        experiment="figure2",
+        description="Speedup of one iteration for fully connected ANN training (Spark)",
+        rows=rows,
+        metrics={
+            "mape_pct": speedup_mape,
+            "paper_mape_pct": float(FIGURE2["mape_pct"]),
+            "mape_acceptance_pct": MAPE_ACCEPTANCE["figure2"],
+            "model_optimal_workers": float(model_optimal),
+            "paper_optimal_workers": float(FIGURE2["optimal_workers"]),
+            "experiment_optimal_workers": float(experiment_optimal),
+            "model_peak_speedup": max(model_speedups),
+            "experiment_peak_speedup": max(measured_speedups),
+        },
+        notes=[
+            "The paper reports MAPE 13.7% against its physical Spark cluster"
+            " and an optimal worker count of nine; the simulated cluster"
+            " reproduces the nine-worker model optimum and a plateau beyond"
+            " it ('adding more workers does not provide any speedup').",
+            "The experimental curve flattens rather than dips after nine"
+            " workers: the simulator's two-wave aggregation overlaps wave-1"
+            " groups slightly better than the closed-form 2*ceil(sqrt(n))"
+            " bound, the same direction of deviation the paper observed.",
+        ],
+    )

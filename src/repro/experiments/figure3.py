@@ -1,0 +1,70 @@
+"""Figure 3 reproduction: per-instance speedup of Inception v3 (weak scaling).
+
+Model: the paper's ``t = ((C*S)/F + 2*(32W/B) log n)/n``, evaluated
+relative to 50 workers (the figure's baseline).  Experiment: the
+TensorFlow-like GPU runtime on the discrete-event cluster, standing in
+for Chen et al.'s K40 cluster.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import mape
+from repro.distributed.tensorflow_like import measure_inception_per_instance
+from repro.experiments.reference import FIGURE3, MAPE_ACCEPTANCE
+from repro.experiments.runner import ExperimentResult, register
+from repro.models.deep_learning import (
+    chen_inception_figure3_model,
+    chen_inception_linear_comm_model,
+)
+
+#: Chen et al. report sync mini-batch SGD at these cluster sizes.
+WORKER_GRID = (25, 50, 100, 200)
+
+
+@register("figure3")
+def run(quick: bool = False) -> ExperimentResult:
+    """Model-vs-simulated-experiment per-instance speedup vs 50 workers."""
+    baseline = int(FIGURE3["baseline_workers"])
+    iterations = 2 if quick else 4
+
+    model = chen_inception_figure3_model()
+    linear_model = chen_inception_linear_comm_model()
+    measured = measure_inception_per_instance(WORKER_GRID, iterations=iterations, seed=0)
+
+    model_speedups = [model.time(baseline) / model.time(n) for n in WORKER_GRID]
+    measured_speedups = [measured.time(baseline) / measured.time(n) for n in WORKER_GRID]
+    linear_speedups = [linear_model.time(baseline) / linear_model.time(n) for n in WORKER_GRID]
+
+    rows = []
+    for n, model_s, measured_s, linear_s in zip(
+        WORKER_GRID, model_speedups, measured_speedups, linear_speedups
+    ):
+        rows.append(
+            {
+                "workers": n,
+                "model_speedup_vs_50": model_s,
+                "experiment_speedup_vs_50": measured_s,
+                "linear_comm_model_vs_50": linear_s,
+            }
+        )
+
+    return ExperimentResult(
+        experiment="figure3",
+        description=(
+            "Speedup of processing time per training instance, convolutional ANN"
+            " (relative to 50 nodes)"
+        ),
+        rows=rows,
+        metrics={
+            "mape_pct": mape(measured_speedups, model_speedups),
+            "paper_mape_pct": float(FIGURE3["mape_pct"]),
+            "mape_acceptance_pct": MAPE_ACCEPTANCE["figure3"],
+            "speedup_200_vs_50_model": model_speedups[-1],
+            "speedup_200_vs_50_experiment": measured_speedups[-1],
+        },
+        notes=[
+            "The logarithmic communication model keeps scaling (infinite weak"
+            " scaling); the linear-communication column saturates — the"
+            " contrast Section V-A draws.",
+        ],
+    )

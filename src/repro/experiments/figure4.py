@@ -1,0 +1,115 @@
+"""Figure 4 reproduction: BP speedup on DNS-like graphs.
+
+Model: the paper's Monte-Carlo estimate of ``max_i(E_i)`` turned into a
+speedup curve (``F`` and ``c(S)`` cancel).  Experiment: concrete random
+assignments timed on the GraphLab-effective DL980 machine model, with
+the engine overhead that the paper observed "taking over with larger
+number of workers".
+
+``figure4`` runs the paper's headline 16M-vertex scale on the
+degree-sequence representation; ``figure4-small`` covers the 16K / 165K
+(and, outside quick mode, 1.6M) scales with materialised edges, matching
+Section V-B's extra experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import mape
+from repro.distributed.graph_inference import graphlab_dl980, measure_bp_iterations
+from repro.experiments.reference import FIGURE4, FIGURE4_SMALL_GRAPH_MAPE, MAPE_ACCEPTANCE
+from repro.experiments.runner import ExperimentResult, register
+from repro.graph.generators import dns_like
+from repro.models.belief_propagation import BeliefPropagationModel
+
+#: Worker grid up to the DL980's 80 cores.
+WORKER_GRID = (1, 2, 4, 8, 16, 32, 48, 64, 80)
+
+
+def _compare_scale(
+    scale: str, trials: int, seed: int = 0
+) -> tuple[list[dict[str, object]], dict[str, float]]:
+    """Model-vs-experiment speedups for one graph scale."""
+    workload = dns_like(scale, seed=seed)
+    source = workload.graph if workload.graph is not None else workload.degree_sequence
+    machine = graphlab_dl980()
+
+    model = BeliefPropagationModel.from_source(
+        workload.degree_sequence,
+        WORKER_GRID,
+        states=int(FIGURE4["states"]),
+        flops=machine.core_flops,
+        trials=trials,
+        seed=seed,
+    )
+    measured = measure_bp_iterations(source, WORKER_GRID, machine=machine, seed=seed + 100)
+
+    model_speedups = [model.speedup(n) for n in WORKER_GRID]
+    measured_speedups = [measured.time(1) / measured.time(n) for n in WORKER_GRID]
+    rows = []
+    for n, model_s, measured_s in zip(WORKER_GRID, model_speedups, measured_speedups):
+        rows.append(
+            {
+                "scale": scale,
+                "workers": n,
+                "model_speedup": model_s,
+                "experiment_speedup": measured_s,
+            }
+        )
+    metrics = {
+        "mape_pct": mape(measured_speedups, model_speedups),
+        "model_speedup_80": model_speedups[-1],
+        "experiment_speedup_80": measured_speedups[-1],
+    }
+    return rows, metrics
+
+
+@register("figure4")
+def run(quick: bool = False) -> ExperimentResult:
+    """The headline 16M-vertex study (16K in quick mode)."""
+    scale = "16k" if quick else "16m"
+    trials = 3 if quick else 5
+    rows, metrics = _compare_scale(scale, trials=trials)
+    metrics["paper_mape_pct"] = float(FIGURE4["mape_pct"])
+    metrics["mape_acceptance_pct"] = MAPE_ACCEPTANCE["figure4"]
+    return ExperimentResult(
+        experiment="figure4",
+        description=f"Speedup of the BP algorithm, DNS-like graph ({scale} scale)",
+        rows=rows,
+        metrics=metrics,
+        notes=[
+            "The paper reports MAPE 25.4% on the 16M-vertex graph: the"
+            " random-assignment model is conservative at few workers while"
+            " execution overhead takes over at many workers.  The same two"
+            " regimes appear here (experiment above model early, below at"
+            " 64-80 cores).",
+            "The 16M-scale run uses the degree-sequence representation;"
+            " the estimator consumes only degrees, so no 100M-edge list is"
+            " materialised (see DESIGN.md).",
+        ],
+    )
+
+
+@register("figure4-small")
+def run_small(quick: bool = False) -> ExperimentResult:
+    """Section V-B's smaller graphs: 16K, 165K (and 1.6M in full mode)."""
+    scales = ["16k", "165k"] if quick else ["16k", "165k", "1.6m"]
+    trials = 3 if quick else 5
+    rows: list[dict[str, object]] = []
+    metrics: dict[str, float] = {}
+    for scale in scales:
+        scale_rows, scale_metrics = _compare_scale(scale, trials=trials)
+        rows.extend(scale_rows)
+        metrics[f"mape_pct_{scale}"] = scale_metrics["mape_pct"]
+        paper_value = FIGURE4_SMALL_GRAPH_MAPE.get(scale)
+        if paper_value is not None:
+            metrics[f"paper_mape_pct_{scale}"] = paper_value
+    return ExperimentResult(
+        experiment="figure4-small",
+        description="BP speedup on the paper's smaller graph scales",
+        rows=rows,
+        metrics=metrics,
+        notes=[
+            "Paper MAPEs: 23.5% (16K), 19.6% (165K), 26% (1.6M) — the"
+            " acceptance criterion is the same band, not the same digit.",
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Text rendering: tables and ASCII charts (the environment has no display)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import ExperimentError
+
+
+def render_table(rows: Sequence[Mapping[str, object]], float_format: str = "{:.4g}") -> str:
+    """Render dict rows as an aligned text table (keys of the first row)."""
+    if not rows:
+        raise ExperimentError("cannot render an empty table")
+    columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns))) for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "workers",
+    y_label: str = "speedup",
+) -> str:
+    """A plain-text scatter/line chart for one or more (x, y) series.
+
+    Each series gets a marker character; points are plotted on a
+    character grid with linear axes — enough to eyeball the speedup
+    curves the paper plots.
+    """
+    if not series:
+        raise ExperimentError("cannot chart zero series")
+    markers = "*o+x#@%&"
+    all_points = [point for points in series.values() for point in points]
+    if not all_points:
+        raise ExperimentError("cannot chart empty series")
+    xs = [point[0] for point in all_points]
+    ys = [point[1] for point in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(0.0, min(ys)), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            column = int((x - x_low) / (x_high - x_low) * (width - 1))
+            row = int((y - y_low) / (y_high - y_low) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = f"{y_high:8.2f} |"
+        elif i == height - 1:
+            prefix = f"{y_low:8.2f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row_chars))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_low:<10.4g}{x_label:^{max(0, width - 20)}}{x_high:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Shared experiment-result container and the run-everything entry point."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errors import ExperimentError
+from repro.experiments.plotting import render_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured outcome of one reproduced table or figure.
+
+    ``rows`` is the tabular payload (what the paper's artifact shows);
+    ``metrics`` carries headline numbers (MAPE, optimal workers, ...);
+    ``notes`` records paper-vs-reproduction commentary for the report.
+    """
+
+    experiment: str
+    description: str
+    rows: list[dict[str, object]]
+    metrics: dict[str, float]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        lines = [f"== {self.experiment}: {self.description}", ""]
+        if self.rows:
+            lines.append(render_table(self.rows))
+            lines.append("")
+        if self.metrics:
+            for key in sorted(self.metrics):
+                lines.append(f"  {key} = {self.metrics[key]:.4g}")
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+#: Registry of experiment ids to zero-argument (quick-mode aware) runners.
+_REGISTRY: dict[str, Callable[[bool], ExperimentResult]] = {}
+
+
+def register(experiment_id: str) -> Callable:
+    """Decorator: register ``fn(quick: bool) -> ExperimentResult``."""
+
+    def wrap(fn: Callable[[bool], ExperimentResult]) -> Callable[[bool], ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def experiment_ids() -> tuple[str, ...]:
+    """All registered experiment ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(experiment_ids())
+        raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id](quick)
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    """Run every registered experiment, in id order."""
+    return [run_experiment(experiment_id, quick) for experiment_id in experiment_ids()]

@@ -1,0 +1,59 @@
+"""Table I reproduction: network parameter and computation counts."""
+
+from __future__ import annotations
+
+from repro.core.metrics import relative_error
+from repro.experiments.reference import TABLE1
+from repro.experiments.runner import ExperimentResult, register
+from repro.nn.architectures import inception_v3, mnist_fc
+
+
+@register("table1")
+def run(quick: bool = False) -> ExperimentResult:
+    """Recompute Table I from the architecture specs and layer formulas.
+
+    The fully-connected entry counts operations in the paper's dense
+    units (``2 n_i m_i`` per layer); the Inception entry in multiply-adds
+    (the paper's convolutional unit).  See :mod:`repro.nn.flops` for the
+    unit discussion.
+    """
+    computed = {
+        "Fully connected (MNIST)": (
+            float(mnist_fc().total_weights),
+            float(mnist_fc().forward_operations),
+        ),
+        "Inception v.3 (ImageNet)": (
+            float(inception_v3().total_weights),
+            float(inception_v3().forward_madds),
+        ),
+    }
+    rows = []
+    worst_error = 0.0
+    for reference in TABLE1:
+        parameters, computations = computed[reference.network]
+        parameter_error = relative_error(reference.parameters, parameters) * 100
+        computation_error = relative_error(reference.computations, computations) * 100
+        worst_error = max(worst_error, abs(parameter_error), abs(computation_error))
+        rows.append(
+            {
+                "network": reference.network,
+                "paper_parameters": reference.parameters,
+                "computed_parameters": parameters,
+                "param_err_pct": parameter_error,
+                "paper_computations": reference.computations,
+                "computed_computations": computations,
+                "comp_err_pct": computation_error,
+            }
+        )
+    return ExperimentResult(
+        experiment="table1",
+        description="Network configurations (parameters / forward computations)",
+        rows=rows,
+        metrics={"worst_abs_error_pct": worst_error},
+        notes=[
+            "The paper rounds published figures (Inception v3's actual counts"
+            " are 23.8e6 parameters and 5.72e9 multiply-adds; the paper quotes"
+            " 25e6 and 5e9).  Our layer-by-layer counts land on the published"
+            " values, within the paper's own rounding of ~15%.",
+        ],
+    )

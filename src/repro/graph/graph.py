@@ -1,0 +1,168 @@
+"""Graph data structures: CSR adjacency and bare degree sequences.
+
+The paper's graphical-model analysis needs two levels of fidelity:
+
+* an actual edge list (to run belief propagation and to compute exact
+  replication factors) — :class:`Graph`, stored in compressed sparse row
+  form;
+* only the *degree sequence* (the Monte-Carlo ``max_i(E_i)`` estimator
+  sums degrees of randomly assigned vertices) — :class:`DegreeSequence`,
+  which scales to the paper's 16M-vertex graph without materialising
+  100M edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import GraphError
+
+
+@dataclass(frozen=True)
+class DegreeSequence:
+    """Vertex degrees of an undirected graph, without the edges."""
+
+    degrees: np.ndarray
+
+    def __post_init__(self) -> None:
+        degrees = np.asarray(self.degrees)
+        if degrees.ndim != 1:
+            raise GraphError(f"degrees must be a vector, got shape {degrees.shape}")
+        if degrees.size == 0:
+            raise GraphError("a degree sequence needs at least one vertex")
+        if np.any(degrees < 0):
+            raise GraphError("degrees must be non-negative")
+        if int(degrees.sum()) % 2 != 0:
+            raise GraphError("degree sum must be even (handshake lemma)")
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices ``V``."""
+        return int(self.degrees.size)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges ``E`` (half the degree sum)."""
+        return int(self.degrees.sum()) // 2
+
+    @property
+    def max_degree(self) -> int:
+        """Largest vertex degree."""
+        return int(self.degrees.max())
+
+    @property
+    def mean_degree(self) -> float:
+        """Average degree ``2E / V``."""
+        return float(self.degrees.mean())
+
+
+class Graph:
+    """An undirected graph in CSR form.
+
+    ``indptr``/``indices`` follow the scipy convention: the neighbours of
+    vertex ``v`` are ``indices[indptr[v]:indptr[v+1]]``.  Every undirected
+    edge appears in both endpoint lists.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 2:
+            raise GraphError("indptr must be a vector with at least two entries")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise GraphError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        vertex_count = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= vertex_count):
+            raise GraphError("indices reference vertices out of range")
+        if indices.size % 2 != 0:
+            raise GraphError("directed half-edge count must be even for an undirected graph")
+        self.indptr = indptr
+        self.indices = indices
+
+    @classmethod
+    def from_edges(cls, vertex_count: int, edges: np.ndarray) -> "Graph":
+        """Build from an ``(m, 2)`` array of undirected edges.
+
+        Self-loops and duplicate edges are rejected: the paper's MRF model
+        is a simple graph.
+        """
+        if vertex_count < 1:
+            raise GraphError(f"vertex_count must be >= 1, got {vertex_count}")
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size and (edges.min() < 0 or edges.max() >= vertex_count):
+            raise GraphError("edge endpoints out of range")
+        if edges.size and np.any(edges[:, 0] == edges[:, 1]):
+            raise GraphError("self-loops are not allowed")
+        if edges.size:
+            canonical = np.sort(edges, axis=1)
+            keys = canonical[:, 0] * vertex_count + canonical[:, 1]
+            if np.unique(keys).size != keys.size:
+                raise GraphError("duplicate edges are not allowed")
+        # Symmetrise: each undirected edge contributes two directed arcs.
+        sources = np.concatenate([edges[:, 0], edges[:, 1]])
+        targets = np.concatenate([edges[:, 1], edges[:, 0]])
+        order = np.argsort(sources, kind="stable")
+        sorted_sources = sources[order]
+        sorted_targets = targets[order]
+        counts = np.bincount(sorted_sources, minlength=vertex_count)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(indptr, sorted_targets)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices ``V``."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges ``E``."""
+        return int(self.indices.size) // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex."""
+        return np.diff(self.indptr)
+
+    @property
+    def max_degree(self) -> int:
+        """Largest vertex degree."""
+        if self.vertex_count == 0:
+            return 0
+        return int(self.degrees.max())
+
+    def degree(self, vertex: int) -> int:
+        """Degree of one vertex."""
+        self._check_vertex(vertex)
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbour ids of ``vertex`` (a CSR view; do not mutate)."""
+        self._check_vertex(vertex)
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return bool(np.isin(v, self.neighbors(u)).item())
+
+    def edges(self) -> np.ndarray:
+        """All undirected edges as an ``(E, 2)`` array with ``u < v``."""
+        sources = np.repeat(np.arange(self.vertex_count), self.degrees)
+        mask = sources < self.indices
+        return np.column_stack([sources[mask], self.indices[mask]])
+
+    def degree_sequence(self) -> DegreeSequence:
+        """Degrees only (for scale-insensitive estimators)."""
+        return DegreeSequence(self.degrees)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.vertex_count:
+            raise GraphError(f"vertex {vertex} out of range 0..{self.vertex_count - 1}")
+
+    def __repr__(self) -> str:
+        return f"Graph(V={self.vertex_count}, E={self.edge_count})"

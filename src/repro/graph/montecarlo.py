@@ -1,0 +1,127 @@
+"""The paper's Monte-Carlo estimator of ``max_i(E_i)`` (Section IV-B).
+
+Quoting the paper: "The number of edges per worker can be estimated via
+Monte-Carlo-like simulation.  In order to do this, we randomly assign
+each vertex to a worker and add its degree to the total number of edges
+on the worker ``Ernd_i``.  In this way we count edges that connect
+vertexes from the same worker twice."  The correction:
+
+    Edup = 1/2 * (V/n - 1) * (V/n) * E / (V * (V - 1) / 2)
+
+(expected number of intra-worker edges under uniform assignment, each of
+which was double counted) and the per-worker estimate is
+``E_i = Ernd_i - Edup``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.graph.graph import DegreeSequence, Graph
+from repro.simulate.rng import stream
+
+
+def expected_duplicate_edges(vertex_count: int, edge_count: int, workers: int) -> float:
+    """The paper's ``Edup`` formula, verbatim.
+
+    ``1/2 * (V/n - 1) * (V/n)`` is the number of vertex pairs inside one
+    worker; multiplying by the edge probability ``E / (V(V-1)/2)`` gives
+    the expected intra-worker edges (the double-counted ones).
+    """
+    if vertex_count < 2:
+        raise GraphError(f"vertex_count must be >= 2, got {vertex_count}")
+    if edge_count < 0:
+        raise GraphError(f"edge_count must be non-negative, got {edge_count}")
+    if workers < 1:
+        raise GraphError(f"workers must be >= 1, got {workers}")
+    per_worker = vertex_count / workers
+    pairs_inside = 0.5 * (per_worker - 1.0) * per_worker
+    edge_probability = edge_count / (vertex_count * (vertex_count - 1) / 2.0)
+    # The paper's formula assumes n <= V; with more workers than vertices
+    # there are no intra-worker pairs, so the correction floors at zero.
+    return max(0.0, pairs_inside * edge_probability)
+
+
+@dataclass(frozen=True)
+class MaxEdgesEstimate:
+    """Monte-Carlo estimate of the heaviest worker's edge count."""
+
+    workers: int
+    trials: int
+    mean: float
+    std: float
+    samples: tuple[float, ...]
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation of the estimate."""
+        if self.mean == 0:
+            raise GraphError("relative_std undefined for zero mean")
+        return self.std / self.mean
+
+
+def estimate_max_edges(
+    source: Graph | DegreeSequence,
+    workers: int,
+    trials: int = 10,
+    seed: int = 0,
+) -> MaxEdgesEstimate:
+    """The paper's estimator: ``max_i(Ernd_i) - Edup`` averaged over trials.
+
+    Only the degree sequence is consulted, so this runs at the paper's
+    16M-vertex scale without materialised edges.
+    """
+    if workers < 1:
+        raise GraphError(f"workers must be >= 1, got {workers}")
+    if trials < 1:
+        raise GraphError(f"trials must be >= 1, got {trials}")
+    sequence = source.degree_sequence() if isinstance(source, Graph) else source
+    degrees = np.asarray(sequence.degrees, dtype=np.float64)
+    vertex_count = sequence.vertex_count
+    edge_count = sequence.edge_count
+    if workers == 1:
+        # All edges on the one worker; no double counting is possible in
+        # the corrected estimate: E_1 = E exactly.
+        value = float(edge_count)
+        return MaxEdgesEstimate(
+            workers=1, trials=trials, mean=value, std=0.0, samples=(value,) * trials
+        )
+    duplicate = expected_duplicate_edges(vertex_count, edge_count, workers)
+    rng = stream(seed, "montecarlo-max-edges")
+    samples = []
+    for _trial in range(trials):
+        assignment = rng.integers(0, workers, size=vertex_count)
+        loads = np.bincount(assignment, weights=degrees, minlength=workers)
+        samples.append(float(loads.max()) - duplicate)
+    samples_arr = np.asarray(samples)
+    return MaxEdgesEstimate(
+        workers=workers,
+        trials=trials,
+        mean=float(samples_arr.mean()),
+        std=float(samples_arr.std()),
+        samples=tuple(samples),
+    )
+
+
+def max_edges_curve(
+    source: Graph | DegreeSequence,
+    workers_grid,
+    trials: int = 10,
+    seed: int = 0,
+) -> dict[int, float]:
+    """``max_i(E_i)`` estimates across a worker grid (Figure 4's x-axis)."""
+    return {
+        int(workers): estimate_max_edges(source, int(workers), trials=trials, seed=seed).mean
+        for workers in workers_grid
+    }
+
+
+def perfect_balance_edges(source: Graph | DegreeSequence, workers: int) -> float:
+    """The lower bound ``E / n`` a perfectly balanced partition achieves."""
+    if workers < 1:
+        raise GraphError(f"workers must be >= 1, got {workers}")
+    sequence = source.degree_sequence() if isinstance(source, Graph) else source
+    return sequence.edge_count / workers

@@ -1,0 +1,69 @@
+"""Degree-distribution statistics for generated graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import GraphError
+from repro.graph.graph import DegreeSequence, Graph
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Headline shape statistics of a degree distribution."""
+
+    vertex_count: int
+    edge_count: int
+    mean_degree: float
+    max_degree: int
+    median_degree: float
+    degree_gini: float
+
+
+def _sequence(source: Graph | DegreeSequence) -> DegreeSequence:
+    return source.degree_sequence() if isinstance(source, Graph) else source
+
+
+def degree_stats(source: Graph | DegreeSequence) -> DegreeStats:
+    """Summary statistics (used to check DNS-like calibration)."""
+    sequence = _sequence(source)
+    degrees = np.asarray(sequence.degrees, dtype=np.float64)
+    return DegreeStats(
+        vertex_count=sequence.vertex_count,
+        edge_count=sequence.edge_count,
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        median_degree=float(np.median(degrees)),
+        degree_gini=gini(degrees),
+    )
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient — 0 for uniform degrees, -> 1 for hub-dominated."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        raise GraphError("gini of an empty vector is undefined")
+    if np.any(values < 0):
+        raise GraphError("gini requires non-negative values")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    ranks = np.arange(1, values.size + 1)
+    return float((2.0 * np.sum(ranks * values)) / (values.size * total) - (values.size + 1) / values.size)
+
+
+def power_law_alpha_mle(source: Graph | DegreeSequence, min_degree: int = 2) -> float:
+    """Maximum-likelihood power-law exponent for the degree tail.
+
+    Uses the continuous Hill estimator ``alpha = 1 + n / sum(ln(d/dmin))``
+    over degrees ``>= min_degree``.
+    """
+    if min_degree < 1:
+        raise GraphError(f"min_degree must be >= 1, got {min_degree}")
+    degrees = np.asarray(_sequence(source).degrees, dtype=np.float64)
+    tail = degrees[degrees >= min_degree]
+    if tail.size < 10:
+        raise GraphError(f"need at least 10 tail degrees >= {min_degree}, got {tail.size}")
+    return float(1.0 + tail.size / np.sum(np.log(tail / min_degree)))

@@ -1,0 +1,34 @@
+"""Hardware specifications and the catalog of devices used by the paper."""
+
+from repro.hardware.catalog import (
+    K40_EFFICIENCY,
+    XEON_EFFICIENCY,
+    catalog_names,
+    forty_gigabit_ethernet,
+    gigabit_ethernet,
+    infiniband_fdr,
+    lookup,
+    nvidia_k40,
+    proliant_dl980,
+    ten_gigabit_ethernet,
+    xeon_e3_1240,
+)
+from repro.hardware.specs import ClusterSpec, LinkSpec, NodeSpec, SharedMemoryMachineSpec
+
+__all__ = [
+    "K40_EFFICIENCY",
+    "XEON_EFFICIENCY",
+    "catalog_names",
+    "forty_gigabit_ethernet",
+    "gigabit_ethernet",
+    "infiniband_fdr",
+    "lookup",
+    "nvidia_k40",
+    "proliant_dl980",
+    "ten_gigabit_ethernet",
+    "xeon_e3_1240",
+    "ClusterSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "SharedMemoryMachineSpec",
+]

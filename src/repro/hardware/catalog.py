@@ -1,0 +1,116 @@
+"""Catalog of the hardware used in the paper's experiments.
+
+Sources (as cited by the paper):
+
+* Intel export-compliance sheet: Xeon E3-1240 peak 211.2 GFLOPS (single
+  precision; 105.6 GFLOPS double).  The paper assumes at most 80 % of
+  peak is reachable and uses ``F = 0.8 * 105.6e9`` double-precision FLOPS
+  for the Spark experiments.
+* nVidia K40: 4.28 TFLOPS single precision; the paper assumes 50 % of
+  peak for the TensorFlow experiments of Chen et al.
+* The clusters were connected with 1 Gbit/s Ethernet (``B = 1e9`` bit/s).
+* The BP experiments ran on an HP ProLiant DL980 with 80 cores at
+  1.9 GHz and 2 TB of memory.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnitError
+from repro.core.units import GIBI, GIGA, TERA
+from repro.hardware.specs import LinkSpec, NodeSpec, SharedMemoryMachineSpec
+
+#: The paper's efficiency assumptions.
+XEON_EFFICIENCY = 0.80
+K40_EFFICIENCY = 0.50
+
+
+def xeon_e3_1240(precision: str = "double", efficiency: float = XEON_EFFICIENCY) -> NodeSpec:
+    """The paper's Spark worker node (Xeon E3-1240, 16 GB RAM).
+
+    ``precision`` selects the peak: 211.2 GFLOPS single, 105.6 double.
+    """
+    peaks = {"single": 211.2 * GIGA, "double": 105.6 * GIGA}
+    if precision not in peaks:
+        raise UnitError(f"precision must be 'single' or 'double', got {precision!r}")
+    return NodeSpec(
+        name=f"Xeon E3-1240 ({precision})",
+        peak_flops=peaks[precision],
+        efficiency=efficiency,
+        cores=4,
+        memory_bytes=16 * GIBI,
+    )
+
+
+def nvidia_k40(efficiency: float = K40_EFFICIENCY) -> NodeSpec:
+    """The GPU worker of Chen et al.'s experiments (nVidia K40)."""
+    return NodeSpec(
+        name="nVidia K40",
+        peak_flops=4.28 * TERA,
+        efficiency=efficiency,
+        cores=2880,
+        memory_bytes=12 * GIBI,
+    )
+
+
+def proliant_dl980(per_core_flops: float = 7.6 * GIGA) -> SharedMemoryMachineSpec:
+    """The paper's BP testbed: 80 cores at 1.9 GHz, 2 TB RAM.
+
+    The default per-core throughput assumes 4 double-precision FLOPs per
+    cycle at 1.9 GHz.  The paper factors ``F`` out of the BP speedup (it
+    cancels in ``t(1)/t(n)``), so the exact value does not affect the
+    reproduced curves.
+    """
+    return SharedMemoryMachineSpec(
+        name="HP ProLiant DL980 (80 cores @ 1.9 GHz)",
+        cores=80,
+        core_flops=per_core_flops,
+    )
+
+
+def gigabit_ethernet(latency_s: float = 0.0) -> LinkSpec:
+    """The paper's 1 Gbit/s interconnect (``B = 1e9`` bit/s)."""
+    return LinkSpec(name="1 GbE", bandwidth_bps=1.0 * GIGA, latency_s=latency_s)
+
+
+def ten_gigabit_ethernet(latency_s: float = 0.0) -> LinkSpec:
+    """10 Gbit/s Ethernet, for what-if studies."""
+    return LinkSpec(name="10 GbE", bandwidth_bps=10.0 * GIGA, latency_s=latency_s)
+
+
+def forty_gigabit_ethernet(latency_s: float = 0.0) -> LinkSpec:
+    """40 Gbit/s Ethernet, for what-if studies."""
+    return LinkSpec(name="40 GbE", bandwidth_bps=40.0 * GIGA, latency_s=latency_s)
+
+
+def infiniband_fdr(latency_s: float = 1e-6) -> LinkSpec:
+    """56 Gbit/s InfiniBand FDR with microsecond latency, for what-ifs."""
+    return LinkSpec(name="InfiniBand FDR", bandwidth_bps=56.0 * GIGA, latency_s=latency_s)
+
+
+_CATALOG = {
+    "xeon-e3-1240": xeon_e3_1240,
+    "nvidia-k40": nvidia_k40,
+    "1gbe": gigabit_ethernet,
+    "10gbe": ten_gigabit_ethernet,
+    "40gbe": forty_gigabit_ethernet,
+    "infiniband-fdr": infiniband_fdr,
+    "dl980": proliant_dl980,
+}
+
+
+def lookup(name: str):
+    """Return a catalog entry by its slug (e.g. ``"xeon-e3-1240"``).
+
+    Raises :class:`~repro.core.errors.UnitError` for unknown slugs, listing
+    the available ones.
+    """
+    key = name.lower()
+    if key not in _CATALOG:
+        known = ", ".join(sorted(_CATALOG))
+        raise UnitError(f"unknown hardware {name!r}; known entries: {known}")
+    return _CATALOG[key]()
+
+
+def catalog_names() -> tuple[str, ...]:
+    """All known catalog slugs, sorted."""
+    return tuple(sorted(_CATALOG))

@@ -1,0 +1,57 @@
+"""The paper's per-algorithm scalability models (Sections IV and V)."""
+
+from repro.models.asynchronous import AsyncSGDModel
+from repro.models.belief_propagation import BeliefPropagationModel, bp_cost_per_edge
+from repro.models.convergence import (
+    CriticalBatchRule,
+    TimeToAccuracyModel,
+    fit_critical_batch,
+    measure_iterations_to_target,
+)
+from repro.models.deep_learning import (
+    CHEN_BATCH,
+    CHEN_OPERATIONS,
+    CHEN_PARAMETERS,
+    K40_FLOPS,
+    SPARK_BANDWIDTH,
+    SPARK_BATCH,
+    SPARK_FLOPS,
+    chen_inception_figure3_model,
+    chen_inception_linear_comm_model,
+    gd_model_for,
+    spark_mnist_figure2_model,
+)
+from repro.models.gradient_descent import (
+    GradientDescentModel,
+    SparkGradientDescentModel,
+    WeakScalingLinearCommModel,
+    WeakScalingSGDModel,
+)
+from repro.models.graphical import BITS_PER_STATE, GraphInferenceModel
+
+__all__ = [
+    "AsyncSGDModel",
+    "CriticalBatchRule",
+    "TimeToAccuracyModel",
+    "fit_critical_batch",
+    "measure_iterations_to_target",
+    "BeliefPropagationModel",
+    "bp_cost_per_edge",
+    "CHEN_BATCH",
+    "CHEN_OPERATIONS",
+    "CHEN_PARAMETERS",
+    "K40_FLOPS",
+    "SPARK_BANDWIDTH",
+    "SPARK_BATCH",
+    "SPARK_FLOPS",
+    "chen_inception_figure3_model",
+    "chen_inception_linear_comm_model",
+    "gd_model_for",
+    "spark_mnist_figure2_model",
+    "GradientDescentModel",
+    "SparkGradientDescentModel",
+    "WeakScalingLinearCommModel",
+    "WeakScalingSGDModel",
+    "BITS_PER_STATE",
+    "GraphInferenceModel",
+]

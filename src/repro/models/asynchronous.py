@@ -1,0 +1,128 @@
+"""Asynchronous gradient descent — the paper's first future-work item.
+
+Section VI: "we consider building a model for asynchronous algorithms,
+such as asynchronous gradient descent [Hogwild/Downpour]".  This module
+provides that model under the same framework discipline (hardware
+constants only, no profiling):
+
+Workers loop independently against a parameter server: pull parameters
+(``32W/B``), compute a mini-batch gradient (``C*S/F``), push the update
+(``32W/B``).  There is no barrier, so the system's update throughput is
+capped by two resources:
+
+* the workers themselves: ``n / cycle_time`` updates per second, and
+* the server's link: one push + one pull per update must cross it, so
+  at most ``B / (2 * 32W)`` updates per second.
+
+Asynchrony buys barrier-free throughput but pays *staleness*: with
+``n`` workers a gradient is, on average, ``n - 1`` updates old when
+applied, which slows convergence.  :meth:`AsyncSGDModel.effective_time`
+folds in the standard ``1 / (1 + gamma * staleness)`` statistical
+efficiency, connecting to :mod:`repro.models.convergence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.model import ScalabilityModel
+
+
+@dataclass(frozen=True)
+class AsyncSGDModel(ScalabilityModel):
+    """Throughput model of asynchronous SGD with a parameter server.
+
+    ``time(n)`` is the time to process one training instance (the weak
+    scaling metric of Figure 3, enabling direct comparison against
+    synchronous mini-batch SGD).
+    """
+
+    operations_per_sample: float
+    batch_size: float
+    flops: float
+    parameters: float
+    bandwidth_bps: float
+    bits_per_parameter: int = 32
+    server_links: int = 1
+    staleness_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.operations_per_sample <= 0:
+            raise ModelError(
+                f"operations_per_sample must be positive, got {self.operations_per_sample}"
+            )
+        if self.batch_size <= 0:
+            raise ModelError(f"batch_size must be positive, got {self.batch_size}")
+        if self.flops <= 0:
+            raise ModelError(f"flops must be positive, got {self.flops}")
+        if self.parameters <= 0:
+            raise ModelError(f"parameters must be positive, got {self.parameters}")
+        if self.bandwidth_bps <= 0:
+            raise ModelError(f"bandwidth_bps must be positive, got {self.bandwidth_bps}")
+        if self.bits_per_parameter <= 0:
+            raise ModelError(
+                f"bits_per_parameter must be positive, got {self.bits_per_parameter}"
+            )
+        if self.server_links < 1:
+            raise ModelError(f"server_links must be >= 1, got {self.server_links}")
+        if self.staleness_penalty < 0:
+            raise ModelError(
+                f"staleness_penalty must be non-negative, got {self.staleness_penalty}"
+            )
+
+    def _transfer_seconds(self) -> float:
+        return self.bits_per_parameter * self.parameters / self.bandwidth_bps
+
+    def worker_cycle_seconds(self) -> float:
+        """One worker's pull + compute + push time (uncontended)."""
+        compute = self.operations_per_sample * self.batch_size / self.flops
+        return compute + 2.0 * self._transfer_seconds()
+
+    def server_seconds_per_update(self) -> float:
+        """Server-link occupancy per applied update."""
+        return 2.0 * self._transfer_seconds() / self.server_links
+
+    def updates_per_second(self, workers: int) -> float:
+        """System throughput: worker-bound early, server-bound at scale."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        worker_bound = workers / self.worker_cycle_seconds()
+        server_bound = 1.0 / self.server_seconds_per_update()
+        return min(worker_bound, server_bound)
+
+    @property
+    def saturation_workers(self) -> float:
+        """Worker count at which the server link saturates."""
+        return self.worker_cycle_seconds() / self.server_seconds_per_update()
+
+    def time(self, workers: int) -> float:
+        """Seconds per training instance (throughput only, no staleness)."""
+        return 1.0 / (self.updates_per_second(workers) * self.batch_size)
+
+    def mean_staleness(self, workers: int) -> float:
+        """Average updates applied between a worker's pull and its push.
+
+        The classical result for homogeneous asynchronous workers: a
+        gradient is on average ``n - 1`` updates stale.
+        """
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        return float(workers - 1)
+
+    def statistical_efficiency(self, workers: int) -> float:
+        """Fraction of a fresh gradient's progress a stale one makes.
+
+        ``1 / (1 + gamma * staleness)``: at ``gamma = 0`` asynchrony is
+        statistically free (the Hogwild sparse-conflict regime); larger
+        ``gamma`` models dense conflicting updates.
+        """
+        return 1.0 / (1.0 + self.staleness_penalty * self.mean_staleness(workers))
+
+    def effective_time(self, workers: int) -> float:
+        """Seconds per *effective* (fresh-equivalent) training instance."""
+        return self.time(workers) / self.statistical_efficiency(workers)
+
+    def effective_speedup(self, workers: int, baseline_workers: int = 1) -> float:
+        """Speedup in effective instances — the convergence-aware metric."""
+        return self.effective_time(baseline_workers) / self.effective_time(workers)

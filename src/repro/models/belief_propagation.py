@@ -1,0 +1,101 @@
+"""The paper's belief-propagation model (Section V-B).
+
+Computation per superstep: ``tcp = max_i(E_i) * c(S) / F`` with the BP
+per-edge cost ``c(S) = S + 2 * (S + S^2)`` (update a belief: S; generate
+a message: marginalise S^2 plus S products, twice per edge direction).
+On the shared-memory DL980 the paper takes ``tcm ~ 0``, so ``F`` cancels
+in the speedup and the curve is governed purely by ``max_i(E_i)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.model import ScalabilityModel
+from repro.graph.graph import DegreeSequence, Graph
+from repro.graph.montecarlo import max_edges_curve
+
+
+def bp_cost_per_edge(states: int) -> float:
+    """The paper's ``c(S) = S + 2 (S + S^2)``; 14 flops for S = 2."""
+    if states < 2:
+        raise ModelError(f"states must be >= 2, got {states}")
+    return float(states + 2 * (states + states**2))
+
+
+@dataclass(frozen=True)
+class BeliefPropagationModel(ScalabilityModel):
+    """Shared-memory BP: ``t(n) = max_i(E_i)(n) * c(S) / F``.
+
+    ``max_edges`` maps each worker count on the study grid to the
+    Monte-Carlo estimate of the heaviest worker's edge count; queries off
+    the grid raise (the estimate is workload-specific, never interpolated).
+    """
+
+    max_edges: Mapping[int, float]
+    states: int = 2
+    flops: float = 1e9
+    overhead_seconds_per_worker: float = 0.0
+    overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.max_edges:
+            raise ModelError("max_edges must contain at least one worker count")
+        for workers, edges in self.max_edges.items():
+            if workers < 1:
+                raise ModelError(f"worker counts must be >= 1, got {workers}")
+            if edges <= 0:
+                raise ModelError(f"max edge counts must be positive, got {edges}")
+        if self.states < 2:
+            raise ModelError(f"states must be >= 2, got {self.states}")
+        if self.flops <= 0:
+            raise ModelError(f"flops must be positive, got {self.flops}")
+        if self.overhead_seconds_per_worker < 0 or self.overhead_seconds < 0:
+            raise ModelError("overhead terms must be non-negative")
+
+    @classmethod
+    def from_source(
+        cls,
+        source: Graph | DegreeSequence,
+        workers_grid: Iterable[int],
+        states: int = 2,
+        flops: float = 1e9,
+        trials: int = 10,
+        seed: int = 0,
+    ) -> "BeliefPropagationModel":
+        """Build the model by running the paper's Monte-Carlo estimator."""
+        curve = max_edges_curve(source, workers_grid, trials=trials, seed=seed)
+        return cls(max_edges=curve, states=states, flops=flops)
+
+    def with_overhead(
+        self, overhead_seconds: float, overhead_seconds_per_worker: float
+    ) -> "BeliefPropagationModel":
+        """The paper's future-work feedback loop: add an engine-overhead term."""
+        return BeliefPropagationModel(
+            max_edges=self.max_edges,
+            states=self.states,
+            flops=self.flops,
+            overhead_seconds=overhead_seconds,
+            overhead_seconds_per_worker=overhead_seconds_per_worker,
+        )
+
+    def computation_time(self, workers: int) -> float:
+        """``tcp = max_i(E_i) * c(S) / F``."""
+        if workers not in self.max_edges:
+            raise ModelError(
+                f"no max-edges estimate for {workers} workers; grid is {sorted(self.max_edges)}"
+            )
+        return self.max_edges[workers] * bp_cost_per_edge(self.states) / self.flops
+
+    def time(self, workers: int) -> float:
+        overhead = 0.0
+        if workers > 1:
+            overhead = self.overhead_seconds + self.overhead_seconds_per_worker * workers
+        return self.computation_time(workers) + overhead
+
+    @property
+    def workers_grid(self) -> tuple[int, ...]:
+        """The grid the model is defined on, sorted."""
+        return tuple(sorted(self.max_edges))

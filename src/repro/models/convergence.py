@@ -1,0 +1,166 @@
+"""Parallelization-convergence trade-offs — the paper's second future-work item.
+
+Section VI: "gradient descent parallelization techniques pay for
+parallelism with algorithmically slower convergence".  The throughput
+speedups of Figures 2-3 count *instances per second*; what a
+practitioner ultimately buys is *time to accuracy*, and growing the
+effective batch (weak scaling) inflates the number of iterations needed.
+
+We model the inflation with the critical-batch-size rule that later
+large-batch studies made standard: to reach a fixed target loss,
+
+    iterations(B) = I_inf * (1 + B_crit / B)
+
+so iterations fall as the batch grows, but saturate at ``I_inf`` once
+``B >> B_crit`` — past that point extra parallelism buys no fewer
+iterations, only more expensive ones.  :class:`TimeToAccuracyModel`
+combines this with any per-iteration throughput model, yielding the
+convergence-aware speedup; :func:`measure_iterations_to_target` runs
+*real* mini-batch SGD on the NN substrate to exhibit (and calibrate)
+the effect.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ModelError, TrainingError
+from repro.nn.data import Dataset
+from repro.nn.losses import Loss
+from repro.nn.network import Sequential
+from repro.nn.optim import MiniBatchSGD
+
+
+@dataclass(frozen=True)
+class CriticalBatchRule:
+    """``iterations(B) = I_inf * (1 + B_crit / B)``.
+
+    ``B_crit`` is the batch size at which iteration count is within 2x
+    of its floor ``I_inf``; well below it, doubling the batch halves the
+    iterations (perfect scaling), well above it nothing improves.
+    """
+
+    iterations_floor: float
+    critical_batch: float
+
+    def __post_init__(self) -> None:
+        if self.iterations_floor <= 0:
+            raise ModelError(f"iterations_floor must be positive, got {self.iterations_floor}")
+        if self.critical_batch <= 0:
+            raise ModelError(f"critical_batch must be positive, got {self.critical_batch}")
+
+    def iterations(self, batch_size: float) -> float:
+        """Iterations to reach the target at this effective batch size."""
+        if batch_size <= 0:
+            raise ModelError(f"batch_size must be positive, got {batch_size}")
+        return self.iterations_floor * (1.0 + self.critical_batch / batch_size)
+
+    def inflation(self, batch_size: float, baseline_batch: float) -> float:
+        """Iteration-count ratio vs a baseline batch (>= ~1 when growing)."""
+        return self.iterations(batch_size) / self.iterations(baseline_batch)
+
+
+@dataclass(frozen=True)
+class TimeToAccuracyModel:
+    """Convergence-aware scaling: superstep time x iterations to target.
+
+    ``superstep_time`` maps a worker count to one iteration's wall time;
+    ``batch_for_workers`` gives the effective batch at that worker count
+    (weak scaling: ``S * n``).  ``time(n)`` is then the wall time to
+    reach the target accuracy, the metric that actually matters.
+    """
+
+    superstep_time: Callable[[int], float]
+    batch_for_workers: Callable[[int], float]
+    rule: CriticalBatchRule
+
+    def time(self, workers: int) -> float:
+        """Wall-clock seconds to reach the target accuracy."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        batch = float(self.batch_for_workers(workers))
+        return self.superstep_time(workers) * self.rule.iterations(batch)
+
+    def speedup(self, workers: int, baseline_workers: int = 1) -> float:
+        """Time-to-accuracy speedup — always <= the throughput speedup."""
+        return self.time(baseline_workers) / self.time(workers)
+
+    def throughput_speedup(self, workers: int, baseline_workers: int = 1) -> float:
+        """Instances-per-second speedup (what Figures 2-3 plot)."""
+        per_instance = lambda n: self.superstep_time(n) / self.batch_for_workers(n)
+        return per_instance(baseline_workers) / per_instance(workers)
+
+
+def fit_critical_batch(
+    batch_sizes: np.ndarray, iterations: np.ndarray
+) -> CriticalBatchRule:
+    """Least-squares fit of the critical-batch rule to measured runs.
+
+    Linear in ``(1, 1/B)``: ``iterations = I_inf + (I_inf * B_crit)/B``.
+    """
+    batch_arr = np.asarray(batch_sizes, dtype=float)
+    iter_arr = np.asarray(iterations, dtype=float)
+    if batch_arr.ndim != 1 or batch_arr.size != iter_arr.size or batch_arr.size < 2:
+        raise ModelError("need matching vectors of at least 2 (batch, iterations) points")
+    if np.any(batch_arr <= 0) or np.any(iter_arr <= 0):
+        raise ModelError("batch sizes and iteration counts must be positive")
+    features = np.column_stack([np.ones_like(batch_arr), 1.0 / batch_arr])
+    (floor, slope), *_ = np.linalg.lstsq(features, iter_arr, rcond=None)
+    if floor <= 0 or slope <= 0:
+        raise ModelError(
+            "measured iterations do not follow a critical-batch law"
+            f" (fitted floor={floor:.3g}, slope={slope:.3g})"
+        )
+    return CriticalBatchRule(iterations_floor=float(floor), critical_batch=float(slope / floor))
+
+
+def measure_iterations_to_target(
+    network_factory: Callable[[], Sequential],
+    dataset: Dataset,
+    loss: Loss,
+    batch_sizes: list[int],
+    target_loss: float,
+    learning_rate: float = 0.1,
+    max_steps: int = 5000,
+    seed: int = 0,
+    check_every: int = 1,
+) -> dict[int, int]:
+    """Real mini-batch SGD runs: steps needed to reach ``target_loss``.
+
+    A fresh, identically initialised network is trained per batch size;
+    the returned map is the empirical iterations-vs-batch curve that
+    :func:`fit_critical_batch` consumes.  Progress is evaluated on the
+    full dataset every ``check_every`` steps.  Raises if a run never
+    reaches the target (an honest signal the target is too ambitious).
+    """
+    if not batch_sizes:
+        raise TrainingError("need at least one batch size")
+    if check_every < 1:
+        raise TrainingError(f"check_every must be >= 1, got {check_every}")
+    results: dict[int, int] = {}
+    for batch_size in batch_sizes:
+        network = network_factory()
+        optimizer = MiniBatchSGD(
+            learning_rate, batch_size, rng=np.random.default_rng(seed)
+        )
+        steps_taken = None
+        for step in range(1, max_steps + 1):
+            inputs, targets = optimizer.sample_batch(dataset.inputs, dataset.targets)
+            value, gradients = network.loss_and_gradients(inputs, targets, loss)
+            optimizer.step(network.parameters(), gradients)
+            # Check progress on the full set to avoid mini-batch noise.
+            if step % check_every == 0:
+                full = loss.forward(network.forward(dataset.inputs), dataset.targets)
+                if full <= target_loss:
+                    steps_taken = step
+                    break
+        if steps_taken is None:
+            raise TrainingError(
+                f"batch size {batch_size} did not reach loss {target_loss}"
+                f" within {max_steps} steps"
+            )
+        results[batch_size] = steps_taken
+    return results

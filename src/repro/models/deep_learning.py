@@ -1,0 +1,99 @@
+"""Deep-learning model factories: Table I architectures on paper hardware.
+
+These assemble the Section V-A models from the architecture specs and the
+hardware catalog, with the paper's exact constants, plus a generic
+builder for capacity planning on arbitrary architecture/hardware pairs.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ModelError
+from repro.core.units import BITS_DOUBLE_PRECISION, BITS_SINGLE_PRECISION, GIGA
+from repro.hardware.specs import LinkSpec, NodeSpec
+from repro.models.gradient_descent import (
+    GradientDescentModel,
+    SparkGradientDescentModel,
+    WeakScalingLinearCommModel,
+    WeakScalingSGDModel,
+)
+from repro.nn.architectures import NetworkSpec, mnist_fc
+from repro.nn.flops import DENSE_TRAINING_OPERATIONS_PER_WEIGHT, training_operations
+
+#: Paper constants for Figure 2 (Spark, MNIST FC network).
+SPARK_FLOPS = 0.8 * 105.6 * GIGA  # 80% of the Xeon's double-precision peak
+SPARK_BANDWIDTH = 1.0 * GIGA
+SPARK_BATCH = 60000.0
+
+#: Paper constants for Figure 3 (Chen et al., Inception v3 on K40s).
+K40_FLOPS = 0.5 * 4.28e12  # 50% of peak
+CHEN_BATCH = 128.0
+CHEN_PARAMETERS = 25e6
+CHEN_OPERATIONS = 3.0 * 5e9
+
+
+def spark_mnist_figure2_model() -> SparkGradientDescentModel:
+    """The exact Figure 2 model: W = 12e6 (64-bit), S = 60000, C = 6W.
+
+    ``W`` is taken from the architecture spec (11.97e6, the value the
+    paper rounds to 12e6).
+    """
+    weights = float(mnist_fc().total_weights)
+    return SparkGradientDescentModel(
+        operations_per_sample=DENSE_TRAINING_OPERATIONS_PER_WEIGHT * weights,
+        batch_size=SPARK_BATCH,
+        flops=SPARK_FLOPS,
+        parameters=weights,
+        bandwidth_bps=SPARK_BANDWIDTH,
+        bits_per_parameter=BITS_DOUBLE_PRECISION,
+    )
+
+
+def chen_inception_figure3_model() -> WeakScalingSGDModel:
+    """The exact Figure 3 model: W = 25e6, C = 3*5e9, S = 128, F = 2.14e12."""
+    return WeakScalingSGDModel(
+        operations_per_sample=CHEN_OPERATIONS,
+        batch_size=CHEN_BATCH,
+        flops=K40_FLOPS,
+        parameters=CHEN_PARAMETERS,
+        bandwidth_bps=SPARK_BANDWIDTH,
+        bits_per_parameter=BITS_SINGLE_PRECISION,
+    )
+
+
+def chen_inception_linear_comm_model() -> WeakScalingLinearCommModel:
+    """The linear-communication contrast of Section V-A."""
+    return WeakScalingLinearCommModel(
+        operations_per_sample=CHEN_OPERATIONS,
+        batch_size=CHEN_BATCH,
+        flops=K40_FLOPS,
+        parameters=CHEN_PARAMETERS,
+        bandwidth_bps=SPARK_BANDWIDTH,
+        bits_per_parameter=BITS_SINGLE_PRECISION,
+    )
+
+
+def gd_model_for(
+    architecture: NetworkSpec,
+    node: NodeSpec,
+    link: LinkSpec,
+    batch_size: float,
+    bits_per_parameter: int = BITS_SINGLE_PRECISION,
+) -> GradientDescentModel:
+    """A generic GD model for any architecture/hardware pair.
+
+    This is the capacity-planning entry point: pick an architecture from
+    :mod:`repro.nn.architectures` and a node/link from the catalog, and
+    get a model answering the introduction's two questions.
+    """
+    if batch_size <= 0:
+        raise ModelError(f"batch_size must be positive, got {batch_size}")
+    weights = float(architecture.total_weights)
+    operations = training_operations(float(architecture.forward_operations))
+    return GradientDescentModel(
+        operations_per_sample=operations,
+        batch_size=batch_size,
+        flops=node.effective_flops,
+        parameters=weights,
+        bandwidth_bps=link.bandwidth_bps,
+        bits_per_parameter=bits_per_parameter,
+    )

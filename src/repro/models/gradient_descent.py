@@ -1,0 +1,239 @@
+"""The paper's gradient-descent scalability models (Sections IV-A, V-A).
+
+Three variants, in the paper's notation (``C`` ops/sample, ``S`` batch,
+``F`` FLOPS/node, ``W`` parameters, ``B`` bit/s):
+
+* generic data-parallel GD:       ``t = C*S/(F*n) + 2*(32W/B)*log2(n)``
+* Spark batch GD (Figure 2):      ``t = 6W*S/(F*n) + (64W/B)*log2(n)
+                                       + 2*(64W/B)*ceil(sqrt(n))``
+* weak-scaling sync SGD (Fig. 3): ``t = ((C*S)/F + 2*(32W/B)*log2(n))/n``
+  per training instance, plus a linear-communication variant the paper
+  contrasts it with ("the linear communication model allows only finite
+  scaling").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.model import ScalabilityModel
+
+
+def _validate_common(
+    operations_per_sample: float,
+    batch_size: float,
+    flops: float,
+    parameters: float,
+    bandwidth_bps: float,
+    bits_per_parameter: int,
+) -> None:
+    if operations_per_sample <= 0:
+        raise ModelError(f"operations_per_sample must be positive, got {operations_per_sample}")
+    if batch_size <= 0:
+        raise ModelError(f"batch_size must be positive, got {batch_size}")
+    if flops <= 0:
+        raise ModelError(f"flops must be positive, got {flops}")
+    if parameters <= 0:
+        raise ModelError(f"parameters must be positive, got {parameters}")
+    if bandwidth_bps <= 0:
+        raise ModelError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
+    if bits_per_parameter <= 0:
+        raise ModelError(f"bits_per_parameter must be positive, got {bits_per_parameter}")
+
+
+@dataclass(frozen=True)
+class GradientDescentModel(ScalabilityModel):
+    """Generic data-parallel GD: tree communication both ways.
+
+    ``tcm = 2 * (bits*W/B) * log2(n)`` — the ``2`` is the paper's
+    "two-stage communication" (distribute parameters, collect gradients).
+    """
+
+    operations_per_sample: float
+    batch_size: float
+    flops: float
+    parameters: float
+    bandwidth_bps: float
+    bits_per_parameter: int = 32
+
+    def __post_init__(self) -> None:
+        _validate_common(
+            self.operations_per_sample,
+            self.batch_size,
+            self.flops,
+            self.parameters,
+            self.bandwidth_bps,
+            self.bits_per_parameter,
+        )
+
+    def _transfer(self) -> float:
+        return self.bits_per_parameter * self.parameters / self.bandwidth_bps
+
+    def computation_time(self, workers: int) -> float:
+        """``tcp = C * S / (F * n)``."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        return self.operations_per_sample * self.batch_size / (self.flops * workers)
+
+    def communication_time(self, workers: int) -> float:
+        """``tcm = 2 * (bits*W/B) * log2(n)``."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            return 0.0
+        return 2.0 * self._transfer() * math.log2(workers)
+
+    def time(self, workers: int) -> float:
+        return self.computation_time(workers) + self.communication_time(workers)
+
+
+@dataclass(frozen=True)
+class SparkGradientDescentModel(ScalabilityModel):
+    """The paper's Figure 2 model for Spark ML batch gradient descent.
+
+    "Distribution of parameters is implemented with a torrent-like
+    protocol.  Aggregation is done in two waves":
+
+        tcm = (64W/B) * log2(n) + 2 * (64W/B) * ceil(sqrt(n))
+
+    Note the two-wave term does not vanish at ``n = 1`` (a single worker
+    still hands its gradient to the driver), exactly as the formula reads.
+    """
+
+    operations_per_sample: float
+    batch_size: float
+    flops: float
+    parameters: float
+    bandwidth_bps: float
+    bits_per_parameter: int = 64
+
+    def __post_init__(self) -> None:
+        _validate_common(
+            self.operations_per_sample,
+            self.batch_size,
+            self.flops,
+            self.parameters,
+            self.bandwidth_bps,
+            self.bits_per_parameter,
+        )
+
+    def _transfer(self) -> float:
+        return self.bits_per_parameter * self.parameters / self.bandwidth_bps
+
+    def computation_time(self, workers: int) -> float:
+        """``tcp = C * S / (F * n)`` (C = 6W for the MNIST network)."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        return self.operations_per_sample * self.batch_size / (self.flops * workers)
+
+    def broadcast_time(self, workers: int) -> float:
+        """Torrent distribution: ``(64W/B) * log2(n)``."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            return 0.0
+        return self._transfer() * math.log2(workers)
+
+    def aggregation_time(self, workers: int) -> float:
+        """Two-wave collection: ``2 * (64W/B) * ceil(sqrt(n))``."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        return 2.0 * self._transfer() * math.ceil(math.sqrt(workers))
+
+    def communication_time(self, workers: int) -> float:
+        """Total ``tcm``: broadcast plus aggregation."""
+        return self.broadcast_time(workers) + self.aggregation_time(workers)
+
+    def time(self, workers: int) -> float:
+        return self.computation_time(workers) + self.communication_time(workers)
+
+
+@dataclass(frozen=True)
+class WeakScalingSGDModel(ScalabilityModel):
+    """Figure 3: time per training instance under weak scaling.
+
+    Every worker computes a fixed batch ``S``; one superstep therefore
+    processes ``S * n`` instances:
+
+        t = ((C*S)/F + 2*(32W/B)*log2(n)) / n
+
+    "Such assumption allows infinite weak scaling": t(n) is strictly
+    decreasing, so adding workers always increases per-instance speedup.
+    """
+
+    operations_per_sample: float
+    batch_size: float
+    flops: float
+    parameters: float
+    bandwidth_bps: float
+    bits_per_parameter: int = 32
+
+    def __post_init__(self) -> None:
+        _validate_common(
+            self.operations_per_sample,
+            self.batch_size,
+            self.flops,
+            self.parameters,
+            self.bandwidth_bps,
+            self.bits_per_parameter,
+        )
+
+    def superstep_time(self, workers: int) -> float:
+        """Wall time of one synchronous iteration at ``n`` workers."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        compute = self.operations_per_sample * self.batch_size / self.flops
+        if workers == 1:
+            return compute
+        transfer = self.bits_per_parameter * self.parameters / self.bandwidth_bps
+        return compute + 2.0 * transfer * math.log2(workers)
+
+    def time(self, workers: int) -> float:
+        """Per-instance time: the paper divides the superstep by ``n``.
+
+        (The fixed per-worker batch ``S`` is a constant factor and cancels
+        in speedups, as the paper notes.)
+        """
+        return self.superstep_time(workers) / workers
+
+
+@dataclass(frozen=True)
+class WeakScalingLinearCommModel(ScalabilityModel):
+    """The contrast case of Section V-A: linear instead of log communication.
+
+    ``t = ((C*S)/F + (32W/B) * n) / n`` — as ``n`` grows the per-instance
+    time approaches the constant ``32W/B``, so speedup saturates: "the
+    linear communication model allows only finite scaling".
+    """
+
+    operations_per_sample: float
+    batch_size: float
+    flops: float
+    parameters: float
+    bandwidth_bps: float
+    bits_per_parameter: int = 32
+
+    def __post_init__(self) -> None:
+        _validate_common(
+            self.operations_per_sample,
+            self.batch_size,
+            self.flops,
+            self.parameters,
+            self.bandwidth_bps,
+            self.bits_per_parameter,
+        )
+
+    def time(self, workers: int) -> float:
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        compute = self.operations_per_sample * self.batch_size / self.flops
+        transfer = self.bits_per_parameter * self.parameters / self.bandwidth_bps
+        comm = 0.0 if workers == 1 else transfer * workers
+        return (compute + comm) / workers
+
+    @property
+    def asymptotic_time(self) -> float:
+        """The floor per-instance time ``32W/B`` that caps weak scaling."""
+        return self.bits_per_parameter * self.parameters / self.bandwidth_bps

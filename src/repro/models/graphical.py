@@ -1,0 +1,108 @@
+"""The paper's graphical-model inference model (Section IV-B).
+
+Computation: ``tGI_cp = max_i(E_i) * c(S) / F`` — vertex-parallel
+inference gated by the worker with the most edges.  Communication, for
+distributed (non-shared-memory) deployments, is linear in the replicated
+state: ``tGI_cm = 32/B * r * V * S`` where ``r`` is the replication
+factor and ``V * S`` the per-vertex state size in 32-bit words.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.model import ScalabilityModel
+from repro.graph.graph import DegreeSequence, Graph
+from repro.graph.montecarlo import max_edges_curve
+
+#: The paper's per-state message size.
+BITS_PER_STATE = 32
+
+
+@dataclass(frozen=True)
+class GraphInferenceModel(ScalabilityModel):
+    """General distributed graph inference: imbalanced compute + linear comm.
+
+    ``cost_per_edge`` is ``c(S)`` — the algorithm's per-edge flop count
+    given ``S`` states.  ``replication_of`` maps a worker count to the
+    replication factor ``r`` (0 for one worker); the paper estimates it
+    from the partitioning scheme.
+    """
+
+    max_edges: Mapping[int, float]
+    cost_per_edge: float
+    flops: float
+    vertex_count: int
+    states: int
+    bandwidth_bps: float
+    replication_of: Callable[[int], float]
+
+    def __post_init__(self) -> None:
+        if not self.max_edges:
+            raise ModelError("max_edges must contain at least one worker count")
+        if self.cost_per_edge <= 0:
+            raise ModelError(f"cost_per_edge must be positive, got {self.cost_per_edge}")
+        if self.flops <= 0:
+            raise ModelError(f"flops must be positive, got {self.flops}")
+        if self.vertex_count < 1:
+            raise ModelError(f"vertex_count must be >= 1, got {self.vertex_count}")
+        if self.states < 2:
+            raise ModelError(f"states must be >= 2, got {self.states}")
+        if self.bandwidth_bps <= 0:
+            raise ModelError(f"bandwidth_bps must be positive, got {self.bandwidth_bps}")
+
+    @classmethod
+    def from_source(
+        cls,
+        source: Graph | DegreeSequence,
+        workers_grid: Iterable[int],
+        cost_per_edge: float,
+        flops: float,
+        states: int,
+        bandwidth_bps: float,
+        replication_of: Callable[[int], float],
+        trials: int = 10,
+        seed: int = 0,
+    ) -> "GraphInferenceModel":
+        """Estimate ``max_i(E_i)`` by Monte Carlo and assemble the model."""
+        sequence = source.degree_sequence() if isinstance(source, Graph) else source
+        curve = max_edges_curve(sequence, workers_grid, trials=trials, seed=seed)
+        return cls(
+            max_edges=curve,
+            cost_per_edge=cost_per_edge,
+            flops=flops,
+            vertex_count=sequence.vertex_count,
+            states=states,
+            bandwidth_bps=bandwidth_bps,
+            replication_of=replication_of,
+        )
+
+    def computation_time(self, workers: int) -> float:
+        """``tcp = max_i(E_i) * c(S) / F``."""
+        if workers not in self.max_edges:
+            raise ModelError(
+                f"no max-edges estimate for {workers} workers; grid is {sorted(self.max_edges)}"
+            )
+        return self.max_edges[workers] * self.cost_per_edge / self.flops
+
+    def communication_time(self, workers: int) -> float:
+        """``tcm = 32/B * r * V * S`` (linear shape, Section IV-B)."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            return 0.0
+        replication = float(self.replication_of(workers))
+        if replication < 0:
+            raise ModelError(f"replication factor must be non-negative, got {replication}")
+        return (
+            BITS_PER_STATE
+            / self.bandwidth_bps
+            * replication
+            * self.vertex_count
+            * self.states
+        )
+
+    def time(self, workers: int) -> float:
+        return self.computation_time(workers) + self.communication_time(workers)

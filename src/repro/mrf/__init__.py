@@ -1,0 +1,36 @@
+"""Pairwise MRFs, loopy belief propagation, and partitioned execution."""
+
+from repro.mrf.bp import ArcStructure, BPResult, LoopyBP
+from repro.mrf.denoise import (
+    DenoisingProblem,
+    add_noise,
+    binary_image,
+    denoise,
+    denoising_mrf,
+    make_problem,
+    pixel_error,
+)
+from repro.mrf.exact import exact_map, exact_marginals
+from repro.mrf.model import PairwiseMRF, ising_mrf, random_mrf
+from repro.mrf.parallel import PartitionedBP, PartitionedBPResult, WorkProfile
+
+__all__ = [
+    "ArcStructure",
+    "BPResult",
+    "LoopyBP",
+    "DenoisingProblem",
+    "add_noise",
+    "binary_image",
+    "denoise",
+    "denoising_mrf",
+    "make_problem",
+    "pixel_error",
+    "exact_map",
+    "exact_marginals",
+    "PairwiseMRF",
+    "ising_mrf",
+    "random_mrf",
+    "PartitionedBP",
+    "PartitionedBPResult",
+    "WorkProfile",
+]

@@ -1,0 +1,172 @@
+"""Loopy belief propagation (Section V-B of the paper).
+
+The two steps the paper describes: "(i) based on the messages from its
+neighbors, a vertex updates its own belief; and (ii) based on its updated
+belief, a vertex sends out messages to its neighbors", repeated until
+convergence.  Updates are synchronous (all messages recomputed from the
+previous iteration's messages), which is exactly the BSP superstep
+structure the scalability model assumes.
+
+Messages live on *directed arcs*.  Arc ``p`` is position ``p`` of the
+graph's CSR ``indices`` array: the arc from ``src[p]`` to ``dst[p]``.
+Computation is done in log space for numerical robustness; messages are
+normalised to sum to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.mrf.model import PairwiseMRF
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    peak = values.max(axis=axis, keepdims=True)
+    return (peak + np.log(np.sum(np.exp(values - peak), axis=axis, keepdims=True))).squeeze(axis)
+
+
+@dataclass(frozen=True)
+class ArcStructure:
+    """Precomputed arc arrays for vectorised message passing."""
+
+    source: np.ndarray  # (A,) arc source vertex
+    destination: np.ndarray  # (A,) arc destination vertex
+    reverse: np.ndarray  # (A,) position of the opposite arc
+    log_pairwise: np.ndarray  # (A, S, S) oriented potential: [p, x_src, x_dst]
+
+    @classmethod
+    def build(cls, mrf: PairwiseMRF) -> "ArcStructure":
+        """Derive arc arrays from the MRF's CSR graph and edge potentials."""
+        graph = mrf.graph
+        vertex_count = graph.vertex_count
+        source = np.repeat(np.arange(vertex_count), graph.degrees)
+        destination = graph.indices.copy()
+        # Match arcs with their reverses by sorting canonical keys: the
+        # arc (u, v) and its reverse (v, u) share the unordered key.
+        forward_key = source * vertex_count + destination
+        backward_key = destination * vertex_count + source
+        order_forward = np.argsort(forward_key, kind="stable")
+        order_backward = np.argsort(backward_key, kind="stable")
+        reverse = np.empty(source.size, dtype=np.int64)
+        reverse[order_backward] = order_forward
+        # Oriented potentials: canonical edges are stored u < v.
+        edge_lookup = {}
+        for edge_id, (u, v) in enumerate(graph.edges()):
+            edge_lookup[(int(u), int(v))] = edge_id
+        states = mrf.states
+        log_pairwise = np.empty((source.size, states, states))
+        log_edge = np.log(mrf.pairwise)
+        for arc in range(source.size):
+            u, v = int(source[arc]), int(destination[arc])
+            if u < v:
+                log_pairwise[arc] = log_edge[edge_lookup[(u, v)]]
+            else:
+                log_pairwise[arc] = log_edge[edge_lookup[(v, u)]].T
+        return cls(
+            source=source, destination=destination, reverse=reverse, log_pairwise=log_pairwise
+        )
+
+    @property
+    def arc_count(self) -> int:
+        """Number of directed arcs (= 2E)."""
+        return int(self.source.size)
+
+
+@dataclass
+class BPResult:
+    """Outcome of a loopy-BP run."""
+
+    beliefs: np.ndarray  # (V, S) normalised marginals
+    iterations: int
+    converged: bool
+    final_delta: float
+    message_updates: int  # total arcs updated across all iterations
+
+    def map_states(self) -> np.ndarray:
+        """Per-vertex most probable state."""
+        return np.argmax(self.beliefs, axis=1)
+
+
+class LoopyBP:
+    """Synchronous loopy belief propagation with optional damping."""
+
+    def __init__(self, mrf: PairwiseMRF, damping: float = 0.0):
+        if not 0.0 <= damping < 1.0:
+            raise InferenceError(f"damping must be in [0, 1), got {damping}")
+        if mrf.edge_count == 0:
+            raise InferenceError("BP needs at least one edge")
+        self.mrf = mrf
+        self.damping = damping
+        self.arcs = ArcStructure.build(mrf)
+        self._log_unary = np.log(mrf.unary)
+
+    def _initial_messages(self) -> np.ndarray:
+        states = self.mrf.states
+        return np.full((self.arcs.arc_count, states), -np.log(states))
+
+    def _update(self, log_messages: np.ndarray) -> np.ndarray:
+        """One synchronous round; returns new normalised log messages."""
+        states = self.mrf.states
+        vertex_count = self.mrf.vertex_count
+        # Total incoming log-message mass per vertex and state.
+        total_in = np.zeros((vertex_count, states))
+        for state in range(states):
+            total_in[:, state] = np.bincount(
+                self.arcs.destination, weights=log_messages[:, state], minlength=vertex_count
+            )
+        # For arc p = (u -> v): exclude the reverse message (v -> u).
+        exclusive = total_in[self.arcs.source] - log_messages[self.arcs.reverse]
+        pre = self._log_unary[self.arcs.source] + exclusive  # (A, S_src)
+        # m_new[p, x_dst] = logsumexp_{x_src}( pre[p, x_src] + log_psi[p, x_src, x_dst] ).
+        new = np.empty_like(log_messages)
+        for state in range(states):
+            new[:, state] = _logsumexp(pre + self.arcs.log_pairwise[:, :, state], axis=1)
+        # Normalise each message to sum to one (in probability space).
+        new -= _logsumexp(new, axis=1)[:, None]
+        if self.damping > 0.0:
+            damped = np.logaddexp(
+                np.log(self.damping) + log_messages,
+                np.log1p(-self.damping) + new,
+            )
+            damped -= _logsumexp(damped, axis=1)[:, None]
+            return damped
+        return new
+
+    def beliefs_from(self, log_messages: np.ndarray) -> np.ndarray:
+        """Normalised vertex marginals implied by a message set."""
+        states = self.mrf.states
+        vertex_count = self.mrf.vertex_count
+        total_in = np.zeros((vertex_count, states))
+        for state in range(states):
+            total_in[:, state] = np.bincount(
+                self.arcs.destination, weights=log_messages[:, state], minlength=vertex_count
+            )
+        log_beliefs = self._log_unary + total_in
+        log_beliefs -= _logsumexp(log_beliefs, axis=1)[:, None]
+        return np.exp(log_beliefs)
+
+    def run(self, max_iterations: int = 100, tolerance: float = 1e-6) -> BPResult:
+        """Iterate to convergence (max message change below ``tolerance``)."""
+        if max_iterations < 1:
+            raise InferenceError(f"max_iterations must be >= 1, got {max_iterations}")
+        if tolerance <= 0:
+            raise InferenceError(f"tolerance must be positive, got {tolerance}")
+        log_messages = self._initial_messages()
+        delta = np.inf
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            updated = self._update(log_messages)
+            delta = float(np.max(np.abs(np.exp(updated) - np.exp(log_messages))))
+            log_messages = updated
+            if delta < tolerance:
+                break
+        return BPResult(
+            beliefs=self.beliefs_from(log_messages),
+            iterations=iterations,
+            converged=delta < tolerance,
+            final_delta=delta,
+            message_updates=iterations * self.arcs.arc_count,
+        )

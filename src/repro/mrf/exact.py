@@ -1,0 +1,69 @@
+"""Exact inference by enumeration — the oracle for BP correctness tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.mrf.model import PairwiseMRF
+
+#: Enumeration is S^V; keep the state space bounded.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+def exact_marginals(mrf: PairwiseMRF) -> np.ndarray:
+    """Per-vertex marginals by brute-force enumeration of all assignments.
+
+    Only feasible for tiny models (``S^V`` bounded); BP on trees must
+    match this exactly, and loopy BP approximately.
+    """
+    vertex_count = mrf.vertex_count
+    states = mrf.states
+    total_assignments = states**vertex_count
+    if total_assignments > MAX_ASSIGNMENTS:
+        raise InferenceError(
+            f"{states}^{vertex_count} assignments exceed the enumeration budget"
+        )
+    marginals = np.zeros((vertex_count, states))
+    partition = 0.0
+    edges = mrf.graph.edges()
+    log_unary = np.log(mrf.unary)
+    log_pairwise = np.log(mrf.pairwise)
+    for assignment in itertools.product(range(states), repeat=vertex_count):
+        state = np.asarray(assignment)
+        log_value = float(log_unary[np.arange(vertex_count), state].sum())
+        for edge_id, (u, v) in enumerate(edges):
+            log_value += float(log_pairwise[edge_id, state[u], state[v]])
+        value = float(np.exp(log_value))
+        partition += value
+        marginals[np.arange(vertex_count), state] += value
+    if partition == 0.0:
+        raise InferenceError("partition function vanished; potentials underflowed")
+    return marginals / partition
+
+
+def exact_map(mrf: PairwiseMRF) -> np.ndarray:
+    """Most probable assignment by enumeration (for denoising tests)."""
+    vertex_count = mrf.vertex_count
+    states = mrf.states
+    if states**vertex_count > MAX_ASSIGNMENTS:
+        raise InferenceError(
+            f"{states}^{vertex_count} assignments exceed the enumeration budget"
+        )
+    best_value = -np.inf
+    best: np.ndarray | None = None
+    edges = mrf.graph.edges()
+    log_unary = np.log(mrf.unary)
+    log_pairwise = np.log(mrf.pairwise)
+    for assignment in itertools.product(range(states), repeat=vertex_count):
+        state = np.asarray(assignment)
+        log_value = float(log_unary[np.arange(vertex_count), state].sum())
+        for edge_id, (u, v) in enumerate(edges):
+            log_value += float(log_pairwise[edge_id, state[u], state[v]])
+        if log_value > best_value:
+            best_value = log_value
+            best = state.copy()
+    assert best is not None
+    return best

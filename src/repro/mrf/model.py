@@ -1,0 +1,128 @@
+"""Pairwise Markov random fields (Section IV-B of the paper).
+
+"In our analysis, we consider pairwise Markov random field (MRF) model,
+which is generic enough to represent any graphical model."  A pairwise
+MRF over graph ``G`` with ``S`` states per variable factorises as
+
+    P(x) ∝ prod_v phi_v(x_v) * prod_{(u,v)} psi_uv(x_u, x_v)
+
+with strictly positive potentials.  Edge potentials are stored for the
+canonical orientation ``u < v``; the transposed matrix serves the other
+direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InferenceError
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class PairwiseMRF:
+    """A pairwise MRF: a graph, unary potentials, per-edge pair potentials.
+
+    ``unary`` has shape ``(V, S)``; ``pairwise`` has shape ``(E, S, S)``
+    indexed in the order of :meth:`~repro.graph.graph.Graph.edges` (with
+    ``u < v``; entry ``[e, a, b]`` scores ``x_u = a, x_v = b``).
+    """
+
+    graph: Graph
+    unary: np.ndarray
+    pairwise: np.ndarray
+
+    def __post_init__(self) -> None:
+        unary = np.asarray(self.unary, dtype=np.float64)
+        pairwise = np.asarray(self.pairwise, dtype=np.float64)
+        if unary.ndim != 2 or unary.shape[0] != self.graph.vertex_count:
+            raise InferenceError(
+                f"unary must be (V, S) = ({self.graph.vertex_count}, S), got {unary.shape}"
+            )
+        states = unary.shape[1]
+        if states < 2:
+            raise InferenceError(f"need at least 2 states, got {states}")
+        if pairwise.shape != (self.graph.edge_count, states, states):
+            raise InferenceError(
+                f"pairwise must be (E, S, S) = ({self.graph.edge_count}, {states}, {states}),"
+                f" got {pairwise.shape}"
+            )
+        if np.any(unary <= 0) or np.any(pairwise <= 0):
+            raise InferenceError("potentials must be strictly positive")
+
+    @property
+    def states(self) -> int:
+        """Number of states ``S`` per variable."""
+        return int(self.unary.shape[1])
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of variables ``V``."""
+        return self.graph.vertex_count
+
+    @property
+    def edge_count(self) -> int:
+        """Number of pairwise factors ``E``."""
+        return self.graph.edge_count
+
+    def edge_index(self) -> dict[tuple[int, int], int]:
+        """Map from canonical ``(u, v)`` (``u < v``) to edge id."""
+        edges = self.graph.edges()
+        return {(int(u), int(v)): i for i, (u, v) in enumerate(edges)}
+
+    def joint_unnormalised(self, assignment: np.ndarray) -> float:
+        """Unnormalised probability of one full assignment (for tests)."""
+        assignment = np.asarray(assignment)
+        if assignment.shape != (self.vertex_count,):
+            raise InferenceError(
+                f"assignment must have shape ({self.vertex_count},), got {assignment.shape}"
+            )
+        if assignment.min() < 0 or assignment.max() >= self.states:
+            raise InferenceError("assignment states out of range")
+        value = float(np.prod(self.unary[np.arange(self.vertex_count), assignment]))
+        for edge_id, (u, v) in enumerate(self.graph.edges()):
+            value *= float(self.pairwise[edge_id, assignment[u], assignment[v]])
+        return value
+
+
+def ising_mrf(
+    graph: Graph,
+    coupling: float = 0.5,
+    field: float = 0.0,
+    states: int = 2,
+    seed: int | None = None,
+) -> PairwiseMRF:
+    """A homogeneous (anti-)ferromagnetic MRF.
+
+    ``coupling > 0`` favours agreeing neighbours (attractive);
+    ``coupling < 0`` favours disagreement (repulsive).  ``field`` biases
+    every variable toward state 0.  With ``seed`` given, unary potentials
+    get per-vertex random fields instead of a uniform one — the usual
+    benchmark for loopy BP convergence studies.
+    """
+    if states < 2:
+        raise InferenceError(f"need at least 2 states, got {states}")
+    agreement = np.eye(states)
+    pairwise_single = np.exp(coupling * (2.0 * agreement - 1.0))
+    pairwise = np.tile(pairwise_single, (graph.edge_count, 1, 1))
+    if seed is None:
+        unary_single = np.exp(field * (np.arange(states) == 0).astype(float))
+        unary = np.tile(unary_single, (graph.vertex_count, 1))
+    else:
+        rng = np.random.default_rng(seed)
+        unary = np.exp(rng.normal(0.0, abs(field) if field else 0.5, size=(graph.vertex_count, states)))
+    return PairwiseMRF(graph=graph, unary=unary, pairwise=pairwise)
+
+
+def random_mrf(graph: Graph, states: int = 2, seed: int = 0, scale: float = 1.0) -> PairwiseMRF:
+    """Fully random positive potentials (spin-glass-like)."""
+    if states < 2:
+        raise InferenceError(f"need at least 2 states, got {states}")
+    if scale <= 0:
+        raise InferenceError(f"scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+    unary = np.exp(rng.normal(0.0, scale, size=(graph.vertex_count, states)))
+    pairwise = np.exp(rng.normal(0.0, scale, size=(graph.edge_count, states, states)))
+    return PairwiseMRF(graph=graph, unary=unary, pairwise=pairwise)

@@ -1,0 +1,98 @@
+"""Partitioned BP: vertex-parallel message passing with work accounting.
+
+The paper parallelises BP by assigning vertices to workers; each
+synchronous iteration is a BSP superstep in which worker ``i`` updates
+the outgoing messages of its own vertices, reading replicated state for
+remote neighbours.  This module runs *real* BP partitioned that way and
+records, per superstep, exactly the quantities the paper's model reasons
+about: per-worker edge work and the replicated-vertex count.
+
+The partitioned execution is semantically identical to sequential
+synchronous BP (a property the tests pin down): partitioning changes
+*where* messages are computed, never their values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InferenceError, PartitionError
+from repro.graph.partition import VertexPartition, degree_loads, replication_factor
+from repro.mrf.bp import BPResult, LoopyBP
+from repro.mrf.model import PairwiseMRF
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Per-superstep work layout of a partitioned BP run."""
+
+    workers: int
+    arc_updates_per_worker: np.ndarray  # directed message updates per superstep
+    max_arc_updates: int
+    total_arc_updates: int
+    replication: float
+
+    @property
+    def balance(self) -> float:
+        """``mean / max`` of per-worker work: 1.0 is perfect balance."""
+        mean = self.total_arc_updates / self.workers
+        if self.max_arc_updates == 0:
+            raise InferenceError("work profile has no arc updates")
+        return mean / self.max_arc_updates
+
+
+@dataclass
+class PartitionedBPResult:
+    """BP output plus the parallel execution profile."""
+
+    result: BPResult
+    profile: WorkProfile
+
+
+class PartitionedBP:
+    """Vertex-parallel synchronous BP over an explicit partition."""
+
+    def __init__(self, mrf: PairwiseMRF, partition: VertexPartition, damping: float = 0.0):
+        if partition.vertex_count != mrf.vertex_count:
+            raise PartitionError(
+                f"partition covers {partition.vertex_count} vertices, MRF has {mrf.vertex_count}"
+            )
+        self.mrf = mrf
+        self.partition = partition
+        self._bp = LoopyBP(mrf, damping=damping)
+
+    def work_profile(self) -> WorkProfile:
+        """Per-worker message-update counts for one superstep.
+
+        A worker updates one outgoing message per incident arc of each of
+        its vertices, so its arc work is the sum of its vertices' degrees
+        (``Ernd_i`` in the paper, before duplicate correction: intra-worker
+        edges genuinely cost both endpoints' workers an update each).
+        """
+        loads = degree_loads(self.partition, self.mrf.graph.degrees)
+        replication = (
+            replication_factor(self.mrf.graph, self.partition)
+            if self.partition.workers > 1
+            else 0.0
+        )
+        return WorkProfile(
+            workers=self.partition.workers,
+            arc_updates_per_worker=loads.astype(np.int64),
+            max_arc_updates=int(loads.max()),
+            total_arc_updates=int(loads.sum()),
+            replication=replication,
+        )
+
+    def run(self, max_iterations: int = 100, tolerance: float = 1e-6) -> PartitionedBPResult:
+        """Run synchronous BP; partitioning does not change the math.
+
+        Synchronous BP computes every round-``t+1`` message from
+        round-``t`` messages only, so the assignment of vertices to
+        workers affects scheduling, not values — we therefore delegate
+        the numerics to :class:`~repro.mrf.bp.LoopyBP` and attach the
+        partition's work profile.
+        """
+        result = self._bp.run(max_iterations=max_iterations, tolerance=tolerance)
+        return PartitionedBPResult(result=result, profile=self.work_profile())

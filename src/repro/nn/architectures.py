@@ -1,0 +1,658 @@
+"""Architecture specifications and the paper's Table I networks.
+
+A :class:`NetworkSpec` is a *cost-level* description: enough structure to
+count weights and forward operations with the paper's formulas, without
+allocating any tensors.  Small specs can also be :meth:`NetworkSpec.build`
+into runnable :class:`~repro.nn.network.Sequential` networks.
+
+The two Table I entries:
+
+* ``mnist_fc()`` — the five-hidden-layer fully-connected network
+  (2500-2000-1500-1000-500) for MNIST; paper lists ``12e6`` parameters
+  and ``24e6`` forward computations.
+* ``inception_v3()`` — Szegedy et al.'s ImageNet network; paper lists
+  ``25e6`` parameters and ``5e9`` forward computations.
+
+LeNet-5, AlexNet and VGG-16 are included for catalog breadth and for
+what-if studies in the examples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.errors import ArchitectureError
+from repro.nn import flops
+from repro.nn.conv import AvgPool2D, Conv2D, MaxPool2D, conv_output_size
+from repro.nn.layers import Affine, Flatten, Layer, ReLU, Sigmoid, Tanh
+from repro.nn.network import Sequential
+
+#: Shape of data flowing between spec layers: either flat features or an
+#: image volume ``(channels, height, width)``.
+Shape = Union[int, tuple[int, int, int]]
+
+_ACTIVATIONS = {"sigmoid": Sigmoid, "tanh": Tanh, "relu": ReLU}
+
+
+def _as_image(shape: Shape, context: str) -> tuple[int, int, int]:
+    if isinstance(shape, int):
+        raise ArchitectureError(f"{context} requires an image input, got flat features")
+    return shape
+
+
+def _resolve_padding(padding: int | str, kernel_h: int, kernel_w: int) -> tuple[int, int]:
+    if isinstance(padding, int):
+        if padding < 0:
+            raise ArchitectureError(f"padding must be non-negative, got {padding}")
+        return padding, padding
+    if padding == "same":
+        return (kernel_h - 1) // 2, (kernel_w - 1) // 2
+    if padding == "valid":
+        return 0, 0
+    raise ArchitectureError(f"padding must be an int, 'same' or 'valid', got {padding!r}")
+
+
+class LayerSpec(ABC):
+    """One stage of an architecture, at the cost-counting level."""
+
+    @abstractmethod
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Shape produced when applied to ``input_shape``."""
+
+    @abstractmethod
+    def weights(self, input_shape: Shape) -> int:
+        """Trainable scalar count (the paper's ``W`` contribution)."""
+
+    @abstractmethod
+    def forward_operations(self, input_shape: Shape) -> int:
+        """Forward cost in the paper's units (see :mod:`repro.nn.flops`)."""
+
+    def forward_madds(self, input_shape: Shape) -> int:
+        """Forward cost in uniform multiply-adds.
+
+        Defaults to :meth:`forward_operations`; dense layers override
+        because the paper's dense unit counts multiply and add separately.
+        """
+        return self.forward_operations(input_shape)
+
+
+@dataclass(frozen=True)
+class DenseSpec(LayerSpec):
+    """Fully-connected layer (flattens image input implicitly)."""
+
+    units: int
+    use_bias: bool = True
+    activation: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ArchitectureError(f"units must be >= 1, got {self.units}")
+        if self.activation is not None and self.activation not in _ACTIVATIONS:
+            raise ArchitectureError(f"unknown activation {self.activation!r}")
+
+    def _in_features(self, input_shape: Shape) -> int:
+        if isinstance(input_shape, int):
+            return input_shape
+        channels, height, width = input_shape
+        return channels * height * width
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return self.units
+
+    def weights(self, input_shape: Shape) -> int:
+        return flops.dense_weights(self._in_features(input_shape), self.units, self.use_bias)
+
+    def forward_operations(self, input_shape: Shape) -> int:
+        return flops.dense_forward_operations(self._in_features(input_shape), self.units)
+
+    def forward_madds(self, input_shape: Shape) -> int:
+        return flops.dense_forward_madds(self._in_features(input_shape), self.units)
+
+
+@dataclass(frozen=True)
+class ConvSpec(LayerSpec):
+    """Convolution; kernel may be square (int) or rectangular (pair)."""
+
+    filters: int
+    kernel: int | tuple[int, int]
+    stride: int = 1
+    padding: int | str = 0
+    bias_mode: str = "none"
+    activation: str | None = "relu"
+
+    def __post_init__(self) -> None:
+        if self.filters < 1:
+            raise ArchitectureError(f"filters must be >= 1, got {self.filters}")
+        if self.stride < 1:
+            raise ArchitectureError(f"stride must be >= 1, got {self.stride}")
+        if self.activation is not None and self.activation not in _ACTIVATIONS:
+            raise ArchitectureError(f"unknown activation {self.activation!r}")
+
+    def _kernel_hw(self) -> tuple[int, int]:
+        return (self.kernel, self.kernel) if isinstance(self.kernel, int) else self.kernel
+
+    def _geometry(self, input_shape: Shape) -> tuple[int, int, int, int, int]:
+        depth, height, width = _as_image(input_shape, "ConvSpec")
+        kernel_h, kernel_w = self._kernel_hw()
+        pad_h, pad_w = _resolve_padding(self.padding, kernel_h, kernel_w)
+        out_h = conv_output_size(height, kernel_h, self.stride, pad_h)
+        out_w = conv_output_size(width, kernel_w, self.stride, pad_w)
+        return depth, kernel_h, kernel_w, out_h, out_w
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        _, _, _, out_h, out_w = self._geometry(input_shape)
+        return (self.filters, out_h, out_w)
+
+    def weights(self, input_shape: Shape) -> int:
+        depth, kernel_h, kernel_w, out_h, out_w = self._geometry(input_shape)
+        return flops.conv_weights(
+            self.filters, kernel_h, kernel_w, depth, out_h, out_w, self.bias_mode
+        )
+
+    def forward_operations(self, input_shape: Shape) -> int:
+        depth, kernel_h, kernel_w, out_h, out_w = self._geometry(input_shape)
+        return flops.conv_forward_madds(self.filters, kernel_h, kernel_w, depth, out_h, out_w)
+
+
+@dataclass(frozen=True)
+class PoolSpec(LayerSpec):
+    """Max/average pooling.  Carries no weights; the paper ignores its cost."""
+
+    kind: str
+    size: int
+    stride: int | None = None
+    padding: int | str = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("max", "avg"):
+            raise ArchitectureError(f"kind must be 'max' or 'avg', got {self.kind!r}")
+        if self.size < 1:
+            raise ArchitectureError(f"size must be >= 1, got {self.size}")
+        if self.stride is not None and self.stride < 1:
+            raise ArchitectureError(f"stride must be >= 1, got {self.stride}")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        depth, height, width = _as_image(input_shape, "PoolSpec")
+        stride = self.stride if self.stride is not None else self.size
+        pad_h, pad_w = _resolve_padding(self.padding, self.size, self.size)
+        out_h = conv_output_size(height, self.size, stride, pad_h)
+        out_w = conv_output_size(width, self.size, stride, pad_w)
+        return (depth, out_h, out_w)
+
+    def weights(self, input_shape: Shape) -> int:
+        return 0
+
+    def forward_operations(self, input_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class FlattenSpec(LayerSpec):
+    """Image volume to flat features."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if isinstance(input_shape, int):
+            return input_shape
+        channels, height, width = input_shape
+        return channels * height * width
+
+    def weights(self, input_shape: Shape) -> int:
+        return 0
+
+    def forward_operations(self, input_shape: Shape) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class InceptionModuleSpec(LayerSpec):
+    """Parallel branches over the same input, concatenated along channels.
+
+    Each branch is a sequence of layer specs; branches must agree on the
+    output's spatial dimensions.  Modules may nest (Inception v3's 8x8
+    modules split a branch into two parallel convolutions).
+    """
+
+    branches: tuple[tuple[LayerSpec, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise ArchitectureError("an inception module needs at least one branch")
+        if any(not branch for branch in self.branches):
+            raise ArchitectureError("branches must not be empty")
+
+    def _branch_output(self, branch: tuple[LayerSpec, ...], input_shape: Shape) -> Shape:
+        shape = input_shape
+        for spec in branch:
+            shape = spec.output_shape(shape)
+        return shape
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        outputs = [self._branch_output(branch, input_shape) for branch in self.branches]
+        images = [_as_image(shape, "InceptionModuleSpec branch") for shape in outputs]
+        spatial = {(height, width) for _, height, width in images}
+        if len(spatial) != 1:
+            raise ArchitectureError(
+                f"branch spatial dimensions disagree: {sorted(spatial)}"
+            )
+        height, width = spatial.pop()
+        channels = sum(depth for depth, _, _ in images)
+        return (channels, height, width)
+
+    def weights(self, input_shape: Shape) -> int:
+        total = 0
+        for branch in self.branches:
+            shape = input_shape
+            for spec in branch:
+                total += spec.weights(shape)
+                shape = spec.output_shape(shape)
+        return total
+
+    def forward_operations(self, input_shape: Shape) -> int:
+        total = 0
+        for branch in self.branches:
+            shape = input_shape
+            for spec in branch:
+                total += spec.forward_operations(shape)
+                shape = spec.output_shape(shape)
+        return total
+
+    def forward_madds(self, input_shape: Shape) -> int:
+        total = 0
+        for branch in self.branches:
+            shape = input_shape
+            for spec in branch:
+                total += spec.forward_madds(shape)
+                shape = spec.output_shape(shape)
+        return total
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A whole architecture: an input shape plus a layer-spec pipeline."""
+
+    name: str
+    input_shape: Shape
+    layers: tuple[LayerSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ArchitectureError("a network spec needs at least one layer")
+
+    def shapes(self) -> list[Shape]:
+        """Shapes flowing through the network, including the input."""
+        shapes: list[Shape] = [self.input_shape]
+        for spec in self.layers:
+            shapes.append(spec.output_shape(shapes[-1]))
+        return shapes
+
+    @property
+    def output_shape(self) -> Shape:
+        """Final output shape."""
+        return self.shapes()[-1]
+
+    @property
+    def total_weights(self) -> int:
+        """The paper's ``W`` for this architecture."""
+        total = 0
+        shape = self.input_shape
+        for spec in self.layers:
+            total += spec.weights(shape)
+            shape = spec.output_shape(shape)
+        return total
+
+    @property
+    def forward_operations(self) -> int:
+        """Forward-pass cost in the paper's Table I units."""
+        total = 0
+        shape = self.input_shape
+        for spec in self.layers:
+            total += spec.forward_operations(shape)
+            shape = spec.output_shape(shape)
+        return total
+
+    @property
+    def forward_madds(self) -> int:
+        """Forward-pass cost in uniform multiply-adds."""
+        total = 0
+        shape = self.input_shape
+        for spec in self.layers:
+            total += spec.forward_madds(shape)
+            shape = spec.output_shape(shape)
+        return total
+
+    @property
+    def training_operations_per_sample(self) -> float:
+        """Per-sample training cost ``C``: 3 forward-equivalents."""
+        return flops.training_operations(self.forward_operations)
+
+    def summary(self) -> list[dict[str, object]]:
+        """Per-layer table: spec, output shape, weights, operations."""
+        rows: list[dict[str, object]] = []
+        shape = self.input_shape
+        for spec in self.layers:
+            rows.append(
+                {
+                    "layer": type(spec).__name__,
+                    "output_shape": spec.output_shape(shape),
+                    "weights": spec.weights(shape),
+                    "forward_operations": spec.forward_operations(shape),
+                }
+            )
+            shape = spec.output_shape(shape)
+        return rows
+
+    def build(self, rng: np.random.Generator | None = None) -> Sequential:
+        """Materialise a runnable network (dense/conv/pool/flatten only)."""
+        if rng is None:
+            rng = np.random.default_rng(0)
+        layers: list[Layer] = []
+        shape = self.input_shape
+        for spec in self.layers:
+            layers.extend(_build_layer(spec, shape, rng))
+            shape = spec.output_shape(shape)
+        return Sequential(layers)
+
+
+def _build_layer(spec: LayerSpec, input_shape: Shape, rng: np.random.Generator) -> list[Layer]:
+    if isinstance(spec, DenseSpec):
+        built: list[Layer] = []
+        if not isinstance(input_shape, int):
+            built.append(Flatten())
+        in_features = spec._in_features(input_shape)
+        built.append(Affine(in_features, spec.units, rng=rng, use_bias=spec.use_bias))
+        if spec.activation is not None:
+            built.append(_ACTIVATIONS[spec.activation]())
+        return built
+    if isinstance(spec, ConvSpec):
+        depth, _, _ = _as_image(input_shape, "ConvSpec.build")
+        kernel_h, kernel_w = spec._kernel_hw()
+        pad_h, pad_w = _resolve_padding(spec.padding, kernel_h, kernel_w)
+        if pad_h != pad_w:
+            raise ArchitectureError("runnable Conv2D supports square padding only")
+        built = [
+            Conv2D(
+                depth,
+                spec.filters,
+                (kernel_h, kernel_w),
+                stride=spec.stride,
+                padding=pad_h,
+                rng=rng,
+                use_bias=spec.bias_mode == "per_filter",
+            )
+        ]
+        if spec.activation is not None:
+            built.append(_ACTIVATIONS[spec.activation]())
+        return built
+    if isinstance(spec, PoolSpec):
+        pad_h, pad_w = _resolve_padding(spec.padding, spec.size, spec.size)
+        if pad_h != pad_w:
+            raise ArchitectureError("runnable pooling supports square padding only")
+        pool_cls = MaxPool2D if spec.kind == "max" else AvgPool2D
+        return [pool_cls(spec.size, stride=spec.stride, padding=pad_h)]
+    if isinstance(spec, FlattenSpec):
+        return [Flatten()]
+    raise ArchitectureError(f"{type(spec).__name__} cannot be built into a runnable layer")
+
+
+# ---------------------------------------------------------------------------
+# Table I and catalog architectures.
+# ---------------------------------------------------------------------------
+
+
+def mnist_fc() -> NetworkSpec:
+    """The paper's fully-connected MNIST network (Table I, row 1).
+
+    Five hidden layers of 2500, 2000, 1500, 1000 and 500 sigmoid units,
+    784 inputs, 10 outputs (Ciresan et al.'s "deep big simple" net).
+    """
+    hidden = (2500, 2000, 1500, 1000, 500)
+    layers = [DenseSpec(units, activation="sigmoid") for units in hidden]
+    layers.append(DenseSpec(10, activation=None))
+    return NetworkSpec(name="Fully connected (MNIST)", input_shape=784, layers=tuple(layers))
+
+
+def lenet5() -> NetworkSpec:
+    """LeNet-5 adapted to 28x28 inputs — small enough to train in tests."""
+    return NetworkSpec(
+        name="LeNet-5 (MNIST)",
+        input_shape=(1, 28, 28),
+        layers=(
+            ConvSpec(6, 5, padding=2, activation="tanh", bias_mode="per_filter"),
+            PoolSpec("max", 2),
+            ConvSpec(16, 5, activation="tanh", bias_mode="per_filter"),
+            PoolSpec("max", 2),
+            DenseSpec(120, activation="tanh"),
+            DenseSpec(84, activation="tanh"),
+            DenseSpec(10, activation=None),
+        ),
+    )
+
+
+def alexnet() -> NetworkSpec:
+    """AlexNet (single-tower variant), for catalog breadth."""
+    return NetworkSpec(
+        name="AlexNet (ImageNet)",
+        input_shape=(3, 227, 227),
+        layers=(
+            ConvSpec(96, 11, stride=4),
+            PoolSpec("max", 3, stride=2),
+            ConvSpec(256, 5, padding=2),
+            PoolSpec("max", 3, stride=2),
+            ConvSpec(384, 3, padding=1),
+            ConvSpec(384, 3, padding=1),
+            ConvSpec(256, 3, padding=1),
+            PoolSpec("max", 3, stride=2),
+            DenseSpec(4096),
+            DenseSpec(4096),
+            DenseSpec(1000, activation=None),
+        ),
+    )
+
+
+def vgg16() -> NetworkSpec:
+    """VGG-16, for catalog breadth."""
+
+    def block(filters: int, convs: int) -> list[LayerSpec]:
+        return [ConvSpec(filters, 3, padding=1) for _ in range(convs)] + [PoolSpec("max", 2)]
+
+    layers: list[LayerSpec] = []
+    for filters, convs in ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)):
+        layers.extend(block(filters, convs))
+    layers.extend([DenseSpec(4096), DenseSpec(4096), DenseSpec(1000, activation=None)])
+    return NetworkSpec(name="VGG-16 (ImageNet)", input_shape=(3, 224, 224), layers=tuple(layers))
+
+
+def _googlenet_module(
+    conv1: int, reduce3: int, conv3: int, reduce5: int, conv5: int, pool_proj: int
+) -> InceptionModuleSpec:
+    """The original (v1) Inception module of Szegedy et al. 2014."""
+    return InceptionModuleSpec(
+        branches=(
+            (ConvSpec(conv1, 1),),
+            (ConvSpec(reduce3, 1), ConvSpec(conv3, 3, padding="same")),
+            (ConvSpec(reduce5, 1), ConvSpec(conv5, 5, padding="same")),
+            (PoolSpec("max", 3, stride=1, padding="same"), ConvSpec(pool_proj, 1)),
+        )
+    )
+
+
+def googlenet() -> NetworkSpec:
+    """GoogLeNet / Inception v1 (~6M conv weights, ~1.5G madds forward).
+
+    The first inception architecture, included as a further cross-check
+    of the branch/concat counting machinery; channel configuration from
+    Szegedy et al. (2014), Table 1.  Our pooling uses floor division
+    (the paper's ``c = (l-k+b)/s + 1``), so intermediate spatial sizes
+    run one pixel below the original's ceil-mode pooling — weights are
+    unaffected and the computation count shifts by a few percent.
+    """
+    modules = (
+        (64, 96, 128, 16, 32, 32),      # 3a
+        (128, 128, 192, 32, 96, 64),    # 3b
+        "pool",
+        (192, 96, 208, 16, 48, 64),     # 4a
+        (160, 112, 224, 24, 64, 64),    # 4b
+        (128, 128, 256, 24, 64, 64),    # 4c
+        (112, 144, 288, 32, 64, 64),    # 4d
+        (256, 160, 320, 32, 128, 128),  # 4e
+        "pool",
+        (256, 160, 320, 32, 128, 128),  # 5a
+        (384, 192, 384, 48, 128, 128),  # 5b
+    )
+    layers: list[LayerSpec] = [
+        ConvSpec(64, 7, stride=2, padding=3),
+        PoolSpec("max", 3, stride=2),
+        ConvSpec(64, 1),
+        ConvSpec(192, 3, padding="same"),
+        PoolSpec("max", 3, stride=2),
+    ]
+    for module in modules:
+        if module == "pool":
+            layers.append(PoolSpec("max", 3, stride=2))
+        else:
+            layers.append(_googlenet_module(*module))
+    # Global average pool over whatever spatial size floor-pooling left.
+    shape = (3, 224, 224)
+    for spec in layers:
+        shape = spec.output_shape(shape)
+    layers.append(PoolSpec("avg", shape[1]))
+    layers.append(FlattenSpec())
+    layers.append(DenseSpec(1000, activation=None))
+    return NetworkSpec(
+        name="GoogLeNet / Inception v.1 (ImageNet)",
+        input_shape=(3, 224, 224),
+        layers=tuple(layers),
+    )
+
+
+def _inception_35(pool_projection: int) -> InceptionModuleSpec:
+    """35x35 module (figure 5 of Szegedy et al.)."""
+    return InceptionModuleSpec(
+        branches=(
+            (ConvSpec(64, 1),),
+            (ConvSpec(48, 1), ConvSpec(64, 5, padding="same")),
+            (ConvSpec(64, 1), ConvSpec(96, 3, padding="same"), ConvSpec(96, 3, padding="same")),
+            (PoolSpec("avg", 3, stride=1, padding="same"), ConvSpec(pool_projection, 1)),
+        )
+    )
+
+
+def _inception_reduction_6a() -> InceptionModuleSpec:
+    """35x35 -> 17x17 grid reduction."""
+    return InceptionModuleSpec(
+        branches=(
+            (ConvSpec(384, 3, stride=2),),
+            (ConvSpec(64, 1), ConvSpec(96, 3, padding="same"), ConvSpec(96, 3, stride=2)),
+            (PoolSpec("max", 3, stride=2),),
+        )
+    )
+
+
+def _inception_17(mid_channels: int) -> InceptionModuleSpec:
+    """17x17 factorised-7x7 module (figure 6 of Szegedy et al.)."""
+    mid = mid_channels
+    return InceptionModuleSpec(
+        branches=(
+            (ConvSpec(192, 1),),
+            (
+                ConvSpec(mid, 1),
+                ConvSpec(mid, (1, 7), padding="same"),
+                ConvSpec(192, (7, 1), padding="same"),
+            ),
+            (
+                ConvSpec(mid, 1),
+                ConvSpec(mid, (7, 1), padding="same"),
+                ConvSpec(mid, (1, 7), padding="same"),
+                ConvSpec(mid, (7, 1), padding="same"),
+                ConvSpec(192, (1, 7), padding="same"),
+            ),
+            (PoolSpec("avg", 3, stride=1, padding="same"), ConvSpec(192, 1)),
+        )
+    )
+
+
+def _inception_reduction_7a() -> InceptionModuleSpec:
+    """17x17 -> 8x8 grid reduction."""
+    return InceptionModuleSpec(
+        branches=(
+            (ConvSpec(192, 1), ConvSpec(320, 3, stride=2)),
+            (
+                ConvSpec(192, 1),
+                ConvSpec(192, (1, 7), padding="same"),
+                ConvSpec(192, (7, 1), padding="same"),
+                ConvSpec(192, 3, stride=2),
+            ),
+            (PoolSpec("max", 3, stride=2),),
+        )
+    )
+
+
+def _inception_8() -> InceptionModuleSpec:
+    """8x8 expanded-filter-bank module (figure 7 of Szegedy et al.)."""
+    split = InceptionModuleSpec(
+        branches=(
+            (ConvSpec(384, (1, 3), padding="same"),),
+            (ConvSpec(384, (3, 1), padding="same"),),
+        )
+    )
+    return InceptionModuleSpec(
+        branches=(
+            (ConvSpec(320, 1),),
+            (ConvSpec(384, 1), split),
+            (ConvSpec(448, 1), ConvSpec(384, 3, padding="same"), split),
+            (PoolSpec("avg", 3, stride=1, padding="same"), ConvSpec(192, 1)),
+        )
+    )
+
+
+def inception_v3() -> NetworkSpec:
+    """Inception v3 (Table I, row 2): ~24e6 weights, ~5e9 forward madds.
+
+    Channel counts follow Szegedy et al. (2015) / TF-slim.  The paper
+    rounds the published figures to ``25e6`` parameters and ``5e9``
+    computations; the spec reproduces them within a few percent (exact
+    values are asserted in the test-suite and reported by the Table I
+    bench).
+    """
+    return NetworkSpec(
+        name="Inception v.3 (ImageNet)",
+        input_shape=(3, 299, 299),
+        layers=(
+            ConvSpec(32, 3, stride=2),
+            ConvSpec(32, 3),
+            ConvSpec(64, 3, padding="same"),
+            PoolSpec("max", 3, stride=2),
+            ConvSpec(80, 1),
+            ConvSpec(192, 3),
+            PoolSpec("max", 3, stride=2),
+            _inception_35(pool_projection=32),
+            _inception_35(pool_projection=64),
+            _inception_35(pool_projection=64),
+            _inception_reduction_6a(),
+            _inception_17(128),
+            _inception_17(160),
+            _inception_17(160),
+            _inception_17(192),
+            _inception_reduction_7a(),
+            _inception_8(),
+            _inception_8(),
+            PoolSpec("avg", 8),
+            FlattenSpec(),
+            DenseSpec(1000, activation=None),
+        ),
+    )
+
+
+#: All architectures by slug, for the CLI and the examples.
+ARCHITECTURES = {
+    "mnist-fc": mnist_fc,
+    "lenet5": lenet5,
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "googlenet": googlenet,
+    "inception-v3": inception_v3,
+}

@@ -1,0 +1,267 @@
+"""Convolution and pooling layers (im2col based).
+
+Tensors are NCHW: ``(batch, channels, height, width)``.  The paper's
+convolutional cost formula (Section V-A) is validated against these
+layers: a convolution with ``n`` feature maps of size ``k x k`` over a
+depth-``d`` input producing ``c x c`` outputs performs
+``n * k * k * d * c * c`` multiply-adds — exactly one multiply-add per
+element of the im2col product below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ArchitectureError
+from repro.nn.initializers import he_normal, zeros
+from repro.nn.layers import Layer
+
+
+def conv_output_size(input_size: int, kernel: int, stride: int, padding: int) -> int:
+    """The paper's ``c = (l - k + b) / s + 1`` with ``b = 2 * padding``.
+
+    ``/`` is integer division, as in the paper.
+    """
+    if input_size < 1 or kernel < 1 or stride < 1 or padding < 0:
+        raise ArchitectureError(
+            f"invalid convolution geometry: l={input_size} k={kernel} s={stride} p={padding}"
+        )
+    span = input_size - kernel + 2 * padding
+    if span < 0:
+        raise ArchitectureError(
+            f"kernel {kernel} with padding {padding} does not fit input {input_size}"
+        )
+    return span // stride + 1
+
+
+def _im2col(
+    inputs: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold NCHW input into ``(batch, out_h*out_w, channels*kh*kw)``."""
+    batch, channels, height, width = inputs.shape
+    out_h = conv_output_size(height, kernel_h, stride, padding)
+    out_w = conv_output_size(width, kernel_w, stride, padding)
+    if padding > 0:
+        inputs = np.pad(
+            inputs,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    strides = inputs.strides
+    windows = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, channels, out_h, out_w, kernel_h, kernel_w),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kernel_h * kernel_w
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+class Conv2D(Layer):
+    """2-D convolution with square or rectangular kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+        use_bias: bool = False,
+    ):
+        if in_channels < 1 or out_channels < 1:
+            raise ArchitectureError(
+                f"channel counts must be >= 1, got {in_channels} -> {out_channels}"
+            )
+        kernel_h, kernel_w = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if kernel_h < 1 or kernel_w < 1 or stride < 1 or padding < 0:
+            raise ArchitectureError(
+                f"invalid geometry: kernel=({kernel_h},{kernel_w}) stride={stride} padding={padding}"
+            )
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_h = kernel_h
+        self.kernel_w = kernel_w
+        self.stride = stride
+        self.padding = padding
+        self.weights = he_normal((out_channels, in_channels, kernel_h, kernel_w), rng)
+        self.bias = zeros((out_channels,), rng) if use_bias else None
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias) if use_bias else None
+        self._columns: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ArchitectureError(
+                f"Conv2D expected (batch, {self.in_channels}, h, w), got {inputs.shape}"
+            )
+        columns, out_h, out_w = _im2col(
+            inputs, self.kernel_h, self.kernel_w, self.stride, self.padding
+        )
+        self._columns = columns
+        self._input_shape = inputs.shape
+        self._out_hw = (out_h, out_w)
+        kernel_matrix = self.weights.reshape(self.out_channels, -1)
+        output = columns @ kernel_matrix.T  # (batch, out_h*out_w, out_channels)
+        if self.bias is not None:
+            output = output + self.bias
+        batch = inputs.shape[0]
+        return output.transpose(0, 2, 1).reshape(batch, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._columns is None or self._input_shape is None or self._out_hw is None:
+            raise ArchitectureError("backward called before forward")
+        batch, _, out_h, out_w = grad_output.shape
+        grad_flat = grad_output.reshape(batch, self.out_channels, out_h * out_w).transpose(0, 2, 1)
+        # dW: sum over batch and positions of column^T . grad.
+        grad_kernel = np.einsum("bpk,bpo->ok", self._columns, grad_flat)
+        self.grad_weights = grad_kernel.reshape(self.weights.shape)
+        if self.bias is not None:
+            self.grad_bias = grad_flat.sum(axis=(0, 1))
+        # dX via col2im of grad_columns = grad . W.
+        kernel_matrix = self.weights.reshape(self.out_channels, -1)
+        grad_columns = grad_flat @ kernel_matrix  # (batch, positions, c*kh*kw)
+        return self._col2im(grad_columns)
+
+    def _col2im(self, grad_columns: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = self._input_shape
+        out_h, out_w = self._out_hw
+        padded = np.zeros(
+            (batch, channels, height + 2 * self.padding, width + 2 * self.padding)
+        )
+        grads = grad_columns.reshape(
+            batch, out_h, out_w, channels, self.kernel_h, self.kernel_w
+        )
+        for row in range(self.kernel_h):
+            for col in range(self.kernel_w):
+                padded[
+                    :,
+                    :,
+                    row : row + out_h * self.stride : self.stride,
+                    col : col + out_w * self.stride : self.stride,
+                ] += grads[:, :, :, :, row, col].transpose(0, 3, 1, 2)
+        if self.padding > 0:
+            return padded[:, :, self.padding : -self.padding, self.padding : -self.padding]
+        return padded
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights] if self.bias is None else [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        if self.bias is None:
+            return [self.grad_weights]
+        return [self.grad_weights, self.grad_bias]
+
+
+class MaxPool2D(Layer):
+    """Max pooling over square windows."""
+
+    def __init__(self, size: int, stride: int | None = None, padding: int = 0):
+        if size < 1 or padding < 0:
+            raise ArchitectureError(f"invalid pooling geometry: size={size} padding={padding}")
+        self.size = size
+        self.stride = stride if stride is not None else size
+        self.padding = padding
+        if self.stride < 1:
+            raise ArchitectureError(f"stride must be >= 1, got {self.stride}")
+        self._columns: np.ndarray | None = None
+        self._argmax: np.ndarray | None = None
+        self._input_shape: tuple[int, ...] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ArchitectureError(f"MaxPool2D expected NCHW input, got {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        if self.padding > 0:
+            # Pad with -inf so padded positions never win the max.
+            padded = np.pad(
+                inputs,
+                ((0, 0), (0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+                mode="constant",
+                constant_values=-np.inf,
+            )
+        else:
+            padded = inputs
+        # Treat channels as batch entries so windows are per channel.
+        reshaped = padded.reshape(batch * channels, 1, *padded.shape[2:])
+        columns, out_h, out_w = _im2col(reshaped, self.size, self.size, self.stride, 0)
+        self._argmax = columns.argmax(axis=2)
+        self._columns = columns
+        self._input_shape = inputs.shape
+        self._out_hw = (out_h, out_w)
+        pooled = columns.max(axis=2).reshape(batch, channels, out_h, out_w)
+        return pooled
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._input_shape is None or self._out_hw is None:
+            raise ArchitectureError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        out_h, out_w = self._out_hw
+        positions = out_h * out_w
+        grad_columns = np.zeros((batch * channels, positions, self.size * self.size))
+        flat_grad = grad_output.reshape(batch * channels, positions)
+        rows = np.arange(batch * channels)[:, None]
+        cols = np.arange(positions)[None, :]
+        grad_columns[rows, cols, self._argmax] = flat_grad
+        # Reuse Conv2D's col2im scatter by faking a 1-channel convolution.
+        scatter = Conv2D(1, 1, self.size, stride=self.stride, padding=self.padding)
+        scatter._input_shape = (batch * channels, 1, height, width)
+        scatter._out_hw = (out_h, out_w)
+        grad_input = scatter._col2im(grad_columns)
+        return grad_input.reshape(batch, channels, height, width)
+
+
+class AvgPool2D(Layer):
+    """Average pooling over square windows."""
+
+    def __init__(self, size: int, stride: int | None = None, padding: int = 0):
+        if size < 1 or padding < 0:
+            raise ArchitectureError(f"invalid pooling geometry: size={size} padding={padding}")
+        self.size = size
+        self.stride = stride if stride is not None else size
+        self.padding = padding
+        if self.stride < 1:
+            raise ArchitectureError(f"stride must be >= 1, got {self.stride}")
+        self._input_shape: tuple[int, ...] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ArchitectureError(f"AvgPool2D expected NCHW input, got {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        reshaped = inputs.reshape(batch * channels, 1, height, width)
+        columns, out_h, out_w = _im2col(reshaped, self.size, self.size, self.stride, self.padding)
+        self._input_shape = inputs.shape
+        self._out_hw = (out_h, out_w)
+        return columns.mean(axis=2).reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None or self._out_hw is None:
+            raise ArchitectureError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        out_h, out_w = self._out_hw
+        positions = out_h * out_w
+        window = self.size * self.size
+        flat_grad = grad_output.reshape(batch * channels, positions)
+        grad_columns = np.repeat(flat_grad[:, :, None], window, axis=2) / window
+        scatter = Conv2D(1, 1, self.size, stride=self.stride, padding=self.padding)
+        scatter._input_shape = (batch * channels, 1, height, width)
+        scatter._out_hw = (out_h, out_w)
+        grad_input = scatter._col2im(grad_columns)
+        return grad_input.reshape(batch, channels, height, width)

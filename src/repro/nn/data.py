@@ -1,0 +1,111 @@
+"""Synthetic datasets.
+
+The paper's timing models depend only on input *sizes* (batch size 60,000
+for MNIST), never on pixel values, so synthetic stand-ins preserve the
+modelled behaviour exactly (see DESIGN.md, Substitutions).  The generators
+below additionally make the data *learnable*, so correctness tests can
+verify that the training substrate really optimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import TrainingError
+
+#: The real MNIST geometry the paper's Figure 2 workload uses.
+MNIST_INPUT_FEATURES = 784
+MNIST_CLASSES = 10
+MNIST_TRAIN_SIZE = 60000
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A supervised dataset: inputs, one-hot targets and integer labels."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.inputs.shape[0] == self.targets.shape[0] == self.labels.shape[0]):
+            raise TrainingError("inputs, targets and labels must have equal length")
+
+    @property
+    def size(self) -> int:
+        """Number of examples."""
+        return int(self.inputs.shape[0])
+
+    @property
+    def classes(self) -> int:
+        """Number of classes (width of the one-hot targets)."""
+        return int(self.targets.shape[1])
+
+    def shard(self, shard_index: int, shard_count: int) -> "Dataset":
+        """Contiguous shard ``shard_index`` of ``shard_count`` (data parallelism)."""
+        if shard_count < 1:
+            raise TrainingError(f"shard_count must be >= 1, got {shard_count}")
+        if not 0 <= shard_index < shard_count:
+            raise TrainingError(
+                f"shard_index must be in 0..{shard_count - 1}, got {shard_index}"
+            )
+        bounds = np.linspace(0, self.size, shard_count + 1).astype(int)
+        start, stop = bounds[shard_index], bounds[shard_index + 1]
+        return Dataset(self.inputs[start:stop], self.targets[start:stop], self.labels[start:stop])
+
+
+def one_hot(labels: np.ndarray, classes: int) -> np.ndarray:
+    """Integer labels to one-hot rows."""
+    if labels.ndim != 1:
+        raise TrainingError(f"labels must be a vector, got shape {labels.shape}")
+    if classes < 1:
+        raise TrainingError(f"classes must be >= 1, got {classes}")
+    if labels.size and (labels.min() < 0 or labels.max() >= classes):
+        raise TrainingError(f"labels out of range for {classes} classes")
+    encoded = np.zeros((labels.size, classes))
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded
+
+
+def gaussian_blobs(
+    samples: int,
+    features: int,
+    classes: int,
+    separation: float = 3.0,
+    seed: int = 0,
+) -> Dataset:
+    """Linearly separable class blobs — the basic learnability workload."""
+    if samples < classes:
+        raise TrainingError(f"need at least {classes} samples, got {samples}")
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, separation, size=(classes, features))
+    labels = rng.integers(0, classes, size=samples)
+    inputs = centers[labels] + rng.normal(0.0, 1.0, size=(samples, features))
+    return Dataset(inputs=inputs, targets=one_hot(labels, classes), labels=labels)
+
+
+def mnist_like(samples: int = MNIST_TRAIN_SIZE, seed: int = 0) -> Dataset:
+    """An MNIST-shaped synthetic dataset: 784 features, 10 classes.
+
+    Each class is a smooth random template plus pixel noise, clipped to
+    [0, 1] like normalised grayscale images.  The default ``samples``
+    matches the paper's batch size of 60,000.
+    """
+    rng = np.random.default_rng(seed)
+    templates = rng.uniform(0.0, 1.0, size=(MNIST_CLASSES, MNIST_INPUT_FEATURES))
+    labels = rng.integers(0, MNIST_CLASSES, size=samples)
+    noise = rng.normal(0.0, 0.15, size=(samples, MNIST_INPUT_FEATURES))
+    inputs = np.clip(templates[labels] + noise, 0.0, 1.0)
+    return Dataset(inputs=inputs, targets=one_hot(labels, MNIST_CLASSES), labels=labels)
+
+
+def image_batch(
+    samples: int, channels: int, height: int, width: int, seed: int = 0
+) -> np.ndarray:
+    """A random NCHW image batch for convolutional-layer tests."""
+    if min(samples, channels, height, width) < 1:
+        raise TrainingError("all image batch dimensions must be >= 1")
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, size=(samples, channels, height, width))

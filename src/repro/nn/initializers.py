@@ -1,0 +1,40 @@
+"""Weight initialisers for the neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ArchitectureError
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero tensor (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: scale keeps activation variance stable.
+
+    ``fan_in``/``fan_out`` are taken from the first/second axes (dense) or
+    computed from receptive fields (convolutions, where shape is
+    ``(out_channels, in_channels, kh, kw)``).
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He initialisation, appropriate for ReLU networks."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        out_channels, in_channels, kernel_h, kernel_w = shape
+        receptive = kernel_h * kernel_w
+        return in_channels * receptive, out_channels * receptive
+    raise ArchitectureError(f"cannot infer fans for weight shape {shape}")

@@ -1,0 +1,172 @@
+"""Dense and activation layers with explicit forward/backward passes.
+
+This is the runnable substrate for the paper's deep-learning use case:
+a from-scratch numpy implementation of back-propagation, mirroring the
+three steps the paper costs out (forward pass, backward error
+propagation, gradient computation — hence the ``6 W`` multiply-add count
+for fully-connected training, Section V-A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.errors import ArchitectureError
+from repro.nn.initializers import xavier_uniform, zeros
+
+Initializer = Callable[[tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+class Layer(ABC):
+    """One differentiable stage of a network.
+
+    ``forward`` caches whatever ``backward`` needs; ``backward`` receives
+    the loss gradient with respect to the layer output and returns the
+    gradient with respect to the input, storing parameter gradients on
+    the layer.
+    """
+
+    @abstractmethod
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output for a batch."""
+
+    @abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate: return dLoss/dInput, store parameter grads."""
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable tensors (empty for stateless layers)."""
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients matching :meth:`parameters` order."""
+        return []
+
+    @property
+    def weight_count(self) -> int:
+        """Number of trainable scalars (the paper's ``W`` contribution)."""
+        return int(sum(p.size for p in self.parameters()))
+
+
+class Affine(Layer):
+    """Fully-connected layer: ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        initializer: Initializer = xavier_uniform,
+        use_bias: bool = True,
+    ):
+        if in_features < 1 or out_features < 1:
+            raise ArchitectureError(
+                f"feature counts must be >= 1, got {in_features} -> {out_features}"
+            )
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.weights = initializer((in_features, out_features), rng)
+        self.bias = zeros((out_features,), rng) if use_bias else None
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias) if use_bias else None
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 2 or inputs.shape[1] != self.weights.shape[0]:
+            raise ArchitectureError(
+                f"Affine expected (batch, {self.weights.shape[0]}), got {inputs.shape}"
+            )
+        self._inputs = inputs
+        output = inputs @ self.weights
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise ArchitectureError("backward called before forward")
+        self.grad_weights = self._inputs.T @ grad_output
+        if self.bias is not None:
+            self.grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weights.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights] if self.bias is None else [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        if self.bias is None:
+            return [self.grad_weights]
+        return [self.grad_weights, self.grad_bias]
+
+
+class Sigmoid(Layer):
+    """Elementwise logistic activation."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        # Numerically stable piecewise evaluation.
+        output = np.empty_like(inputs, dtype=np.float64)
+        positive = inputs >= 0
+        output[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
+        exp_in = np.exp(inputs[~positive])
+        output[~positive] = exp_in / (1.0 + exp_in)
+        self._output = output
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ArchitectureError("backward called before forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Tanh(Layer):
+    """Elementwise hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(inputs)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ArchitectureError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class ReLU(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ArchitectureError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Flatten(Layer):
+    """Reshape ``(batch, ...)`` feature maps to ``(batch, features)``."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ArchitectureError("backward called before forward")
+        return grad_output.reshape(self._input_shape)

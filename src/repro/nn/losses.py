@@ -1,0 +1,75 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.errors import ArchitectureError
+
+
+class Loss(ABC):
+    """Scalar training objective over a batch."""
+
+    @abstractmethod
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abstractmethod
+    def backward(self) -> np.ndarray:
+        """dLoss/dPredictions for the batch passed to :meth:`forward`."""
+
+
+class MeanSquaredError(Loss):
+    """``mean((pred - target)^2)`` over all elements."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ArchitectureError(
+                f"prediction shape {predictions.shape} != target shape {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise ArchitectureError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax over logits followed by cross-entropy against one-hot targets.
+
+    Combining the two keeps the gradient numerically clean:
+    ``dL/dlogits = (softmax - onehot) / batch``.
+    """
+
+    def __init__(self) -> None:
+        self._probabilities: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.ndim != 2:
+            raise ArchitectureError(f"logits must be (batch, classes), got {predictions.shape}")
+        if predictions.shape != targets.shape:
+            raise ArchitectureError(
+                f"logit shape {predictions.shape} != target shape {targets.shape}"
+            )
+        shifted = predictions - predictions.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
+        self._probabilities = probabilities
+        self._targets = targets
+        batch = predictions.shape[0]
+        log_likelihood = np.log(np.clip(probabilities, 1e-300, None)) * targets
+        return float(-log_likelihood.sum() / batch)
+
+    def backward(self) -> np.ndarray:
+        if self._probabilities is None or self._targets is None:
+            raise ArchitectureError("backward called before forward")
+        batch = self._probabilities.shape[0]
+        return (self._probabilities - self._targets) / batch

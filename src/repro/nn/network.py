@@ -1,0 +1,89 @@
+"""Sequential networks: composition of layers with end-to-end backprop."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import ArchitectureError
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss
+
+
+class Sequential:
+    """A feed-forward stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ArchitectureError("a network needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the batch through every layer."""
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through every layer (reverse order)."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        """All trainable tensors, in layer order."""
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        """All gradients, matching :meth:`parameters` order."""
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend(layer.gradients())
+        return grads
+
+    @property
+    def weight_count(self) -> int:
+        """Total trainable scalars — the paper's ``W``."""
+        return int(sum(layer.weight_count for layer in self.layers))
+
+    def loss_and_gradients(
+        self, inputs: np.ndarray, targets: np.ndarray, loss: Loss
+    ) -> tuple[float, list[np.ndarray]]:
+        """One full forward + backward pass; returns (loss, gradients).
+
+        This is the unit of work the paper's gradient-descent model costs
+        out: forward pass, error back-propagation, gradient computation.
+        """
+        predictions = self.forward(inputs)
+        value = loss.forward(predictions, targets)
+        self.backward(loss.backward())
+        return value, self.gradients()
+
+    def predict_classes(self, inputs: np.ndarray) -> np.ndarray:
+        """Argmax class indices for a batch."""
+        return np.argmax(self.forward(inputs), axis=1)
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """All parameters concatenated into one vector (for distribution)."""
+        params = self.parameters()
+        if not params:
+            return np.empty(0)
+        return np.concatenate([p.ravel() for p in params])
+
+    def set_flat_parameters(self, flat: np.ndarray) -> None:
+        """Load parameters from one vector (inverse of get_flat_parameters)."""
+        params = self.parameters()
+        expected = sum(p.size for p in params)
+        if flat.size != expected:
+            raise ArchitectureError(f"expected {expected} parameters, got {flat.size}")
+        offset = 0
+        for param in params:
+            chunk = flat[offset : offset + param.size]
+            param[...] = chunk.reshape(param.shape)
+            offset += param.size

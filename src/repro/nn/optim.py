@@ -1,0 +1,98 @@
+"""Optimisers: the gradient-descent variants of Section IV-A.
+
+* :class:`GradientDescent` — batch GD: the whole training set per step
+  (what Spark ML used in the paper's Figure 2 experiments).
+* :class:`MiniBatchSGD` — a random mini-batch per step (the weak-scaling
+  regime of Figure 3: each worker holds a fixed batch of 128).
+* :class:`Momentum` — classical momentum, a common extension.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import TrainingError
+
+
+class Optimizer(ABC):
+    """Updates parameters in place from gradients."""
+
+    @abstractmethod
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        """Apply one update."""
+
+
+class GradientDescent(Optimizer):
+    """Vanilla update: ``theta -= lr * grad``."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise TrainingError(
+                f"{len(parameters)} parameters but {len(gradients)} gradients"
+            )
+        for param, grad in zip(parameters, gradients):
+            param -= self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """Momentum update: ``v = mu*v - lr*grad; theta += v``."""
+
+    def __init__(self, learning_rate: float, momentum: float = 0.9):
+        if learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise TrainingError(
+                f"{len(parameters)} parameters but {len(gradients)} gradients"
+            )
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in parameters]
+        if len(self._velocity) != len(parameters):
+            raise TrainingError("parameter structure changed between steps")
+        for velocity, param, grad in zip(self._velocity, parameters, gradients):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            param += velocity
+
+
+class MiniBatchSGD(GradientDescent):
+    """SGD with client-side batch sampling.
+
+    The update rule is plain gradient descent; :meth:`sample_batch` draws
+    the random mini-batch (Section IV-A: "mini-batch SGD uses a random
+    mini-batch of examples").
+    """
+
+    def __init__(self, learning_rate: float, batch_size: int, rng: np.random.Generator):
+        super().__init__(learning_rate)
+        if batch_size < 1:
+            raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.rng = rng
+
+    def sample_batch(self, inputs: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one mini-batch (without replacement when possible)."""
+        if inputs.shape[0] != targets.shape[0]:
+            raise TrainingError(
+                f"{inputs.shape[0]} inputs but {targets.shape[0]} targets"
+            )
+        population = inputs.shape[0]
+        if population == 0:
+            raise TrainingError("cannot sample from an empty dataset")
+        replace = self.batch_size > population
+        indices = self.rng.choice(population, size=self.batch_size, replace=replace)
+        return inputs[indices], targets[indices]

@@ -1,0 +1,59 @@
+"""Discrete-event cluster simulator — the paper's testbed, substituted.
+
+The paper validated its models on a physical Spark cluster, a GPU cluster
+(via Chen et al.) and an 80-core shared-memory host.  None of those are
+available to this reproduction, so this package simulates them at the
+level the models care about: per-link transfer serialisation, collective
+schedules, per-task compute time with straggler jitter, and framework
+overhead.  See DESIGN.md ("Substitutions") for the full argument.
+"""
+
+from repro.simulate.bsp import AGGREGATIONS, BSPEngine, BSPReport, SuperstepPlan
+from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.collectives import (
+    all_to_all_shuffle,
+    binomial_broadcast,
+    linear_gather,
+    ring_allreduce,
+    tree_reduce,
+    two_wave_aggregate,
+)
+from repro.simulate.events import EventHandle, EventQueue
+from repro.simulate.network import Network, TransferOutcome
+from repro.simulate.overhead import (
+    GRAPHLAB_LIKE_OVERHEAD,
+    NO_OVERHEAD,
+    SPARK_LIKE_OVERHEAD,
+    TENSORFLOW_LIKE_OVERHEAD,
+    FrameworkOverhead,
+)
+from repro.simulate.rng import LogNormalJitter, stream
+from repro.simulate.trace import ComputeRecord, Trace, TransferRecord
+
+__all__ = [
+    "AGGREGATIONS",
+    "BSPEngine",
+    "BSPReport",
+    "SuperstepPlan",
+    "SimulatedCluster",
+    "all_to_all_shuffle",
+    "binomial_broadcast",
+    "linear_gather",
+    "ring_allreduce",
+    "tree_reduce",
+    "two_wave_aggregate",
+    "EventHandle",
+    "EventQueue",
+    "Network",
+    "TransferOutcome",
+    "GRAPHLAB_LIKE_OVERHEAD",
+    "NO_OVERHEAD",
+    "SPARK_LIKE_OVERHEAD",
+    "TENSORFLOW_LIKE_OVERHEAD",
+    "FrameworkOverhead",
+    "LogNormalJitter",
+    "stream",
+    "ComputeRecord",
+    "Trace",
+    "TransferRecord",
+]

@@ -1,0 +1,65 @@
+"""High-level façade: run BSP workloads across a sweep of cluster sizes."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.core.model import MeasuredModel
+from repro.hardware.specs import ClusterSpec
+from repro.simulate.bsp import BSPEngine, BSPReport, SuperstepPlan
+from repro.simulate.overhead import NO_OVERHEAD, FrameworkOverhead
+from repro.simulate.rng import LogNormalJitter
+
+
+@dataclass(frozen=True)
+class SimulatedCluster:
+    """A cluster plus the runtime behaviour knobs of its framework.
+
+    This is the "testbed": experiments run here, and the resulting
+    measurements are compared against the paper's analytical models.
+    """
+
+    spec: ClusterSpec
+    overhead: FrameworkOverhead = NO_OVERHEAD
+    jitter: LogNormalJitter = LogNormalJitter(0.0)
+    seed: int = 0
+
+    def engine(self, workers: int | None = None, keep_trace: bool = True) -> BSPEngine:
+        """A fresh engine for ``workers`` nodes (default: the spec's count)."""
+        count = self.spec.workers if workers is None else workers
+        return BSPEngine(
+            node=self.spec.node,
+            link=self.spec.link,
+            workers=count,
+            overhead=self.overhead,
+            jitter=self.jitter,
+            seed=self.seed,
+            keep_trace=keep_trace,
+        )
+
+    def run(self, plan: SuperstepPlan, iterations: int, workers: int | None = None) -> BSPReport:
+        """Run ``iterations`` supersteps on a fresh engine."""
+        return self.engine(workers).run(plan, iterations)
+
+    def measure_iteration_seconds(
+        self,
+        plan_for_workers,
+        workers_grid: Iterable[int],
+        iterations: int = 5,
+    ) -> MeasuredModel:
+        """Sweep cluster sizes and return mean iteration times as measurements.
+
+        ``plan_for_workers`` maps a worker count to the
+        :class:`SuperstepPlan` to run there (strong scaling shrinks the
+        per-worker load; weak scaling keeps it constant).
+        """
+        if iterations < 1:
+            raise SimulationError(f"iterations must be >= 1, got {iterations}")
+        pairs = []
+        for workers in workers_grid:
+            plan = plan_for_workers(workers)
+            report = self.run(plan, iterations, workers=workers)
+            pairs.append((workers, report.mean_iteration_seconds))
+        return MeasuredModel.from_pairs(pairs)

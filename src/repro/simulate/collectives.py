@@ -1,0 +1,228 @@
+"""Collective communication operations over the simulated network.
+
+These implement, at the transfer level, the communication patterns whose
+closed-form time complexities live in :mod:`repro.core.communication`:
+
+* :func:`linear_gather` — everyone sends to one sink (serialises there).
+* :func:`tree_reduce` — binary combining tree, ``ceil(log2 n)`` rounds.
+* :func:`binomial_broadcast` — the torrent-like pattern Spark uses: every
+  node that already holds the payload serves one new node per round, so
+  holders double each round.
+* :func:`two_wave_aggregate` — Spark's ``treeAggregate`` with
+  ``ceil(sqrt(n))`` first-wave groups (Figure 2 of the paper).
+* :func:`ring_allreduce` — bandwidth-optimal MPI-style all-reduce.
+* :func:`all_to_all_shuffle` — the Hadoop/Spark repartitioning pattern.
+
+Each function takes node *ready times* (when the payload became available
+on each node), requests the individual transfers from the network in
+dependency order, and returns completion times.  Endpoint contention is
+handled by the network; these functions only encode the schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import SimulationError
+from repro.simulate.network import Network
+
+
+def _validate_nodes(nodes: Sequence[int]) -> list[int]:
+    node_list = list(nodes)
+    if not node_list:
+        raise SimulationError("a collective needs at least one node")
+    if len(set(node_list)) != len(node_list):
+        raise SimulationError(f"duplicate nodes in collective: {node_list}")
+    return node_list
+
+
+def linear_gather(
+    network: Network,
+    ready: Mapping[int, float],
+    sink: int,
+    bits: float,
+    tag: str = "gather",
+) -> float:
+    """All sources send their payload to ``sink``; returns the finish time.
+
+    Transfers serialise on the sink's downlink; sources are served in
+    ready-time order (earliest data first), which is both fair and the
+    conservative discrete-event order.
+    """
+    sources = _validate_nodes(list(ready))
+    finish = max(ready[sink], 0.0) if sink in ready else 0.0
+    for source in sorted(sources, key=lambda node: (ready[node], node)):
+        if source == sink:
+            continue
+        outcome = network.transfer(source, sink, bits, not_before=ready[source], tag=tag)
+        finish = max(finish, outcome.end)
+    return finish
+
+
+def tree_reduce(
+    network: Network,
+    ready: Mapping[int, float],
+    bits: float,
+    tag: str = "tree-reduce",
+) -> tuple[int, float]:
+    """Binary combining tree; returns ``(root, finish_time)``.
+
+    Pairs at distance 1, 2, 4, ... combine; the partial aggregate always
+    flows to the lower-indexed member, so the first node ends up with the
+    result after ``ceil(log2 n)`` rounds.
+    """
+    nodes = sorted(_validate_nodes(list(ready)))
+    current_ready = {node: ready[node] for node in nodes}
+    distance = 1
+    while distance < len(nodes):
+        for index in range(0, len(nodes) - distance, 2 * distance):
+            receiver = nodes[index]
+            sender = nodes[index + distance]
+            outcome = network.transfer(
+                sender, receiver, bits, not_before=current_ready[sender], tag=tag
+            )
+            current_ready[receiver] = max(current_ready[receiver], outcome.end)
+        distance *= 2
+    root = nodes[0]
+    return root, current_ready[root]
+
+
+def binomial_broadcast(
+    network: Network,
+    root: int,
+    root_ready: float,
+    targets: Sequence[int],
+    bits: float,
+    tag: str = "broadcast",
+) -> dict[int, float]:
+    """Torrent-like broadcast: holders double each round.
+
+    Returns the time each target (and the root) holds the full payload.
+    This is the store-and-forward binomial tree — the schedule Spark's
+    TorrentBroadcast approximates — and completes in ``ceil(log2 n)``
+    rounds for ``n`` total participants.
+    """
+    if root_ready < 0:
+        raise SimulationError(f"root_ready must be non-negative, got {root_ready}")
+    target_list = _validate_nodes(list(targets))
+    if root in target_list:
+        raise SimulationError(f"root {root} must not appear among broadcast targets")
+    holds_at = {root: root_ready}
+    waiting = list(target_list)
+    while waiting:
+        # One round: every current holder serves one waiting node.  Holders
+        # with earlier payload availability are matched first.
+        holders = sorted(holds_at, key=lambda node: (holds_at[node], node))
+        for holder in holders:
+            if not waiting:
+                break
+            receiver = waiting.pop(0)
+            outcome = network.transfer(
+                holder, receiver, bits, not_before=holds_at[holder], tag=tag
+            )
+            holds_at[receiver] = outcome.end
+    return holds_at
+
+
+def two_wave_aggregate(
+    network: Network,
+    ready: Mapping[int, float],
+    driver: int,
+    bits: float,
+    tag: str = "two-wave",
+) -> float:
+    """Spark ``treeAggregate`` with two waves; returns the driver finish time.
+
+    Workers are split into ``ceil(sqrt(n))`` groups.  Wave 1: members of
+    each group send to the group leader (groups proceed in parallel, each
+    leader's downlink serialises its own group).  Wave 2: leaders send the
+    partial aggregates to the driver, serialising on the driver's
+    downlink.  Matches the paper's ``2 * (64W/B) * ceil(sqrt(n))`` shape.
+    """
+    workers = sorted(_validate_nodes(list(ready)))
+    if driver in workers:
+        raise SimulationError(f"driver {driver} must not appear among the workers")
+    group_count = max(1, math.ceil(math.sqrt(len(workers))))
+    groups = [workers[start::group_count] for start in range(group_count)]
+    groups = [group for group in groups if group]
+
+    leader_ready: dict[int, float] = {}
+    for group in groups:
+        leader = group[0]
+        finish = ready[leader]
+        for member in sorted(group[1:], key=lambda node: (ready[node], node)):
+            outcome = network.transfer(member, leader, bits, not_before=ready[member], tag=tag)
+            finish = max(finish, outcome.end)
+        leader_ready[leader] = finish
+
+    driver_finish = 0.0
+    for leader in sorted(leader_ready, key=lambda node: (leader_ready[node], node)):
+        outcome = network.transfer(
+            leader, driver, bits, not_before=leader_ready[leader], tag=tag
+        )
+        driver_finish = max(driver_finish, outcome.end)
+    return driver_finish
+
+
+def ring_allreduce(
+    network: Network,
+    ready: Mapping[int, float],
+    bits: float,
+    tag: str = "ring",
+) -> dict[int, float]:
+    """Ring all-reduce: reduce-scatter then all-gather, chunked payloads.
+
+    Each of the ``2 * (n - 1)`` rounds moves one ``bits / n`` chunk from
+    every node to its ring successor; a node forwards a chunk only after
+    it has received (and combined) it in the previous round.  Returns the
+    time each node holds the fully reduced payload.
+    """
+    nodes = sorted(_validate_nodes(list(ready)))
+    count = len(nodes)
+    current_ready = {node: ready[node] for node in nodes}
+    if count == 1:
+        return current_ready
+    chunk = bits / count
+    for _round in range(2 * (count - 1)):
+        ends: dict[int, float] = {}
+        for index, node in enumerate(nodes):
+            successor = nodes[(index + 1) % count]
+            outcome = network.transfer(
+                node, successor, chunk, not_before=current_ready[node], tag=tag
+            )
+            ends[successor] = outcome.end
+        for node, end in ends.items():
+            current_ready[node] = max(current_ready[node], end)
+    return current_ready
+
+
+def all_to_all_shuffle(
+    network: Network,
+    ready: Mapping[int, float],
+    total_bits: float,
+    tag: str = "shuffle",
+) -> dict[int, float]:
+    """Shuffle ``total_bits`` evenly across all nodes; returns finish times.
+
+    Every ordered pair exchanges ``total_bits / n^2``.  Rounds are perfect
+    matchings (node ``i`` sends to ``i + offset``), so disjoint pairs
+    proceed in parallel and each port is used once per round.
+    """
+    if total_bits < 0:
+        raise SimulationError(f"total_bits must be non-negative, got {total_bits}")
+    nodes = sorted(_validate_nodes(list(ready)))
+    count = len(nodes)
+    current_ready = {node: ready[node] for node in nodes}
+    if count == 1:
+        return current_ready
+    pair_bits = total_bits / (count * count)
+    finish = dict(current_ready)
+    for offset in range(1, count):
+        for index, node in enumerate(nodes):
+            receiver = nodes[(index + offset) % count]
+            outcome = network.transfer(
+                node, receiver, pair_bits, not_before=current_ready[node], tag=tag
+            )
+            finish[receiver] = max(finish[receiver], outcome.end)
+    return finish

@@ -1,0 +1,136 @@
+"""Discrete-event engine: a monotonic clock plus an ordered event queue.
+
+The cluster simulator is a conservative discrete-event simulation: every
+state change (a transfer finishing, a worker's task completing, a barrier
+releasing) is an event with a timestamp, and events are processed in
+non-decreasing time order.  Ties break by insertion order, which keeps
+runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.errors import SimulationError
+
+EventCallback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.schedule`; supports cancel."""
+
+    def __init__(self, entry: _QueueEntry):
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._entry.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self._entry.cancelled
+
+
+class EventQueue:
+    """A heap-ordered event queue with a monotonic simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback(time)`` to fire at absolute ``time``.
+
+        Scheduling into the past is a simulation bug and raises.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._now}"
+            )
+        entry = _QueueEntry(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False when empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback(entry.time)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the queue, optionally stopping at time ``until``.
+
+        Returns the number of events executed by this call.  ``max_events``
+        guards against runaway simulations.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+            next_entry = self._heap[0]
+            if next_entry.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and next_entry.time > until:
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return executed
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward with no events (idle time)."""
+        if time < self._now:
+            raise SimulationError(f"cannot move the clock backwards to {time} from {self._now}")
+        self._now = time

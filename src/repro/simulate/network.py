@@ -1,0 +1,97 @@
+"""Link-level network model with endpoint contention.
+
+Every node has one full-duplex network port (the 1 GbE NIC of the paper's
+cluster).  A point-to-point transfer occupies the sender's uplink and the
+receiver's downlink for ``latency + bits / bandwidth`` seconds; transfers
+sharing an endpoint serialise, transfers on disjoint endpoints proceed in
+parallel.  The switch fabric is assumed non-blocking, which matches a
+single-switch rack like the paper's testbed.
+
+Transfers must be requested in non-decreasing order of their earliest
+start time per endpoint (conservative discrete-event order); the BSP
+engine guarantees this by construction and the network asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.hardware.specs import LinkSpec
+from repro.simulate.trace import Trace, TransferRecord
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """Start/end times the network assigned to a transfer request."""
+
+    start: float
+    end: float
+
+
+class Network:
+    """A set of ``node_count`` ports joined by a non-blocking switch."""
+
+    def __init__(self, link: LinkSpec, node_count: int, trace: Trace | None = None):
+        if node_count < 1:
+            raise SimulationError(f"node_count must be >= 1, got {node_count}")
+        self.link = link
+        self.node_count = node_count
+        self.trace = trace
+        self._uplink_free_at = [0.0] * node_count
+        self._downlink_free_at = [0.0] * node_count
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise SimulationError(f"node {node} out of range 0..{self.node_count - 1}")
+
+    def reset(self) -> None:
+        """Forget all link occupancy (new simulation epoch)."""
+        self._uplink_free_at = [0.0] * self.node_count
+        self._downlink_free_at = [0.0] * self.node_count
+
+    def uplink_free_at(self, node: int) -> float:
+        """Earliest time ``node`` can start sending."""
+        self._check_node(node)
+        return self._uplink_free_at[node]
+
+    def downlink_free_at(self, node: int) -> float:
+        """Earliest time ``node`` can start receiving."""
+        self._check_node(node)
+        return self._downlink_free_at[node]
+
+    def transfer(
+        self, source: int, destination: int, bits: float, not_before: float = 0.0, tag: str = ""
+    ) -> TransferOutcome:
+        """Occupy the links for one ``source -> destination`` transfer.
+
+        The transfer starts when the payload is ready (``not_before``) and
+        both endpoints are free; it completes ``latency + bits/B`` later.
+        A loop-back transfer (``source == destination``) is free: the data
+        never leaves the node.
+        """
+        self._check_node(source)
+        self._check_node(destination)
+        if bits < 0:
+            raise SimulationError(f"bits must be non-negative, got {bits}")
+        if not_before < 0:
+            raise SimulationError(f"not_before must be non-negative, got {not_before}")
+        if source == destination:
+            return TransferOutcome(start=not_before, end=not_before)
+
+        start = max(not_before, self._uplink_free_at[source], self._downlink_free_at[destination])
+        end = start + self.link.transfer_seconds(bits)
+        if not self.link.full_duplex:
+            # Half duplex: sending also blocks the sender's receive side
+            # and vice versa, so both directions of both endpoints busy out.
+            self._downlink_free_at[source] = end
+            self._uplink_free_at[destination] = end
+        self._uplink_free_at[source] = end
+        self._downlink_free_at[destination] = end
+        if self.trace is not None:
+            self.trace.record_transfer(
+                TransferRecord(
+                    source=source, destination=destination, bits=bits, start=start, end=end, tag=tag
+                )
+            )
+        return TransferOutcome(start=start, end=end)

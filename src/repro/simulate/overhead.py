@@ -1,0 +1,59 @@
+"""Framework-overhead models for the simulated runtimes.
+
+The paper's analytical models deliberately exclude framework overhead
+(scheduling, serialisation, synchronisation); the *experiments* of course
+include it — it is one reason measured points deviate from the smooth
+model curves.  The simulator injects it explicitly so the gap between
+model and "experiment" has a controlled, documented cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FrameworkOverhead:
+    """Per-superstep overhead paid before work is dispatched.
+
+    ``superstep_seconds`` is a fixed driver-side cost (job scheduling,
+    closure serialisation); ``per_worker_seconds`` is paid once per worker
+    (task launch messages are sent serially by the driver).
+    """
+
+    superstep_seconds: float = 0.0
+    per_worker_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.superstep_seconds < 0:
+            raise SimulationError(
+                f"superstep_seconds must be non-negative, got {self.superstep_seconds}"
+            )
+        if self.per_worker_seconds < 0:
+            raise SimulationError(
+                f"per_worker_seconds must be non-negative, got {self.per_worker_seconds}"
+            )
+
+    def delay(self, workers: int) -> float:
+        """Seconds added to the start of each superstep."""
+        if workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
+        return self.superstep_seconds + self.per_worker_seconds * workers
+
+
+#: No overhead at all — the simulator then reproduces the analytical model.
+NO_OVERHEAD = FrameworkOverhead()
+
+#: Spark-like: JVM job scheduling plus serial task launches.  Magnitudes
+#: follow published Spark task-overhead measurements (tens of
+#: milliseconds per task, ~0.1 s per job).
+SPARK_LIKE_OVERHEAD = FrameworkOverhead(superstep_seconds=0.12, per_worker_seconds=0.012)
+
+#: TensorFlow-like: a long-lived in-process runtime, far lighter.
+TENSORFLOW_LIKE_OVERHEAD = FrameworkOverhead(superstep_seconds=0.004, per_worker_seconds=0.0002)
+
+#: GraphLab-like shared-memory engine: per-superstep fork/join of worker
+#: threads plus lock contention that grows with the worker count.
+GRAPHLAB_LIKE_OVERHEAD = FrameworkOverhead(superstep_seconds=0.01, per_worker_seconds=0.004)

@@ -1,0 +1,99 @@
+"""Execution traces: what happened, when, on which node or link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One point-to-point transfer that occupied a link."""
+
+    source: int
+    destination: int
+    bits: float
+    start: float
+    end: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(f"transfer ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        """Seconds the transfer occupied the endpoints."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ComputeRecord:
+    """One compute task executed on a node."""
+
+    node: int
+    operations: float
+    start: float
+    end: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(f"compute task ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        """Seconds the task occupied the node."""
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Accumulates records during a simulation run."""
+
+    transfers: list[TransferRecord] = field(default_factory=list)
+    computes: list[ComputeRecord] = field(default_factory=list)
+
+    def record_transfer(self, record: TransferRecord) -> None:
+        """Append a transfer record."""
+        self.transfers.append(record)
+
+    def record_compute(self, record: ComputeRecord) -> None:
+        """Append a compute record."""
+        self.computes.append(record)
+
+    @property
+    def total_bits_transferred(self) -> float:
+        """Sum of transferred payload bits."""
+        return sum(record.bits for record in self.transfers)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Sum of busy time across all compute tasks."""
+        return sum(record.duration for record in self.computes)
+
+    def busy_seconds_of_node(self, node: int) -> float:
+        """Compute-busy time of one node."""
+        return sum(record.duration for record in self.computes if record.node == node)
+
+    def transfers_touching(self, node: int) -> list[TransferRecord]:
+        """All transfers where ``node`` was an endpoint."""
+        return [
+            record
+            for record in self.transfers
+            if record.source == node or record.destination == node
+        ]
+
+    def summary(self) -> dict[str, float]:
+        """Headline statistics for reports."""
+        makespan_candidates = [record.end for record in self.transfers] + [
+            record.end for record in self.computes
+        ]
+        return {
+            "transfers": float(len(self.transfers)),
+            "compute_tasks": float(len(self.computes)),
+            "total_bits": self.total_bits_transferred,
+            "total_compute_seconds": self.total_compute_seconds,
+            "makespan": max(makespan_candidates, default=0.0),
+        }

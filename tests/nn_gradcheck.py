@@ -1,0 +1,31 @@
+"""Shared numeric-gradient utilities for the neural-network tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numeric_gradient(fn, tensor: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must read ``tensor`` (we mutate it in place around each call).
+    """
+    grad = np.zeros_like(tensor)
+    iterator = np.nditer(tensor, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = tensor[index]
+        tensor[index] = original + epsilon
+        plus = fn()
+        tensor[index] = original - epsilon
+        minus = fn()
+        tensor[index] = original
+        grad[index] = (plus - minus) / (2 * epsilon)
+        iterator.iternext()
+    return grad
+
+
+def relative_difference(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """Max elementwise relative difference, guarded against zeros."""
+    scale = np.maximum(np.abs(analytic) + np.abs(numeric), 1e-8)
+    return float(np.max(np.abs(analytic - numeric) / scale))

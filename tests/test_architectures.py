@@ -1,0 +1,181 @@
+"""Tests for architecture specs, including the Table I numbers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ArchitectureError
+from repro.nn.architectures import (
+    ARCHITECTURES,
+    ConvSpec,
+    DenseSpec,
+    FlattenSpec,
+    InceptionModuleSpec,
+    NetworkSpec,
+    PoolSpec,
+    alexnet,
+    googlenet,
+    inception_v3,
+    lenet5,
+    mnist_fc,
+    vgg16,
+)
+
+
+class TestSpecPlumbing:
+    def test_dense_from_flat(self):
+        spec = DenseSpec(10)
+        assert spec.output_shape(20) == 10
+        assert spec.weights(20) == 210
+
+    def test_dense_from_image_flattens(self):
+        spec = DenseSpec(10, use_bias=False)
+        assert spec.weights((2, 3, 3)) == 18 * 10
+
+    def test_conv_shape_and_weights(self):
+        spec = ConvSpec(32, 3, stride=2)
+        assert spec.output_shape((3, 299, 299)) == (32, 149, 149)
+        assert spec.weights((3, 299, 299)) == 32 * 9 * 3
+
+    def test_conv_same_padding(self):
+        spec = ConvSpec(64, 3, padding="same")
+        assert spec.output_shape((32, 147, 147)) == (64, 147, 147)
+
+    def test_conv_rectangular_same_padding(self):
+        spec = ConvSpec(128, (1, 7), padding="same")
+        assert spec.output_shape((128, 17, 17)) == (128, 17, 17)
+
+    def test_conv_on_flat_input_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ConvSpec(8, 3).output_shape(100)
+
+    def test_pool_shape(self):
+        spec = PoolSpec("max", 3, stride=2)
+        assert spec.output_shape((64, 147, 147)) == (64, 73, 73)
+        assert spec.weights((64, 147, 147)) == 0
+
+    def test_flatten_shape(self):
+        assert FlattenSpec().output_shape((2048, 1, 1)) == 2048
+
+    def test_inception_module_concat(self):
+        module = InceptionModuleSpec(
+            branches=((ConvSpec(8, 1),), (ConvSpec(4, 3, padding="same"),))
+        )
+        assert module.output_shape((16, 35, 35)) == (12, 35, 35)
+
+    def test_inception_module_mismatched_spatial_rejected(self):
+        module = InceptionModuleSpec(
+            branches=((ConvSpec(8, 1),), (ConvSpec(4, 3, padding="valid"),))
+        )
+        with pytest.raises(ArchitectureError):
+            module.output_shape((16, 35, 35))
+
+    def test_network_shapes_pipeline(self):
+        spec = NetworkSpec("tiny", 4, (DenseSpec(3), DenseSpec(2)))
+        assert spec.shapes() == [4, 3, 2]
+        assert spec.output_shape == 2
+
+    def test_summary_rows(self):
+        rows = mnist_fc().summary()
+        assert len(rows) == 6
+        assert rows[0]["weights"] == 784 * 2500 + 2500
+
+
+class TestTableI:
+    """The paper's Table I: parameters and forward computations."""
+
+    def test_mnist_fc_parameters(self):
+        # Paper: 12e6 parameters.
+        weights = mnist_fc().total_weights
+        assert weights == pytest.approx(12e6, rel=0.01)
+
+    def test_mnist_fc_computations(self):
+        # Paper: 24e6 forward computations (2W).
+        operations = mnist_fc().forward_operations
+        assert operations == pytest.approx(24e6, rel=0.01)
+
+    def test_mnist_fc_training_cost_is_6w(self):
+        spec = mnist_fc()
+        assert spec.training_operations_per_sample == pytest.approx(
+            6 * spec.total_weights, rel=0.01
+        )
+
+    def test_inception_parameters(self):
+        # Paper: 25e6 (rounded); published value 23.8e6.  Accept 15%.
+        weights = inception_v3().total_weights
+        assert weights == pytest.approx(25e6, rel=0.15)
+        assert weights == pytest.approx(23.8e6, rel=0.01)
+
+    def test_inception_computations(self):
+        # Paper: 5e9 multiply-adds (rounded); published ~5.7e9.
+        madds = inception_v3().forward_madds
+        assert madds == pytest.approx(5e9, rel=0.2)
+        assert madds == pytest.approx(5.72e9, rel=0.01)
+
+    def test_inception_output_is_1000_classes(self):
+        assert inception_v3().output_shape == 1000
+
+    def test_inception_spatial_pipeline(self):
+        # 299 -> 149 -> 147 -> 147 -> 73 -> 73 -> 71 -> 35 ... 17 ... 8 -> 1.
+        shapes = inception_v3().shapes()
+        spatial = [s[1] for s in shapes if isinstance(s, tuple)]
+        assert spatial[0] == 299
+        assert 35 in spatial
+        assert 17 in spatial
+        assert 8 in spatial
+        assert spatial[-1] == 1
+
+
+class TestCatalogNetworks:
+    def test_alexnet_canonical_weights(self):
+        # ~62M parameters (canonical single-tower AlexNet + biases-off convs).
+        assert alexnet().total_weights == pytest.approx(62.4e6, rel=0.02)
+
+    def test_vgg16_canonical_weights(self):
+        # 138.36M parameters.
+        assert vgg16().total_weights == pytest.approx(138.4e6, rel=0.01)
+
+    def test_vgg16_canonical_madds(self):
+        # ~15.5e9 multiply-adds forward.
+        assert vgg16().forward_madds == pytest.approx(15.5e9, rel=0.02)
+
+    def test_lenet5_small(self):
+        assert lenet5().total_weights < 1e5
+
+    def test_googlenet_canonical_counts(self):
+        # Szegedy et al. 2014: ~6.8M parameters, ~1.5G multiply-adds.
+        spec = googlenet()
+        assert spec.total_weights == pytest.approx(6.99e6, rel=0.01)
+        assert spec.forward_madds == pytest.approx(1.5e9, rel=0.1)
+        assert spec.output_shape == 1000
+
+    def test_googlenet_concat_channels(self):
+        # Inception 3a concatenates to 256 channels, 5b to 1024.
+        shapes = [s for s in googlenet().shapes() if isinstance(s, tuple)]
+        channels = [s[0] for s in shapes]
+        assert 256 in channels
+        assert 1024 in channels
+
+    def test_catalog_exposes_all(self):
+        assert set(ARCHITECTURES) == {
+            "mnist-fc", "lenet5", "alexnet", "vgg16", "googlenet", "inception-v3",
+        }
+        for factory in ARCHITECTURES.values():
+            spec = factory()
+            assert spec.total_weights > 0
+
+
+class TestBuildRunnable:
+    def test_mnist_fc_builds_and_runs(self):
+        network = mnist_fc().build(np.random.default_rng(0))
+        output = network.forward(np.zeros((2, 784)))
+        assert output.shape == (2, 10)
+        assert network.weight_count == mnist_fc().total_weights
+
+    def test_lenet5_builds_and_runs(self):
+        network = lenet5().build(np.random.default_rng(0))
+        output = network.forward(np.zeros((2, 1, 28, 28)))
+        assert output.shape == (2, 10)
+
+    def test_inception_module_not_buildable(self):
+        with pytest.raises(ArchitectureError):
+            inception_v3().build()

@@ -1,0 +1,116 @@
+"""Tests for repro.core.baselines."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import AmdahlLaw, ErnestModel, GustafsonLaw, SparksModel
+from repro.core.errors import CalibrationError, ModelError
+
+
+class TestAmdahl:
+    def test_speedup_formula(self):
+        law = AmdahlLaw(serial_fraction=0.1)
+        assert law.speedup(10) == pytest.approx(1.0 / (0.1 + 0.9 / 10))
+
+    def test_fully_parallel_is_linear(self):
+        law = AmdahlLaw(serial_fraction=0.0)
+        assert law.speedup(16) == pytest.approx(16.0)
+        assert law.max_speedup == math.inf
+
+    def test_max_speedup_ceiling(self):
+        law = AmdahlLaw(serial_fraction=0.05)
+        assert law.max_speedup == pytest.approx(20.0)
+        assert law.speedup(10000) < 20.0
+
+    def test_fully_serial_never_scales(self):
+        law = AmdahlLaw(serial_fraction=1.0)
+        assert law.speedup(64) == pytest.approx(1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ModelError):
+            AmdahlLaw(serial_fraction=1.5)
+
+
+class TestGustafson:
+    def test_scaled_speedup(self):
+        law = GustafsonLaw(serial_fraction=0.1)
+        assert law.speedup(10) == pytest.approx(10 - 0.1 * 9)
+
+    def test_no_serial_part_is_linear(self):
+        assert GustafsonLaw(0.0).speedup(32) == 32
+
+    def test_single_worker(self):
+        assert GustafsonLaw(0.5).speedup(1) == pytest.approx(1.0)
+
+    def test_grows_unboundedly_unlike_amdahl(self):
+        gustafson = GustafsonLaw(0.1)
+        amdahl = AmdahlLaw(0.1)
+        assert gustafson.speedup(1000) > amdahl.speedup(1000)
+
+
+class TestSparks:
+    def test_time_shape(self):
+        model = SparksModel(compute_seconds=100.0, communication_seconds=1.0)
+        assert model.time(10) == pytest.approx(100.0 / 10 + 10.0)
+
+    def test_analytic_optimum(self):
+        model = SparksModel(compute_seconds=100.0, communication_seconds=1.0)
+        assert model.analytic_optimum == pytest.approx(10.0)
+        grid_best = model.optimal_workers(50)
+        assert grid_best == 10
+
+    def test_fit_recovers_coefficients(self):
+        truth = SparksModel(compute_seconds=50.0, communication_seconds=0.5, fixed_seconds=2.0)
+        workers = list(range(1, 16))
+        times = [truth.time(n) for n in workers]
+        fitted = SparksModel.fit(workers, times)
+        assert fitted.compute_seconds == pytest.approx(50.0, rel=1e-6)
+        assert fitted.communication_seconds == pytest.approx(0.5, rel=1e-6)
+        assert fitted.fixed_seconds == pytest.approx(2.0, rel=1e-4)
+
+    def test_fit_needs_enough_points(self):
+        with pytest.raises(CalibrationError):
+            SparksModel.fit([1, 2], [3.0, 2.0])
+
+    def test_linear_comm_mispredicts_tree_workload(self):
+        # A tree-communication workload: t = 100/n + 0.5*log2(n).
+        workers = list(range(1, 33))
+        times = [100.0 / n + 0.5 * math.log2(n) for n in workers]
+        fitted = SparksModel.fit(workers, times)
+        # The linear family must over-estimate large-n times: its best
+        # effort at capturing log growth is a linear term.
+        predicted_32 = fitted.time(32)
+        assert predicted_32 != pytest.approx(times[-1], rel=0.01)
+
+
+class TestErnest:
+    def test_time_shape(self):
+        model = ErnestModel(1.0, 100.0, 0.5, 0.01)
+        assert model.time(8) == pytest.approx(1.0 + 12.5 + 1.5 + 0.08)
+
+    def test_fit_recovers_coefficients(self):
+        truth = ErnestModel(2.0, 80.0, 0.7, 0.05)
+        workers = [1, 2, 4, 8, 12, 16, 24, 32]
+        times = [truth.time(n) for n in workers]
+        fitted = ErnestModel.fit(workers, times)
+        predicted = [fitted.time(n) for n in workers]
+        for observed, estimate in zip(times, predicted):
+            assert estimate == pytest.approx(observed, rel=1e-6)
+
+    def test_fits_log_workload_better_than_sparks(self):
+        workers = list(range(1, 33))
+        times = [100.0 / n + 0.5 * math.log2(n) + 1.0 for n in workers]
+        ernest = ErnestModel.fit(workers, times)
+        sparks = SparksModel.fit(workers, times)
+        ernest_err = sum(abs(ernest.time(n) - t) for n, t in zip(workers, times))
+        sparks_err = sum(abs(sparks.time(n) - t) for n, t in zip(workers, times))
+        assert ernest_err < sparks_err
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ModelError):
+            ErnestModel(-1.0, 1.0, 1.0, 1.0)
+
+    def test_fit_rejects_nonpositive_times(self):
+        with pytest.raises(CalibrationError):
+            ErnestModel.fit([1, 2, 3, 4], [1.0, 0.0, 1.0, 1.0])

@@ -1,0 +1,122 @@
+"""Tests for loopy belief propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InferenceError
+from repro.graph.generators import balanced_tree, complete, grid_2d, path, star
+from repro.mrf.bp import ArcStructure, LoopyBP
+from repro.mrf.exact import exact_marginals
+from repro.mrf.model import PairwiseMRF, ising_mrf, random_mrf
+
+
+class TestArcStructure:
+    def test_arc_count_is_double_edges(self):
+        mrf = random_mrf(grid_2d(3, 3), seed=0)
+        arcs = ArcStructure.build(mrf)
+        assert arcs.arc_count == 2 * mrf.edge_count
+
+    def test_reverse_is_involution(self):
+        mrf = random_mrf(grid_2d(3, 3), seed=0)
+        arcs = ArcStructure.build(mrf)
+        assert np.array_equal(arcs.reverse[arcs.reverse], np.arange(arcs.arc_count))
+
+    def test_reverse_swaps_endpoints(self):
+        mrf = random_mrf(path(4), seed=0)
+        arcs = ArcStructure.build(mrf)
+        assert np.array_equal(arcs.source[arcs.reverse], arcs.destination)
+        assert np.array_equal(arcs.destination[arcs.reverse], arcs.source)
+
+    def test_oriented_potentials_are_transposes(self):
+        mrf = random_mrf(path(3), states=3, seed=1)
+        arcs = ArcStructure.build(mrf)
+        for arc in range(arcs.arc_count):
+            rev = arcs.reverse[arc]
+            assert np.allclose(arcs.log_pairwise[arc], arcs.log_pairwise[rev].T)
+
+
+class TestTreesAreExact:
+    """BP on acyclic graphs computes exact marginals (Pearl)."""
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [lambda: path(5), lambda: star(4), lambda: balanced_tree(2, 3)],
+    )
+    def test_matches_enumeration(self, graph_factory):
+        mrf = random_mrf(graph_factory(), states=2, seed=3)
+        result = LoopyBP(mrf).run(max_iterations=50)
+        assert result.converged
+        assert np.allclose(result.beliefs, exact_marginals(mrf), atol=1e-9)
+
+    def test_three_states_on_tree(self):
+        mrf = random_mrf(path(4), states=3, seed=4)
+        result = LoopyBP(mrf).run(max_iterations=50)
+        assert np.allclose(result.beliefs, exact_marginals(mrf), atol=1e-9)
+
+    def test_converges_in_diameter_rounds(self):
+        # Synchronous BP on a tree converges within ~diameter iterations.
+        mrf = random_mrf(path(6), states=2, seed=5)
+        result = LoopyBP(mrf).run(max_iterations=50)
+        assert result.iterations <= 8
+
+
+class TestLoopyGraphs:
+    def test_small_loop_close_to_exact(self):
+        mrf = ising_mrf(grid_2d(3, 3), coupling=0.3, field=0.2)
+        result = LoopyBP(mrf).run(max_iterations=100)
+        assert result.converged
+        exact = exact_marginals(mrf)
+        assert np.max(np.abs(result.beliefs - exact)) < 0.05
+
+    def test_beliefs_are_distributions(self):
+        mrf = random_mrf(grid_2d(4, 4), states=3, seed=6)
+        result = LoopyBP(mrf, damping=0.3).run(max_iterations=100)
+        assert np.all(result.beliefs >= 0)
+        assert np.allclose(result.beliefs.sum(axis=1), 1.0)
+
+    def test_damping_helps_frustrated_model(self):
+        # Strong repulsive couplings on an odd cycle are BP's hard case.
+        mrf = ising_mrf(complete(5), coupling=-1.5, seed=1, field=0.4)
+        plain = LoopyBP(mrf, damping=0.0).run(max_iterations=60)
+        damped = LoopyBP(mrf, damping=0.5).run(max_iterations=60)
+        assert damped.final_delta <= plain.final_delta or damped.converged
+
+    def test_message_update_accounting(self):
+        mrf = random_mrf(grid_2d(3, 3), seed=7)
+        result = LoopyBP(mrf).run(max_iterations=30)
+        assert result.message_updates == result.iterations * 2 * mrf.edge_count
+
+    def test_map_states_shape(self):
+        mrf = random_mrf(grid_2d(2, 3), seed=8)
+        result = LoopyBP(mrf).run(max_iterations=30)
+        assert result.map_states().shape == (6,)
+
+    def test_strong_attraction_aligns_states(self):
+        mrf = ising_mrf(grid_2d(3, 3), coupling=2.0, field=0.3)
+        result = LoopyBP(mrf).run(max_iterations=100)
+        states = result.map_states()
+        assert np.all(states == states[0])
+
+
+class TestValidation:
+    def test_invalid_damping(self):
+        mrf = random_mrf(path(3), seed=0)
+        with pytest.raises(InferenceError):
+            LoopyBP(mrf, damping=1.0)
+
+    def test_edgeless_mrf_rejected(self):
+        graph_no_edges = grid_2d(1, 1)
+        mrf_unary = np.ones((1, 2))
+        mrf = PairwiseMRF(graph_no_edges, mrf_unary, np.ones((0, 2, 2)))
+        with pytest.raises(InferenceError):
+            LoopyBP(mrf)
+
+    def test_invalid_iterations(self):
+        mrf = random_mrf(path(3), seed=0)
+        with pytest.raises(InferenceError):
+            LoopyBP(mrf).run(max_iterations=0)
+
+    def test_invalid_tolerance(self):
+        mrf = random_mrf(path(3), seed=0)
+        with pytest.raises(InferenceError):
+            LoopyBP(mrf).run(tolerance=0.0)

@@ -1,0 +1,205 @@
+"""Tests for repro.core.communication."""
+
+import math
+
+import pytest
+
+from repro.core.communication import (
+    CompositeCommunication,
+    LinearCommunication,
+    NoCommunication,
+    ParameterServerCommunication,
+    RingAllReduce,
+    ShuffleCommunication,
+    TorrentBroadcast,
+    TreeCommunication,
+    TwoWaveAggregation,
+)
+from repro.core.errors import ModelError
+
+B = 1e9  # 1 Gbit/s, the paper's bandwidth
+GRADIENT_BITS = 64 * 12e6  # Figure 2 payload
+
+
+class TestNoCommunication:
+    def test_always_zero(self):
+        model = NoCommunication()
+        assert model.time(1e12, 1) == 0.0
+        assert model.time(1e12, 80) == 0.0
+
+
+class TestLinearCommunication:
+    def test_single_worker_free(self):
+        assert LinearCommunication(B).time(GRADIENT_BITS, 1) == 0.0
+
+    def test_grows_linearly(self):
+        model = LinearCommunication(B)
+        t4 = model.time(GRADIENT_BITS, 4)
+        t7 = model.time(GRADIENT_BITS, 7)
+        assert t4 == pytest.approx(3 * GRADIENT_BITS / B)
+        assert t7 == pytest.approx(6 * GRADIENT_BITS / B)
+
+    def test_include_self_counts_master(self):
+        model = LinearCommunication(B, include_self=True)
+        assert model.time(GRADIENT_BITS, 4) == pytest.approx(4 * GRADIENT_BITS / B)
+
+    def test_latency_per_round(self):
+        model = LinearCommunication(B, latency_s=0.1)
+        assert model.time(0, 5) == pytest.approx(0.4)
+
+
+class TestTreeCommunication:
+    def test_single_worker_free(self):
+        assert TreeCommunication(B).time(GRADIENT_BITS, 1) == 0.0
+
+    def test_log2_rounds(self):
+        model = TreeCommunication(B)
+        assert model.rounds(8) == 3
+        assert model.rounds(9) == 4  # ceil(log2 9)
+
+    def test_quaternary_tree_shallower(self):
+        binary = TreeCommunication(B)
+        quaternary = TreeCommunication(B, fan_out=4)
+        assert quaternary.rounds(64) == 3
+        assert binary.rounds(64) == 6
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ModelError):
+            TreeCommunication(B, fan_out=1)
+
+
+class TestTorrentBroadcast:
+    def test_smooth_log_default(self):
+        model = TorrentBroadcast(B)
+        assert model.rounds(10) == pytest.approx(math.log2(10))
+
+    def test_discrete_rounds(self):
+        model = TorrentBroadcast(B, discrete_rounds=True)
+        assert model.rounds(10) == 4
+
+    def test_paper_figure2_broadcast_term(self):
+        # (64 W / B) * log2(n) at n = 4 with W = 12e6: 0.768 * 2 = 1.536 s.
+        model = TorrentBroadcast(B)
+        assert model.time(GRADIENT_BITS, 4) == pytest.approx(1.536)
+
+
+class TestTwoWaveAggregation:
+    def test_paper_formula(self):
+        # 2 * (64 W / B) * ceil(sqrt(n)).
+        model = TwoWaveAggregation(B)
+        assert model.time(GRADIENT_BITS, 9) == pytest.approx(2 * 0.768 * 3)
+        assert model.time(GRADIENT_BITS, 10) == pytest.approx(2 * 0.768 * 4)
+
+    def test_single_worker_still_hands_off(self):
+        # The paper's formula keeps ceil(sqrt(1)) = 1 at n = 1.
+        model = TwoWaveAggregation(B)
+        assert model.time(GRADIENT_BITS, 1) == pytest.approx(2 * 0.768)
+
+    def test_jagged_at_square_boundaries(self):
+        model = TwoWaveAggregation(B)
+        assert model.time(GRADIENT_BITS, 16) == model.time(GRADIENT_BITS, 10)
+
+    def test_invalid_waves_rejected(self):
+        with pytest.raises(ModelError):
+            TwoWaveAggregation(B, waves=0)
+
+
+class TestRingAllReduce:
+    def test_single_worker_free(self):
+        assert RingAllReduce(B).time(GRADIENT_BITS, 1) == 0.0
+
+    def test_bandwidth_term_saturates(self):
+        model = RingAllReduce(B)
+        # 2 (n-1)/n -> 2 as n grows: all-reduce time is ~2 payloads.
+        t100 = model.time(GRADIENT_BITS, 100)
+        assert t100 == pytest.approx(2 * 0.99 * GRADIENT_BITS / B)
+
+    def test_beats_linear_at_scale(self):
+        ring = RingAllReduce(B)
+        linear = LinearCommunication(B)
+        assert ring.time(GRADIENT_BITS, 32) < linear.time(GRADIENT_BITS, 32)
+
+    def test_latency_steps(self):
+        model = RingAllReduce(B, latency_s=0.001)
+        assert model.time(0, 5) == pytest.approx(8 * 0.001)
+
+
+class TestShuffle:
+    def test_single_worker_free(self):
+        assert ShuffleCommunication(B).time(1e9, 1) == 0.0
+
+    def test_per_node_outgoing_fraction(self):
+        model = ShuffleCommunication(B)
+        # 4 nodes, 4 Gbit total: each holds 1 Gbit and ships 3/4 of it.
+        assert model.time(4e9, 4) == pytest.approx(0.75)
+
+
+class TestParameterServer:
+    def test_two_transfers_per_worker(self):
+        model = ParameterServerCommunication(B)
+        assert model.time(GRADIENT_BITS, 10) == pytest.approx(20 * GRADIENT_BITS / B)
+
+    def test_sharding_divides_time(self):
+        one = ParameterServerCommunication(B)
+        four = ParameterServerCommunication(B, server_links=4)
+        assert four.time(GRADIENT_BITS, 8) == pytest.approx(one.time(GRADIENT_BITS, 8) / 4)
+
+
+class TestCompositeCommunication:
+    def test_spark_iteration_matches_paper(self):
+        # Figure 2: (64W/B) log n + 2 (64W/B) ceil(sqrt n) at n = 9.
+        composite = CompositeCommunication(
+            ((TorrentBroadcast(B), 1.0), (TwoWaveAggregation(B), 1.0))
+        )
+        expected = 0.768 * math.log2(9) + 2 * 0.768 * 3
+        assert composite.time(GRADIENT_BITS, 9) == pytest.approx(expected)
+
+    def test_scales_payload_per_phase(self):
+        composite = CompositeCommunication(((TorrentBroadcast(B), 0.5),))
+        full = TorrentBroadcast(B).time(GRADIENT_BITS, 8)
+        assert composite.time(GRADIENT_BITS, 8) == pytest.approx(full / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            CompositeCommunication(())
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "model_cls", [LinearCommunication, TreeCommunication, TorrentBroadcast, TwoWaveAggregation]
+    )
+    def test_zero_bandwidth_rejected(self, model_cls):
+        with pytest.raises(ModelError):
+            model_cls(0.0)
+
+    @pytest.mark.parametrize(
+        "model_cls", [LinearCommunication, TreeCommunication, TorrentBroadcast, TwoWaveAggregation]
+    )
+    def test_negative_bits_rejected(self, model_cls):
+        with pytest.raises(ModelError):
+            model_cls(B).time(-1.0, 4)
+
+    @pytest.mark.parametrize(
+        "model_cls", [LinearCommunication, TreeCommunication, TorrentBroadcast, TwoWaveAggregation]
+    )
+    def test_zero_workers_rejected(self, model_cls):
+        with pytest.raises(ModelError):
+            model_cls(B).time(1.0, 0)
+
+
+class TestMonotonicity:
+    """More workers never make a collective cheaper (for fixed payload)."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            LinearCommunication(B),
+            TreeCommunication(B),
+            TorrentBroadcast(B),
+            TwoWaveAggregation(B),
+            ParameterServerCommunication(B),
+        ],
+    )
+    def test_non_decreasing_in_workers(self, model):
+        times = [model.time(GRADIENT_BITS, n) for n in range(1, 40)]
+        assert all(b >= a - 1e-12 for a, b in zip(times, times[1:]))

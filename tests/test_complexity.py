@@ -1,0 +1,138 @@
+"""Tests for repro.core.complexity."""
+
+import pytest
+
+from repro.core.communication import TreeCommunication
+from repro.core.complexity import (
+    CallableCost,
+    CommunicationCost,
+    ComputationCost,
+    FixedCost,
+    ImbalancedComputationCost,
+    MaxCost,
+    ScaledCost,
+    SumCost,
+    iterations,
+    superstep,
+)
+from repro.core.errors import ModelError
+
+
+class TestComputationCost:
+    def test_paper_gradient_descent_tcp(self):
+        # tcp = C*S/(F*n) with the Figure 2 numbers: 51.14 s at n = 1.
+        cost = ComputationCost(total_operations=6 * 12e6 * 60000, flops=0.8 * 105.6e9)
+        assert cost.time(1) == pytest.approx(51.136, abs=0.01)
+        assert cost.time(8) == pytest.approx(51.136 / 8, abs=0.01)
+
+    def test_perfectly_parallel(self):
+        cost = ComputationCost(1e9, 1e9)
+        assert cost.time(10) == pytest.approx(0.1)
+
+    def test_sequential_flag(self):
+        cost = ComputationCost(1e9, 1e9, parallel=False)
+        assert cost.time(10) == pytest.approx(1.0)
+
+    def test_zero_flops_rejected(self):
+        with pytest.raises(ModelError):
+            ComputationCost(1.0, 0.0)
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ModelError):
+            ComputationCost(-1.0, 1.0)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ModelError):
+            ComputationCost(1.0, 1.0).time(0)
+
+
+class TestFixedCost:
+    def test_constant(self):
+        cost = FixedCost(2.5)
+        assert cost.time(1) == 2.5
+        assert cost.time(100) == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            FixedCost(-0.1)
+
+
+class TestImbalancedComputationCost:
+    def test_max_worker_gates(self):
+        # 100 edges total, worst worker holds ceil(100/n) + 5 "hot" edges.
+        cost = ImbalancedComputationCost(
+            load_of_max_worker=lambda n: 100.0 / n + 5.0, flops=10.0
+        )
+        assert cost.time(1) == pytest.approx(10.5)
+        assert cost.time(10) == pytest.approx(1.5)
+
+    def test_negative_load_rejected(self):
+        cost = ImbalancedComputationCost(load_of_max_worker=lambda n: -1.0, flops=1.0)
+        with pytest.raises(ModelError):
+            cost.time(2)
+
+
+class TestCommunicationCost:
+    def test_wraps_topology(self):
+        cost = CommunicationCost(TreeCommunication(1e9), bits=1e9)
+        assert cost.time(1) == 0.0
+        assert cost.time(8) == pytest.approx(3.0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ModelError):
+            CommunicationCost(TreeCommunication(1e9), bits=-1.0)
+
+
+class TestComposition:
+    def test_superstep_is_sum(self):
+        step = superstep(ComputationCost(1e9, 1e9), FixedCost(0.5))
+        assert step.time(2) == pytest.approx(1.0)
+
+    def test_add_operator(self):
+        total = FixedCost(1.0) + FixedCost(2.0)
+        assert isinstance(total, SumCost)
+        assert total.time(1) == 3.0
+
+    def test_mul_operator(self):
+        scaled = FixedCost(1.5) * 4
+        assert isinstance(scaled, ScaledCost)
+        assert scaled.time(1) == 6.0
+
+    def test_rmul_operator(self):
+        assert (3 * FixedCost(2.0)).time(1) == 6.0
+
+    def test_iterations(self):
+        step = superstep(ComputationCost(1e9, 1e9), FixedCost(0.0))
+        run = iterations(step, 100)
+        assert run.time(4) == pytest.approx(25.0)
+
+    def test_iterations_validates_count(self):
+        with pytest.raises(ModelError):
+            iterations(FixedCost(1.0), 0)
+
+    def test_max_cost_takes_slowest(self):
+        overlap = MaxCost((FixedCost(1.0), FixedCost(3.0)))
+        assert overlap.time(1) == 3.0
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ModelError):
+            SumCost(())
+
+    def test_empty_max_rejected(self):
+        with pytest.raises(ModelError):
+            MaxCost(())
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ModelError):
+            ScaledCost(FixedCost(1.0), -1.0)
+
+
+class TestCallableCost:
+    def test_wraps_function(self):
+        cost = CallableCost(lambda n: 10.0 / n)
+        assert cost.time(5) == 2.0
+
+    def test_negative_result_rejected(self):
+        cost = CallableCost(lambda n: -1.0, name="bad")
+        with pytest.raises(ModelError):
+            cost.time(1)

@@ -1,0 +1,90 @@
+"""Tests for the denoising application and partitioned BP."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InferenceError, PartitionError
+from repro.graph.generators import dns_like, grid_2d
+from repro.graph.partition import block_partition, random_partition
+from repro.mrf.bp import LoopyBP
+from repro.mrf.denoise import (
+    add_noise,
+    binary_image,
+    denoise,
+    denoising_mrf,
+    make_problem,
+    pixel_error,
+)
+from repro.mrf.model import random_mrf
+from repro.mrf.parallel import PartitionedBP
+
+
+class TestDenoising:
+    def test_restoration_beats_noise(self):
+        problem = make_problem(rows=20, cols=20, flip_probability=0.12, seed=3)
+        restored, result = denoise(problem, max_iterations=40)
+        assert pixel_error(restored, problem.clean) < pixel_error(problem.noisy, problem.clean)
+
+    def test_no_noise_is_preserved(self):
+        clean = binary_image(12, 12, seed=1)
+        mrf = denoising_mrf(clean, flip_probability=0.05, smoothness=0.5)
+        result = LoopyBP(mrf).run(max_iterations=40)
+        restored = result.map_states().reshape(clean.shape)
+        assert pixel_error(restored, clean) < 0.02
+
+    def test_noise_model_flips_expected_fraction(self):
+        image = np.zeros((50, 50), dtype=np.int64)
+        noisy = add_noise(image, 0.2, seed=0)
+        assert 0.1 < noisy.mean() < 0.3
+
+    def test_invalid_flip_probability(self):
+        with pytest.raises(InferenceError):
+            add_noise(np.zeros((4, 4), dtype=int), 0.6)
+        with pytest.raises(InferenceError):
+            denoising_mrf(np.zeros((4, 4), dtype=int), flip_probability=0.0)
+
+    def test_pixel_error_validates_shapes(self):
+        with pytest.raises(InferenceError):
+            pixel_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestPartitionedBP:
+    def test_partitioning_does_not_change_beliefs(self):
+        mrf = random_mrf(grid_2d(5, 5), seed=0)
+        sequential = LoopyBP(mrf).run(max_iterations=40)
+        partitioned = PartitionedBP(
+            mrf, random_partition(mrf.vertex_count, 4, seed=1)
+        ).run(max_iterations=40)
+        assert np.allclose(sequential.beliefs, partitioned.result.beliefs)
+
+    def test_work_profile_sums_to_all_arcs(self):
+        mrf = random_mrf(grid_2d(5, 5), seed=0)
+        profile = PartitionedBP(mrf, random_partition(25, 4, seed=2)).work_profile()
+        assert profile.total_arc_updates == 2 * mrf.edge_count
+        assert profile.max_arc_updates >= profile.total_arc_updates / 4
+
+    def test_single_worker_profile(self):
+        mrf = random_mrf(grid_2d(4, 4), seed=0)
+        profile = PartitionedBP(mrf, block_partition(16, 1)).work_profile()
+        assert profile.workers == 1
+        assert profile.replication == 0.0
+        assert profile.balance == pytest.approx(1.0)
+
+    def test_replication_positive_when_cut(self):
+        mrf = random_mrf(grid_2d(4, 4), seed=0)
+        profile = PartitionedBP(mrf, block_partition(16, 4)).work_profile()
+        assert profile.replication > 0.0
+
+    def test_heavy_tail_imbalance_visible(self):
+        workload = dns_like("16k", seed=0)
+        mrf_graph = workload.graph
+        mrf = random_mrf(mrf_graph, states=2, seed=1)
+        profile = PartitionedBP(
+            mrf, random_partition(mrf_graph.vertex_count, 16, seed=3)
+        ).work_profile()
+        assert profile.balance < 0.95  # hubs prevent perfect balance
+
+    def test_partition_size_mismatch_rejected(self):
+        mrf = random_mrf(grid_2d(3, 3), seed=0)
+        with pytest.raises(PartitionError):
+            PartitionedBP(mrf, block_partition(8, 2))

@@ -1,0 +1,191 @@
+"""Tests for the distributed executors (the 'experiment' producers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError, TrainingError
+from repro.distributed.gradient_descent import (
+    GDWorkload,
+    data_parallel_gradient,
+    data_parallel_train_step,
+    per_instance_seconds,
+    simulate_gd_iterations,
+)
+from repro.distributed.graph_inference import (
+    graphlab_dl980,
+    iteration_seconds,
+    measure_bp_iterations,
+    realized_max_edge_work,
+)
+from repro.distributed.spark_like import measure_fc_iterations, mnist_fc_workload, spark_cluster
+from repro.distributed.tensorflow_like import (
+    inception_workload,
+    measure_inception_per_instance,
+)
+from repro.graph.generators import dns_like, erdos_renyi
+from repro.nn.data import gaussian_blobs
+from repro.nn.layers import Affine, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Affine(5, 8, rng=rng), ReLU(), Affine(8, 3, rng=rng)])
+
+
+class TestDataParallelCorrectness:
+    """The invariant that justifies the paper's data-parallel model."""
+
+    def test_combined_gradient_equals_full_batch(self):
+        data = gaussian_blobs(samples=64, features=5, classes=3, seed=1)
+        loss = SoftmaxCrossEntropy()
+        network = small_net(seed=2)
+        full_loss, full_grads = network.loss_and_gradients(data.inputs, data.targets, loss)
+        for workers in (2, 4, 8):
+            dp_loss, dp_grads = data_parallel_gradient(network, data, loss, workers)
+            assert dp_loss == pytest.approx(full_loss)
+            for a, b in zip(full_grads, dp_grads):
+                assert np.allclose(a, b, atol=1e-12)
+
+    def test_uneven_shards_still_exact(self):
+        data = gaussian_blobs(samples=67, features=5, classes=3, seed=3)
+        loss = SoftmaxCrossEntropy()
+        network = small_net(seed=4)
+        full_loss, full_grads = network.loss_and_gradients(data.inputs, data.targets, loss)
+        dp_loss, dp_grads = data_parallel_gradient(network, data, loss, 7)
+        assert dp_loss == pytest.approx(full_loss)
+        for a, b in zip(full_grads, dp_grads):
+            assert np.allclose(a, b, atol=1e-12)
+
+    def test_train_step_reduces_loss(self):
+        data = gaussian_blobs(samples=60, features=5, classes=3, seed=5)
+        loss = SoftmaxCrossEntropy()
+        network = small_net(seed=6)
+        first = data_parallel_train_step(network, data, loss, workers=4, learning_rate=0.5)
+        for _ in range(20):
+            last = data_parallel_train_step(network, data, loss, workers=4, learning_rate=0.5)
+        assert last < first
+
+    def test_more_workers_than_samples_rejected(self):
+        data = gaussian_blobs(samples=4, features=2, classes=2, seed=0)
+        with pytest.raises(TrainingError):
+            data_parallel_gradient(small_net(), data, SoftmaxCrossEntropy(), workers=8)
+
+
+class TestGDWorkload:
+    def test_strong_scaling_splits_batch(self):
+        workload = GDWorkload(operations_per_sample=10.0, parameter_bits=100.0, batch_size=1000)
+        plan = workload.plan_strong_scaling(4)
+        assert plan.operations_per_worker == pytest.approx(10.0 * 1000 / 4)
+
+    def test_weak_scaling_keeps_batch(self):
+        workload = GDWorkload(operations_per_sample=10.0, parameter_bits=100.0, batch_size=128)
+        plan = workload.plan_weak_scaling()
+        assert plan.operations_per_worker == pytest.approx(1280.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            GDWorkload(operations_per_sample=0, parameter_bits=1, batch_size=1)
+
+
+class TestSparkLikeExperiment:
+    def test_figure2_shape(self):
+        measured = measure_fc_iterations(range(1, 14), iterations=2, seed=0)
+        speedups = {n: measured.time(1) / measured.time(n) for n in range(1, 14)}
+        # Scalable, with a knee: far from linear at 13 workers.
+        assert speedups[5] > 2.5
+        assert speedups[13] < 6.0
+        # Plateau: marginal speedup beyond nine workers is small.
+        assert speedups[13] - speedups[9] < 0.8
+
+    def test_single_worker_close_to_analytic(self):
+        measured = measure_fc_iterations([1], iterations=3, seed=0)
+        workload = mnist_fc_workload()
+        analytic = workload.operations_per_sample * workload.batch_size / (0.8 * 105.6e9)
+        # Broadcast+aggregate add ~2.3 s; overhead/jitter a little more.
+        assert measured.time(1) == pytest.approx(analytic + 2.3, rel=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = measure_fc_iterations([1, 4], iterations=2, seed=3)
+        b = measure_fc_iterations([1, 4], iterations=2, seed=3)
+        assert a.time(4) == b.time(4)
+
+    def test_cluster_spec_matches_paper(self):
+        cluster = spark_cluster()
+        assert cluster.spec.node.effective_flops == pytest.approx(0.8 * 105.6e9)
+        assert cluster.spec.link.bandwidth_bps == pytest.approx(1e9)
+
+
+class TestTensorFlowLikeExperiment:
+    def test_weak_scaling_monotone_per_instance(self):
+        measured = measure_inception_per_instance([25, 50, 100], iterations=2, seed=0)
+        assert measured.time(25) > measured.time(50) > measured.time(100)
+
+    def test_paper_constants_workload(self):
+        workload = inception_workload(use_paper_constants=True)
+        assert workload.operations_per_sample == pytest.approx(15e9)
+        assert workload.parameter_bits == pytest.approx(32 * 25e6)
+
+    def test_exact_constants_differ(self):
+        exact = inception_workload(use_paper_constants=False)
+        assert exact.operations_per_sample > 15e9  # 5.72e9 forward, not 5e9
+
+    def test_per_instance_conversion(self):
+        from repro.core.model import MeasuredModel
+
+        iteration = MeasuredModel.from_pairs([(2, 10.0)])
+        per_inst = per_instance_seconds(iteration, batch_size=5)
+        assert per_inst.time(2) == pytest.approx(10.0 / (5 * 2))
+
+    def test_invalid_batch(self):
+        from repro.core.model import MeasuredModel
+
+        with pytest.raises(SimulationError):
+            per_instance_seconds(MeasuredModel.from_pairs([(1, 1.0)]), batch_size=0)
+
+
+class TestBPExperiment:
+    def test_iteration_seconds_formula(self):
+        machine = graphlab_dl980()
+        t = iteration_seconds(1000.0, workers=4, machine=machine)
+        expected = (
+            1000.0 * 14 / machine.core_flops * machine.contention_factor(4)
+            + machine.overhead_seconds(4)
+        )
+        assert t == pytest.approx(expected)
+
+    def test_contention_slows_many_cores(self):
+        machine = graphlab_dl980()
+        assert machine.contention_factor(1) == 1.0
+        assert machine.contention_factor(80) > machine.contention_factor(16) > 1.0
+
+    def test_too_many_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            iteration_seconds(1.0, workers=81, machine=graphlab_dl980())
+
+    def test_realized_work_single_worker_is_all_edges(self):
+        graph = erdos_renyi(300, 900, seed=0)
+        assert realized_max_edge_work(graph, 1) == 900.0
+
+    def test_realized_work_graph_vs_sequence_consistent(self):
+        workload = dns_like("16k", seed=0)
+        exact = realized_max_edge_work(workload.graph, 8, seed=1)
+        approx = realized_max_edge_work(workload.degree_sequence, 8, seed=1)
+        assert approx == pytest.approx(exact, rel=0.25)
+
+    def test_measured_curve_saturates_then_dips(self):
+        workload = dns_like("16k", seed=0)
+        grid = [1, 4, 16, 64, 80]
+        measured = measure_bp_iterations(workload.graph, grid, seed=0)
+        speedups = {n: measured.time(1) / measured.time(n) for n in grid}
+        assert speedups[16] > speedups[4] > 1.0
+        assert speedups[64] < 64  # saturation
+        # Engine overhead takes over at high core counts (paper V-B).
+        assert speedups[80] < speedups[64] * 1.15
+
+    def test_deterministic(self):
+        workload = dns_like("16k", seed=0)
+        a = measure_bp_iterations(workload.graph, [1, 8], seed=5)
+        b = measure_bp_iterations(workload.graph, [1, 8], seed=5)
+        assert a.time(8) == b.time(8)

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulate.events import EventQueue
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(3.0, lambda t: fired.append(("c", t)))
+        queue.schedule_at(1.0, lambda t: fired.append(("a", t)))
+        queue.schedule_at(2.0, lambda t: fired.append(("b", t)))
+        queue.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(1.0, lambda t: fired.append("first"))
+        queue.schedule_at(1.0, lambda t: fired.append("second"))
+        queue.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_with_events(self):
+        queue = EventQueue()
+        queue.schedule_at(5.0, lambda t: None)
+        queue.run()
+        assert queue.now == 5.0
+
+    def test_schedule_after_is_relative(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule_at(2.0, lambda t: queue.schedule_after(3.0, times.append))
+        queue.run()
+        assert times == [5.0]
+
+    def test_events_can_spawn_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def cascade(t):
+            fired.append(t)
+            if len(fired) < 4:
+                queue.schedule_after(1.0, cascade)
+
+        queue.schedule_at(0.0, cascade)
+        queue.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until_stops_early(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(1.0, fired.append)
+        queue.schedule_at(10.0, fired.append)
+        executed = queue.run(until=5.0)
+        assert executed == 1
+        assert fired == [1.0]
+        assert queue.now == 5.0
+        assert queue.pending == 1
+
+    def test_cancel_prevents_firing(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule_at(1.0, fired.append)
+        handle.cancel()
+        assert handle.cancelled
+        queue.run()
+        assert fired == []
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule_at(2.0, lambda t: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(1.0, lambda t: None)
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_after(-1.0, lambda t: None)
+
+    def test_non_finite_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(float("inf"), lambda t: None)
+
+    def test_max_events_guards_runaway(self):
+        queue = EventQueue()
+
+        def forever(t):
+            queue.schedule_after(1.0, forever)
+
+        queue.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            queue.run(max_events=100)
+
+    def test_advance_to_moves_clock(self):
+        queue = EventQueue()
+        queue.advance_to(7.0)
+        assert queue.now == 7.0
+        with pytest.raises(SimulationError):
+            queue.advance_to(3.0)
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule_at(1.0, lambda t: None)
+        queue.schedule_at(2.0, lambda t: None)
+        queue.run()
+        assert queue.processed == 2

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are part of the public deliverable; these tests execute
+them as subprocesses (fresh interpreter, like a user would) and check
+for a zero exit code plus a fragment of their expected output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> fragment its stdout must contain.
+EXPECTED = {
+    "quickstart.py": "optimal workers : 9",
+    "capacity_planning.py": "optimal cluster size",
+    "deep_learning_spark.py": "model optimal workers: 9",
+    "weak_scaling_minibatch.py": "speedup MAPE",
+    "belief_propagation_dns.py": "replication factor",
+    "simulator_trace.py": "ring all-reduce",
+    "custom_algorithm.py": "model ranking by MAPE",
+    "convergence_tradeoff.py": "critical batch",
+}
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED), "examples and smoke expectations diverged"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[name] in result.stdout

@@ -1,0 +1,128 @@
+"""Integration tests: every reproduced table/figure meets its acceptance band."""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments import (
+    MAPE_ACCEPTANCE,
+    ExperimentResult,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.runner import register
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for required in ("table1", "figure1", "figure2", "figure3", "figure4", "figure4-small"):
+            assert required in ids
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("figure99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError):
+            register("table1")(lambda quick: None)
+
+
+class TestTable1:
+    def test_within_paper_rounding(self):
+        result = run_experiment("table1")
+        assert result.metrics["worst_abs_error_pct"] < 15.0
+
+    def test_rows_cover_both_networks(self):
+        result = run_experiment("table1")
+        networks = {row["network"] for row in result.rows}
+        assert networks == {"Fully connected (MNIST)", "Inception v.3 (ImageNet)"}
+
+
+class TestFigure1:
+    def test_peak_near_fourteen(self):
+        result = run_experiment("figure1")
+        assert result.metrics["peak_workers"] == pytest.approx(14, abs=1)
+
+    def test_components_move_in_opposite_directions(self):
+        result = run_experiment("figure1")
+        computation = [row["computation_s"] for row in result.rows]
+        communication = [row["communication_s"] for row in result.rows]
+        assert computation == sorted(computation, reverse=True)
+        assert communication == sorted(communication)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self) -> ExperimentResult:
+        return run_experiment("figure2", quick=True)
+
+    def test_mape_in_acceptance_band(self, result):
+        assert result.metrics["mape_pct"] < MAPE_ACCEPTANCE["figure2"]
+
+    def test_model_optimal_workers_is_nine(self, result):
+        assert result.metrics["model_optimal_workers"] == 9
+
+    def test_speedup_plateaus_after_optimum(self, result):
+        speedups = {row["workers"]: row["experiment_speedup"] for row in result.rows}
+        assert speedups[13] - speedups[9] < 1.0
+
+    def test_peak_speedup_near_paper_figure(self, result):
+        # The paper's Figure 2 peaks a little above 4x.
+        assert 3.0 < result.metrics["model_peak_speedup"] < 5.0
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self) -> ExperimentResult:
+        return run_experiment("figure3", quick=True)
+
+    def test_mape_in_acceptance_band(self, result):
+        assert result.metrics["mape_pct"] < MAPE_ACCEPTANCE["figure3"]
+
+    def test_monotone_weak_scaling(self, result):
+        speedups = [row["model_speedup_vs_50"] for row in result.rows]
+        assert speedups == sorted(speedups)
+
+    def test_baseline_normalised(self, result):
+        by_workers = {row["workers"]: row for row in result.rows}
+        assert by_workers[50]["model_speedup_vs_50"] == pytest.approx(1.0)
+        assert by_workers[50]["experiment_speedup_vs_50"] == pytest.approx(1.0)
+
+    def test_crossover_values_match_paper_shape(self, result):
+        by_workers = {row["workers"]: row for row in result.rows}
+        assert by_workers[25]["model_speedup_vs_50"] < 1.0
+        assert by_workers[200]["model_speedup_vs_50"] == pytest.approx(3.0, abs=0.2)
+
+    def test_linear_comm_saturates(self, result):
+        linear = [row["linear_comm_model_vs_50"] for row in result.rows]
+        assert max(linear) < 1.2  # capped, unlike the log model
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self) -> ExperimentResult:
+        return run_experiment("figure4", quick=True)
+
+    def test_mape_in_acceptance_band(self, result):
+        assert result.metrics["mape_pct"] < MAPE_ACCEPTANCE["figure4"]
+
+    def test_model_conservative_at_few_workers(self, result):
+        # Paper: "random vertex assignment turns out to be a conservative
+        # estimate for configurations with few workers".
+        by_workers = {row["workers"]: row for row in result.rows}
+        for n in (2, 4):
+            assert by_workers[n]["model_speedup"] == pytest.approx(
+                by_workers[n]["experiment_speedup"], rel=0.15
+            )
+
+    def test_overhead_takes_over_at_many_workers(self, result):
+        by_workers = {row["workers"]: row for row in result.rows}
+        assert by_workers[80]["experiment_speedup"] < by_workers[80]["model_speedup"]
+
+    def test_speedup_far_from_linear(self, result):
+        assert result.metrics["model_speedup_80"] < 40
+
+    def test_render_smoke(self, result):
+        text = result.render()
+        assert "figure4" in text
+        assert "mape_pct" in text

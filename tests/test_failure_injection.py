@@ -1,0 +1,162 @@
+"""Failure-injection tests: extreme inputs, degraded hardware, stragglers.
+
+The library's claims should degrade gracefully — a model evaluated in a
+pathological regime must either answer honestly or refuse loudly, never
+return silent garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    ModelError,
+    SimulationError,
+    TrainingError,
+)
+from repro.core.model import MeasuredModel
+from repro.core.scaling import workers_for_speedup, workers_for_time
+from repro.distributed.gradient_descent import GDWorkload, simulate_gd_iterations
+from repro.hardware.specs import ClusterSpec, LinkSpec, NodeSpec
+from repro.models.deep_learning import spark_mnist_figure2_model
+from repro.models.gradient_descent import SparkGradientDescentModel
+from repro.mrf.bp import LoopyBP
+from repro.mrf.model import ising_mrf
+from repro.graph.generators import complete
+from repro.simulate.cluster import SimulatedCluster
+from repro.simulate.events import EventQueue
+from repro.simulate.rng import LogNormalJitter
+
+
+class TestDegradedHardware:
+    def test_dialup_network_kills_scalability(self):
+        """On a 1 Mbit/s link the Figure 2 workload must not scale at
+        all — the model should say so, not crash."""
+        model = SparkGradientDescentModel(
+            operations_per_sample=6 * 12e6,
+            batch_size=60000,
+            flops=0.8 * 105.6e9,
+            parameters=12e6,
+            bandwidth_bps=1e6,
+        )
+        curve = model.grid(16)
+        assert not curve.is_scalable
+        assert curve.optimal_workers == 1
+
+    def test_infinitely_fast_network_recovers_linear_scaling(self):
+        model = SparkGradientDescentModel(
+            operations_per_sample=6 * 12e6,
+            batch_size=60000,
+            flops=0.8 * 105.6e9,
+            parameters=12e6,
+            bandwidth_bps=1e18,
+        )
+        assert model.speedup(16) == pytest.approx(16.0, rel=0.01)
+
+    def test_planner_reports_unreachable_targets(self):
+        model = spark_mnist_figure2_model()
+        assert workers_for_speedup(model, target_speedup=100.0, max_workers=64) is None
+        assert workers_for_time(model, target_seconds=1e-6, max_workers=64) is None
+
+
+class TestStragglerInjection:
+    def test_severe_stragglers_inflate_iterations(self):
+        node = NodeSpec("n", peak_flops=1e9)
+        link = LinkSpec("l", bandwidth_bps=1e9)
+        workload = GDWorkload(
+            operations_per_sample=1e6, parameter_bits=1e6, batch_size=1000
+        )
+        calm = SimulatedCluster(
+            ClusterSpec(node, link, workers=8), jitter=LogNormalJitter(0.0), seed=1
+        )
+        stormy = SimulatedCluster(
+            ClusterSpec(node, link, workers=8), jitter=LogNormalJitter(1.0), seed=1
+        )
+        calm_time = simulate_gd_iterations(calm, workload, [8], iterations=10).time(8)
+        stormy_time = simulate_gd_iterations(stormy, workload, [8], iterations=10).time(8)
+        # The barrier waits for the slowest of 8 lognormal draws: with
+        # sigma = 1 the max is far above the median.
+        assert stormy_time > 1.5 * calm_time
+
+    def test_straggler_noise_never_breaks_determinism(self):
+        node = NodeSpec("n", peak_flops=1e9)
+        link = LinkSpec("l", bandwidth_bps=1e9)
+        workload = GDWorkload(
+            operations_per_sample=1e6, parameter_bits=1e6, batch_size=1000
+        )
+
+        def run():
+            cluster = SimulatedCluster(
+                ClusterSpec(node, link, workers=4), jitter=LogNormalJitter(0.8), seed=9
+            )
+            return simulate_gd_iterations(cluster, workload, [4], iterations=5).time(4)
+
+        assert run() == run()
+
+
+class TestSimulatorGuards:
+    def test_runaway_event_loop_detected(self):
+        queue = EventQueue()
+
+        def respawn(t):
+            queue.schedule_after(0.0, respawn)
+
+        queue.schedule_at(0.0, respawn)
+        with pytest.raises(SimulationError):
+            queue.run(max_events=1000)
+
+    def test_time_travel_rejected(self):
+        queue = EventQueue()
+        queue.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            queue.schedule_at(5.0, lambda t: None)
+
+    def test_oversubscribed_shared_memory_machine(self):
+        from repro.distributed.graph_inference import graphlab_dl980, iteration_seconds
+
+        with pytest.raises(SimulationError):
+            iteration_seconds(1.0, workers=1000, machine=graphlab_dl980())
+
+
+class TestNumericalEdges:
+    def test_bp_survives_extreme_potentials(self):
+        """Near-deterministic potentials push messages to the numeric
+        edge; log-space BP must stay finite and normalised."""
+        mrf = ising_mrf(complete(5), coupling=30.0, field=5.0)
+        result = LoopyBP(mrf, damping=0.1).run(max_iterations=50)
+        assert np.all(np.isfinite(result.beliefs))
+        assert np.allclose(result.beliefs.sum(axis=1), 1.0)
+        # The ferromagnet is effectively frozen into state 0.
+        assert np.all(result.map_states() == 0)
+
+    def test_measured_model_refuses_to_extrapolate(self):
+        measured = MeasuredModel.from_pairs([(1, 10.0), (2, 6.0)])
+        with pytest.raises(ModelError):
+            measured.time(3)
+
+    def test_empty_dataset_training_rejected(self):
+        from repro.nn.layers import Affine
+        from repro.nn.losses import MeanSquaredError
+        from repro.nn.network import Sequential
+        from repro.nn.optim import GradientDescent
+        from repro.nn.train import train
+
+        network = Sequential([Affine(2, 1)])
+        # The empty batch produces a NaN loss, which the training loop
+        # must catch as divergence rather than propagate silently.
+        with np.errstate(invalid="ignore"), pytest.warns(RuntimeWarning), pytest.raises(
+            TrainingError
+        ):
+            train(
+                network,
+                np.empty((0, 2)),
+                np.empty((0, 1)),
+                MeanSquaredError(),
+                GradientDescent(0.1),
+                steps=1,
+            )
+
+    def test_workload_validation_is_loud(self):
+        with pytest.raises(SimulationError):
+            GDWorkload(operations_per_sample=1.0, parameter_bits=0.0, batch_size=1)
+        with pytest.raises(SimulationError):
+            GDWorkload(operations_per_sample=1.0, parameter_bits=1.0, batch_size=0)

@@ -1,0 +1,150 @@
+"""Tests for graph generators and DNS-like calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.graph.generators import (
+    DNS_MAX_DEGREE,
+    DNS_MEAN_DEGREE,
+    DNS_VERTEX_COUNT,
+    balanced_tree,
+    barabasi_albert,
+    complete,
+    configuration_model,
+    dns_like,
+    erdos_renyi,
+    grid_2d,
+    path,
+    power_law_degrees,
+    star,
+)
+from repro.graph.stats import degree_stats, power_law_alpha_mle
+
+
+class TestBasicGenerators:
+    def test_erdos_renyi_counts(self):
+        graph = erdos_renyi(50, 100, seed=1)
+        assert graph.vertex_count == 50
+        assert graph.edge_count == 100
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(30, 40, seed=5)
+        b = erdos_renyi(30, 40, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_erdos_renyi_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 10)
+
+    def test_barabasi_albert_edge_count(self):
+        graph = barabasi_albert(100, 3, seed=0)
+        # Seed core has 3*(3+1)/2 = 6 edges; the other 96 vertices add 3 each.
+        assert graph.edge_count == 6 + 96 * 3
+
+    def test_barabasi_albert_has_hubs(self):
+        graph = barabasi_albert(300, 2, seed=0)
+        assert graph.max_degree > 10 * (2 * graph.edge_count / graph.vertex_count) / 2
+
+    def test_grid_2d(self):
+        graph = grid_2d(3, 4)
+        assert graph.vertex_count == 12
+        assert graph.edge_count == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_star(self):
+        graph = star(5)
+        assert graph.vertex_count == 6
+        assert graph.degree(0) == 5
+        assert graph.max_degree == 5
+
+    def test_complete(self):
+        graph = complete(5)
+        assert graph.edge_count == 10
+        assert all(graph.degree(v) == 4 for v in range(5))
+
+    def test_path_is_tree(self):
+        graph = path(6)
+        assert graph.edge_count == graph.vertex_count - 1
+
+    def test_balanced_tree(self):
+        graph = balanced_tree(branching=2, depth=3)
+        assert graph.vertex_count == 1 + 2 + 4 + 8
+        assert graph.edge_count == graph.vertex_count - 1
+
+
+class TestPowerLawDegrees:
+    def test_mean_calibration(self):
+        sequence = power_law_degrees(20000, mean_degree=12.28, max_degree=400, seed=0)
+        assert sequence.mean_degree == pytest.approx(12.28, rel=0.15)
+
+    def test_max_degree_pinned(self):
+        sequence = power_law_degrees(20000, mean_degree=12.0, max_degree=400, seed=0)
+        assert sequence.max_degree == 400
+
+    def test_even_degree_sum(self):
+        sequence = power_law_degrees(999, mean_degree=4.0, max_degree=50, seed=3)
+        assert int(sequence.degrees.sum()) % 2 == 0
+
+    def test_heavy_tail_alpha(self):
+        sequence = power_law_degrees(50000, mean_degree=12.0, max_degree=1000, seed=1)
+        alpha = power_law_alpha_mle(sequence)
+        assert 1.5 < alpha < 3.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphError):
+            power_law_degrees(1, 1.0, 1)
+        with pytest.raises(GraphError):
+            power_law_degrees(100, 0.0, 10)
+        with pytest.raises(GraphError):
+            power_law_degrees(100, 5.0, 200)  # max_degree >= V
+        with pytest.raises(GraphError):
+            power_law_degrees(100, 5.0, 10, alpha=1.0)
+
+
+class TestConfigurationModel:
+    def test_realises_most_edges(self):
+        sequence = power_law_degrees(5000, mean_degree=10.0, max_degree=100, seed=0)
+        graph = configuration_model(sequence, seed=1)
+        assert graph.vertex_count == 5000
+        # The erased configuration model drops a few percent of edges.
+        assert graph.edge_count > 0.9 * sequence.edge_count
+        assert graph.edge_count <= sequence.edge_count
+
+    def test_no_self_loops_or_duplicates(self):
+        sequence = power_law_degrees(1000, mean_degree=8.0, max_degree=60, seed=2)
+        graph = configuration_model(sequence, seed=3)
+        edges = graph.edges()
+        assert np.all(edges[:, 0] != edges[:, 1])
+        keys = edges[:, 0] * graph.vertex_count + edges[:, 1]
+        assert np.unique(keys).size == keys.size
+
+
+class TestDnsLike:
+    def test_16k_scale_calibration(self):
+        workload = dns_like("16k", seed=0)
+        stats = degree_stats(workload.degree_sequence)
+        assert stats.vertex_count == DNS_VERTEX_COUNT // 1000
+        assert stats.mean_degree == pytest.approx(DNS_MEAN_DEGREE, rel=0.15)
+        assert stats.max_degree == pytest.approx(DNS_MAX_DEGREE / 1000, rel=0.05)
+        assert workload.graph is not None
+
+    def test_edges_materialised_only_under_limit(self):
+        workload = dns_like("165k", seed=0, materialize_limit=1000)
+        assert workload.graph is None
+        assert workload.degree_sequence.vertex_count == DNS_VERTEX_COUNT // 100
+
+    def test_hub_dominance_like_paper(self):
+        # The paper's graph has a hub holding ~0.3% of all edges.
+        workload = dns_like("16k", seed=0)
+        sequence = workload.degree_sequence
+        hub_share = sequence.max_degree / (2 * sequence.edge_count)
+        assert 0.0005 < hub_share < 0.01
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(GraphError):
+            dns_like("32k")
+
+    def test_deterministic(self):
+        a = dns_like("16k", seed=4)
+        b = dns_like("16k", seed=4)
+        assert np.array_equal(a.degree_sequence.degrees, b.degree_sequence.degrees)

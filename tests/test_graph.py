@@ -1,0 +1,99 @@
+"""Tests for the CSR graph and degree sequences."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.graph.graph import DegreeSequence, Graph
+
+
+def triangle() -> Graph:
+    return Graph.from_edges(3, np.array([[0, 1], [1, 2], [0, 2]]))
+
+
+class TestGraphConstruction:
+    def test_from_edges_basic(self):
+        graph = triangle()
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 3
+        assert sorted(graph.neighbors(0).tolist()) == [1, 2]
+
+    def test_degrees(self):
+        graph = Graph.from_edges(4, np.array([[0, 1], [0, 2], [0, 3]]))
+        assert graph.degrees.tolist() == [3, 1, 1, 1]
+        assert graph.max_degree == 3
+        assert graph.degree(0) == 3
+
+    def test_isolated_vertices_allowed(self):
+        graph = Graph.from_edges(5, np.array([[0, 1]]))
+        assert graph.degree(4) == 0
+        assert graph.neighbors(4).size == 0
+
+    def test_has_edge(self):
+        graph = triangle()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        big = Graph.from_edges(4, np.array([[0, 1]]))
+        assert not big.has_edge(2, 3)
+
+    def test_edges_round_trip(self):
+        original = np.array([[0, 1], [1, 2], [0, 3]])
+        graph = Graph.from_edges(4, original)
+        recovered = graph.edges()
+        assert recovered.shape == (3, 2)
+        assert set(map(tuple, recovered)) == set(map(tuple, original))
+
+    def test_degree_sequence_view(self):
+        sequence = triangle().degree_sequence()
+        assert sequence.vertex_count == 3
+        assert sequence.edge_count == 3
+        assert sequence.mean_degree == pytest.approx(2.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, np.array([[1, 1]]))
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, np.array([[0, 1], [1, 0]]))
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, np.array([[0, 3]]))
+
+    def test_vertex_bounds_checked(self):
+        graph = triangle()
+        with pytest.raises(GraphError):
+            graph.neighbors(3)
+        with pytest.raises(GraphError):
+            graph.degree(-1)
+
+    def test_raw_csr_validation(self):
+        with pytest.raises(GraphError):
+            Graph(np.array([0, 1]), np.array([5]))  # index out of range
+        with pytest.raises(GraphError):
+            Graph(np.array([1, 2]), np.array([0, 0]))  # indptr[0] != 0
+
+    def test_repr(self):
+        assert repr(triangle()) == "Graph(V=3, E=3)"
+
+
+class TestDegreeSequence:
+    def test_properties(self):
+        sequence = DegreeSequence(np.array([3, 1, 1, 1]))
+        assert sequence.vertex_count == 4
+        assert sequence.edge_count == 3
+        assert sequence.max_degree == 3
+        assert sequence.mean_degree == pytest.approx(1.5)
+
+    def test_odd_degree_sum_rejected(self):
+        with pytest.raises(GraphError):
+            DegreeSequence(np.array([1, 1, 1]))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(GraphError):
+            DegreeSequence(np.array([-1, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            DegreeSequence(np.array([]))

@@ -1,0 +1,87 @@
+"""Tests for graph degree statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.graph.generators import complete, dns_like, erdos_renyi, star
+from repro.graph.graph import DegreeSequence
+from repro.graph.stats import degree_stats, gini, power_law_alpha_mle
+
+
+class TestDegreeStats:
+    def test_complete_graph(self):
+        stats = degree_stats(complete(6))
+        assert stats.vertex_count == 6
+        assert stats.edge_count == 15
+        assert stats.mean_degree == 5.0
+        assert stats.max_degree == 5
+        assert stats.median_degree == 5.0
+        assert stats.degree_gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_is_hub_dominated(self):
+        stats = degree_stats(star(50))
+        assert stats.max_degree == 50
+        assert stats.degree_gini > 0.4
+
+    def test_works_on_degree_sequence(self):
+        stats = degree_stats(DegreeSequence(np.array([4, 4, 4, 4])))
+        assert stats.edge_count == 8
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_holder_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini(values) > 0.99
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 3.0, 10.0])
+        assert gini(values) == pytest.approx(gini(values * 37.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            gini(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            gini(np.array([-1.0, 2.0]))
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+
+class TestPowerLawMLE:
+    def test_recovers_generated_exponent(self):
+        rng = np.random.default_rng(0)
+        alpha_true = 2.5
+        raw = (1.0 - rng.random(50000)) ** (-1.0 / (alpha_true - 1.0)) * 2
+        degrees = np.round(raw).astype(np.int64)
+        if degrees.sum() % 2 == 1:
+            degrees[0] += 1
+        alpha = power_law_alpha_mle(DegreeSequence(degrees), min_degree=2)
+        assert alpha == pytest.approx(alpha_true, rel=0.1)
+
+    def test_dns_like_heavy_tailed(self):
+        workload = dns_like("16k", seed=0)
+        alpha = power_law_alpha_mle(workload.degree_sequence)
+        assert 1.8 < alpha < 2.5
+
+    def test_er_graph_not_a_power_law_but_computable(self):
+        # ER degree distributions are Poisson: above the mean (20 here)
+        # the tail decays super-polynomially, so the Hill estimator
+        # returns a very large alpha — nothing like a heavy tail.
+        graph = erdos_renyi(2000, 20000, seed=1)
+        alpha = power_law_alpha_mle(graph, min_degree=25)
+        assert alpha > 5.0
+
+    def test_too_small_tail_rejected(self):
+        with pytest.raises(GraphError):
+            power_law_alpha_mle(star(4))
+
+    def test_invalid_min_degree(self):
+        with pytest.raises(GraphError):
+            power_law_alpha_mle(complete(5), min_degree=0)

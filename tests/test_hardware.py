@@ -1,0 +1,129 @@
+"""Tests for repro.hardware."""
+
+import pytest
+
+from repro.core.errors import UnitError
+from repro.hardware import (
+    ClusterSpec,
+    LinkSpec,
+    NodeSpec,
+    SharedMemoryMachineSpec,
+    catalog_names,
+    gigabit_ethernet,
+    lookup,
+    nvidia_k40,
+    proliant_dl980,
+    xeon_e3_1240,
+)
+
+
+class TestNodeSpec:
+    def test_effective_flops(self):
+        node = NodeSpec("test", peak_flops=100.0, efficiency=0.8)
+        assert node.effective_flops == pytest.approx(80.0)
+
+    def test_seconds_for(self):
+        node = NodeSpec("test", peak_flops=100.0)
+        assert node.seconds_for(500.0) == pytest.approx(5.0)
+
+    def test_with_efficiency_copies(self):
+        node = NodeSpec("test", peak_flops=100.0, efficiency=0.8)
+        derated = node.with_efficiency(0.4)
+        assert derated.effective_flops == pytest.approx(40.0)
+        assert node.effective_flops == pytest.approx(80.0)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(UnitError):
+            NodeSpec("test", peak_flops=1.0, efficiency=0.0)
+        with pytest.raises(UnitError):
+            NodeSpec("test", peak_flops=1.0, efficiency=1.5)
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(UnitError):
+            NodeSpec("test", peak_flops=1.0).seconds_for(-1.0)
+
+
+class TestLinkSpec:
+    def test_transfer_seconds(self):
+        link = LinkSpec("1GbE", bandwidth_bps=1e9)
+        assert link.transfer_seconds(64 * 12e6) == pytest.approx(0.768)
+
+    def test_latency(self):
+        link = LinkSpec("lat", bandwidth_bps=1e9, latency_s=0.001)
+        assert link.transfer_seconds(0) == pytest.approx(0.001)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(UnitError):
+            LinkSpec("bad", bandwidth_bps=0.0)
+
+
+class TestClusterSpec:
+    def test_total_flops(self):
+        cluster = ClusterSpec(xeon_e3_1240(), gigabit_ethernet(), workers=5)
+        assert cluster.total_effective_flops == pytest.approx(5 * 0.8 * 105.6e9)
+
+    def test_with_workers(self):
+        cluster = ClusterSpec(xeon_e3_1240(), gigabit_ethernet(), workers=5)
+        assert cluster.with_workers(9).workers == 9
+        assert cluster.workers == 5
+
+    def test_invalid_workers(self):
+        with pytest.raises(UnitError):
+            ClusterSpec(xeon_e3_1240(), gigabit_ethernet(), workers=0)
+
+
+class TestCatalog:
+    def test_xeon_matches_paper(self):
+        # Paper: 211.2 GFLOPS peak, 80% reachable; F = 0.8 * 105.6e9 double.
+        single = xeon_e3_1240(precision="single")
+        double = xeon_e3_1240(precision="double")
+        assert single.peak_flops == pytest.approx(211.2e9)
+        assert double.effective_flops == pytest.approx(0.8 * 105.6e9)
+
+    def test_xeon_invalid_precision(self):
+        with pytest.raises(UnitError):
+            xeon_e3_1240(precision="half")
+
+    def test_k40_matches_paper(self):
+        # Paper: 4.28 TFLOPS, 50% of peak reachable.
+        gpu = nvidia_k40()
+        assert gpu.peak_flops == pytest.approx(4.28e12)
+        assert gpu.effective_flops == pytest.approx(0.5 * 4.28e12)
+
+    def test_gigabit_matches_paper(self):
+        assert gigabit_ethernet().bandwidth_bps == pytest.approx(1e9)
+
+    def test_dl980_core_count(self):
+        host = proliant_dl980()
+        assert host.cores == 80
+
+    def test_lookup_known(self):
+        assert lookup("xeon-e3-1240").name.startswith("Xeon")
+        assert lookup("1GbE").bandwidth_bps == pytest.approx(1e9)
+
+    def test_lookup_unknown_lists_options(self):
+        with pytest.raises(UnitError) as excinfo:
+            lookup("cray-1")
+        assert "xeon-e3-1240" in str(excinfo.value)
+
+    def test_catalog_names_sorted(self):
+        names = catalog_names()
+        assert list(names) == sorted(names)
+        assert "nvidia-k40" in names
+
+
+class TestSharedMemoryMachine:
+    def test_overhead_zero_for_single_worker(self):
+        host = SharedMemoryMachineSpec("host", cores=8, core_flops=1e9, sync_overhead_s=1.0)
+        assert host.overhead_seconds(1) == 0.0
+
+    def test_overhead_grows_with_workers(self):
+        host = SharedMemoryMachineSpec(
+            "host", cores=8, core_flops=1e9, sync_overhead_s=0.5, per_worker_overhead_s=0.1
+        )
+        assert host.overhead_seconds(4) == pytest.approx(0.9)
+        assert host.overhead_seconds(8) == pytest.approx(1.3)
+
+    def test_invalid_cores(self):
+        with pytest.raises(UnitError):
+            SharedMemoryMachineSpec("host", cores=0, core_flops=1e9)

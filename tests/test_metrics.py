@@ -1,0 +1,70 @@
+"""Tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.metrics import (
+    mape,
+    max_absolute_percentage_error,
+    r_squared,
+    relative_error,
+    rmse,
+)
+
+
+class TestMape:
+    def test_perfect_prediction(self):
+        assert mape([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        assert mape([1.0, 2.0], [1.1, 1.8]) == pytest.approx(10.0)
+
+    def test_symmetric_in_sign_of_error(self):
+        assert mape([10.0], [9.0]) == mape([10.0], [11.0])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ModelError):
+            mape([0.0, 1.0], [1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            mape([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            mape([], [])
+
+
+class TestRmse:
+    def test_perfect(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx((12.5) ** 0.5)
+
+
+class TestMaxPctError:
+    def test_picks_worst_point(self):
+        assert max_absolute_percentage_error([1.0, 10.0], [1.5, 10.1]) == pytest.approx(50.0)
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        assert r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_mean_prediction_gives_zero(self):
+        assert r_squared([1.0, 2.0, 3.0], [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_actual_rejected(self):
+        with pytest.raises(ModelError):
+            r_squared([2.0, 2.0], [1.0, 3.0])
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(10.0, 12.0) == pytest.approx(0.2)
+        assert relative_error(10.0, 8.0) == pytest.approx(-0.2)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ModelError):
+            relative_error(0.0, 1.0)

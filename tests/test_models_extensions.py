@@ -1,0 +1,237 @@
+"""Tests for the future-work extensions: async SGD and convergence trade-offs."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError, TrainingError
+from repro.models.asynchronous import AsyncSGDModel
+from repro.models.convergence import (
+    CriticalBatchRule,
+    TimeToAccuracyModel,
+    fit_critical_batch,
+    measure_iterations_to_target,
+)
+from repro.models.deep_learning import chen_inception_figure3_model
+from repro.nn.data import gaussian_blobs
+from repro.nn.layers import Affine, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+
+
+def async_model(**overrides) -> AsyncSGDModel:
+    # 10 GbE default so the server link saturates at ~6.6 workers,
+    # leaving a visible worker-bound regime to test.
+    defaults = dict(
+        operations_per_sample=15e9,
+        batch_size=128,
+        flops=0.5 * 4.28e12,
+        parameters=25e6,
+        bandwidth_bps=10e9,
+        bits_per_parameter=32,
+    )
+    defaults.update(overrides)
+    return AsyncSGDModel(**defaults)
+
+
+class TestAsyncSGDModel:
+    def test_worker_cycle_components(self):
+        model = async_model()
+        compute = 15e9 * 128 / (0.5 * 4.28e12)
+        transfer = 32 * 25e6 / 10e9
+        assert model.worker_cycle_seconds() == pytest.approx(compute + 2 * transfer)
+        assert model.server_seconds_per_update() == pytest.approx(2 * transfer)
+
+    def test_throughput_worker_bound_then_server_bound(self):
+        model = async_model()
+        saturation = model.saturation_workers
+        below = int(saturation) - 1
+        above = int(saturation) + 5
+        assert model.updates_per_second(below) == pytest.approx(
+            below / model.worker_cycle_seconds()
+        )
+        assert model.updates_per_second(above) == pytest.approx(
+            1.0 / model.server_seconds_per_update()
+        )
+
+    def test_speedup_saturates_at_server_link(self):
+        model = async_model()
+        n_sat = int(model.saturation_workers) + 2
+        assert model.speedup(n_sat) == pytest.approx(model.speedup(n_sat + 10))
+
+    def test_sharded_server_raises_ceiling(self):
+        single = async_model()
+        sharded = async_model(server_links=4)
+        assert sharded.saturation_workers == pytest.approx(4 * single.saturation_workers)
+
+    def test_sync_overtakes_async_at_scale(self):
+        """Chen et al. (the paper's Figure 3 source) argue synchronous
+        SGD beats async at scale; the models agree: async throughput
+        flatlines at the server link while the log-tree sync model keeps
+        scaling.  (Sync per-instance time here is superstep/(S*n) so the
+        two metrics are commensurate.)"""
+        sync = chen_inception_figure3_model()
+        asyncm = async_model(bandwidth_bps=1e9)  # the paper's 1 GbE
+        n = 64
+        sync_per_instance = sync.superstep_time(n) / (128 * n)
+        assert sync_per_instance < asyncm.time(n)
+
+    def test_async_scales_linearly_until_saturation(self):
+        model = async_model()
+        below = int(model.saturation_workers)  # ~6
+        assert model.speedup(below) == pytest.approx(below, rel=0.1)
+
+    def test_staleness_grows_linearly(self):
+        model = async_model()
+        assert model.mean_staleness(1) == 0.0
+        assert model.mean_staleness(9) == 8.0
+
+    def test_statistical_efficiency_free_without_penalty(self):
+        model = async_model(staleness_penalty=0.0)
+        assert model.statistical_efficiency(100) == 1.0
+        assert model.effective_time(10) == model.time(10)
+
+    def test_penalty_caps_effective_speedup(self):
+        model = async_model(staleness_penalty=0.05)
+        grid = list(range(1, 3 * int(model.saturation_workers)))
+        effective = [model.effective_speedup(n) for n in grid]
+        raw = [model.speedup(n) for n in grid]
+        assert all(e <= r + 1e-9 for e, r in zip(effective, raw))
+        # With the penalty there is an interior optimum: past saturation
+        # extra workers only add staleness.
+        best = max(range(len(effective)), key=lambda i: effective[i])
+        assert 0 < best < len(effective) - 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            async_model(staleness_penalty=-1.0)
+        with pytest.raises(ModelError):
+            async_model(server_links=0)
+        with pytest.raises(ModelError):
+            async_model().updates_per_second(0)
+
+
+class TestCriticalBatchRule:
+    def test_iterations_halve_well_below_critical(self):
+        rule = CriticalBatchRule(iterations_floor=100, critical_batch=10000)
+        assert rule.iterations(100) / rule.iterations(200) == pytest.approx(2.0, rel=0.02)
+
+    def test_iterations_floor_above_critical(self):
+        rule = CriticalBatchRule(iterations_floor=100, critical_batch=100)
+        assert rule.iterations(1e9) == pytest.approx(100, rel=0.01)
+
+    def test_inflation_relative(self):
+        rule = CriticalBatchRule(iterations_floor=100, critical_batch=1000)
+        assert rule.inflation(1000, 1000) == pytest.approx(1.0)
+        assert rule.inflation(100, 1000) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            CriticalBatchRule(0, 1)
+        with pytest.raises(ModelError):
+            CriticalBatchRule(1, 1).iterations(0)
+
+
+class TestTimeToAccuracy:
+    def make(self, critical_batch=512.0):
+        sync = chen_inception_figure3_model()
+        return TimeToAccuracyModel(
+            superstep_time=sync.superstep_time,
+            batch_for_workers=lambda n: 128.0 * n,
+            rule=CriticalBatchRule(iterations_floor=1000, critical_batch=critical_batch),
+        )
+
+    def test_tta_speedup_never_exceeds_throughput_speedup(self):
+        model = self.make()
+        for n in (2, 4, 8, 16, 64, 256):
+            assert model.speedup(n) <= model.throughput_speedup(n) + 1e-9
+
+    def test_tta_saturates_when_batch_exceeds_critical(self):
+        model = self.make(critical_batch=512.0)  # reached at n = 4
+        assert model.speedup(256) / model.speedup(64) < 1.6
+        assert model.throughput_speedup(256) / model.throughput_speedup(64) > 2.0
+
+    def test_large_critical_batch_recovers_throughput_scaling(self):
+        generous = self.make(critical_batch=1e9)
+        for n in (4, 64):
+            assert generous.speedup(n) == pytest.approx(
+                generous.throughput_speedup(n), rel=0.01
+            )
+
+
+class TestFitCriticalBatch:
+    def test_recovers_known_rule(self):
+        rule = CriticalBatchRule(iterations_floor=200, critical_batch=64)
+        batches = np.array([8, 16, 32, 64, 128, 256])
+        iterations = np.array([rule.iterations(b) for b in batches])
+        fitted = fit_critical_batch(batches, iterations)
+        assert fitted.iterations_floor == pytest.approx(200, rel=1e-6)
+        assert fitted.critical_batch == pytest.approx(64, rel=1e-6)
+
+    def test_rejects_non_decreasing_data(self):
+        with pytest.raises(ModelError):
+            fit_critical_batch(np.array([8, 16, 32]), np.array([10, 20, 40]))
+
+    def test_rejects_bad_vectors(self):
+        with pytest.raises(ModelError):
+            fit_critical_batch(np.array([8]), np.array([10]))
+
+
+class TestEmpiricalConvergence:
+    @staticmethod
+    def noisy_regression():
+        from repro.nn.data import Dataset
+        from repro.nn.losses import MeanSquaredError
+
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(2048, 16))
+        true_weights = rng.normal(size=(16, 1))
+        targets = inputs @ true_weights + rng.normal(0.0, 0.5, size=(2048, 1))
+        data = Dataset(inputs=inputs, targets=targets, labels=np.zeros(2048, dtype=int))
+        return data, MeanSquaredError()
+
+    @staticmethod
+    def linear_factory() -> Sequential:
+        return Sequential([Affine(16, 1, rng=np.random.default_rng(7), use_bias=False)])
+
+    def test_real_training_shows_diminishing_returns(self):
+        """Actual mini-batch SGD on noisy regression: iterations to
+        target fall with batch size but saturate — the trade-off the
+        paper's future work names."""
+        data, loss = self.noisy_regression()
+        measured = measure_iterations_to_target(
+            self.linear_factory, data, loss, batch_sizes=[4, 16, 64],
+            target_loss=0.285, learning_rate=0.05, max_steps=30000, seed=1,
+        )
+        # Bigger batches need fewer steps (gradient noise shrinks) ...
+        assert measured[4] > measured[16] >= measured[64]
+        # ... but 16x more batch does not buy 16x fewer steps.
+        assert measured[4] / measured[64] < 16.0
+
+    def test_fit_on_real_measurements(self):
+        """The critical-batch rule fits the measured curve with a
+        positive floor and critical batch."""
+        data, loss = self.noisy_regression()
+        batch_sizes = [4, 8, 16, 32, 64, 128]
+        measured = measure_iterations_to_target(
+            self.linear_factory, data, loss, batch_sizes,
+            target_loss=0.285, learning_rate=0.05, max_steps=30000, seed=1,
+        )
+        rule = fit_critical_batch(
+            np.array(batch_sizes, dtype=float),
+            np.array([measured[b] for b in batch_sizes], dtype=float),
+        )
+        assert rule.iterations_floor > 0
+        assert rule.critical_batch > 1.0
+
+    def test_unreachable_target_raises(self):
+        data = gaussian_blobs(samples=64, features=4, classes=2, separation=0.1, seed=3)
+        loss = SoftmaxCrossEntropy()
+
+        def factory() -> Sequential:
+            return Sequential([Affine(4, 2, rng=np.random.default_rng(0))])
+
+        with pytest.raises(TrainingError):
+            measure_iterations_to_target(
+                factory, data, loss, batch_sizes=[16], target_loss=1e-9,
+                max_steps=50,
+            )

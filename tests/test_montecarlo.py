@@ -1,0 +1,122 @@
+"""Tests for the paper's Monte-Carlo max-edges estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import GraphError
+from repro.graph.generators import complete, dns_like, erdos_renyi
+from repro.graph.graph import DegreeSequence
+from repro.graph.montecarlo import (
+    estimate_max_edges,
+    expected_duplicate_edges,
+    max_edges_curve,
+    perfect_balance_edges,
+)
+
+
+class TestEdupFormula:
+    def test_paper_formula_verbatim(self):
+        # Edup = 1/2 (V/n - 1)(V/n) * E / (V(V-1)/2).
+        V, E, n = 1000, 5000, 10
+        per_worker = V / n
+        expected = 0.5 * (per_worker - 1) * per_worker * E / (V * (V - 1) / 2)
+        assert expected_duplicate_edges(V, E, n) == pytest.approx(expected)
+
+    def test_single_worker_counts_all_edges_twice(self):
+        # With n = 1, Edup is the expected number of intra-worker edges,
+        # which is every edge.
+        V, E = 100, 300
+        assert expected_duplicate_edges(V, E, 1) == pytest.approx(E, rel=0.02)
+
+    def test_decreases_with_workers(self):
+        values = [expected_duplicate_edges(1000, 5000, n) for n in (1, 2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphError):
+            expected_duplicate_edges(1, 10, 2)
+        with pytest.raises(GraphError):
+            expected_duplicate_edges(10, -1, 2)
+        with pytest.raises(GraphError):
+            expected_duplicate_edges(10, 5, 0)
+
+
+class TestEstimator:
+    def test_single_worker_exact(self):
+        graph = erdos_renyi(200, 800, seed=0)
+        estimate = estimate_max_edges(graph, workers=1, trials=3, seed=0)
+        assert estimate.mean == graph.edge_count
+        assert estimate.std == 0.0
+
+    def test_uniform_graph_estimate_close_to_exact(self):
+        # On a near-regular graph, max_i(E_i) should be close to the exact
+        # expected incident edges of the heaviest worker.
+        graph = erdos_renyi(2000, 10000, seed=1)
+        estimate = estimate_max_edges(graph, workers=4, trials=30, seed=2)
+        # Bounds: perfect balance E/n below, degree-sum/n above.
+        assert estimate.mean > graph.edge_count / 4
+        assert estimate.mean < 2 * graph.edge_count / 4
+
+    def test_accepts_degree_sequence_directly(self):
+        sequence = DegreeSequence(np.array([4] * 100))
+        estimate = estimate_max_edges(sequence, workers=5, trials=5, seed=0)
+        assert estimate.workers == 5
+        assert estimate.trials == 5
+        assert len(estimate.samples) == 5
+
+    def test_deterministic_by_seed(self):
+        workload = dns_like("16k", seed=0)
+        a = estimate_max_edges(workload.degree_sequence, 8, trials=4, seed=7)
+        b = estimate_max_edges(workload.degree_sequence, 8, trials=4, seed=7)
+        assert a.samples == b.samples
+
+    def test_heavy_tail_shows_imbalance(self):
+        workload = dns_like("16k", seed=0)
+        sequence = workload.degree_sequence
+        estimate = estimate_max_edges(sequence, workers=64, trials=5, seed=0)
+        balanced = perfect_balance_edges(sequence, 64)
+        assert estimate.mean > 1.5 * balanced  # hubs overload one worker
+
+    def test_hub_floor(self):
+        # One worker must hold the hub, so max load >= hub degree - Edup.
+        workload = dns_like("16k", seed=0)
+        sequence = workload.degree_sequence
+        estimate = estimate_max_edges(sequence, workers=80, trials=5, seed=0)
+        assert estimate.mean >= sequence.max_degree * 0.9
+
+    def test_relative_std_small_for_many_trials(self):
+        graph = erdos_renyi(500, 2000, seed=3)
+        estimate = estimate_max_edges(graph, workers=4, trials=50, seed=1)
+        assert estimate.relative_std < 0.1
+
+    def test_invalid_inputs(self):
+        graph = complete(5)
+        with pytest.raises(GraphError):
+            estimate_max_edges(graph, workers=0)
+        with pytest.raises(GraphError):
+            estimate_max_edges(graph, workers=2, trials=0)
+
+
+class TestCurve:
+    def test_monotone_decreasing_mean(self):
+        workload = dns_like("16k", seed=0)
+        curve = max_edges_curve(workload.degree_sequence, [1, 2, 4, 8, 16], trials=5, seed=0)
+        values = [curve[n] for n in (1, 2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_speedup_from_curve_saturates(self):
+        # The Figure 4 story: speedup = E / max_i(E_i) grows sublinearly.
+        workload = dns_like("16k", seed=0)
+        sequence = workload.degree_sequence
+        curve = max_edges_curve(sequence, [1, 16, 64], trials=5, seed=0)
+        s16 = curve[1] / curve[16]
+        s64 = curve[1] / curve[64]
+        assert s16 < 16
+        assert s64 < 64
+        assert s64 > s16
+
+    def test_perfect_balance_floor(self):
+        graph = erdos_renyi(300, 900, seed=0)
+        assert perfect_balance_edges(graph, 3) == pytest.approx(300.0)
+        with pytest.raises(GraphError):
+            perfect_balance_edges(graph, 0)

@@ -1,0 +1,112 @@
+"""Tests for pairwise MRFs and exact enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InferenceError
+from repro.graph.generators import grid_2d, path, star
+from repro.graph.graph import Graph
+from repro.mrf.exact import exact_map, exact_marginals
+from repro.mrf.model import PairwiseMRF, ising_mrf, random_mrf
+
+
+def tiny_chain() -> PairwiseMRF:
+    return random_mrf(path(3), states=2, seed=0)
+
+
+class TestPairwiseMRF:
+    def test_shapes_and_properties(self):
+        mrf = tiny_chain()
+        assert mrf.vertex_count == 3
+        assert mrf.edge_count == 2
+        assert mrf.states == 2
+
+    def test_edge_index_canonical(self):
+        mrf = tiny_chain()
+        index = mrf.edge_index()
+        assert set(index) == {(0, 1), (1, 2)}
+
+    def test_joint_unnormalised_matches_manual(self):
+        graph = path(2)
+        unary = np.array([[1.0, 2.0], [3.0, 4.0]])
+        pairwise = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        mrf = PairwiseMRF(graph, unary, pairwise)
+        # x = (1, 0): phi_0(1)*phi_1(0)*psi(1,0) = 2*3*3.
+        assert mrf.joint_unnormalised(np.array([1, 0])) == pytest.approx(18.0)
+
+    def test_nonpositive_potentials_rejected(self):
+        graph = path(2)
+        with pytest.raises(InferenceError):
+            PairwiseMRF(graph, np.zeros((2, 2)), np.ones((1, 2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        graph = path(3)
+        with pytest.raises(InferenceError):
+            PairwiseMRF(graph, np.ones((3, 2)), np.ones((1, 2, 2)))  # E=2 but one matrix
+
+    def test_single_state_rejected(self):
+        with pytest.raises(InferenceError):
+            PairwiseMRF(path(2), np.ones((2, 1)), np.ones((1, 1, 1)))
+
+    def test_assignment_validation(self):
+        mrf = tiny_chain()
+        with pytest.raises(InferenceError):
+            mrf.joint_unnormalised(np.array([0, 1]))  # wrong length
+        with pytest.raises(InferenceError):
+            mrf.joint_unnormalised(np.array([0, 1, 2]))  # state out of range
+
+
+class TestGenerators:
+    def test_ising_attractive_favours_agreement(self):
+        mrf = ising_mrf(path(2), coupling=1.0)
+        psi = mrf.pairwise[0]
+        assert psi[0, 0] > psi[0, 1]
+        assert psi[1, 1] > psi[1, 0]
+
+    def test_ising_repulsive_favours_disagreement(self):
+        mrf = ising_mrf(path(2), coupling=-1.0)
+        psi = mrf.pairwise[0]
+        assert psi[0, 1] > psi[0, 0]
+
+    def test_ising_field_biases_state_zero(self):
+        mrf = ising_mrf(path(2), coupling=0.5, field=1.0)
+        assert mrf.unary[0, 0] > mrf.unary[0, 1]
+
+    def test_random_mrf_deterministic(self):
+        a = random_mrf(grid_2d(2, 2), seed=5)
+        b = random_mrf(grid_2d(2, 2), seed=5)
+        assert np.array_equal(a.unary, b.unary)
+        assert np.array_equal(a.pairwise, b.pairwise)
+
+    def test_random_mrf_multistate(self):
+        mrf = random_mrf(path(3), states=4, seed=0)
+        assert mrf.states == 4
+        assert mrf.pairwise.shape == (2, 4, 4)
+
+
+class TestExactInference:
+    def test_independent_vertices_marginals(self):
+        # Neutral pairwise potential: marginals equal normalised unaries.
+        graph = path(2)
+        unary = np.array([[1.0, 3.0], [2.0, 2.0]])
+        pairwise = np.ones((1, 2, 2))
+        marginals = exact_marginals(PairwiseMRF(graph, unary, pairwise))
+        assert marginals[0] == pytest.approx([0.25, 0.75])
+        assert marginals[1] == pytest.approx([0.5, 0.5])
+
+    def test_marginals_sum_to_one(self):
+        marginals = exact_marginals(random_mrf(grid_2d(2, 3), seed=2))
+        assert np.allclose(marginals.sum(axis=1), 1.0)
+
+    def test_strong_attraction_aligns_map(self):
+        mrf = ising_mrf(star(3), coupling=3.0, field=0.5)
+        assignment = exact_map(mrf)
+        assert np.all(assignment == assignment[0])
+        assert assignment[0] == 0  # field prefers state 0
+
+    def test_enumeration_budget_guard(self):
+        big = random_mrf(grid_2d(6, 6), seed=0)  # 2^36 assignments
+        with pytest.raises(InferenceError):
+            exact_marginals(big)
+        with pytest.raises(InferenceError):
+            exact_map(big)

@@ -1,0 +1,172 @@
+"""Tests for convolution/pooling layers, incl. gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ArchitectureError
+from repro.nn.conv import AvgPool2D, Conv2D, MaxPool2D, conv_output_size
+
+from tests.nn_gradcheck import numeric_gradient, relative_difference
+
+RNG = np.random.default_rng(7)
+
+
+class TestConvOutputSize:
+    def test_paper_formula(self):
+        # c = (l - k + b)/s + 1 with integer division.
+        assert conv_output_size(299, 3, 2, 0) == 149
+        assert conv_output_size(147, 3, 1, 1) == 147
+        assert conv_output_size(71, 3, 2, 0) == 35
+
+    def test_integer_division(self):
+        assert conv_output_size(7, 2, 2, 0) == 3
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ArchitectureError):
+            conv_output_size(3, 5, 1, 0)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ArchitectureError):
+            conv_output_size(0, 1, 1, 0)
+
+
+class TestConv2DForward:
+    def test_matches_naive_convolution(self):
+        layer = Conv2D(2, 3, kernel=3, stride=1, padding=0, rng=np.random.default_rng(0))
+        inputs = RNG.normal(size=(2, 2, 5, 5))
+        output = layer.forward(inputs)
+        assert output.shape == (2, 3, 3, 3)
+        # Naive sliding-window reference.
+        expected = np.zeros_like(output)
+        for b in range(2):
+            for f in range(3):
+                for i in range(3):
+                    for j in range(3):
+                        window = inputs[b, :, i : i + 3, j : j + 3]
+                        expected[b, f, i, j] = np.sum(window * layer.weights[f])
+        assert np.allclose(output, expected)
+
+    def test_stride_and_padding_shapes(self):
+        layer = Conv2D(1, 4, kernel=3, stride=2, padding=1)
+        output = layer.forward(RNG.normal(size=(1, 1, 7, 7)))
+        assert output.shape == (1, 4, 4, 4)
+
+    def test_rectangular_kernel(self):
+        layer = Conv2D(3, 2, kernel=(1, 7), stride=1, padding=0)
+        output = layer.forward(RNG.normal(size=(1, 3, 9, 9)))
+        assert output.shape == (1, 2, 9, 3)
+
+    def test_bias_added_per_filter(self):
+        layer = Conv2D(1, 2, kernel=1, use_bias=True, rng=np.random.default_rng(1))
+        layer.bias[:] = [10.0, -10.0]
+        output = layer.forward(np.zeros((1, 1, 2, 2)))
+        assert np.allclose(output[0, 0], 10.0)
+        assert np.allclose(output[0, 1], -10.0)
+
+    def test_wrong_channels_rejected(self):
+        layer = Conv2D(3, 2, kernel=3)
+        with pytest.raises(ArchitectureError):
+            layer.forward(RNG.normal(size=(1, 4, 5, 5)))
+
+
+class TestConv2DGradients:
+    def test_input_gradient(self):
+        layer = Conv2D(2, 2, kernel=3, stride=2, padding=1, rng=np.random.default_rng(2))
+        inputs = RNG.normal(size=(2, 2, 5, 5))
+        output = layer.forward(inputs)
+        analytic = layer.backward(np.ones_like(output))
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), inputs)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+    def test_weight_gradient(self):
+        layer = Conv2D(2, 3, kernel=3, stride=1, padding=0, rng=np.random.default_rng(3))
+        inputs = RNG.normal(size=(2, 2, 5, 5))
+        output = layer.forward(inputs)
+        layer.backward(np.ones_like(output))
+        analytic = layer.grad_weights.copy()
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), layer.weights)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+    def test_bias_gradient(self):
+        layer = Conv2D(1, 2, kernel=3, use_bias=True, rng=np.random.default_rng(4))
+        inputs = RNG.normal(size=(2, 1, 5, 5))
+        output = layer.forward(inputs)
+        layer.backward(np.ones_like(output))
+        analytic = layer.grad_bias.copy()
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), layer.bias)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+    def test_rectangular_kernel_gradient(self):
+        layer = Conv2D(2, 2, kernel=(1, 3), rng=np.random.default_rng(5))
+        inputs = RNG.normal(size=(1, 2, 4, 6))
+        output = layer.forward(inputs)
+        analytic = layer.backward(np.ones_like(output))
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), inputs)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+
+class TestMaxPool:
+    def test_forward_picks_maxima(self):
+        layer = MaxPool2D(2)
+        inputs = np.arange(16.0).reshape(1, 1, 4, 4)
+        output = layer.forward(inputs)
+        assert np.array_equal(output[0, 0], np.array([[5.0, 7.0], [13.0, 15.0]]))
+
+    def test_overlapping_windows(self):
+        layer = MaxPool2D(3, stride=2)
+        inputs = RNG.normal(size=(1, 2, 7, 7))
+        assert layer.forward(inputs).shape == (1, 2, 3, 3)
+
+    def test_gradient_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        inputs = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer.forward(inputs)
+        grad = layer.backward(np.array([[[[7.0]]]]))
+        assert np.array_equal(grad, np.array([[[[0.0, 0.0], [0.0, 7.0]]]]))
+
+    def test_input_gradient_numeric(self):
+        layer = MaxPool2D(2, stride=2)
+        inputs = RNG.normal(size=(2, 2, 4, 4))
+        output = layer.forward(inputs)
+        analytic = layer.backward(np.ones_like(output))
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), inputs)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+    def test_padding_never_wins(self):
+        layer = MaxPool2D(3, stride=2, padding=1)
+        inputs = -np.ones((1, 1, 4, 4))  # all negative: padding zeros would win
+        output = layer.forward(inputs)
+        assert np.all(output == -1.0)
+
+    def test_non_image_rejected(self):
+        with pytest.raises(ArchitectureError):
+            MaxPool2D(2).forward(np.ones((2, 3)))
+
+
+class TestAvgPool:
+    def test_forward_averages(self):
+        layer = AvgPool2D(2)
+        inputs = np.arange(16.0).reshape(1, 1, 4, 4)
+        output = layer.forward(inputs)
+        assert np.array_equal(output[0, 0], np.array([[2.5, 4.5], [10.5, 12.5]]))
+
+    def test_global_average_pool(self):
+        layer = AvgPool2D(8)
+        inputs = RNG.normal(size=(2, 3, 8, 8))
+        output = layer.forward(inputs)
+        assert output.shape == (2, 3, 1, 1)
+        assert np.allclose(output[:, :, 0, 0], inputs.mean(axis=(2, 3)))
+
+    def test_input_gradient_numeric(self):
+        layer = AvgPool2D(2, stride=2)
+        inputs = RNG.normal(size=(1, 2, 4, 4))
+        output = layer.forward(inputs)
+        analytic = layer.backward(np.ones_like(output))
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), inputs)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+    def test_gradient_spreads_evenly(self):
+        layer = AvgPool2D(2)
+        layer.forward(np.ones((1, 1, 2, 2)))
+        grad = layer.backward(np.array([[[[4.0]]]]))
+        assert np.allclose(grad, 1.0)

@@ -1,0 +1,109 @@
+"""Tests for synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TrainingError
+from repro.nn.data import (
+    MNIST_INPUT_FEATURES,
+    MNIST_TRAIN_SIZE,
+    Dataset,
+    gaussian_blobs,
+    image_batch,
+    mnist_like,
+    one_hot,
+)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), classes=3)
+        assert np.array_equal(
+            encoded, np.array([[1.0, 0, 0], [0, 0, 1.0], [0, 1.0, 0]])
+        )
+
+    def test_rows_sum_to_one(self):
+        encoded = one_hot(np.arange(5) % 3, classes=3)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TrainingError):
+            one_hot(np.array([3]), classes=3)
+
+    def test_matrix_labels_rejected(self):
+        with pytest.raises(TrainingError):
+            one_hot(np.zeros((2, 2), dtype=int), classes=3)
+
+
+class TestGaussianBlobs:
+    def test_shapes(self):
+        data = gaussian_blobs(samples=50, features=4, classes=3, seed=0)
+        assert data.inputs.shape == (50, 4)
+        assert data.targets.shape == (50, 3)
+        assert data.labels.shape == (50,)
+        assert data.size == 50
+        assert data.classes == 3
+
+    def test_deterministic(self):
+        a = gaussian_blobs(samples=20, features=3, classes=2, seed=9)
+        b = gaussian_blobs(samples=20, features=3, classes=2, seed=9)
+        assert np.array_equal(a.inputs, b.inputs)
+
+    def test_separable_with_large_separation(self):
+        data = gaussian_blobs(samples=200, features=8, classes=2, separation=10.0, seed=1)
+        centers = [data.inputs[data.labels == c].mean(axis=0) for c in (0, 1)]
+        assert np.linalg.norm(centers[0] - centers[1]) > 5.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(TrainingError):
+            gaussian_blobs(samples=2, features=2, classes=5)
+
+
+class TestMnistLike:
+    def test_default_size_matches_paper_batch(self):
+        data = mnist_like(samples=100)
+        assert data.inputs.shape == (100, MNIST_INPUT_FEATURES)
+        assert MNIST_TRAIN_SIZE == 60000
+
+    def test_pixel_range(self):
+        data = mnist_like(samples=50, seed=3)
+        assert data.inputs.min() >= 0.0
+        assert data.inputs.max() <= 1.0
+
+    def test_ten_classes(self):
+        assert mnist_like(samples=30).classes == 10
+
+
+class TestSharding:
+    def test_shards_partition_dataset(self):
+        data = gaussian_blobs(samples=103, features=2, classes=2, seed=0)
+        shards = [data.shard(i, 4) for i in range(4)]
+        assert sum(s.size for s in shards) == data.size
+        rebuilt = np.concatenate([s.inputs for s in shards])
+        assert np.array_equal(rebuilt, data.inputs)
+
+    def test_shards_nearly_even(self):
+        data = gaussian_blobs(samples=103, features=2, classes=2, seed=0)
+        sizes = [data.shard(i, 4).size for i in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_shard_rejected(self):
+        data = gaussian_blobs(samples=10, features=2, classes=2, seed=0)
+        with pytest.raises(TrainingError):
+            data.shard(4, 4)
+        with pytest.raises(TrainingError):
+            data.shard(0, 0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TrainingError):
+            Dataset(np.zeros((3, 2)), np.zeros((2, 2)), np.zeros(3, dtype=int))
+
+
+class TestImageBatch:
+    def test_shape(self):
+        batch = image_batch(2, 3, 8, 8, seed=0)
+        assert batch.shape == (2, 3, 8, 8)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(TrainingError):
+            image_batch(0, 1, 8, 8)

@@ -1,0 +1,82 @@
+"""Tests for the paper's cost-counting formulas."""
+
+import pytest
+
+from repro.core.errors import ArchitectureError
+from repro.nn.flops import (
+    conv_forward_madds,
+    conv_weights,
+    dense_forward_madds,
+    dense_forward_operations,
+    dense_weights,
+    training_operations,
+)
+
+
+class TestDenseCounts:
+    def test_weights_with_bias(self):
+        assert dense_weights(784, 2500) == 784 * 2500 + 2500
+
+    def test_weights_without_bias(self):
+        assert dense_weights(784, 2500, use_bias=False) == 784 * 2500
+
+    def test_forward_operations_paper_units(self):
+        # The paper: "two matrix multiplications per layer, 2*ni*mi".
+        assert dense_forward_operations(784, 2500) == 2 * 784 * 2500
+
+    def test_forward_madds(self):
+        assert dense_forward_madds(784, 2500) == 784 * 2500
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ArchitectureError):
+            dense_weights(0, 10)
+
+
+class TestConvCounts:
+    def test_paper_formula_weights(self):
+        # n * (k*k*d): 32 feature maps of 3x3 over depth 3.
+        assert conv_weights(32, 3, 3, 3) == 32 * 9 * 3
+
+    def test_per_filter_bias(self):
+        assert conv_weights(32, 3, 3, 3, bias_mode="per_filter") == 32 * 9 * 3 + 32
+
+    def test_paper_per_pixel_bias(self):
+        # The paper's n*(k*k*d + c*c) form.
+        assert conv_weights(32, 3, 3, 3, 10, 10, bias_mode="per_pixel") == 32 * (9 * 3 + 100)
+
+    def test_per_pixel_bias_needs_output_dims(self):
+        with pytest.raises(ArchitectureError):
+            conv_weights(32, 3, 3, 3, bias_mode="per_pixel")
+
+    def test_unknown_bias_mode_rejected(self):
+        with pytest.raises(ArchitectureError):
+            conv_weights(32, 3, 3, 3, bias_mode="fancy")
+
+    def test_paper_formula_madds(self):
+        # n * (k*k*d*c*c): first Inception stem conv.
+        assert conv_forward_madds(32, 3, 3, 3, 149, 149) == 32 * 9 * 3 * 149 * 149
+
+    def test_rectangular_kernel(self):
+        assert conv_forward_madds(128, 1, 7, 128, 17, 17) == 128 * 7 * 128 * 17 * 17
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ArchitectureError):
+            conv_forward_madds(0, 3, 3, 3, 1, 1)
+
+
+class TestTrainingCost:
+    def test_three_forward_equivalents(self):
+        assert training_operations(10.0) == 30.0
+
+    def test_fc_training_is_6w(self):
+        # For a dense net: forward = 2W, training = 3*2W = 6W.
+        weights = 12e6
+        assert training_operations(2 * weights) == pytest.approx(6 * weights)
+
+    def test_inception_training_matches_figure3(self):
+        # Figure 3 uses C = 3 * 5e9.
+        assert training_operations(5e9) == pytest.approx(15e9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArchitectureError):
+            training_operations(-1.0)

@@ -1,0 +1,129 @@
+"""Tests for dense/activation layers, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ArchitectureError
+from repro.nn.layers import Affine, Flatten, ReLU, Sigmoid, Tanh
+
+from tests.nn_gradcheck import numeric_gradient, relative_difference
+
+RNG = np.random.default_rng(42)
+
+
+def check_input_gradient(layer, inputs, tolerance=1e-6):
+    """Numeric-vs-analytic check of dLoss/dInput for loss = sum(output)."""
+    output = layer.forward(inputs)
+    analytic = layer.backward(np.ones_like(output))
+    numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), inputs)
+    assert relative_difference(analytic, numeric) < tolerance
+
+
+class TestAffine:
+    def test_forward_matches_matmul(self):
+        layer = Affine(3, 2, rng=np.random.default_rng(0))
+        inputs = RNG.normal(size=(4, 3))
+        expected = inputs @ layer.weights + layer.bias
+        assert np.allclose(layer.forward(inputs), expected)
+
+    def test_input_gradient(self):
+        layer = Affine(4, 3, rng=np.random.default_rng(1))
+        check_input_gradient(layer, RNG.normal(size=(2, 4)))
+
+    def test_weight_gradient(self):
+        layer = Affine(4, 3, rng=np.random.default_rng(2))
+        inputs = RNG.normal(size=(2, 4))
+        layer.forward(inputs)
+        layer.backward(np.ones((2, 3)))
+        analytic = layer.grad_weights.copy()
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), layer.weights)
+        assert relative_difference(analytic, numeric) < 1e-6
+
+    def test_bias_gradient(self):
+        layer = Affine(4, 3, rng=np.random.default_rng(3))
+        inputs = RNG.normal(size=(5, 4))
+        layer.forward(inputs)
+        layer.backward(np.ones((5, 3)))
+        analytic = layer.grad_bias.copy()
+        numeric = numeric_gradient(lambda: float(layer.forward(inputs).sum()), layer.bias)
+        assert relative_difference(analytic, numeric) < 1e-6
+
+    def test_no_bias_variant(self):
+        layer = Affine(3, 2, rng=np.random.default_rng(4), use_bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+        assert layer.weight_count == 6
+
+    def test_weight_count_includes_bias(self):
+        layer = Affine(3, 2, rng=np.random.default_rng(5))
+        assert layer.weight_count == 3 * 2 + 2
+
+    def test_shape_mismatch_rejected(self):
+        layer = Affine(3, 2)
+        with pytest.raises(ArchitectureError):
+            layer.forward(RNG.normal(size=(4, 5)))
+
+    def test_backward_before_forward_rejected(self):
+        layer = Affine(3, 2)
+        with pytest.raises(ArchitectureError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_invalid_features_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Affine(0, 2)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [Sigmoid, Tanh, ReLU])
+    def test_input_gradient(self, layer_cls):
+        layer = layer_cls()
+        # Avoid ReLU's kink at zero by keeping values away from it.
+        inputs = RNG.normal(size=(3, 5)) + np.sign(RNG.normal(size=(3, 5))) * 0.1
+        check_input_gradient(layer, inputs, tolerance=1e-5)
+
+    def test_sigmoid_range_and_midpoint(self):
+        layer = Sigmoid()
+        output = layer.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert output[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert output[0, 1] == pytest.approx(0.5)
+        assert output[0, 2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_sigmoid_no_overflow_warnings(self):
+        layer = Sigmoid()
+        with np.errstate(over="raise"):
+            layer.forward(np.array([[-750.0, 750.0]]))
+
+    def test_tanh_matches_numpy(self):
+        layer = Tanh()
+        inputs = RNG.normal(size=(2, 3))
+        assert np.allclose(layer.forward(inputs), np.tanh(inputs))
+
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        output = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.array_equal(output, np.array([[0.0, 0.0, 2.0]]))
+
+    def test_relu_gradient_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, np.array([[0.0, 5.0]]))
+
+    @pytest.mark.parametrize("layer_cls", [Sigmoid, Tanh, ReLU])
+    def test_backward_before_forward_rejected(self, layer_cls):
+        with pytest.raises(ArchitectureError):
+            layer_cls().backward(np.ones((1, 1)))
+
+    @pytest.mark.parametrize("layer_cls", [Sigmoid, Tanh, ReLU])
+    def test_stateless_layers_have_no_weights(self, layer_cls):
+        assert layer_cls().weight_count == 0
+
+
+class TestFlatten:
+    def test_round_trip(self):
+        layer = Flatten()
+        inputs = RNG.normal(size=(2, 3, 4, 5))
+        flat = layer.forward(inputs)
+        assert flat.shape == (2, 60)
+        restored = layer.backward(flat)
+        assert np.array_equal(restored, inputs)

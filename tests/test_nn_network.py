@@ -1,0 +1,207 @@
+"""Tests for Sequential networks, losses, optimisers and training."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ArchitectureError, TrainingError
+from repro.nn.data import gaussian_blobs
+from repro.nn.layers import Affine, ReLU, Sigmoid
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optim import GradientDescent, MiniBatchSGD, Momentum
+from repro.nn.train import accuracy, train
+
+from tests.nn_gradcheck import numeric_gradient, relative_difference
+
+RNG = np.random.default_rng(11)
+
+
+def two_layer_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Affine(4, 8, rng=rng), Sigmoid(), Affine(8, 3, rng=rng)])
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = MeanSquaredError()
+        value = loss.forward(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert value == pytest.approx(2.5)
+
+    def test_mse_gradient_numeric(self):
+        loss = MeanSquaredError()
+        predictions = RNG.normal(size=(3, 4))
+        targets = RNG.normal(size=(3, 4))
+        loss.forward(predictions, targets)
+        analytic = loss.backward()
+        numeric = numeric_gradient(lambda: loss.forward(predictions, targets), predictions)
+        assert relative_difference(analytic, numeric) < 1e-6
+
+    def test_softmax_ce_uniform(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((1, 4))
+        targets = np.array([[1.0, 0.0, 0.0, 0.0]])
+        assert loss.forward(logits, targets) == pytest.approx(np.log(4.0))
+
+    def test_softmax_ce_gradient_numeric(self):
+        loss = SoftmaxCrossEntropy()
+        logits = RNG.normal(size=(3, 5))
+        labels = RNG.integers(0, 5, size=3)
+        targets = np.zeros((3, 5))
+        targets[np.arange(3), labels] = 1.0
+        loss.forward(logits, targets)
+        analytic = loss.backward()
+        numeric = numeric_gradient(lambda: loss.forward(logits, targets), logits)
+        assert relative_difference(analytic, numeric) < 1e-5
+
+    def test_softmax_ce_stable_for_large_logits(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1000.0, -1000.0]])
+        targets = np.array([[1.0, 0.0]])
+        assert loss.forward(logits, targets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ArchitectureError):
+            MeanSquaredError().forward(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestSequential:
+    def test_end_to_end_gradient_check(self):
+        network = two_layer_net(seed=3)
+        loss = SoftmaxCrossEntropy()
+        inputs = RNG.normal(size=(5, 4))
+        targets = np.zeros((5, 3))
+        targets[np.arange(5), RNG.integers(0, 3, size=5)] = 1.0
+
+        network.loss_and_gradients(inputs, targets, loss)
+        analytic = [g.copy() for g in network.gradients()]
+
+        def full_loss():
+            return loss.forward(network.forward(inputs), targets)
+
+        for param, grad in zip(network.parameters(), analytic):
+            numeric = numeric_gradient(full_loss, param)
+            assert relative_difference(grad, numeric) < 1e-5
+
+    def test_weight_count_sums_layers(self):
+        network = two_layer_net()
+        assert network.weight_count == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_flat_parameter_round_trip(self):
+        network = two_layer_net(seed=5)
+        flat = network.get_flat_parameters()
+        assert flat.size == network.weight_count
+        modified = flat + 1.0
+        network.set_flat_parameters(modified)
+        assert np.allclose(network.get_flat_parameters(), modified)
+
+    def test_flat_parameter_size_checked(self):
+        network = two_layer_net()
+        with pytest.raises(ArchitectureError):
+            network.set_flat_parameters(np.zeros(3))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Sequential([])
+
+
+class TestOptimizers:
+    def test_gradient_descent_step(self):
+        param = np.array([1.0, 2.0])
+        GradientDescent(0.5).step([param], [np.array([2.0, -2.0])])
+        assert np.allclose(param, [0.0, 3.0])
+
+    def test_momentum_accumulates(self):
+        param = np.array([0.0])
+        optimizer = Momentum(learning_rate=1.0, momentum=0.5)
+        optimizer.step([param], [np.array([1.0])])
+        assert np.allclose(param, [-1.0])
+        optimizer.step([param], [np.array([1.0])])
+        # velocity = 0.5*(-1) - 1 = -1.5.
+        assert np.allclose(param, [-2.5])
+
+    def test_minibatch_sampling_shapes(self):
+        optimizer = MiniBatchSGD(0.1, batch_size=4, rng=np.random.default_rng(0))
+        inputs = RNG.normal(size=(10, 3))
+        targets = RNG.normal(size=(10, 2))
+        batch_in, batch_out = optimizer.sample_batch(inputs, targets)
+        assert batch_in.shape == (4, 3)
+        assert batch_out.shape == (4, 2)
+
+    def test_minibatch_empty_dataset_rejected(self):
+        optimizer = MiniBatchSGD(0.1, batch_size=4, rng=np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            optimizer.sample_batch(np.empty((0, 3)), np.empty((0, 2)))
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(TrainingError):
+            GradientDescent(0.0)
+
+    def test_mismatched_grads_rejected(self):
+        with pytest.raises(TrainingError):
+            GradientDescent(0.1).step([np.zeros(2)], [])
+
+
+class TestTraining:
+    def test_batch_gd_reduces_loss_on_blobs(self):
+        data = gaussian_blobs(samples=120, features=5, classes=3, seed=1)
+        rng = np.random.default_rng(2)
+        network = Sequential([Affine(5, 16, rng=rng), ReLU(), Affine(16, 3, rng=rng)])
+        history = train(
+            network,
+            data.inputs,
+            data.targets,
+            SoftmaxCrossEntropy(),
+            GradientDescent(0.5),
+            steps=60,
+        )
+        assert history.losses[-1] < history.losses[0] * 0.5
+        assert accuracy(network, data.inputs, data.labels) > 0.8
+
+    def test_minibatch_sgd_learns(self):
+        data = gaussian_blobs(samples=200, features=4, classes=2, seed=3)
+        rng = np.random.default_rng(4)
+        network = Sequential([Affine(4, 8, rng=rng), ReLU(), Affine(8, 2, rng=rng)])
+        optimizer = MiniBatchSGD(0.3, batch_size=32, rng=np.random.default_rng(5))
+        train(network, data.inputs, data.targets, SoftmaxCrossEntropy(), optimizer, steps=150)
+        assert accuracy(network, data.inputs, data.labels) > 0.85
+
+    def test_convergence_stops_early(self):
+        data = gaussian_blobs(samples=60, features=3, classes=2, seed=6)
+        rng = np.random.default_rng(7)
+        network = Sequential([Affine(3, 2, rng=rng)])
+        history = train(
+            network,
+            data.inputs,
+            data.targets,
+            SoftmaxCrossEntropy(),
+            GradientDescent(0.2),
+            steps=5000,
+            convergence_delta=1e-4,
+        )
+        assert history.converged
+        assert history.steps < 5000
+
+    def test_divergence_detected(self):
+        data = gaussian_blobs(samples=60, features=3, classes=2, seed=8)
+        rng = np.random.default_rng(9)
+        network = Sequential([Affine(3, 2, rng=rng)])
+        with np.errstate(over="ignore", invalid="ignore"), pytest.raises(TrainingError):
+            train(
+                network,
+                data.inputs * 1e6,
+                data.targets,
+                MeanSquaredError(),
+                GradientDescent(1e6),
+                steps=50,
+            )
+
+    def test_nan_inputs_rejected(self):
+        network = two_layer_net()
+        bad = np.full((2, 4), np.nan)
+        targets = np.zeros((2, 3))
+        with pytest.raises(TrainingError):
+            train(network, bad, targets, MeanSquaredError(), GradientDescent(0.1), steps=1)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            accuracy(two_layer_net(), np.empty((0, 4)), np.empty(0, dtype=int))

@@ -1,0 +1,168 @@
+"""Tests for partitioners, load accounting and replication factors."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PartitionError
+from repro.graph.generators import complete, dns_like, grid_2d, star
+from repro.graph.graph import Graph
+from repro.graph.partition import (
+    PartitionStats,
+    VertexPartition,
+    block_partition,
+    degree_loads,
+    greedy_balanced_partition,
+    hash_partition,
+    incident_edges_per_worker,
+    random_partition,
+    replication_factor,
+)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda v, w: random_partition(v, w, seed=0),
+            lambda v, w: hash_partition(v, w),
+            lambda v, w: block_partition(v, w),
+        ],
+    )
+    def test_every_vertex_assigned_once(self, factory):
+        partition = factory(103, 7)
+        assert partition.vertex_count == 103
+        assert partition.counts().sum() == 103
+        assert partition.assignment.min() >= 0
+        assert partition.assignment.max() < 7
+
+    def test_block_partition_contiguous_and_even(self):
+        partition = block_partition(10, 3)
+        counts = partition.counts()
+        assert counts.sum() == 10
+        assert max(counts) - min(counts) <= 1
+        # Contiguity: assignment is non-decreasing.
+        assert np.all(np.diff(partition.assignment) >= 0)
+
+    def test_random_partition_deterministic_by_seed(self):
+        a = random_partition(50, 4, seed=9)
+        b = random_partition(50, 4, seed=9)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_vertices_of(self):
+        partition = block_partition(6, 2)
+        assert partition.vertices_of(0).tolist() == [0, 1, 2]
+        assert partition.vertices_of(1).tolist() == [3, 4, 5]
+
+    def test_greedy_balances_heavy_tail(self):
+        degrees = np.array([100, 1, 1, 1, 1, 1, 1, 1])
+        partition = greedy_balanced_partition(degrees, 2)
+        loads = degree_loads(partition, degrees)
+        # The hub goes alone; all small vertices share the other worker.
+        assert loads.max() == 100
+
+    def test_greedy_beats_random_on_imbalance(self):
+        workload = dns_like("16k", seed=0)
+        degrees = workload.degree_sequence.degrees
+        workers = 16
+        greedy = degree_loads(greedy_balanced_partition(degrees, workers), degrees)
+        random = degree_loads(random_partition(degrees.size, workers, seed=1), degrees)
+        assert greedy.max() < random.max()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PartitionError):
+            random_partition(0, 2)
+        with pytest.raises(PartitionError):
+            hash_partition(10, 0)
+        with pytest.raises(PartitionError):
+            VertexPartition(np.array([0, 5]), workers=2)
+
+
+class TestLoadAccounting:
+    def test_degree_loads_sum_to_double_edges(self):
+        graph = grid_2d(4, 4)
+        partition = random_partition(graph.vertex_count, 3, seed=0)
+        loads = degree_loads(partition, graph.degrees)
+        assert loads.sum() == 2 * graph.edge_count
+
+    def test_incident_edges_single_worker_is_all_edges(self):
+        graph = grid_2d(4, 4)
+        partition = VertexPartition(np.zeros(16, dtype=np.int64), workers=1)
+        counts = incident_edges_per_worker(graph, partition)
+        assert counts.tolist() == [graph.edge_count]
+
+    def test_incident_edges_cut_edges_count_twice(self):
+        # Path 0-1-2 split as {0,1} | {2}: worker0 sees both edges,
+        # worker1 sees the cut edge only.
+        graph = Graph.from_edges(3, np.array([[0, 1], [1, 2]]))
+        partition = VertexPartition(np.array([0, 0, 1]), workers=2)
+        counts = incident_edges_per_worker(graph, partition)
+        assert counts.tolist() == [2, 1]
+
+    def test_incident_edges_bounded_by_degree_loads(self):
+        workload = dns_like("16k", seed=0)
+        graph = workload.graph
+        partition = random_partition(graph.vertex_count, 8, seed=2)
+        incident = incident_edges_per_worker(graph, partition)
+        by_degree = degree_loads(partition, graph.degrees)
+        assert np.all(incident <= by_degree + 1e-9)
+
+    def test_mismatched_sizes_rejected(self):
+        graph = grid_2d(2, 2)
+        partition = random_partition(9, 2, seed=0)
+        with pytest.raises(PartitionError):
+            incident_edges_per_worker(graph, partition)
+        with pytest.raises(PartitionError):
+            degree_loads(partition, graph.degrees)
+
+
+class TestReplicationFactor:
+    def test_single_worker_no_replication(self):
+        graph = grid_2d(3, 3)
+        partition = VertexPartition(np.zeros(9, dtype=np.int64), workers=1)
+        assert replication_factor(graph, partition) == 0.0
+
+    def test_fully_cut_star(self):
+        # Star with hub on worker 0, all leaves on worker 1: the hub is
+        # replicated once (for worker 1) and each leaf once (for worker 0).
+        graph = star(4)
+        partition = VertexPartition(np.array([0, 1, 1, 1, 1]), workers=2)
+        # replicas = 4 leaves (for worker 0 is their owner... hub side) :
+        # worker0 needs 4 remote leaves, worker1 needs the hub once.
+        assert replication_factor(graph, partition) == pytest.approx(5 / 5)
+
+    def test_no_cut_edges_no_replication(self):
+        # Two disconnected triangles split along components.
+        edges = np.array([[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]])
+        graph = Graph.from_edges(6, edges)
+        partition = VertexPartition(np.array([0, 0, 0, 1, 1, 1]), workers=2)
+        assert replication_factor(graph, partition) == 0.0
+
+    def test_replication_grows_with_workers(self):
+        graph = complete(20)
+        r2 = replication_factor(graph, block_partition(20, 2))
+        r10 = replication_factor(graph, block_partition(20, 10))
+        assert r10 > r2
+
+    def test_complete_graph_full_replication(self):
+        # K_n, one vertex per worker: every worker needs all n-1 others.
+        graph = complete(6)
+        partition = VertexPartition(np.arange(6), workers=6)
+        assert replication_factor(graph, partition) == pytest.approx(5.0)
+
+
+class TestPartitionStats:
+    def test_stats_consistency(self):
+        workload = dns_like("16k", seed=0)
+        graph = workload.graph
+        partition = random_partition(graph.vertex_count, 8, seed=3)
+        stats = PartitionStats.of(graph, partition)
+        assert stats.workers == 8
+        assert stats.max_load >= stats.mean_load
+        assert stats.imbalance == pytest.approx(stats.max_load / stats.mean_load)
+        assert stats.replication > 0.0
+
+    def test_edgeless_graph_rejected(self):
+        graph = Graph(np.array([0, 0, 0]), np.array([], dtype=np.int64))
+        partition = VertexPartition(np.zeros(2, dtype=np.int64), workers=1)
+        with pytest.raises(PartitionError):
+            PartitionStats.of(graph, partition)

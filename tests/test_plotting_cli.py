@@ -1,0 +1,78 @@
+"""Tests for text rendering and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.errors import ExperimentError
+from repro.experiments.plotting import render_chart, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table([{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table([{"x": 0.123456789}], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_missing_keys_render_empty(self):
+        text = render_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text.splitlines()[3].split() == ["3"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table([])
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        chart = render_chart(
+            {"model": [(1, 1.0), (2, 1.8), (4, 3.0)], "exp": [(1, 1.0), (4, 2.5)]}
+        )
+        assert "*" in chart
+        assert "o" in chart
+        assert "model" in chart and "exp" in chart
+
+    def test_dimensions(self):
+        chart = render_chart({"s": [(1, 1.0), (10, 5.0)]}, width=40, height=10)
+        lines = chart.splitlines()
+        assert len(lines) == 10 + 3  # grid + axis + labels + legend
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_chart({})
+        with pytest.raises(ExperimentError):
+            render_chart({"s": []})
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_chart({"flat": [(1, 2.0), (5, 2.0)]})
+        assert "flat" in chart
+
+
+class TestCli:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure2" in output
+        assert "table1" in output
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Inception" in output
+
+    def test_run_unknown_fails_cleanly(self, capsys):
+        assert main(["run", "figure99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_quick_figure1(self, capsys):
+        assert main(["run", "figure1", "--quick"]) == 0
+        assert "peak_workers" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

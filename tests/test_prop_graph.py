@@ -1,0 +1,146 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, power_law_degrees
+from repro.graph.graph import DegreeSequence, Graph
+from repro.graph.montecarlo import (
+    estimate_max_edges,
+    expected_duplicate_edges,
+    perfect_balance_edges,
+)
+from repro.graph.partition import (
+    block_partition,
+    degree_loads,
+    greedy_balanced_partition,
+    hash_partition,
+    incident_edges_per_worker,
+    random_partition,
+    replication_factor,
+)
+
+
+@st.composite
+def small_graphs(draw):
+    """Random simple graphs with 3..30 vertices."""
+    vertex_count = draw(st.integers(min_value=3, max_value=30))
+    max_edges = vertex_count * (vertex_count - 1) // 2
+    edge_count = draw(st.integers(min_value=1, max_value=min(max_edges, 60)))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return erdos_renyi(vertex_count, edge_count, seed=seed)
+
+
+class TestGraphProperties:
+    @given(graph=small_graphs())
+    @settings(max_examples=40)
+    def test_handshake_lemma(self, graph):
+        assert graph.degrees.sum() == 2 * graph.edge_count
+
+    @given(graph=small_graphs())
+    @settings(max_examples=40)
+    def test_edges_round_trip(self, graph):
+        rebuilt = Graph.from_edges(graph.vertex_count, graph.edges())
+        assert np.array_equal(rebuilt.indptr, graph.indptr)
+        assert np.array_equal(np.sort(rebuilt.indices), np.sort(graph.indices))
+
+    @given(graph=small_graphs())
+    @settings(max_examples=40)
+    def test_neighbor_symmetry(self, graph):
+        for u in range(graph.vertex_count):
+            for v in graph.neighbors(u):
+                assert u in graph.neighbors(int(v))
+
+
+class TestPartitionProperties:
+    @given(graph=small_graphs(), workers=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40)
+    def test_degree_loads_conserve_total(self, graph, workers, seed):
+        partition = random_partition(graph.vertex_count, workers, seed=seed)
+        loads = degree_loads(partition, graph.degrees)
+        assert loads.sum() == pytest.approx(2 * graph.edge_count)
+
+    @given(graph=small_graphs(), workers=st.integers(min_value=1, max_value=8),
+           seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40)
+    def test_incident_edges_bounds(self, graph, workers, seed):
+        """E/n-ish lower bound, degree-load upper bound, and totals in
+        [E, 2E] (each edge counted once or twice)."""
+        partition = random_partition(graph.vertex_count, workers, seed=seed)
+        incident = incident_edges_per_worker(graph, partition)
+        by_degree = degree_loads(partition, graph.degrees)
+        assert np.all(incident <= by_degree + 1e-9)
+        assert graph.edge_count <= incident.sum() <= 2 * graph.edge_count
+
+    @given(graph=small_graphs(), workers=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=40)
+    def test_replication_bounds(self, graph, workers):
+        partition = hash_partition(graph.vertex_count, workers)
+        replication = replication_factor(graph, partition)
+        # Each vertex can be replicated to at most workers-1 other workers
+        # and no more than its degree distinct owners.
+        assert 0.0 <= replication <= workers - 1
+
+    @given(degrees_list=st.lists(st.integers(min_value=0, max_value=50), min_size=4, max_size=40),
+           workers=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40)
+    def test_greedy_meets_list_scheduling_guarantee(self, degrees_list, workers):
+        """Greedy list scheduling guarantees makespan <= mean load plus
+        the largest single item (Graham's bound)."""
+        degrees = np.asarray(degrees_list)
+        if degrees.sum() % 2 == 1:
+            degrees[0] += 1
+        greedy = degree_loads(greedy_balanced_partition(degrees, workers), degrees)
+        assert greedy.max() <= degrees.sum() / workers + degrees.max() + 1e-9
+
+
+class TestMonteCarloProperties:
+    @given(
+        vertex_count=st.integers(min_value=10, max_value=500),
+        workers=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40)
+    def test_edup_non_negative_and_bounded(self, vertex_count, workers):
+        edge_count = vertex_count * 2
+        value = expected_duplicate_edges(vertex_count, edge_count, workers)
+        assert 0.0 <= value <= edge_count * 1.01
+
+    @given(graph=small_graphs(), workers=st.integers(min_value=1, max_value=6),
+           seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=30)
+    def test_estimate_at_least_perfect_balance(self, graph, workers, seed):
+        """max_i(E_i) can never beat the perfect-balance floor by much
+        (the Edup correction may dip slightly below on tiny graphs)."""
+        estimate = estimate_max_edges(graph, workers, trials=5, seed=seed)
+        floor = perfect_balance_edges(graph, workers)
+        assert estimate.mean >= 0.5 * floor
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20)
+    def test_estimator_monotone_in_workers(self, seed):
+        sequence = power_law_degrees(2000, mean_degree=8.0, max_degree=100, seed=seed)
+        means = [
+            estimate_max_edges(sequence, workers, trials=5, seed=seed).mean
+            for workers in (1, 2, 4, 8)
+        ]
+        assert means == sorted(means, reverse=True)
+
+    @given(degree=st.integers(min_value=2, max_value=20),
+           count=st.integers(min_value=200, max_value=1000))
+    @settings(max_examples=30)
+    def test_regular_graph_estimate_near_expectation(self, degree, count):
+        """For a large d-regular degree sequence, Ernd_i concentrates
+        near 2E/n, so the corrected estimate stays within roughly
+        [0.8 * E/n, 1.4 * 2E/n] (the max of 4 bins sits a few standard
+        deviations above the mean bin)."""
+        if (degree * count) % 2 == 1:
+            count += 1
+        sequence = DegreeSequence(np.full(count, degree))
+        workers = 4
+        estimate = estimate_max_edges(sequence, workers, trials=10, seed=0)
+        lower = sequence.edge_count / workers
+        upper = 2 * sequence.edge_count / workers
+        assert lower * 0.8 <= estimate.mean <= upper * 1.4

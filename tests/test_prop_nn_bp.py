@@ -1,0 +1,138 @@
+"""Property-based tests for the NN cost formulas and loopy BP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import erdos_renyi, path
+from repro.mrf.bp import LoopyBP
+from repro.mrf.exact import exact_marginals
+from repro.mrf.model import random_mrf
+from repro.nn.conv import conv_output_size
+from repro.nn.flops import (
+    conv_forward_madds,
+    conv_weights,
+    dense_forward_madds,
+    dense_forward_operations,
+    dense_weights,
+    training_operations,
+)
+from repro.nn.layers import Affine, ReLU, Sigmoid, Tanh
+
+
+class TestCostFormulaProperties:
+    @given(
+        in_features=st.integers(min_value=1, max_value=4096),
+        out_features=st.integers(min_value=1, max_value=4096),
+    )
+    def test_dense_units_relation(self, in_features, out_features):
+        """Paper units are exactly twice the multiply-add count; weights
+        without bias equal the madds."""
+        assert dense_forward_operations(in_features, out_features) == 2 * dense_forward_madds(
+            in_features, out_features
+        )
+        assert dense_weights(in_features, out_features, use_bias=False) == dense_forward_madds(
+            in_features, out_features
+        )
+
+    @given(
+        maps=st.integers(min_value=1, max_value=64),
+        kernel=st.integers(min_value=1, max_value=7),
+        depth=st.integers(min_value=1, max_value=64),
+        out=st.integers(min_value=1, max_value=64),
+    )
+    def test_conv_cost_is_weights_times_positions(self, maps, kernel, depth, out):
+        """n*k*k*d*c*c factorises as (kernel weights) x (output positions)."""
+        madds = conv_forward_madds(maps, kernel, kernel, depth, out, out)
+        weights = conv_weights(maps, kernel, kernel, depth)
+        assert madds == weights * out * out
+
+    @given(
+        length=st.integers(min_value=1, max_value=512),
+        kernel=st.integers(min_value=1, max_value=11),
+        stride=st.integers(min_value=1, max_value=4),
+        padding=st.integers(min_value=0, max_value=5),
+    )
+    def test_conv_output_matches_window_enumeration(self, length, kernel, stride, padding):
+        """The paper's c = (l-k+b)/s + 1 equals counting sliding windows."""
+        padded = length + 2 * padding
+        if padded < kernel:
+            return  # geometry rejected by the library; nothing to compare
+        positions = len(range(0, padded - kernel + 1, stride))
+        assert conv_output_size(length, kernel, stride, padding) == positions
+
+    @given(forward=st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_training_is_three_forwards(self, forward):
+        assert training_operations(forward) == pytest.approx(3 * forward)
+
+
+class TestLayerProperties:
+    @given(
+        batch=st.integers(min_value=1, max_value=8),
+        features=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25)
+    def test_activations_preserve_shape_and_bound(self, batch, features, seed):
+        rng = np.random.default_rng(seed)
+        inputs = rng.normal(size=(batch, features)) * 3
+        sigmoid_out = Sigmoid().forward(inputs)
+        tanh_out = Tanh().forward(inputs)
+        relu_out = ReLU().forward(inputs)
+        assert sigmoid_out.shape == tanh_out.shape == relu_out.shape == inputs.shape
+        assert np.all((sigmoid_out >= 0) & (sigmoid_out <= 1))
+        assert np.all((tanh_out >= -1) & (tanh_out <= 1))
+        assert np.all(relu_out >= 0)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=6),
+        in_features=st.integers(min_value=1, max_value=10),
+        out_features=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25)
+    def test_affine_is_linear_in_inputs(self, batch, in_features, out_features, seed):
+        rng = np.random.default_rng(seed)
+        layer = Affine(in_features, out_features, rng=rng, use_bias=False)
+        a = rng.normal(size=(batch, in_features))
+        b = rng.normal(size=(batch, in_features))
+        combined = layer.forward(a + b)
+        separate = layer.forward(a) + layer.forward(b)
+        assert np.allclose(combined, separate)
+
+
+class TestBPProperties:
+    @given(
+        vertex_count=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=200),
+        states=st.integers(min_value=2, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tree_bp_matches_enumeration(self, vertex_count, seed, states):
+        mrf = random_mrf(path(vertex_count), states=states, seed=seed)
+        result = LoopyBP(mrf).run(max_iterations=60)
+        exact = exact_marginals(mrf)
+        assert np.allclose(result.beliefs, exact, atol=1e-7)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_beliefs_always_distributions(self, seed):
+        graph = erdos_renyi(12, 20, seed=seed)
+        if graph.edge_count == 0:
+            return
+        mrf = random_mrf(graph, states=2, seed=seed)
+        result = LoopyBP(mrf, damping=0.4).run(max_iterations=40)
+        assert np.all(result.beliefs >= -1e-12)
+        assert np.allclose(result.beliefs.sum(axis=1), 1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_damping_preserves_fixed_points(self, seed):
+        """If undamped BP converges, damped BP converges to the same
+        beliefs (damping changes the path, not the fixed point)."""
+        mrf = random_mrf(path(5), states=2, seed=seed)
+        plain = LoopyBP(mrf, damping=0.0).run(max_iterations=100, tolerance=1e-10)
+        damped = LoopyBP(mrf, damping=0.5).run(max_iterations=300, tolerance=1e-10)
+        if plain.converged and damped.converged:
+            assert np.allclose(plain.beliefs, damped.beliefs, atol=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for the simulator's RNG streams and trace records."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulate.rng import LogNormalJitter, stream
+from repro.simulate.trace import ComputeRecord, Trace, TransferRecord
+
+
+class TestStreams:
+    def test_same_name_same_draws(self):
+        a = stream(1, "jitter").random(5)
+        b = stream(1, "jitter").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = stream(1, "jitter").random(5)
+        b = stream(1, "partition").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = stream(1, "jitter").random(5)
+        b = stream(2, "jitter").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_nested_names(self):
+        a = stream(1, "bp", "trial-0").random(3)
+        b = stream(1, "bp", "trial-1").random(3)
+        assert not np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(SimulationError):
+            stream(-1, "x")
+
+
+class TestJitter:
+    def test_zero_sigma_is_exactly_one(self):
+        jitter = LogNormalJitter(0.0)
+        rng = stream(0, "test")
+        assert jitter.sample(rng) == 1.0
+        assert np.all(jitter.sample_many(rng, 10) == 1.0)
+
+    def test_median_near_one(self):
+        jitter = LogNormalJitter(0.2)
+        samples = jitter.sample_many(stream(0, "test"), 20000)
+        assert np.median(samples) == pytest.approx(1.0, rel=0.05)
+
+    def test_right_skew(self):
+        jitter = LogNormalJitter(0.5)
+        samples = jitter.sample_many(stream(0, "test"), 20000)
+        assert samples.mean() > np.median(samples)
+
+    def test_always_positive(self):
+        samples = LogNormalJitter(1.0).sample_many(stream(0, "test"), 1000)
+        assert np.all(samples > 0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(SimulationError):
+            LogNormalJitter(-0.1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            LogNormalJitter(0.1).sample_many(stream(0, "t"), -1)
+
+
+class TestTrace:
+    def test_records_and_summary(self):
+        trace = Trace()
+        trace.record_transfer(TransferRecord(0, 1, 8e6, 0.0, 1.0, tag="a"))
+        trace.record_transfer(TransferRecord(1, 2, 8e6, 1.0, 2.5))
+        trace.record_compute(ComputeRecord(1, 1e9, 0.0, 2.0))
+        summary = trace.summary()
+        assert summary["transfers"] == 2
+        assert summary["compute_tasks"] == 1
+        assert summary["total_bits"] == 16e6
+        assert summary["makespan"] == 2.5
+        assert trace.total_compute_seconds == 2.0
+
+    def test_busy_seconds_per_node(self):
+        trace = Trace()
+        trace.record_compute(ComputeRecord(3, 1.0, 0.0, 2.0))
+        trace.record_compute(ComputeRecord(3, 1.0, 2.0, 3.0))
+        trace.record_compute(ComputeRecord(4, 1.0, 0.0, 0.5))
+        assert trace.busy_seconds_of_node(3) == 3.0
+        assert trace.busy_seconds_of_node(4) == 0.5
+        assert trace.busy_seconds_of_node(9) == 0.0
+
+    def test_transfers_touching(self):
+        trace = Trace()
+        trace.record_transfer(TransferRecord(0, 1, 1.0, 0.0, 1.0))
+        trace.record_transfer(TransferRecord(2, 3, 1.0, 0.0, 1.0))
+        assert len(trace.transfers_touching(1)) == 1
+        assert len(trace.transfers_touching(5)) == 0
+
+    def test_durations(self):
+        record = TransferRecord(0, 1, 1.0, 2.0, 3.5)
+        assert record.duration == 1.5
+
+    def test_backwards_time_rejected(self):
+        with pytest.raises(SimulationError):
+            TransferRecord(0, 1, 1.0, 5.0, 4.0)
+        with pytest.raises(SimulationError):
+            ComputeRecord(0, 1.0, 5.0, 4.0)
+
+    def test_empty_summary(self):
+        assert Trace().summary()["makespan"] == 0.0

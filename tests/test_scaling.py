@@ -1,0 +1,133 @@
+"""Tests for repro.core.scaling — the two practitioner questions."""
+
+import pytest
+
+from repro.core.communication import TreeCommunication
+from repro.core.complexity import CommunicationCost, ComputationCost
+from repro.core.errors import ModelError
+from repro.core.model import BSPModel
+from repro.core.scaling import (
+    StrongScalingStudy,
+    WeakScalingStudy,
+    workers_for_speedup,
+    workers_for_time,
+    workers_to_absorb_growth,
+)
+
+
+def model_for_size(size: float) -> BSPModel:
+    """A GD-style model: compute proportional to input size, tree comm."""
+    return BSPModel(
+        ComputationCost(total_operations=1e9 * size, flops=1e9),
+        CommunicationCost(TreeCommunication(1e9), bits=2e9),
+    )
+
+
+class TestStrongScaling:
+    def test_curve_baseline_is_one(self):
+        study = StrongScalingStudy(model_for_size(64.0))
+        curve = study.curve(range(1, 17))
+        assert curve.speedup_at(1) == pytest.approx(1.0)
+
+    def test_decomposition_sums_to_total(self):
+        study = StrongScalingStudy(model_for_size(64.0))
+        for row in study.decomposition(range(1, 9)):
+            assert row["computation_s"] + row["communication_s"] == pytest.approx(row["time_s"])
+
+    def test_computation_falls_communication_rises(self):
+        # The Figure 1 narrative: per-node compute falls, comm grows.
+        study = StrongScalingStudy(model_for_size(64.0))
+        rows = study.decomposition([1, 2, 4, 8, 16])
+        comp = [row["computation_s"] for row in rows]
+        comm = [row["communication_s"] for row in rows]
+        assert comp == sorted(comp, reverse=True)
+        assert comm == sorted(comm)
+
+
+class TestWeakScaling:
+    def test_constant_per_worker_batch(self):
+        study = WeakScalingStudy(
+            model_for_size=model_for_size,
+            size_for_workers=lambda n: 128.0 * n,
+        )
+        # Per-unit time falls as n grows (log comm amortised over n units).
+        assert study.time_per_unit(16) < study.time_per_unit(2)
+
+    def test_curve_relative_to_nonunit_baseline(self):
+        study = WeakScalingStudy(
+            model_for_size=model_for_size,
+            size_for_workers=lambda n: 128.0 * n,
+        )
+        curve = study.curve([25, 50, 100], baseline_workers=50)
+        assert curve.speedup_at(50) == pytest.approx(1.0)
+        assert curve.speedup_at(100) > 1.0
+
+    def test_invalid_workers(self):
+        study = WeakScalingStudy(model_for_size, lambda n: 1.0)
+        with pytest.raises(ModelError):
+            study.time_per_unit(0)
+
+    def test_invalid_size(self):
+        study = WeakScalingStudy(model_for_size, lambda n: 0.0)
+        with pytest.raises(ModelError):
+            study.time_per_unit(1)
+
+
+class TestPlanners:
+    def test_workers_for_time(self):
+        model = model_for_size(64.0)
+        n = workers_for_time(model, target_seconds=20.0, max_workers=64)
+        assert n is not None
+        assert model.time(n) <= 20.0
+        assert n == min(
+            k for k in range(1, 65) if model.time(k) <= 20.0
+        )
+
+    def test_workers_for_time_unreachable(self):
+        model = model_for_size(64.0)
+        assert workers_for_time(model, target_seconds=1e-9, max_workers=64) is None
+
+    def test_workers_for_speedup(self):
+        model = model_for_size(64.0)
+        n = workers_for_speedup(model, target_speedup=4.0, max_workers=64)
+        assert n is not None
+        assert model.speedup(n) >= 4.0
+
+    def test_workers_for_speedup_beyond_peak_is_none(self):
+        model = model_for_size(64.0)
+        peak = model.grid(64).peak_speedup
+        assert workers_for_speedup(model, target_speedup=peak * 2, max_workers=64) is None
+
+    def test_absorb_growth(self):
+        # Workload doubles; find the cluster size keeping time flat.
+        n = workers_to_absorb_growth(
+            model_for_size,
+            current_size=64.0,
+            current_workers=4,
+            growth_factor=2.0,
+            max_workers=64,
+        )
+        assert n is not None
+        current = model_for_size(64.0).time(4)
+        assert model_for_size(128.0).time(n) <= current * 1.05
+        assert n > 4
+
+    def test_absorb_growth_impossible(self):
+        # Communication-bound model cannot absorb a 100x growth.
+        n = workers_to_absorb_growth(
+            model_for_size,
+            current_size=1.0,
+            current_workers=1,
+            growth_factor=1000.0,
+            max_workers=8,
+        )
+        assert n is None
+
+    def test_invalid_inputs(self):
+        model = model_for_size(1.0)
+        with pytest.raises(ModelError):
+            workers_for_time(model, -1.0, 8)
+        with pytest.raises(ModelError):
+            workers_for_speedup(model, 0.0, 8)
+        with pytest.raises(ModelError):
+            workers_to_absorb_growth(model_for_size, 0.0, 1, 2.0, 8)

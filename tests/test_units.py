@@ -1,0 +1,118 @@
+"""Tests for repro.core.units."""
+
+import pytest
+
+from repro.core.errors import UnitError
+from repro.core.units import (
+    BITS_DOUBLE_PRECISION,
+    BITS_SINGLE_PRECISION,
+    format_count,
+    format_seconds,
+    parameter_bits,
+    parse_quantity,
+    transfer_seconds,
+)
+
+
+class TestParseQuantity:
+    def test_gflops(self):
+        assert parse_quantity("211.2 GFLOPS") == pytest.approx(211.2e9)
+
+    def test_tflops(self):
+        assert parse_quantity("4.28 TFLOPS") == pytest.approx(4.28e12)
+
+    def test_gigabit_per_second(self):
+        assert parse_quantity("1 Gbit/s") == pytest.approx(1e9)
+
+    def test_bytes_per_second_scales_by_eight(self):
+        assert parse_quantity("1 GB/s") == pytest.approx(8e9)
+
+    def test_binary_prefix(self):
+        assert parse_quantity("16 GiB") == pytest.approx(16 * 2**30 * 8)
+
+    def test_milliseconds(self):
+        assert parse_quantity("5 ms") == pytest.approx(5e-3)
+
+    def test_plain_number_with_unit(self):
+        assert parse_quantity("42 bit") == 42.0
+
+    def test_scientific_notation(self):
+        assert parse_quantity("1e9 bit/s") == pytest.approx(1e9)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("3 parsec")
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("fast")
+
+    def test_empty_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("")
+
+
+class TestParameterBits:
+    def test_single_precision_default(self):
+        assert parameter_bits(12e6) == pytest.approx(32 * 12e6)
+
+    def test_double_precision(self):
+        assert parameter_bits(12e6, BITS_DOUBLE_PRECISION) == pytest.approx(64 * 12e6)
+
+    def test_single_precision_constant(self):
+        assert BITS_SINGLE_PRECISION == 32
+
+    def test_zero_parameters(self):
+        assert parameter_bits(0) == 0.0
+
+    def test_negative_parameters_raise(self):
+        with pytest.raises(UnitError):
+            parameter_bits(-1)
+
+    def test_zero_bits_raise(self):
+        with pytest.raises(UnitError):
+            parameter_bits(10, 0)
+
+
+class TestTransferSeconds:
+    def test_paper_gradient_transfer(self):
+        # 64-bit 12M-parameter gradient over 1 Gbit/s: 0.768 s.
+        assert transfer_seconds(64 * 12e6, 1e9) == pytest.approx(0.768)
+
+    def test_latency_added_once(self):
+        assert transfer_seconds(1e9, 1e9, latency_s=0.5) == pytest.approx(1.5)
+
+    def test_zero_bits_is_latency_only(self):
+        assert transfer_seconds(0, 1e9, latency_s=0.25) == 0.25
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(UnitError):
+            transfer_seconds(-1, 1e9)
+
+    def test_zero_bandwidth_raises(self):
+        with pytest.raises(UnitError):
+            transfer_seconds(1, 0)
+
+    def test_negative_latency_raises(self):
+        with pytest.raises(UnitError):
+            transfer_seconds(1, 1, latency_s=-1)
+
+
+class TestFormatting:
+    def test_format_seconds_units(self):
+        assert format_seconds(0) == "0 s"
+        assert "ns" in format_seconds(5e-9)
+        assert "us" in format_seconds(5e-6)
+        assert "ms" in format_seconds(5e-3)
+        assert format_seconds(5.0) == "5 s"
+        assert "min" in format_seconds(600)
+        assert "h" in format_seconds(7200)
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-5.0).startswith("-")
+
+    def test_format_count_paper_style(self):
+        assert format_count(12e6) == "12e6"
+        assert format_count(5e9) == "5e9"
+        assert format_count(0) == "0"
+        assert format_count(999) == "999"
