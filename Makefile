@@ -1,0 +1,31 @@
+# Development targets.  The repository is pure python with a src/ layout;
+# everything runs against the in-tree sources via PYTHONPATH.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-quick lint docs-check check clean
+
+## Run the full test suite (tier-1 verification).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fast signal: stop at the first failure, quietest output.
+test-quick:
+	$(PYTHON) -m pytest -x -q tests/test_scenarios.py tests/test_plotting_cli.py tests/test_experiments.py
+
+## Byte-compile every source tree (catches syntax/IO rot without
+## third-party linters, which the offline image does not ship).
+lint:
+	$(PYTHON) -m compileall -q src tests tools benchmarks examples
+
+## Execute every fenced python block in the documentation.
+docs-check:
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md
+
+## Everything CI would run.
+check: lint test docs-check
+
+clean:
+	find . -name '__pycache__' -type d -exec rm -rf {} +
+	rm -rf .pytest_cache

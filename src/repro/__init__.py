@@ -8,7 +8,9 @@ every substrate the paper's evaluation depends on, simulated where the
 original used unavailable hardware or data (:mod:`repro.simulate`,
 :mod:`repro.nn`, :mod:`repro.graph`, :mod:`repro.mrf`,
 :mod:`repro.distributed`), and drivers regenerating each table and
-figure (:mod:`repro.experiments`).
+figure (:mod:`repro.experiments`), plus a declarative scenario engine
+(:mod:`repro.scenarios`) that compiles hardware + algorithm + sweep-grid
+descriptions into models and evaluates them at scale.
 
 Quickstart::
 
@@ -18,8 +20,8 @@ Quickstart::
     print(model.optimal_workers(13))   # -> 9, as in the paper
     print(model.speedup(9))            # -> ~4.1x
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-vs-reproduction comparison of every artifact.
+See README.md for the overview, docs/architecture.md for the layer
+diagram, and docs/scenarios.md for the scenario-spec schema.
 """
 
 from repro.core.model import BSPModel, CallableModel, MeasuredModel, ScalabilityModel

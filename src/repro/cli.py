@@ -1,10 +1,14 @@
-"""Command-line entry point: list and run the paper's experiments.
+"""Command-line entry point: paper experiments and declarative scenarios.
 
 Installed as ``repro-experiments``:
 
     repro-experiments list
     repro-experiments run figure2
     repro-experiments run-all --quick
+    repro-experiments scenario list
+    repro-experiments scenario validate my-spec.json
+    repro-experiments scenario run figure2
+    repro-experiments scenario sweep capacity-sweep --export sweep.csv
 """
 
 from __future__ import annotations
@@ -13,8 +17,37 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.errors import ReproError
+from repro.core.errors import ExperimentError, ReproError
 from repro.experiments import experiment_ids, run_all, run_experiment
+from repro.experiments.plotting import render_table
+
+
+def _add_scenario_run_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``scenario run`` and ``scenario sweep``."""
+    parser.add_argument(
+        "spec", help="a bundled scenario name (see 'scenario list') or a JSON file path"
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help="evaluation mode (default: auto — pool for expensive grids)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="process-pool size (default: cpu count)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: ~/.cache/repro)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute even if a cached result exists"
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="write the structured result to PATH (.json or .csv)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +73,96 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument(
         "--quick", action="store_true", help="smaller grids/trials for a fast pass"
     )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="declarative scenario engine (see docs/scenarios.md)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser("list", help="list bundled scenario specs")
+
+    validate_parser = scenario_sub.add_parser(
+        "validate", help="check a scenario spec without running it"
+    )
+    validate_parser.add_argument(
+        "spec", help="a bundled scenario name or a JSON file path"
+    )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario and print its speedup report"
+    )
+    _add_scenario_run_options(scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="expand the sweep grid and print one summary row per point"
+    )
+    _add_scenario_run_options(scenario_sweep)
     return parser
+
+
+def _print_unknown_experiment(experiment: str) -> None:
+    """A helpful unknown-id error: the valid ids, one per line."""
+    print(f"error: unknown experiment {experiment!r}", file=sys.stderr)
+    print("valid ids:", file=sys.stderr)
+    for experiment_id in experiment_ids():
+        print(f"  {experiment_id}", file=sys.stderr)
+
+
+def _scenario_runner(args: argparse.Namespace):
+    from repro.scenarios import SweepRunner
+
+    return SweepRunner(
+        mode=args.parallel,
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _stats_line(stats: dict) -> str:
+    mode = stats.get("mode", "?")
+    points = stats.get("grid_points", "?")
+    elapsed = stats.get("elapsed_s", 0.0)
+    hit = " (cache hit)" if stats.get("cache_hit") else ""
+    return f"[{points} grid point(s) via {mode}{hit} in {elapsed:.3f}s]"
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    from repro.scenarios import builtin_names, resolve_scenario
+    from repro.scenarios.bridge import scenario_experiment_result
+    from repro.scenarios.sweep import export_format
+
+    if args.scenario_command == "list":
+        for name in builtin_names():
+            print(name)
+        return 0
+
+    spec = resolve_scenario(args.spec)
+    if args.scenario_command == "validate":
+        print(
+            f"ok: scenario {spec.name!r}"
+            f" (algorithm {spec.algorithm.kind!r},"
+            f" {len(spec.workers)} worker counts,"
+            f" {spec.grid_size} grid point(s))"
+        )
+        return 0
+
+    if args.export:
+        # Fail before the run, not after: a rejected export target must
+        # not cost a full (possibly expensive, uncached) sweep first.
+        export_format(args.export)
+    result = _scenario_runner(args).run(spec)
+    if args.scenario_command == "run":
+        print(scenario_experiment_result(spec, result).render())
+    else:  # sweep
+        print(f"== scenario sweep: {spec.name}")
+        print()
+        print(render_table(result.summary_rows()))
+    print(_stats_line(result.stats))
+    if args.export:
+        target = result.export(args.export)
+        print(f"exported to {target}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -52,7 +174,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(experiment_id)
             return 0
         if args.command == "run":
-            result = run_experiment(args.experiment, quick=args.quick)
+            try:
+                result = run_experiment(args.experiment, quick=args.quick)
+            except ExperimentError:
+                # run_experiment is the single validator of experiment
+                # ids; here we only reformat its unknown-id rejection
+                # into a friendlier one-per-line listing.
+                if args.experiment not in experiment_ids():
+                    _print_unknown_experiment(args.experiment)
+                    return 1
+                raise
             print(result.render())
             return 0
         if args.command == "run-all":
@@ -60,9 +191,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(result.render())
                 print()
             return 0
+        if args.command == "scenario":
+            return _run_scenario_command(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # downstream closed early, e.g. `... | head`
+        return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

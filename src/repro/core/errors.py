@@ -49,3 +49,7 @@ class InferenceError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment driver could not produce its result."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A declarative scenario spec is malformed or cannot be compiled."""

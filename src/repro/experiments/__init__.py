@@ -1,6 +1,12 @@
-"""Experiment drivers reproducing every table and figure of the paper."""
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Beyond the hard-coded figure/table drivers, every bundled scenario spec
+(see :mod:`repro.scenarios`) is registered as ``scenario-<name>``, so the
+declarative engine's runs are listed and launched the same way.
+"""
 
 from repro.experiments import figure1, figure2, figure3, figure4, table1  # noqa: F401  (registration)
+from repro.scenarios.bridge import register_builtin_scenarios
 from repro.experiments.plotting import render_chart, render_table
 from repro.experiments.reference import (
     FIGURE1_PEAK_WORKERS,
@@ -17,6 +23,8 @@ from repro.experiments.runner import (
     run_all,
     run_experiment,
 )
+
+register_builtin_scenarios()
 
 __all__ = [
     "render_chart",

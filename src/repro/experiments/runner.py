@@ -43,14 +43,26 @@ class ExperimentResult:
 _REGISTRY: dict[str, Callable[[bool], ExperimentResult]] = {}
 
 
+def register_runner(
+    experiment_id: str, fn: Callable[[bool], ExperimentResult]
+) -> Callable[[bool], ExperimentResult]:
+    """Register any ``fn(quick: bool) -> ExperimentResult`` under an id.
+
+    The function form of :func:`register`, for runners built at runtime —
+    the scenario bridge uses it to register every bundled scenario spec
+    as an experiment.
+    """
+    if experiment_id in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+    _REGISTRY[experiment_id] = fn
+    return fn
+
+
 def register(experiment_id: str) -> Callable:
     """Decorator: register ``fn(quick: bool) -> ExperimentResult``."""
 
     def wrap(fn: Callable[[bool], ExperimentResult]) -> Callable[[bool], ExperimentResult]:
-        if experiment_id in _REGISTRY:
-            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = fn
-        return fn
+        return register_runner(experiment_id, fn)
 
     return wrap
 

@@ -1,0 +1,60 @@
+"""Declarative scenario engine: specs as data, sweeps at scale.
+
+The paper's framework is algorithm-independent — any workload expressible
+as BSP supersteps ``t = tcp + tcm`` yields a ``time(n)`` curve — so this
+package lets users *describe* a scenario (hardware, communication
+pattern, algorithm, sweep grid) as a plain dict or JSON file and have the
+engine compile it into a :class:`~repro.core.model.ScalabilityModel`,
+evaluate it (in parallel for expensive grids), cache the results on disk
+and export them as JSON/CSV.  See ``docs/scenarios.md`` for the schema
+and the bundled examples under ``repro/scenarios/builtin/``.
+"""
+
+from repro.scenarios.cache import ResultCache, default_cache_dir
+from repro.scenarios.compile import (
+    ALGORITHM_KINDS,
+    TOPOLOGIES,
+    algorithm_kinds,
+    compile_scenario,
+    is_stochastic,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    builtin_names,
+    builtin_path,
+    load_builtin,
+    load_scenario,
+    parse_scenario,
+    resolve_scenario,
+)
+from repro.scenarios.sweep import (
+    SweepResult,
+    SweepRunner,
+    evaluate_point,
+    expand_grid,
+    export_format,
+    run_scenario,
+)
+
+__all__ = [
+    "ALGORITHM_KINDS",
+    "TOPOLOGIES",
+    "ResultCache",
+    "ScenarioSpec",
+    "SweepResult",
+    "SweepRunner",
+    "algorithm_kinds",
+    "builtin_names",
+    "builtin_path",
+    "compile_scenario",
+    "default_cache_dir",
+    "evaluate_point",
+    "expand_grid",
+    "export_format",
+    "is_stochastic",
+    "load_builtin",
+    "load_scenario",
+    "parse_scenario",
+    "resolve_scenario",
+    "run_scenario",
+]

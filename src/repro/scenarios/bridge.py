@@ -1,0 +1,104 @@
+"""Bridge scenarios into the experiment registry.
+
+The registry used to be the only way to run anything; the scenario
+engine subsumes it.  This module renders a :class:`SweepResult` as the
+familiar :class:`~repro.experiments.runner.ExperimentResult` and
+registers every bundled spec as an experiment (``scenario-<name>``), so
+``repro-experiments list`` / ``run`` cover scenario-backed runs with no
+special casing — proving the engine can express the registry's entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.scenarios.spec import ScenarioSpec, builtin_names, load_builtin
+from repro.scenarios.sweep import SweepResult, SweepRunner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: experiments imports us
+    from repro.experiments.runner import ExperimentResult
+
+
+def scenario_experiment_result(
+    spec: ScenarioSpec, result: SweepResult
+) -> ExperimentResult:
+    """Render a sweep result in the registry's report format.
+
+    Single-point scenarios show the full speedup curve (like the figure
+    experiments); sweeps show one summary row per grid point.
+    """
+    # Runtime import: repro.experiments imports this module at package
+    # init, so a module-level import here would be circular.
+    from repro.experiments.runner import ExperimentResult
+
+    base = result.base_point
+    metrics: dict[str, float] = {
+        "optimal_workers": float(base["optimal_workers"]),
+        "peak_speedup": float(base["peak_speedup"]),
+        "grid_points": float(len(result.points)),
+    }
+    if len(result.points) == 1:
+        rows = [
+            {"workers": n, "time_s": t, "speedup": s, "efficiency": e}
+            for n, t, s, e in zip(
+                base["workers"],
+                base["times_s"],
+                base["speedups"],
+                base["efficiencies"],
+            )
+        ]
+    else:
+        rows = result.summary_rows()
+        best = max(result.points, key=lambda point: point["peak_speedup"])
+        metrics["best_point_peak_speedup"] = float(best["peak_speedup"])
+        metrics["best_point_optimal_workers"] = float(best["optimal_workers"])
+    notes = [
+        f"scenario {result.scenario!r}, content hash {result.content_hash[:12]},"
+        f" evaluated via {result.stats.get('mode', 'unknown')}"
+        + (" (cache hit)" if result.stats.get("cache_hit") else ""),
+    ]
+    return ExperimentResult(
+        experiment=f"scenario-{spec.name}",
+        description=spec.description or f"declarative scenario {spec.name!r}",
+        rows=rows,
+        metrics=metrics,
+        notes=notes,
+    )
+
+
+def run_scenario_experiment(
+    spec: ScenarioSpec, quick: bool = False, runner: SweepRunner | None = None
+) -> ExperimentResult:
+    """Run a scenario and wrap it as an experiment result.
+
+    The registry path never reads or writes the cache — ``run_experiment``
+    stays a pure recomputation, matching the figure drivers.  Quick mode
+    forces the serial path (skipping pool startup for small grids).
+    """
+    if runner is None:
+        runner = SweepRunner(mode="serial" if quick else "auto", use_cache=False)
+    return scenario_experiment_result(spec, runner.run(spec))
+
+
+def register_builtin_scenarios() -> tuple[str, ...]:
+    """Register every bundled spec as experiment ``scenario-<name>``.
+
+    Idempotent: already-registered ids are skipped (module re-imports
+    must not raise).  Returns the registered experiment ids.
+    """
+    from repro.experiments.runner import experiment_ids, register_runner
+
+    registered = []
+    existing = set(experiment_ids())
+    for name in builtin_names():
+        experiment_id = f"scenario-{name}"
+        if experiment_id in existing:
+            continue
+        spec = load_builtin(name)
+
+        def run(quick: bool = False, _spec: ScenarioSpec = spec) -> ExperimentResult:
+            return run_scenario_experiment(_spec, quick=quick)
+
+        register_runner(experiment_id, run)
+        registered.append(experiment_id)
+    return tuple(registered)

@@ -1,0 +1,80 @@
+"""On-disk result cache keyed by scenario content hash.
+
+Entries are single JSON files named ``<sha256>.json`` inside a cache
+directory.  The key already encodes the engine version and the canonical
+spec (see :meth:`ScenarioSpec.content_hash`), so invalidation is
+automatic: any change to the spec or to evaluation semantics produces a
+different key.  Corrupt entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core.errors import ScenarioError
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_SCENARIO_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SCENARIO_CACHE`` or ``~/.cache/repro/scenarios``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "scenarios"
+
+
+class ResultCache:
+    """A tiny content-addressed JSON store."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        if not key or any(c in key for c in "/\\"):
+            raise ScenarioError(f"invalid cache key {key!r}")
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Store ``payload`` under ``key`` (atomic rename)."""
+        path = self.path_for(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for entry in self.directory.glob("*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,482 @@
+"""Compile a validated scenario spec into a :class:`ScalabilityModel`.
+
+This is where declarative data meets the analytical framework: the
+hardware section resolves against :mod:`repro.hardware.catalog`, the
+algorithm section against a registry of model builders, and sweep-axis
+overrides are applied before compilation so every grid point compiles
+its own model.
+
+Algorithm kinds
+---------------
+
+``gradient_descent``
+    The paper's generic data-parallel GD (tree communication both ways).
+``spark_gradient_descent``
+    The Figure 2 Spark model (torrent broadcast + two-wave aggregation).
+``weak_scaling_sgd``
+    The Figure 3 weak-scaling sync SGD model (per-instance time).
+``weak_scaling_linear``
+    The linear-communication contrast of Section V-A.
+``bsp``
+    A generic BSP superstep ``t = tcp + tcm`` built from an operation
+    count, a payload size and a named communication topology.
+``belief_propagation``
+    The Section V-B graph-inference model, backed by the Monte-Carlo
+    ``max_i(E_i)`` estimator (stochastic: sweeps benefit from the
+    process-pool runner).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, replace
+
+from repro.core.communication import (
+    CommunicationModel,
+    LinearCommunication,
+    NoCommunication,
+    ParameterServerCommunication,
+    RingAllReduce,
+    ShuffleCommunication,
+    TorrentBroadcast,
+    TreeCommunication,
+    TwoWaveAggregation,
+)
+from repro.core.complexity import CommunicationCost, ComputationCost
+from repro.core.errors import ReproError, ScenarioError
+from repro.core.model import BSPModel, ScalabilityModel
+from repro.graph.generators import DNS_SCALES, dns_like, power_law_degrees
+from repro.hardware import catalog
+from repro.hardware.specs import LinkSpec, NodeSpec, SharedMemoryMachineSpec
+from repro.models.belief_propagation import BeliefPropagationModel
+from repro.models.gradient_descent import (
+    GradientDescentModel,
+    SparkGradientDescentModel,
+    WeakScalingLinearCommModel,
+    WeakScalingSGDModel,
+)
+from repro.nn import architectures
+from repro.nn.flops import DENSE_TRAINING_OPERATIONS_PER_WEIGHT, training_operations
+from repro.scenarios.spec import HARDWARE_SCALARS, ScenarioSpec
+
+#: Named neural-network architectures resolvable from a spec.
+ARCHITECTURES: dict[str, Callable[[], object]] = {
+    "mnist-fc": architectures.mnist_fc,
+    "lenet5": architectures.lenet5,
+    "alexnet": architectures.alexnet,
+    "vgg16": architectures.vgg16,
+    "inception-v3": architectures.inception_v3,
+}
+
+#: Named communication topologies for the generic ``bsp`` kind.
+TOPOLOGIES: dict[str, Callable[[float, float, Mapping], CommunicationModel]] = {
+    "none": lambda b, l, o: NoCommunication(),
+    "linear": lambda b, l, o: LinearCommunication(
+        b, l, include_self=bool(o.get("include_self", False))
+    ),
+    "tree": lambda b, l, o: TreeCommunication(b, l, fan_out=int(o.get("fan_out", 2))),
+    "torrent": lambda b, l, o: TorrentBroadcast(
+        b, l, discrete_rounds=bool(o.get("discrete_rounds", False))
+    ),
+    "two-wave": lambda b, l, o: TwoWaveAggregation(b, l, waves=int(o.get("waves", 2))),
+    "ring-allreduce": lambda b, l, o: RingAllReduce(b, l),
+    "shuffle": lambda b, l, o: ShuffleCommunication(b, l),
+    "parameter-server": lambda b, l, o: ParameterServerCommunication(
+        b, l, server_links=int(o.get("server_links", 1))
+    ),
+}
+
+
+#: Parameters (at any nesting level) allowed to be zero; everything
+#: numeric that is not listed here must be strictly positive.
+NON_NEGATIVE_PARAMS = frozenset({"payload_bits", "seed", "latency_s"})
+
+
+def _check_numeric_params(params: Mapping[str, object], context: str) -> None:
+    """Eager sign/finiteness checks on declared parameter values.
+
+    The model constructors enforce the same invariants, but only when a
+    model is built — mid-sweep for swept scenarios.  ``scenario
+    validate`` promises a runnable spec, so the declared numbers are
+    checked up front.  Booleans and strings pass through; nested
+    mappings (``graph``, ``topology_options``) are checked recursively.
+    """
+    for key, value in params.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, Mapping):
+            _check_numeric_params(value, context)
+        elif isinstance(value, (int, float)):
+            number = float(value)
+            if not math.isfinite(number):
+                raise ScenarioError(f"{context} parameter {key!r} must be finite")
+            if key in NON_NEGATIVE_PARAMS:
+                if number < 0:
+                    raise ScenarioError(
+                        f"{context} parameter {key!r} must be non-negative,"
+                        f" got {value}"
+                    )
+            elif number <= 0:
+                raise ScenarioError(
+                    f"{context} parameter {key!r} must be positive, got {value}"
+                )
+
+
+def _lookup_slug(slug: str, context: str):
+    try:
+        return catalog.lookup(slug)
+    except ReproError as error:
+        raise ScenarioError(f"{context}: {error}")
+
+
+def _resolve_node_slug(slug: str, context: str = "hardware.node") -> float:
+    """A node slug's compute throughput (per-core for shared memory)."""
+    entry = _lookup_slug(slug, context)
+    if isinstance(entry, NodeSpec):
+        return entry.effective_flops
+    if isinstance(entry, SharedMemoryMachineSpec):
+        return entry.core_flops
+    raise ScenarioError(
+        f"{context} {slug!r} is a {type(entry).__name__}, not a compute node"
+    )
+
+
+def _resolve_link_slug(slug: str, context: str = "hardware.link") -> LinkSpec:
+    entry = _lookup_slug(slug, context)
+    if not isinstance(entry, LinkSpec):
+        raise ScenarioError(
+            f"{context} {slug!r} is a {type(entry).__name__}, not a network link"
+        )
+    return entry
+
+
+@dataclass(frozen=True)
+class ResolvedHardware:
+    """The three numbers the analytical models need.
+
+    ``bandwidth_bps`` is ``None`` when the spec defines no network at
+    all — legal only for kinds that never communicate (validation
+    enforces this before any model is built).
+    """
+
+    flops: float
+    bandwidth_bps: float | None
+    latency_s: float
+
+
+def resolve_hardware(spec: ScenarioSpec) -> ResolvedHardware:
+    """Resolve catalog slugs and inline overrides to concrete numbers.
+
+    Inline values win over catalog entries; a shared-memory machine
+    contributes its *per-core* throughput (its workers are cores and the
+    paper's BP model is stated per core).
+    """
+    hardware = spec.hardware
+    flops = hardware.flops
+    bandwidth = hardware.bandwidth_bps
+    latency = hardware.latency_s
+
+    if hardware.node is not None:
+        node_flops = _resolve_node_slug(hardware.node)
+        flops = node_flops if flops is None else flops
+    if hardware.link is not None:
+        link = _resolve_link_slug(hardware.link)
+        bandwidth = link.bandwidth_bps if bandwidth is None else bandwidth
+        latency = link.latency_s if latency is None else latency
+
+    if flops is None:
+        raise ScenarioError(
+            "hardware does not define compute throughput: give a catalog"
+            " 'node' or an inline 'flops'"
+        )
+    return ResolvedHardware(
+        flops=flops, bandwidth_bps=bandwidth, latency_s=latency or 0.0
+    )
+
+
+def _kind_needs_bandwidth(kind_name: str, params: Mapping[str, object]) -> bool:
+    """Whether this algorithm configuration moves bits over a network."""
+    if kind_name == "belief_propagation":
+        return False  # the paper's shared-memory model: tcm ~ 0
+    if kind_name == "bsp":
+        return params.get("topology", "tree") != "none"
+    return True  # the gradient-descent family always communicates
+
+
+def _param_number(
+    params: Mapping[str, object], key: str, context: str, default: float | None = None
+) -> float:
+    if key not in params:
+        if default is not None:
+            return default
+        raise ScenarioError(f"{context} requires parameter {key!r}")
+    value = params[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{context} parameter {key!r} must be a number, got {value!r}")
+    number = float(value)
+    if not math.isfinite(number):
+        raise ScenarioError(f"{context} parameter {key!r} must be finite, got {number}")
+    return number
+
+
+def _resolve_architecture(params: Mapping[str, object], context: str) -> dict[str, float]:
+    """Expand an ``architecture`` slug into parameters/operations."""
+    slug = params.get("architecture")
+    if slug is None:
+        return {}
+    if not isinstance(slug, str) or slug not in ARCHITECTURES:
+        known = ", ".join(sorted(ARCHITECTURES))
+        raise ScenarioError(
+            f"{context}: unknown architecture {slug!r}; known: {known}"
+        )
+    network = ARCHITECTURES[slug]()
+    weights = float(network.total_weights)
+    if slug == "mnist-fc":
+        # Dense networks: the paper's 6 ops per weight per sample.
+        operations = DENSE_TRAINING_OPERATIONS_PER_WEIGHT * weights
+    else:
+        operations = training_operations(float(network.forward_operations))
+    return {"parameters": weights, "operations_per_sample": operations}
+
+
+def _gd_family_inputs(
+    params: Mapping[str, object],
+    hardware: ResolvedHardware,
+    context: str,
+    default_bits: int,
+) -> dict[str, float]:
+    derived = _resolve_architecture(params, context)
+    merged = dict(derived)
+    merged.update({k: v for k, v in params.items() if k != "architecture"})
+    return {
+        "operations_per_sample": _param_number(merged, "operations_per_sample", context),
+        "batch_size": _param_number(merged, "batch_size", context),
+        "flops": hardware.flops,
+        "parameters": _param_number(merged, "parameters", context),
+        "bandwidth_bps": hardware.bandwidth_bps,
+        "bits_per_parameter": int(
+            _param_number(merged, "bits_per_parameter", context, default=default_bits)
+        ),
+    }
+
+
+_GD_PARAMS = (
+    "architecture",
+    "operations_per_sample",
+    "batch_size",
+    "parameters",
+    "bits_per_parameter",
+)
+
+
+def _build_gd(spec, params, hardware):
+    return GradientDescentModel(
+        **_gd_family_inputs(params, hardware, "gradient_descent", default_bits=32)
+    )
+
+
+def _build_spark_gd(spec, params, hardware):
+    return SparkGradientDescentModel(
+        **_gd_family_inputs(params, hardware, "spark_gradient_descent", default_bits=64)
+    )
+
+
+def _build_weak_scaling(spec, params, hardware):
+    return WeakScalingSGDModel(
+        **_gd_family_inputs(params, hardware, "weak_scaling_sgd", default_bits=32)
+    )
+
+
+def _build_weak_scaling_linear(spec, params, hardware):
+    return WeakScalingLinearCommModel(
+        **_gd_family_inputs(params, hardware, "weak_scaling_linear", default_bits=32)
+    )
+
+
+def _build_bsp(spec, params, hardware):
+    context = "bsp"
+    topology = params.get("topology", "tree")
+    if not isinstance(topology, str) or topology not in TOPOLOGIES:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise ScenarioError(f"{context}: unknown topology {topology!r}; known: {known}")
+    options = params.get("topology_options", {})
+    if not isinstance(options, Mapping):
+        raise ScenarioError(f"{context}: topology_options must be a mapping")
+    operations = _param_number(params, "operations_per_superstep", context)
+    payload_bits = _param_number(params, "payload_bits", context, default=0.0)
+    iterations = int(_param_number(params, "iterations", context, default=1))
+    communication = TOPOLOGIES[topology](
+        hardware.bandwidth_bps, hardware.latency_s, options
+    )
+    return BSPModel(
+        computation=ComputationCost(total_operations=operations, flops=hardware.flops),
+        communication=CommunicationCost(model=communication, bits=payload_bits),
+        iterations=iterations,
+    )
+
+
+def _build_belief_propagation(spec, params, hardware):
+    context = "belief_propagation"
+    graph_params = params.get("graph")
+    if not isinstance(graph_params, Mapping):
+        raise ScenarioError(f"{context} requires a 'graph' mapping parameter")
+    generator = graph_params.get("generator", "dns-like")
+    seed = int(_param_number(graph_params, "seed", context, default=0))
+    if generator == "dns-like":
+        scale = graph_params.get("scale", "16k")
+        if scale not in DNS_SCALES:
+            raise ScenarioError(
+                f"{context}: unknown dns-like scale {scale!r};"
+                f" known: {sorted(DNS_SCALES)}"
+            )
+        source = dns_like(scale, seed=seed).degree_sequence
+    elif generator == "power-law":
+        source = power_law_degrees(
+            vertex_count=int(_param_number(graph_params, "vertex_count", context)),
+            mean_degree=_param_number(graph_params, "mean_degree", context),
+            max_degree=int(_param_number(graph_params, "max_degree", context)),
+            alpha=_param_number(graph_params, "alpha", context, default=2.1),
+            seed=seed,
+        )
+    else:
+        raise ScenarioError(
+            f"{context}: unknown graph generator {generator!r};"
+            " known: dns-like, power-law"
+        )
+    return BeliefPropagationModel.from_source(
+        source,
+        spec.workers,
+        states=int(_param_number(params, "states", context, default=2)),
+        flops=hardware.flops,
+        trials=int(_param_number(params, "trials", context, default=5)),
+        seed=int(_param_number(params, "seed", context, default=0)),
+    )
+
+
+@dataclass(frozen=True)
+class AlgorithmKind:
+    """One entry of the algorithm registry."""
+
+    build: Callable[[ScenarioSpec, Mapping, ResolvedHardware], ScalabilityModel]
+    params: tuple[str, ...]
+    stochastic: bool = False
+
+
+ALGORITHM_KINDS: dict[str, AlgorithmKind] = {
+    "gradient_descent": AlgorithmKind(_build_gd, _GD_PARAMS),
+    "spark_gradient_descent": AlgorithmKind(_build_spark_gd, _GD_PARAMS),
+    "weak_scaling_sgd": AlgorithmKind(_build_weak_scaling, _GD_PARAMS),
+    "weak_scaling_linear": AlgorithmKind(_build_weak_scaling_linear, _GD_PARAMS),
+    "bsp": AlgorithmKind(
+        _build_bsp,
+        (
+            "operations_per_superstep",
+            "payload_bits",
+            "iterations",
+            "topology",
+            "topology_options",
+        ),
+    ),
+    "belief_propagation": AlgorithmKind(
+        _build_belief_propagation,
+        ("graph", "states", "trials", "seed"),
+        stochastic=True,
+    ),
+}
+
+
+def algorithm_kinds() -> tuple[str, ...]:
+    """All registered algorithm kinds, sorted."""
+    return tuple(sorted(ALGORITHM_KINDS))
+
+
+def is_stochastic(spec: ScenarioSpec) -> bool:
+    """True when evaluation involves Monte-Carlo estimation (worth a pool)."""
+    kind = ALGORITHM_KINDS.get(spec.algorithm.kind)
+    return bool(kind and kind.stochastic)
+
+
+def validate_spec(spec: ScenarioSpec) -> None:
+    """Registry-level checks beyond raw schema shape.
+
+    Verifies the algorithm kind exists, its parameters are recognised and
+    every sweep axis targets either a hardware scalar, a catalog slug
+    axis, or a parameter of the chosen kind.
+    """
+    kind = ALGORITHM_KINDS.get(spec.algorithm.kind)
+    if kind is None:
+        known = ", ".join(algorithm_kinds())
+        raise ScenarioError(
+            f"unknown algorithm kind {spec.algorithm.kind!r}; known: {known}"
+        )
+    unknown = sorted(set(spec.algorithm.params_dict) - set(kind.params))
+    if unknown:
+        raise ScenarioError(
+            f"unknown parameters {unknown} for algorithm kind"
+            f" {spec.algorithm.kind!r}; allowed: {sorted(kind.params)}"
+        )
+    sweepable = set(kind.params) | set(HARDWARE_SCALARS) | {"node", "link"}
+    sweepable -= {"graph", "topology_options", "architecture"}
+    for axis, values in spec.sweep:
+        if axis not in sweepable:
+            raise ScenarioError(
+                f"sweep axis {axis!r} is not sweepable for kind"
+                f" {spec.algorithm.kind!r}; sweepable axes: {sorted(sweepable)}"
+            )
+        # Every swept catalog slug and number must be valid, not just the
+        # first: a bad value deep in the grid would otherwise abort an
+        # expensive sweep mid-run after validation said 'ok'.
+        if axis == "node":
+            for value in values:
+                _resolve_node_slug(str(value), context="sweep axis 'node'")
+        elif axis == "link":
+            for value in values:
+                _resolve_link_slug(str(value), context="sweep axis 'link'")
+        else:
+            for value in values:
+                _check_numeric_params({axis: value}, "sweep axis")
+    _check_numeric_params(
+        spec.algorithm.params_dict, f"algorithm kind {spec.algorithm.kind!r}"
+    )
+    # Hardware must resolve for the base grid point — 'scenario validate'
+    # promises a runnable spec, so unknown catalog slugs or a missing
+    # compute-throughput source are validation errors, not run errors.
+    # (Sweep axes may supply hardware values, hence the base overrides.)
+    base_overrides = {axis: values[0] for axis, values in spec.sweep}
+    base = apply_overrides(spec, base_overrides)
+    resolved = resolve_hardware(base)
+    if resolved.bandwidth_bps is None and _kind_needs_bandwidth(
+        base.algorithm.kind, base.algorithm.params_dict
+    ):
+        raise ScenarioError(
+            f"algorithm kind {base.algorithm.kind!r} communicates over a"
+            " network, but the hardware defines none: give a catalog 'link'"
+            " or an inline 'bandwidth_bps'"
+        )
+
+
+def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, object]) -> ScenarioSpec:
+    """Return a copy of ``spec`` with one sweep point's values applied."""
+    if not overrides:
+        return spec
+    hardware = spec.hardware
+    params = spec.algorithm.params_dict
+    for axis, value in overrides.items():
+        if axis in HARDWARE_SCALARS or axis in ("node", "link"):
+            hardware = replace(hardware, **{axis: value})
+        else:
+            params[axis] = value
+    algorithm = replace(spec.algorithm, params=tuple(sorted(params.items())))
+    return replace(spec, hardware=hardware, algorithm=algorithm, sweep=())
+
+
+def compile_scenario(
+    spec: ScenarioSpec, overrides: Mapping[str, object] | None = None
+) -> ScalabilityModel:
+    """Compile a scenario (optionally at one sweep point) into a model."""
+    point = apply_overrides(spec, overrides or {})
+    validate_spec(point)
+    hardware = resolve_hardware(point)
+    kind = ALGORITHM_KINDS[point.algorithm.kind]
+    return kind.build(point, point.algorithm.params_dict, hardware)

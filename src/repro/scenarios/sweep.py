@@ -1,0 +1,356 @@
+"""The sweep engine: expand a scenario's grid and evaluate every point.
+
+Each grid point is an independent compile-and-evaluate task — the
+cartesian product of the spec's sweep axes applied as overrides — so
+sweeps parallelise embarrassingly.  :class:`SweepRunner` offers three
+modes:
+
+``serial``
+    Evaluate points in-process.  The fast path for closed-form models,
+    where a point costs microseconds and pool startup would dominate.
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor`.  Pays off when a
+    point is expensive — Monte-Carlo-backed scenarios (the BP estimator
+    re-samples assignments per point) or very large grids.
+``auto``
+    Picks ``process`` for stochastic scenarios with several points or
+    grids past :data:`PARALLEL_THRESHOLD`; ``serial`` otherwise.
+
+Results are cached on disk keyed by the scenario content hash (see
+:mod:`repro.scenarios.cache`); a re-run of an identical spec is a pure
+file read.  Evaluation is deterministic (stochastic models derive their
+randomness from spec-declared seeds), so serial and parallel runs of the
+same spec produce identical payloads — a property the test suite pins.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+import time
+from collections.abc import Mapping
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import ScenarioError
+from repro.core.speedup import SpeedupCurve
+from repro.scenarios.cache import ResultCache
+from repro.scenarios.compile import compile_scenario, is_stochastic
+from repro.scenarios.spec import ScenarioSpec, parse_scenario
+
+#: Grid size at or above which ``auto`` mode reaches for the pool.
+PARALLEL_THRESHOLD = 64
+
+MODES = ("auto", "serial", "process")
+
+#: Recognised structured-export formats, by file suffix.
+EXPORT_SUFFIXES = (".json", ".csv")
+
+
+def export_format(path: str | Path) -> str:
+    """The export suffix for ``path``, validated.
+
+    Shared by :meth:`SweepResult.export` and the CLI's pre-run check, so
+    a rejected target fails *before* a possibly expensive sweep runs and
+    both layers agree on what counts as a valid target.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix not in EXPORT_SUFFIXES:
+        raise ScenarioError(
+            f"cannot infer export format from {str(path)!r};"
+            f" use {' or '.join(EXPORT_SUFFIXES)}"
+        )
+    return suffix
+
+
+def expand_grid(spec: ScenarioSpec) -> list[dict[str, object]]:
+    """The cartesian product of the sweep axes, as override dicts.
+
+    A sweep-free scenario yields a single empty override: the base point.
+    """
+    if not spec.sweep:
+        return [{}]
+    axes = [axis for axis, _values in spec.sweep]
+    value_lists = [values for _axis, values in spec.sweep]
+    return [dict(zip(axes, combo)) for combo in itertools.product(*value_lists)]
+
+
+def evaluate_point(spec: ScenarioSpec, overrides: Mapping[str, object]) -> dict:
+    """Compile one grid point and evaluate its speedup curve.
+
+    Returns a JSON-serialisable record: the overrides, the full curve,
+    and the headline scalars (optimal workers, peak speedup, whether the
+    point is scalable at all).
+    """
+    model = compile_scenario(spec, overrides)
+    curve = SpeedupCurve.from_model(
+        model.time, spec.workers, spec.baseline_workers, label=spec.name
+    )
+    return {
+        "overrides": dict(overrides),
+        "workers": list(curve.workers),
+        "times_s": list(curve.times),
+        "speedups": list(curve.speedups),
+        "efficiencies": list(curve.efficiencies),
+        "baseline_workers": curve.baseline_workers,
+        "optimal_workers": curve.optimal_workers,
+        "peak_speedup": curve.peak_speedup,
+        "is_scalable": curve.is_scalable,
+    }
+
+
+def _evaluate_payload(spec_payload: dict, overrides: dict) -> dict:
+    """Process-pool entry point: re-parse the spec in the worker.
+
+    Takes plain dicts so the task pickles cheaply and identically under
+    any start method.
+    """
+    return evaluate_point(parse_scenario(spec_payload), overrides)
+
+
+def _attach_crossovers(points: list[dict], reference: dict | None) -> None:
+    """Annotate each grid point with its crossover against the reference.
+
+    ``crossover_workers`` is the smallest worker count at which the point
+    becomes faster than the reference — the scenario's own declared
+    configuration — or ``None`` if it never does.  This is the
+    who-wins-where question sweeps exist to answer.
+    """
+    if reference is None:
+        return
+    reference_times = reference["times_s"]
+    for point in points:
+        crossover = None
+        for n, t, reference_t in zip(point["workers"], point["times_s"], reference_times):
+            if t < reference_t:
+                crossover = n
+                break
+        point["crossover_workers"] = crossover
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The outcome of running one scenario sweep.
+
+    ``points`` holds one record per grid point (see
+    :func:`evaluate_point`); ``stats`` records how the run happened
+    (mode, cache hit, elapsed seconds, pool size).
+    """
+
+    scenario: str
+    content_hash: str
+    points: tuple[dict, ...]
+    reference: dict | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def base_point(self) -> dict:
+        """The spec's own declared configuration.
+
+        For swept scenarios this is the separately evaluated reference
+        point (no overrides applied); for sweep-free scenarios it is the
+        single grid point.
+        """
+        return self.reference if self.reference is not None else self.points[0]
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat per-point-per-worker rows (the CSV payload).
+
+        Per-point scalars (optimal workers, crossover vs the reference)
+        repeat on every worker row so the CSV alone answers the headline
+        questions.
+        """
+        rows = []
+        for index, point in enumerate(self.points):
+            for n, t, s, e in zip(
+                point["workers"],
+                point["times_s"],
+                point["speedups"],
+                point["efficiencies"],
+            ):
+                row: dict[str, object] = {"point": index}
+                row.update(point["overrides"])
+                row.update({"workers": n, "time_s": t, "speedup": s, "efficiency": e})
+                row["optimal_workers"] = point["optimal_workers"]
+                if "crossover_workers" in point:
+                    row["crossover_workers"] = point["crossover_workers"]
+                rows.append(row)
+        return rows
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """One row per grid point: overrides plus headline scalars."""
+        rows = []
+        for index, point in enumerate(self.points):
+            row: dict[str, object] = {"point": index}
+            row.update(point["overrides"])
+            row.update(
+                {
+                    "optimal_workers": point["optimal_workers"],
+                    "peak_speedup": point["peak_speedup"],
+                    "scalable": point["is_scalable"],
+                }
+            )
+            if "crossover_workers" in point:
+                crossover = point["crossover_workers"]
+                row["crossover_workers"] = "-" if crossover is None else crossover
+            rows.append(row)
+        return rows
+
+    def payload(self) -> dict:
+        """JSON-serialisable form (also the cache entry)."""
+        return {
+            "scenario": self.scenario,
+            "content_hash": self.content_hash,
+            "points": list(self.points),
+            "reference": self.reference,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, stats: dict | None = None) -> "SweepResult":
+        try:
+            return cls(
+                scenario=payload["scenario"],
+                content_hash=payload["content_hash"],
+                points=tuple(payload["points"]),
+                reference=payload.get("reference"),
+                stats=stats or {},
+            )
+        except (KeyError, TypeError) as error:
+            raise ScenarioError(f"malformed sweep payload: {error}")
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the structured result (curves, optima, crossovers)."""
+        target = Path(path)
+        document = self.payload()
+        document["stats"] = self.stats
+        target.write_text(json.dumps(document, indent=2) + "\n")
+        return target
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the flat per-worker rows as CSV."""
+        target = Path(path)
+        rows = self.rows()
+        fieldnames: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in fieldnames:
+                    fieldnames.append(key)
+        with target.open("w", newline="") as stream:
+            writer = csv.DictWriter(stream, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+        return target
+
+    def export(self, path: str | Path) -> Path:
+        """Dispatch on suffix: ``.json`` or ``.csv``."""
+        if export_format(path) == ".json":
+            return self.to_json(path)
+        return self.to_csv(path)
+
+
+class SweepRunner:
+    """Evaluates scenario sweeps with caching and optional parallelism.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default), ``"serial"`` or ``"process"``.
+    max_workers:
+        Pool size for process mode; ``None`` lets the executor decide.
+    cache_dir:
+        Cache directory; ``None`` uses the default (see
+        :mod:`repro.scenarios.cache`).
+    use_cache:
+        Set ``False`` to always recompute (results are still not written).
+    """
+
+    def __init__(
+        self,
+        mode: str = "auto",
+        max_workers: int | None = None,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        if mode not in MODES:
+            raise ScenarioError(f"unknown sweep mode {mode!r}; known: {', '.join(MODES)}")
+        if max_workers is not None and max_workers < 1:
+            raise ScenarioError(f"max_workers must be >= 1, got {max_workers}")
+        self.mode = mode
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+        self.cache = ResultCache(cache_dir)
+
+    def resolve_mode(self, spec: ScenarioSpec, grid_size: int) -> str:
+        """The concrete mode ``auto`` picks for this spec."""
+        if self.mode != "auto":
+            return self.mode
+        if grid_size >= PARALLEL_THRESHOLD:
+            return "process"
+        if is_stochastic(spec) and grid_size > 1:
+            return "process"
+        return "serial"
+
+    def run(self, spec: ScenarioSpec) -> SweepResult:
+        """Evaluate every grid point of ``spec`` (or load it from cache)."""
+        key = spec.content_hash()
+        started = time.perf_counter()
+        if self.use_cache:
+            cached = self.cache.get(key)
+            if cached is not None and cached.get("content_hash") == key:
+                return SweepResult.from_payload(
+                    cached,
+                    stats={
+                        "cache_hit": True,
+                        "mode": "cache",
+                        "grid_points": len(cached.get("points", ())),
+                        "elapsed_s": time.perf_counter() - started,
+                    },
+                )
+
+        grid = expand_grid(spec)
+        mode = self.resolve_mode(spec, len(grid))
+        if mode == "process" and len(grid) <= 1:
+            mode = "serial"  # a pool for one task is pure overhead
+        # Swept scenarios also evaluate the spec's own declared
+        # configuration as the reference: headline metrics and crossovers
+        # are measured against it, not against an arbitrary grid corner.
+        reference = evaluate_point(spec, {}) if spec.sweep else None
+        if mode == "process":
+            spec_payload = spec.to_dict()
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                points = list(
+                    pool.map(
+                        _evaluate_payload,
+                        itertools.repeat(spec_payload),
+                        grid,
+                        chunksize=max(1, len(grid) // 32),
+                    )
+                )
+        else:
+            points = [evaluate_point(spec, overrides) for overrides in grid]
+        _attach_crossovers(points, reference)
+
+        result = SweepResult(
+            scenario=spec.name,
+            content_hash=key,
+            points=tuple(points),
+            reference=reference,
+            stats={
+                "cache_hit": False,
+                "mode": mode,
+                "grid_points": len(grid),
+                "elapsed_s": time.perf_counter() - started,
+            },
+        )
+        if self.use_cache:
+            self.cache.put(key, result.payload())
+        return result
+
+
+def run_scenario(
+    spec: ScenarioSpec, runner: SweepRunner | None = None
+) -> SweepResult:
+    """Convenience wrapper: run ``spec`` with a default runner."""
+    return (runner or SweepRunner()).run(spec)

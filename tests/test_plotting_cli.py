@@ -69,6 +69,14 @@ class TestCli:
         assert main(["run", "figure99"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_run_unknown_lists_valid_ids(self, capsys):
+        assert main(["run", "figure99"]) == 1
+        err = capsys.readouterr().err
+        assert "valid ids:" in err
+        assert "figure2" in err
+        assert "table1" in err
+        assert "scenario-figure2" in err
+
     def test_run_quick_figure1(self, capsys):
         assert main(["run", "figure1", "--quick"]) == 0
         assert "peak_workers" in capsys.readouterr().out
@@ -76,3 +84,67 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestScenarioCli:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure2" in output
+        assert "capacity-sweep" in output
+
+    def test_scenario_validate_builtin(self, capsys):
+        assert main(["scenario", "validate", "figure2"]) == 0
+        output = capsys.readouterr().out
+        assert "ok:" in output
+        assert "spark_gradient_descent" in output
+
+    def test_scenario_validate_bad_spec_fails(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        assert main(["scenario", "validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_scenario_validate_unknown_name_lists_builtins(self, capsys):
+        assert main(["scenario", "validate", "no-such"]) == 1
+        err = capsys.readouterr().err
+        assert "known:" in err
+        assert "figure2" in err
+
+    def test_scenario_run_figure2(self, capsys):
+        assert main(["scenario", "run", "figure2", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "optimal_workers = 9" in output
+        assert "speedup" in output
+
+    def test_scenario_run_registered_as_experiment(self, capsys):
+        assert main(["run", "scenario-figure2"]) == 0
+        assert "optimal_workers = 9" in capsys.readouterr().out
+
+    def test_scenario_sweep_with_export(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path / "cache"))
+        target = tmp_path / "out.csv"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "sweep",
+                    "bp-dns-16k",
+                    "--parallel",
+                    "serial",
+                    "--export",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "optimal_workers" in output
+        assert target.exists()
+
+    def test_scenario_sweep_second_run_hits_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path / "cache"))
+        assert main(["scenario", "run", "figure1"]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", "figure1"]) == 0
+        assert "cache hit" in capsys.readouterr().out

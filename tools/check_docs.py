@@ -1,0 +1,100 @@
+"""Execute every fenced ``python`` block in the given markdown files.
+
+Keeps README/docs examples honest: ``make docs-check`` fails if any
+example stops running.  Blocks within one file share a namespace (so a
+later block can use names a previous block defined), and each file runs
+in an isolated temporary working directory (so examples may write files
+without dirtying the repo).
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+
+A fence opened as ```` ```python no-run ```` is skipped — reserve that
+for illustrative pseudo-code.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+FENCE = re.compile(r"^```(\S*)\s*(.*)$")
+
+
+def extract_blocks(text: str) -> list[tuple[int, str]]:
+    """``(start_line, source)`` for every runnable python fence."""
+    blocks = []
+    lines = text.splitlines()
+    inside = False
+    language = ""
+    skip = False
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = FENCE.match(line.strip())
+        if match and not inside:
+            inside = True
+            language = match.group(1).lower()
+            skip = "no-run" in match.group(2)
+            start = number + 1
+            buffer = []
+        elif line.strip() == "```" and inside:
+            inside = False
+            if language in ("python", "py") and not skip:
+                blocks.append((start, "\n".join(buffer)))
+        elif inside:
+            buffer.append(line)
+    return blocks
+
+
+def check_file(path: Path) -> tuple[list[str], int]:
+    """Run the file's blocks; returns (error descriptions, block count)."""
+    errors = []
+    blocks = extract_blocks(path.read_text())
+    namespace: dict = {"__name__": f"docs_check_{path.stem}"}
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="docs-check-") as workdir:
+        os.chdir(workdir)
+        try:
+            for start, source in blocks:
+                try:
+                    code = compile(source, f"{path}:{start}", "exec")
+                    exec(code, namespace)  # noqa: S102 - that is the point
+                except Exception as error:  # noqa: BLE001 - report, don't crash
+                    errors.append(f"{path}:{start}: {type(error).__name__}: {error}")
+        finally:
+            os.chdir(original_cwd)
+    return errors, len(blocks)
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    total_blocks = 0
+    failures = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        errors, count = check_file(path)
+        total_blocks += count
+        failures.extend(errors)
+        status = "FAIL" if errors else "ok"
+        print(f"{status:>4}  {name}  ({count} python block(s))")
+    if failures:
+        print()
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {total_blocks} python block(s) executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
