@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-quick lint docs-check check clean
+.PHONY: test test-quick lint docs-check bench-sweep check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
@@ -21,10 +21,15 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md
+
+## The vectorized-sweep acceptance bench (bench_*.py is not collected
+## by 'make test'; this target runs it explicitly).
+bench-sweep:
+	$(PYTHON) -m pytest -q benchmarks/bench_vectorized_sweep.py
 
 ## Everything CI would run.
-check: lint test docs-check
+check: lint test docs-check bench-sweep
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

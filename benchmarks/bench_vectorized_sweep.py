@@ -1,0 +1,86 @@
+"""Bench: vectorized cost-algebra evaluation vs the scalar loop.
+
+The tentpole claim of the algebra refactor: a dense worker grid
+(``n = 1..10_000``) is one numpy evaluation of the model's term tree,
+not a Python loop over ``model.time(n)``.  ``tools/bench_to_json.py``
+runs the same comparison standalone and records it in
+``BENCH_sweep.json``.
+
+Like every ``bench_*.py`` file, this is not auto-collected by ``make
+test`` (pytest only collects ``test_*.py``); run it explicitly via
+``make bench-sweep`` (wired into CI) or ``pytest benchmarks/``.
+
+Acceptance: the batched path is at least 10x faster than the scalar
+loop on the 10k-point grid.
+"""
+
+import time
+
+import numpy as np
+
+from repro.models.deep_learning import (
+    chen_inception_figure3_model,
+    spark_mnist_figure2_model,
+)
+
+GRID = np.arange(1, 10_001, dtype=float)
+
+
+def scalar_sweep(model):
+    return [model.time(int(n)) for n in GRID]
+
+
+def vectorized_sweep(model):
+    return model.times(GRID)
+
+
+def best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_scalar_loop_10k(benchmark):
+    model = spark_mnist_figure2_model()
+    times = benchmark.pedantic(
+        lambda: scalar_sweep(model), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert len(times) == GRID.size
+
+
+def test_vectorized_10k(benchmark):
+    model = spark_mnist_figure2_model()
+    times = benchmark.pedantic(
+        lambda: vectorized_sweep(model), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert times.shape == GRID.shape
+
+
+def test_vectorized_matches_scalar_and_is_10x_faster(benchmark):
+    model = spark_mnist_figure2_model()
+    scalar_times = scalar_sweep(model)
+    batched_times = vectorized_sweep(model)
+    np.testing.assert_allclose(batched_times, scalar_times, rtol=1e-12)
+
+    scalar_s = best_of(lambda: scalar_sweep(model))
+    vector_s = best_of(lambda: vectorized_sweep(model))
+    speedup = scalar_s / vector_s
+    benchmark.extra_info["scalar_s"] = scalar_s
+    benchmark.extra_info["vectorized_s"] = vector_s
+    benchmark.extra_info["speedup_x"] = speedup
+    benchmark.pedantic(lambda: vectorized_sweep(model), rounds=1, iterations=1)
+    print(f"\n10k-point sweep: scalar {scalar_s:.4f}s, vectorized {vector_s:.6f}s"
+          f" ({speedup:.0f}x)")
+    assert speedup >= 10.0
+
+
+def test_weak_scaling_model_also_vectorizes(benchmark):
+    model = chen_inception_figure3_model()
+    times = benchmark.pedantic(
+        lambda: vectorized_sweep(model), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert times.shape == GRID.shape
+    assert float(times[-1]) < float(times[0])

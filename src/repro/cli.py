@@ -28,6 +28,16 @@ def _add_scenario_run_options(parser: argparse.ArgumentParser) -> None:
         "spec", help="a bundled scenario name (see 'scenario list') or a JSON file path"
     )
     parser.add_argument(
+        "--workers",
+        metavar="GRID",
+        default=None,
+        help=(
+            "override the spec's worker grid: 'log:<start>:<stop>:<points>'"
+            " (log-spaced, what the vectorized path makes cheap),"
+            " '<min>:<max>[:<step>]', or an explicit list '1,2,4'"
+        ),
+    )
+    parser.add_argument(
         "--parallel",
         choices=("auto", "serial", "process"),
         default="auto",
@@ -130,6 +140,7 @@ def _stats_line(stats: dict) -> str:
 def _run_scenario_command(args: argparse.Namespace) -> int:
     from repro.scenarios import builtin_names, resolve_scenario
     from repro.scenarios.bridge import scenario_experiment_result
+    from repro.scenarios.grids import parse_worker_grid, with_workers
     from repro.scenarios.sweep import export_format
 
     if args.scenario_command == "list":
@@ -138,6 +149,8 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         return 0
 
     spec = resolve_scenario(args.spec)
+    if getattr(args, "workers", None):
+        spec = with_workers(spec, parse_worker_grid(args.workers))
     if args.scenario_command == "validate":
         print(
             f"ok: scenario {spec.name!r}"

@@ -22,6 +22,16 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.optimize
 
+from repro.core.communication import TorrentBroadcast
+from repro.core.complexity import (
+    CommunicationCost,
+    ComputationCost,
+    CostTerm,
+    FixedCost,
+    NamedCost,
+    OverheadCost,
+    SumCost,
+)
 from repro.core.errors import CalibrationError, ModelError
 from repro.core.model import ScalabilityModel
 
@@ -43,11 +53,20 @@ class AmdahlLaw(ScalabilityModel):
         if self.single_node_time <= 0:
             raise ModelError(f"single_node_time must be positive, got {self.single_node_time}")
 
-    def time(self, workers: int) -> float:
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
+    def cost(self) -> CostTerm:
         f = self.serial_fraction
-        return self.single_node_time * (f + (1.0 - f) / workers)
+        return SumCost(
+            (
+                NamedCost("serial", FixedCost(self.single_node_time * f)),
+                NamedCost(
+                    "parallel",
+                    ComputationCost(
+                        total_operations=self.single_node_time * (1.0 - f), flops=1.0
+                    ),
+                    kind="computation",
+                ),
+            )
+        )
 
     @property
     def max_speedup(self) -> float:
@@ -102,13 +121,17 @@ class SparksModel(ScalabilityModel):
         if self.fixed_seconds < 0:
             raise ModelError(f"fixed_seconds must be non-negative, got {self.fixed_seconds}")
 
-    def time(self, workers: int) -> float:
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        return (
-            self.fixed_seconds
-            + self.compute_seconds / workers
-            + self.communication_seconds * workers
+    def cost(self) -> CostTerm:
+        return SumCost(
+            (
+                FixedCost(self.fixed_seconds),
+                ComputationCost(total_operations=self.compute_seconds, flops=1.0),
+                NamedCost(
+                    "communication",
+                    OverheadCost(seconds_per_worker=self.communication_seconds),
+                    kind="communication",
+                ),
+            )
         )
 
     @property
@@ -148,14 +171,17 @@ class ErnestModel(ScalabilityModel):
             if value < 0:
                 raise ModelError(f"{name} must be non-negative, got {value}")
 
-    def time(self, workers: int) -> float:
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        return (
-            self.fixed_seconds
-            + self.compute_seconds / workers
-            + self.log_seconds * math.log2(workers)
-            + self.linear_seconds * workers
+    def cost(self) -> CostTerm:
+        # The smooth-log term is a torrent-shaped collective carrying
+        # ``log_seconds`` worth of payload on a unit-bandwidth link.
+        log_term = CommunicationCost(TorrentBroadcast(1.0), bits=self.log_seconds)
+        return SumCost(
+            (
+                FixedCost(self.fixed_seconds),
+                ComputationCost(total_operations=self.compute_seconds, flops=1.0),
+                NamedCost("log", log_term, kind="communication"),
+                NamedCost("linear", OverheadCost(seconds_per_worker=self.linear_seconds)),
+            )
         )
 
     @classmethod

@@ -26,6 +26,8 @@ import math
 from abc import ABC
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.errors import ModelError
 
 
@@ -34,6 +36,15 @@ def _check_inputs(bits: float, workers: int) -> None:
         raise ModelError(f"bits must be non-negative, got {bits}")
     if workers < 1:
         raise ModelError(f"workers must be >= 1, got {workers}")
+
+
+def _check_grid(bits: float, workers: np.ndarray) -> np.ndarray:
+    if bits < 0:
+        raise ModelError(f"bits must be non-negative, got {bits}")
+    grid = np.asarray(workers, dtype=float)
+    if grid.size and np.any(grid < 1):
+        raise ModelError(f"workers must be >= 1, got {grid.min()}")
+    return grid
 
 
 @dataclass(frozen=True)
@@ -67,12 +78,23 @@ class CommunicationModel(ABC):
 
     def rounds(self, workers: int) -> float:
         """Number of sequential transfer rounds for ``workers`` nodes."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        return float(self.rounds_array(np.asarray([workers], dtype=float))[0])
+
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rounds` over a whole worker grid."""
         raise NotImplementedError
 
     def time(self, bits: float, workers: int) -> float:
         """Communication time of one collective over ``workers`` nodes."""
         _check_inputs(bits, workers)
-        return self.rounds(workers) * self.transfer_time(bits)
+        return float(self.times(bits, np.asarray([workers], dtype=float))[0])
+
+    def times(self, bits: float, workers: np.ndarray) -> np.ndarray:
+        """Batched communication time over a worker grid (one numpy call)."""
+        grid = _check_grid(bits, workers)
+        return self.rounds_array(grid) * self.transfer_time(bits)
 
 
 @dataclass(frozen=True)
@@ -81,12 +103,12 @@ class NoCommunication(CommunicationModel):
 
     bandwidth_bps: float = 1.0
 
-    def rounds(self, workers: int) -> float:
-        return 0.0
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        return np.zeros(np.asarray(workers).shape, dtype=float)
 
-    def time(self, bits: float, workers: int) -> float:
-        _check_inputs(bits, workers)
-        return 0.0
+    def times(self, bits: float, workers: np.ndarray) -> np.ndarray:
+        grid = _check_grid(bits, workers)
+        return np.zeros(grid.shape, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -102,10 +124,10 @@ class LinearCommunication(CommunicationModel):
 
     include_self: bool = False
 
-    def rounds(self, workers: int) -> float:
-        if workers == 1:
-            return 0.0
-        return float(workers if self.include_self else workers - 1)
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        grid = np.asarray(workers, dtype=float)
+        serialized = grid if self.include_self else grid - 1.0
+        return np.where(grid == 1, 0.0, serialized)
 
 
 @dataclass(frozen=True)
@@ -124,10 +146,11 @@ class TreeCommunication(CommunicationModel):
         if self.fan_out < 2:
             raise ModelError(f"fan_out must be >= 2, got {self.fan_out}")
 
-    def rounds(self, workers: int) -> float:
-        if workers == 1:
-            return 0.0
-        return float(math.ceil(math.log(workers, self.fan_out)))
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        grid = np.asarray(workers, dtype=float)
+        # log(n)/log(f) reproduces math.log(n, f) double for double.
+        depth = np.ceil(np.log(grid) / math.log(self.fan_out))
+        return np.where(grid == 1, 0.0, depth)
 
 
 @dataclass(frozen=True)
@@ -143,11 +166,11 @@ class TorrentBroadcast(CommunicationModel):
 
     discrete_rounds: bool = False
 
-    def rounds(self, workers: int) -> float:
-        if workers == 1:
-            return 0.0
-        raw = math.log2(workers)
-        return float(math.ceil(raw)) if self.discrete_rounds else raw
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        grid = np.asarray(workers, dtype=float)
+        raw = np.log2(grid)
+        rounds = np.ceil(raw) if self.discrete_rounds else raw
+        return np.where(grid == 1, 0.0, rounds)
 
 
 @dataclass(frozen=True)
@@ -168,13 +191,12 @@ class TwoWaveAggregation(CommunicationModel):
         if self.waves < 1:
             raise ModelError(f"waves must be >= 1, got {self.waves}")
 
-    def rounds(self, workers: int) -> float:
-        if workers == 1:
-            # A single worker still hands its gradient to the driver once
-            # per wave in Spark; the paper's formula keeps the ceil(sqrt(1))
-            # = 1 term at n = 1, and we reproduce that.
-            return float(self.waves)
-        return float(self.waves * math.ceil(math.sqrt(workers)))
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        # A single worker still hands its gradient to the driver once per
+        # wave in Spark; the paper's formula keeps the ceil(sqrt(1)) = 1
+        # term at n = 1, and we reproduce that.
+        grid = np.asarray(workers, dtype=float)
+        return self.waves * np.ceil(np.sqrt(grid))
 
 
 @dataclass(frozen=True)
@@ -187,16 +209,15 @@ class RingAllReduce(CommunicationModel):
     all-reduce; this lets us quantify that in the ablation benches.
     """
 
-    def rounds(self, workers: int) -> float:  # pragma: no cover - unused
-        raise NotImplementedError("RingAllReduce overrides time() directly")
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:  # pragma: no cover - unused
+        raise NotImplementedError("RingAllReduce overrides times() directly")
 
-    def time(self, bits: float, workers: int) -> float:
-        _check_inputs(bits, workers)
-        if workers == 1:
-            return 0.0
-        steps = 2 * (workers - 1)
-        payload_fraction = 2.0 * (workers - 1) / workers
-        return steps * self.latency_s + payload_fraction * bits / self.bandwidth_bps
+    def times(self, bits: float, workers: np.ndarray) -> np.ndarray:
+        grid = _check_grid(bits, workers)
+        steps = 2.0 * (grid - 1.0)
+        payload_fraction = 2.0 * (grid - 1.0) / grid
+        total = steps * self.latency_s + payload_fraction * bits / self.bandwidth_bps
+        return np.where(grid == 1, 0.0, total)
 
 
 @dataclass(frozen=True)
@@ -210,16 +231,15 @@ class ShuffleCommunication(CommunicationModel):
     message latencies.
     """
 
-    def rounds(self, workers: int) -> float:  # pragma: no cover - unused
-        raise NotImplementedError("ShuffleCommunication overrides time() directly")
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:  # pragma: no cover - unused
+        raise NotImplementedError("ShuffleCommunication overrides times() directly")
 
-    def time(self, bits: float, workers: int) -> float:
-        _check_inputs(bits, workers)
-        if workers == 1:
-            return 0.0
-        per_node = bits / workers
-        outgoing = per_node * (workers - 1) / workers
-        return (workers - 1) * self.latency_s + outgoing / self.bandwidth_bps
+    def times(self, bits: float, workers: np.ndarray) -> np.ndarray:
+        grid = _check_grid(bits, workers)
+        per_node = bits / grid
+        outgoing = per_node * (grid - 1.0) / grid
+        total = (grid - 1.0) * self.latency_s + outgoing / self.bandwidth_bps
+        return np.where(grid == 1, 0.0, total)
 
 
 @dataclass(frozen=True)
@@ -238,8 +258,8 @@ class ParameterServerCommunication(CommunicationModel):
         if self.server_links < 1:
             raise ModelError(f"server_links must be >= 1, got {self.server_links}")
 
-    def rounds(self, workers: int) -> float:
-        return 2.0 * workers / self.server_links
+    def rounds_array(self, workers: np.ndarray) -> np.ndarray:
+        return 2.0 * np.asarray(workers, dtype=float) / self.server_links
 
 
 @dataclass(frozen=True)
@@ -265,4 +285,12 @@ class CompositeCommunication:
     def time(self, bits: float, workers: int) -> float:
         """Total time; each phase carries ``bits * scale``."""
         _check_inputs(bits, workers)
-        return sum(model.time(bits * scale, workers) for model, scale in self.phases)
+        return float(self.times(bits, np.asarray([workers], dtype=float))[0])
+
+    def times(self, bits: float, workers: np.ndarray) -> np.ndarray:
+        """Batched total time over a worker grid."""
+        grid = _check_grid(bits, workers)
+        total = np.zeros(grid.shape, dtype=float)
+        for model, scale in self.phases:
+            total = total + model.times(bits * scale, grid)
+        return total

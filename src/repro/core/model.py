@@ -1,43 +1,181 @@
 """Scalability-model base classes.
 
-A *scalability model* maps a worker count to an execution time; everything
-else (speedup curves, optimal node counts, planning) derives from it.  The
-paper's per-algorithm models in :mod:`repro.models` subclass
-:class:`ScalabilityModel`; :class:`BSPModel` covers the common
-``t = tcp + tcm`` case directly.
+A *scalability model* maps worker counts to execution times; everything
+else (speedup curves, optimal node counts, planning) derives from it.
+The primary evaluation API is batched — ``times(workers)`` answers a
+whole grid in one vectorized numpy call — and models are *term trees*:
+a subclass overrides :meth:`ScalabilityModel.cost` to return a
+:class:`~repro.core.complexity.CostTerm`, and the base class derives
+``times``, scalar ``time``, ``decompose`` and the speedup helpers from
+it.  The paper's per-algorithm models in :mod:`repro.models` are all
+expressed this way; :class:`BSPModel` covers the common ``t = tcp + tcm``
+case directly.
+
+Legacy subclasses that only override scalar ``time`` keep working: the
+batched entry point falls back to a point-by-point loop for them.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import warnings
+from abc import ABC
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
-from repro.core.complexity import CostTerm
+import numpy as np
+
+from repro.core.complexity import (
+    CostTerm,
+    NamedCost,
+    ScaledCost,
+    SumCost,
+    TabulatedCost,
+    as_worker_array,
+    merge_components,
+)
 from repro.core.errors import ModelError
 from repro.core.speedup import SpeedupCurve, speedup_grid
 
 
 class ScalabilityModel(ABC):
-    """Maps a worker count ``n`` to execution time ``t(n)`` in seconds."""
+    """Maps worker counts ``n`` to execution times ``t(n)`` in seconds.
 
-    @abstractmethod
+    Subclasses override **either** :meth:`cost` (preferred — a composable
+    term tree that vectorizes and decomposes for free) **or** scalar
+    :meth:`time` (escape hatch for models with no closed-form term
+    structure).
+    """
+
+    def cost(self) -> CostTerm:
+        """The model's cost-term tree (see :mod:`repro.core.complexity`).
+
+        Overriding this single method gives a model batched evaluation,
+        generic decomposition and every speedup helper.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not define a cost tree")
+
+    def _has_cost_tree(self) -> bool:
+        return type(self).cost is not ScalabilityModel.cost
+
+    def _cost_tree(self) -> CostTerm:
+        """The model's cost tree, built once per (frozen) instance."""
+        tree = self.__dict__.get("_cost_tree_cache")
+        if tree is None:
+            tree = self.cost()
+            object.__setattr__(self, "_cost_tree_cache", tree)
+        return tree
+
+    def times(self, workers: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Modelled execution time at every grid point — one batched call."""
+        grid = as_worker_array(workers)
+        if self._has_cost_tree():
+            return self._cost_tree()._times(grid)
+        if type(self).time is ScalabilityModel.time:
+            raise TypeError(
+                f"{type(self).__name__} must override either cost() or time()"
+            )
+        return np.array([self.time(int(n)) for n in grid], dtype=float)
+
     def time(self, workers: int) -> float:
-        """Modelled execution time on ``workers`` homogeneous nodes."""
+        """Modelled execution time on ``workers`` homogeneous nodes.
+
+        A thin scalar wrapper over :meth:`times`, so scalar and batched
+        evaluation cannot drift apart.
+        """
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        return float(self.times(np.asarray([workers], dtype=float))[0])
+
+    def decompose(self, workers: Iterable[int] | np.ndarray) -> dict[str, np.ndarray]:
+        """Labeled component arrays summing to ``times(workers)``.
+
+        Models with a cost tree decompose into their named terms (e.g.
+        ``{"computation": ..., "communication": ...}``); models without
+        one report a single ``"total"`` entry.
+        """
+        grid = as_worker_array(workers)
+        if self._has_cost_tree():
+            return merge_components(self._cost_tree()._components(grid))
+        return {"total": self.times(grid)}
+
+    def _kind_time(self, kind: str, workers: int, alias: str) -> float:
+        """Scalar total of the components classified as ``kind``."""
+        if workers < 1:
+            raise ModelError(f"workers must be >= 1, got {workers}")
+        if not self._has_cost_tree():
+            raise ModelError(
+                f"{type(self).__name__} has no cost tree; {alias}() is only"
+                " available for term-tree models — use decompose() instead"
+            )
+        grid = np.asarray([workers], dtype=float)
+        components = self._cost_tree()._components(grid)
+        matching = [c for c in components if c.kind == kind]
+        if not matching:
+            raise ModelError(
+                f"{type(self).__name__} has no {kind} component;"
+                f" components: {[c.name for c in components]}"
+            )
+        return float(sum(float(c.values[0]) for c in matching))
+
+    def computation_time(self, workers: int) -> float:
+        """Deprecated: total of the computation-kind terms.
+
+        Use ``decompose(workers)`` instead; this alias survives for the
+        decomposition plots written against the old per-model methods.
+        """
+        warnings.warn(
+            "computation_time() is deprecated; use decompose()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._kind_time("computation", workers, "computation_time")
+
+    def communication_time(self, workers: int) -> float:
+        """Deprecated: total of the communication-kind terms.
+
+        Use ``decompose(workers)`` instead.
+        """
+        warnings.warn(
+            "communication_time() is deprecated; use decompose()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._kind_time("communication", workers, "communication_time")
+
+    def baseline_time(self, baseline_workers: int = 1) -> float:
+        """``t(baseline)``, cached per instance.
+
+        ``speedup`` is called in tight loops with the same baseline; the
+        baseline evaluation is pure (models are frozen), so it is cached
+        on first use instead of recomputed per call.
+        """
+        cache = self.__dict__.get("_baseline_cache")
+        if cache is None:
+            cache = {}
+            # Works on frozen dataclasses too: the cache is not a field.
+            object.__setattr__(self, "_baseline_cache", cache)
+        if baseline_workers not in cache:
+            cache[baseline_workers] = self.time(baseline_workers)
+        return cache[baseline_workers]
 
     def speedup(self, workers: int, baseline_workers: int = 1) -> float:
         """``s(n) = t(baseline) / t(n)``."""
-        return self.time(baseline_workers) / self.time(workers)
+        denominator = self.time(workers)
+        if denominator <= 0:
+            raise ModelError(
+                f"cannot compute speedup: t({workers}) = {denominator} is not positive"
+            )
+        return self.baseline_time(baseline_workers) / denominator
 
     def curve(self, workers: Iterable[int], baseline_workers: int = 1) -> SpeedupCurve:
-        """Evaluate the model on an explicit worker grid."""
+        """Evaluate the model on an explicit worker grid (batched)."""
         return SpeedupCurve.from_model(
-            self.time, workers, baseline_workers, label=type(self).__name__
+            self, workers, baseline_workers, label=type(self).__name__
         )
 
     def grid(self, max_workers: int) -> SpeedupCurve:
         """Evaluate the model on ``1..max_workers``."""
-        return speedup_grid(self.time, max_workers)
+        return speedup_grid(self, max_workers)
 
     def optimal_workers(self, max_workers: int) -> int:
         """``argmax s(n)`` over ``1..max_workers`` — the paper's ``N``."""
@@ -61,20 +199,18 @@ class BSPModel(ScalabilityModel):
         if self.iterations < 1:
             raise ModelError(f"iterations must be >= 1, got {self.iterations}")
 
+    def cost(self) -> CostTerm:
+        step = SumCost(
+            (
+                NamedCost("computation", self.computation, kind="computation"),
+                NamedCost("communication", self.communication, kind="communication"),
+            )
+        )
+        return ScaledCost(step, float(self.iterations))
+
     def superstep_time(self, workers: int) -> float:
         """Time of a single superstep at ``workers`` nodes."""
         return self.computation.time(workers) + self.communication.time(workers)
-
-    def time(self, workers: int) -> float:
-        return self.iterations * self.superstep_time(workers)
-
-    def computation_time(self, workers: int) -> float:
-        """Total computation component (for decomposition plots)."""
-        return self.iterations * self.computation.time(workers)
-
-    def communication_time(self, workers: int) -> float:
-        """Total communication component (for decomposition plots)."""
-        return self.iterations * self.communication.time(workers)
 
 
 @dataclass(frozen=True)
@@ -122,11 +258,13 @@ class MeasuredModel(ScalabilityModel):
         """Build from any iterable of ``(workers, seconds)`` pairs."""
         return cls(tuple((int(n), float(t)) for n, t in pairs))
 
-    def time(self, workers: int) -> float:
-        for n, seconds in self.measurements:
-            if n == workers:
-                return seconds
-        raise ModelError(f"no measurement recorded for {workers} workers")
+    def cost(self) -> CostTerm:
+        return NamedCost(
+            "measured",
+            TabulatedCost(
+                tuple(sorted(self.measurements)), description="measurement"
+            ),
+        )
 
     @property
     def workers(self) -> tuple[int, ...]:

@@ -36,19 +36,22 @@ class StrongScalingStudy:
         return self.model.curve(workers)
 
     def decomposition(self, workers: Iterable[int]) -> list[dict[str, float]]:
-        """Computation/communication split per grid point, when available.
+        """Per-component split per grid point, via the model's term tree.
 
-        Models that expose ``computation_time`` / ``communication_time``
-        (e.g. :class:`~repro.core.model.BSPModel`) are decomposed; others
-        report total time only.
+        Each named term of ``model.decompose`` becomes a ``<name>_s``
+        column; the whole grid is evaluated in one batched call.  Models
+        without a term tree report a single ``total_s`` column.
         """
+        grid = [int(n) for n in workers]
+        components = self.model.decompose(grid)
+        # The components sum to the total by construction, so one tree
+        # walk yields both the breakdown and the time column.
+        totals = sum(components.values())
         rows = []
-        for n in workers:
-            row: dict[str, float] = {"workers": n, "time_s": self.model.time(n)}
-            if hasattr(self.model, "computation_time"):
-                row["computation_s"] = self.model.computation_time(n)
-            if hasattr(self.model, "communication_time"):
-                row["communication_s"] = self.model.communication_time(n)
+        for index, n in enumerate(grid):
+            row: dict[str, float] = {"workers": n, "time_s": float(totals[index])}
+            for name, values in components.items():
+                row[f"{name}_s"] = float(values[index])
             rows.append(row)
         return rows
 

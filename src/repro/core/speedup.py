@@ -18,6 +18,18 @@ from repro.core.errors import ModelError
 
 TimeFunction = Callable[[int], float]
 
+#: Either a scalar ``workers -> seconds`` callable or any object with a
+#: batched ``times(grid) -> np.ndarray`` method (a ScalabilityModel or a
+#: CostTerm).  Batched sources are evaluated in one vectorized call.
+TimeSource = TimeFunction
+
+
+def _evaluate_times(source: TimeSource, workers: Sequence[int]) -> list[float]:
+    """Evaluate a time source on a grid — one numpy call when batched."""
+    if hasattr(source, "times"):
+        return [float(t) for t in source.times(np.asarray(workers, dtype=float))]
+    return [float(source(n)) for n in workers]
+
 
 @dataclass(frozen=True)
 class SpeedupCurve:
@@ -73,15 +85,26 @@ class SpeedupCurve:
     @classmethod
     def from_model(
         cls,
-        time_fn: TimeFunction,
+        model: TimeSource,
         workers: Iterable[int],
         baseline_workers: int = 1,
         label: str = "",
     ) -> "SpeedupCurve":
-        """Evaluate ``time_fn`` on a grid and on the baseline point."""
+        """Evaluate a time source on a grid and on the baseline point.
+
+        ``model`` may be a scalar ``workers -> seconds`` callable (the
+        historical API) or anything exposing batched ``times`` (a
+        :class:`~repro.core.model.ScalabilityModel`), in which case the
+        whole grid is one vectorized evaluation.  The baseline time is
+        taken from the grid when the baseline lies on it — never
+        recomputed.
+        """
         workers_t = tuple(int(n) for n in workers)
-        times_t = tuple(float(time_fn(n)) for n in workers_t)
-        baseline_time = float(time_fn(baseline_workers))
+        times_t = tuple(_evaluate_times(model, workers_t))
+        if baseline_workers in workers_t:
+            baseline_time = times_t[workers_t.index(baseline_workers)]
+        else:
+            baseline_time = _evaluate_times(model, (baseline_workers,))[0]
         return cls(workers_t, times_t, baseline_time, baseline_workers, label)
 
     @property
@@ -132,19 +155,19 @@ class SpeedupCurve:
         ]
 
 
-def speedup_grid(time_fn: TimeFunction, max_workers: int, baseline_workers: int = 1) -> SpeedupCurve:
-    """Evaluate ``time_fn`` on ``1..max_workers`` and wrap as a curve."""
+def speedup_grid(model: TimeSource, max_workers: int, baseline_workers: int = 1) -> SpeedupCurve:
+    """Evaluate a time source on ``1..max_workers`` and wrap as a curve."""
     if max_workers < 1:
         raise ModelError(f"max_workers must be >= 1, got {max_workers}")
-    return SpeedupCurve.from_model(time_fn, range(1, max_workers + 1), baseline_workers)
+    return SpeedupCurve.from_model(model, range(1, max_workers + 1), baseline_workers)
 
 
-def optimal_workers(time_fn: TimeFunction, max_workers: int) -> int:
+def optimal_workers(model: TimeSource, max_workers: int) -> int:
     """``argmax_{1<=n<=max_workers} s(n)`` — the paper's ``N``."""
-    return speedup_grid(time_fn, max_workers).optimal_workers
+    return speedup_grid(model, max_workers).optimal_workers
 
 
-def scalability_limit(time_fn: TimeFunction, max_workers: int, tolerance: float = 0.0) -> int:
+def scalability_limit(model: TimeSource, max_workers: int, tolerance: float = 0.0) -> int:
     """Largest ``n`` whose marginal speedup is still positive.
 
     Returns the last worker count at which adding a node improved the time
@@ -154,10 +177,10 @@ def scalability_limit(time_fn: TimeFunction, max_workers: int, tolerance: float 
     """
     if max_workers < 1:
         raise ModelError(f"max_workers must be >= 1, got {max_workers}")
+    times = _evaluate_times(model, range(1, max_workers + 1))
     best = 1
-    previous = time_fn(1)
-    for n in range(2, max_workers + 1):
-        current = time_fn(n)
+    previous = times[0]
+    for n, current in zip(range(2, max_workers + 1), times[1:]):
         if current < previous * (1.0 - tolerance):
             best = n
         previous = current
@@ -165,16 +188,22 @@ def scalability_limit(time_fn: TimeFunction, max_workers: int, tolerance: float 
 
 
 def crossover_workers(
-    time_fn_a: TimeFunction, time_fn_b: TimeFunction, max_workers: int
+    model_a: TimeSource, model_b: TimeSource, max_workers: int
 ) -> int | None:
-    """Smallest ``n`` at which ``time_fn_b`` becomes faster than ``time_fn_a``.
+    """Smallest ``n`` at which ``model_b`` becomes faster than ``model_a``.
 
     Used by the benches to locate who-wins-where crossovers between
     communication topologies.  Returns ``None`` if B never wins on the grid.
+
+    Deliberately evaluates point by point with an early exit: a
+    table-backed model measured only up to the crossover must still
+    report it, and expensive models stop paying once B wins.
     """
     if max_workers < 1:
         raise ModelError(f"max_workers must be >= 1, got {max_workers}")
+    fn_a = model_a.time if hasattr(model_a, "time") else model_a
+    fn_b = model_b.time if hasattr(model_b, "time") else model_b
     for n in range(1, max_workers + 1):
-        if time_fn_b(n) < time_fn_a(n):
+        if fn_b(n) < fn_a(n):
             return n
     return None

@@ -11,7 +11,6 @@ tree round: the continuous optimum of ``10/n + 0.5 log2 n`` is
 
 from __future__ import annotations
 
-from repro.core.speedup import optimal_workers
 from repro.experiments.reference import FIGURE1_PEAK_WORKERS
 from repro.experiments.runner import ExperimentResult, register
 from repro.models.gradient_descent import GradientDescentModel
@@ -29,20 +28,28 @@ EXAMPLE_MODEL = GradientDescentModel(
 
 @register("figure1")
 def run(quick: bool = False) -> ExperimentResult:
-    """Generate the example speedup curve with its component breakdown."""
-    grid = range(1, 33)
+    """Generate the example speedup curve with its component breakdown.
+
+    The grid, its decomposition and the speedups are batched evaluations
+    of the model's cost-term tree — no per-``n`` Python loop.
+    """
+    grid = list(range(1, 33))
+    curve = EXAMPLE_MODEL.curve(grid)
+    components = EXAMPLE_MODEL.decompose(grid)
     rows = []
-    for workers in grid:
+    for index, (workers, time_s, speedup) in enumerate(
+        zip(curve.workers, curve.times, curve.speedups)
+    ):
         rows.append(
             {
                 "workers": workers,
-                "computation_s": EXAMPLE_MODEL.computation_time(workers),
-                "communication_s": EXAMPLE_MODEL.communication_time(workers),
-                "time_s": EXAMPLE_MODEL.time(workers),
-                "speedup": EXAMPLE_MODEL.speedup(workers),
+                "computation_s": float(components["computation"][index]),
+                "communication_s": float(components["communication"][index]),
+                "time_s": time_s,
+                "speedup": speedup,
             }
         )
-    peak = optimal_workers(EXAMPLE_MODEL.time, 32)
+    peak = curve.optimal_workers
     return ExperimentResult(
         experiment="figure1",
         description="Example of the speedup (generic strong scaling)",

@@ -31,9 +31,10 @@ def run(quick: bool = False) -> ExperimentResult:
     linear_model = chen_inception_linear_comm_model()
     measured = measure_inception_per_instance(WORKER_GRID, iterations=iterations, seed=0)
 
-    model_speedups = [model.time(baseline) / model.time(n) for n in WORKER_GRID]
-    measured_speedups = [measured.time(baseline) / measured.time(n) for n in WORKER_GRID]
-    linear_speedups = [linear_model.time(baseline) / linear_model.time(n) for n in WORKER_GRID]
+    # Batched curves relative to the figure's 50-worker baseline.
+    model_speedups = list(model.curve(WORKER_GRID, baseline).speedups)
+    measured_speedups = list(measured.curve(WORKER_GRID, baseline).speedups)
+    linear_speedups = list(linear_model.curve(WORKER_GRID, baseline).speedups)
 
     rows = []
     for n, model_s, measured_s, linear_s in zip(

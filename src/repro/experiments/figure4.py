@@ -43,8 +43,9 @@ def _compare_scale(
     )
     measured = measure_bp_iterations(source, WORKER_GRID, machine=machine, seed=seed + 100)
 
-    model_speedups = [model.speedup(n) for n in WORKER_GRID]
-    measured_speedups = [measured.time(1) / measured.time(n) for n in WORKER_GRID]
+    # One batched evaluation per curve (model term tree / measurement table).
+    model_speedups = list(model.curve(WORKER_GRID).speedups)
+    measured_speedups = list(measured.curve(WORKER_GRID).speedups)
     rows = []
     for n, model_s, measured_s in zip(WORKER_GRID, model_speedups, measured_speedups):
         rows.append(

@@ -25,6 +25,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.complexity import (
+    AmortizedCost,
+    CostTerm,
+    FixedCost,
+    MaxCost,
+    NamedCost,
+)
 from repro.core.errors import ModelError
 from repro.core.model import ScalabilityModel
 
@@ -96,9 +103,26 @@ class AsyncSGDModel(ScalabilityModel):
         """Worker count at which the server link saturates."""
         return self.worker_cycle_seconds() / self.server_seconds_per_update()
 
-    def time(self, workers: int) -> float:
-        """Seconds per training instance (throughput only, no staleness)."""
-        return 1.0 / (self.updates_per_second(workers) * self.batch_size)
+    def cost(self) -> CostTerm:
+        """Per-instance time: the slower of the two throughput bounds.
+
+        ``1 / (min(worker_bound, server_bound) * S)`` is the max of the
+        two per-instance times — a :class:`MaxCost` of an amortized
+        worker-cycle term and a constant server-occupancy floor.
+        """
+        per_batch_cycle = FixedCost(self.worker_cycle_seconds() / self.batch_size)
+        server_floor = FixedCost(
+            self.server_seconds_per_update() / self.batch_size
+        )
+        return NamedCost(
+            "throughput",
+            MaxCost(
+                (
+                    NamedCost("worker-bound", AmortizedCost(per_batch_cycle)),
+                    NamedCost("server-bound", server_floor),
+                )
+            ),
+        )
 
     def mean_staleness(self, workers: int) -> float:
         """Average updates applied between a worker's pull and its push.

@@ -5,6 +5,11 @@ per-edge cost ``c(S) = S + 2 * (S + S^2)`` (update a belief: S; generate
 a message: marginalise S^2 plus S products, twice per edge direction).
 On the shared-memory DL980 the paper takes ``tcm ~ 0``, so ``F`` cancels
 in the speedup and the curve is governed purely by ``max_i(E_i)``.
+
+The model is a term tree: the Monte-Carlo ``max_i(E_i)`` grid becomes a
+:class:`~repro.core.complexity.TabulatedCost` scaled by ``c(S)/F``, and
+the optional engine overhead a piecewise term active only once work is
+actually distributed (``n >= 2``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,16 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
+from repro.core.complexity import (
+    CostTerm,
+    FixedCost,
+    NamedCost,
+    OverheadCost,
+    PiecewiseCost,
+    ScaledCost,
+    SumCost,
+    TabulatedCost,
+)
 from repro.core.errors import ModelError
 from repro.core.model import ScalabilityModel
 from repro.graph.graph import DegreeSequence, Graph
@@ -81,19 +96,29 @@ class BeliefPropagationModel(ScalabilityModel):
             overhead_seconds_per_worker=overhead_seconds_per_worker,
         )
 
-    def computation_time(self, workers: int) -> float:
-        """``tcp = max_i(E_i) * c(S) / F``."""
-        if workers not in self.max_edges:
-            raise ModelError(
-                f"no max-edges estimate for {workers} workers; grid is {sorted(self.max_edges)}"
-            )
-        return self.max_edges[workers] * bp_cost_per_edge(self.states) / self.flops
-
-    def time(self, workers: int) -> float:
-        overhead = 0.0
-        if workers > 1:
-            overhead = self.overhead_seconds + self.overhead_seconds_per_worker * workers
-        return self.computation_time(workers) + overhead
+    def cost(self) -> CostTerm:
+        computation = NamedCost(
+            "computation",
+            ScaledCost(
+                TabulatedCost.from_mapping(self.max_edges, description="max-edges"),
+                bp_cost_per_edge(self.states) / self.flops,
+            ),
+            kind="computation",
+        )
+        if self.overhead_seconds == 0 and self.overhead_seconds_per_worker == 0:
+            return computation
+        # Engine overhead only exists once work is actually distributed.
+        overhead = NamedCost(
+            "overhead",
+            PiecewiseCost(
+                (
+                    (1, FixedCost(0.0)),
+                    (2, OverheadCost(self.overhead_seconds, self.overhead_seconds_per_worker)),
+                )
+            ),
+            kind="overhead",
+        )
+        return SumCost((computation, overhead))
 
     @property
     def workers_grid(self) -> tuple[int, ...]:

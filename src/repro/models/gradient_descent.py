@@ -10,13 +10,28 @@ Three variants, in the paper's notation (``C`` ops/sample, ``S`` batch,
   per training instance, plus a linear-communication variant the paper
   contrasts it with ("the linear communication model allows only finite
   scaling").
+
+Every model is a *cost-term tree* (see :mod:`repro.core.complexity`):
+the subclass builds its labeled terms in :meth:`cost` and inherits
+batched ``times``, generic ``decompose`` and the speedup helpers from
+:class:`~repro.core.model.ScalabilityModel`.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass
 
+from repro.core.communication import LinearCommunication, TorrentBroadcast, TwoWaveAggregation
+from repro.core.complexity import (
+    AmortizedCost,
+    CommunicationCost,
+    ComputationCost,
+    CostTerm,
+    NamedCost,
+    ScaledCost,
+    SumCost,
+)
 from repro.core.errors import ModelError
 from repro.core.model import ScalabilityModel
 
@@ -44,12 +59,8 @@ def _validate_common(
 
 
 @dataclass(frozen=True)
-class GradientDescentModel(ScalabilityModel):
-    """Generic data-parallel GD: tree communication both ways.
-
-    ``tcm = 2 * (bits*W/B) * log2(n)`` — the ``2`` is the paper's
-    "two-stage communication" (distribute parameters, collect gradients).
-    """
+class _GradientDescentBase(ScalabilityModel):
+    """Shared parameters and term builders of the GD family."""
 
     operations_per_sample: float
     batch_size: float
@@ -68,29 +79,57 @@ class GradientDescentModel(ScalabilityModel):
             self.bits_per_parameter,
         )
 
+    @property
+    def gradient_bits(self) -> float:
+        """The payload of one parameter transfer: ``bits * W``."""
+        return float(self.bits_per_parameter) * self.parameters
+
     def _transfer(self) -> float:
-        return self.bits_per_parameter * self.parameters / self.bandwidth_bps
+        return self.gradient_bits / self.bandwidth_bps
 
-    def computation_time(self, workers: int) -> float:
-        """``tcp = C * S / (F * n)``."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        return self.operations_per_sample * self.batch_size / (self.flops * workers)
+    def _computation_term(self, parallel: bool = True) -> CostTerm:
+        """``tcp = C * S / (F * n)`` (or the undivided ``C * S / F``)."""
+        return ComputationCost(
+            total_operations=self.operations_per_sample * self.batch_size,
+            flops=self.flops,
+            parallel=parallel,
+        )
 
-    def communication_time(self, workers: int) -> float:
-        """``tcm = 2 * (bits*W/B) * log2(n)``."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        if workers == 1:
-            return 0.0
-        return 2.0 * self._transfer() * math.log2(workers)
+    def _tree_comm_term(self) -> CostTerm:
+        """``2 * (bits*W/B) * log2(n)`` — two tree stages, smooth log.
 
-    def time(self, workers: int) -> float:
-        return self.computation_time(workers) + self.communication_time(workers)
+        The paper's formula uses the smooth ``log2`` (its plotted curves
+        are smooth), which is exactly :class:`TorrentBroadcast` with
+        continuous rounds; the factor 2 is the paper's "two-stage
+        communication" (distribute parameters, collect gradients).
+        """
+        return ScaledCost(
+            CommunicationCost(
+                TorrentBroadcast(self.bandwidth_bps), bits=self.gradient_bits
+            ),
+            2.0,
+        )
 
 
 @dataclass(frozen=True)
-class SparkGradientDescentModel(ScalabilityModel):
+class GradientDescentModel(_GradientDescentBase):
+    """Generic data-parallel GD: tree communication both ways.
+
+    ``tcm = 2 * (bits*W/B) * log2(n)`` — the ``2`` is the paper's
+    "two-stage communication" (distribute parameters, collect gradients).
+    """
+
+    def cost(self) -> CostTerm:
+        return SumCost(
+            (
+                self._computation_term(),
+                NamedCost("communication", self._tree_comm_term(), kind="communication"),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SparkGradientDescentModel(_GradientDescentBase):
     """The paper's Figure 2 model for Spark ML batch gradient descent.
 
     "Distribution of parameters is implemented with a torrent-like
@@ -102,56 +141,44 @@ class SparkGradientDescentModel(ScalabilityModel):
     still hands its gradient to the driver), exactly as the formula reads.
     """
 
-    operations_per_sample: float
-    batch_size: float
-    flops: float
-    parameters: float
-    bandwidth_bps: float
     bits_per_parameter: int = 64
 
-    def __post_init__(self) -> None:
-        _validate_common(
-            self.operations_per_sample,
-            self.batch_size,
-            self.flops,
-            self.parameters,
-            self.bandwidth_bps,
-            self.bits_per_parameter,
+    def cost(self) -> CostTerm:
+        broadcast = CommunicationCost(
+            TorrentBroadcast(self.bandwidth_bps), bits=self.gradient_bits
+        )
+        aggregation = CommunicationCost(
+            TwoWaveAggregation(self.bandwidth_bps), bits=self.gradient_bits
+        )
+        return SumCost(
+            (
+                self._computation_term(),
+                NamedCost("broadcast", broadcast, kind="communication"),
+                NamedCost("aggregation", aggregation, kind="communication"),
+            )
         )
 
-    def _transfer(self) -> float:
-        return self.bits_per_parameter * self.parameters / self.bandwidth_bps
-
-    def computation_time(self, workers: int) -> float:
-        """``tcp = C * S / (F * n)`` (C = 6W for the MNIST network)."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        return self.operations_per_sample * self.batch_size / (self.flops * workers)
-
     def broadcast_time(self, workers: int) -> float:
-        """Torrent distribution: ``(64W/B) * log2(n)``."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        if workers == 1:
-            return 0.0
-        return self._transfer() * math.log2(workers)
+        """Deprecated: the ``broadcast`` entry of :meth:`decompose`."""
+        warnings.warn(
+            "broadcast_time() is deprecated; use decompose()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return float(self.decompose([workers])["broadcast"][0])
 
     def aggregation_time(self, workers: int) -> float:
-        """Two-wave collection: ``2 * (64W/B) * ceil(sqrt(n))``."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        return 2.0 * self._transfer() * math.ceil(math.sqrt(workers))
-
-    def communication_time(self, workers: int) -> float:
-        """Total ``tcm``: broadcast plus aggregation."""
-        return self.broadcast_time(workers) + self.aggregation_time(workers)
-
-    def time(self, workers: int) -> float:
-        return self.computation_time(workers) + self.communication_time(workers)
+        """Deprecated: the ``aggregation`` entry of :meth:`decompose`."""
+        warnings.warn(
+            "aggregation_time() is deprecated; use decompose()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return float(self.decompose([workers])["aggregation"][0])
 
 
 @dataclass(frozen=True)
-class WeakScalingSGDModel(ScalabilityModel):
+class WeakScalingSGDModel(_GradientDescentBase):
     """Figure 3: time per training instance under weak scaling.
 
     Every worker computes a fixed batch ``S``; one superstep therefore
@@ -161,46 +188,29 @@ class WeakScalingSGDModel(ScalabilityModel):
 
     "Such assumption allows infinite weak scaling": t(n) is strictly
     decreasing, so adding workers always increases per-instance speedup.
+    (The fixed per-worker batch ``S`` is a constant factor and cancels
+    in speedups, as the paper notes.)
     """
 
-    operations_per_sample: float
-    batch_size: float
-    flops: float
-    parameters: float
-    bandwidth_bps: float
-    bits_per_parameter: int = 32
-
-    def __post_init__(self) -> None:
-        _validate_common(
-            self.operations_per_sample,
-            self.batch_size,
-            self.flops,
-            self.parameters,
-            self.bandwidth_bps,
-            self.bits_per_parameter,
+    def _superstep_term(self) -> CostTerm:
+        # Per-worker batch: the compute part does not shrink with n.
+        return SumCost(
+            (
+                self._computation_term(parallel=False),
+                NamedCost("communication", self._tree_comm_term(), kind="communication"),
+            )
         )
+
+    def cost(self) -> CostTerm:
+        return AmortizedCost(self._superstep_term())
 
     def superstep_time(self, workers: int) -> float:
         """Wall time of one synchronous iteration at ``n`` workers."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        compute = self.operations_per_sample * self.batch_size / self.flops
-        if workers == 1:
-            return compute
-        transfer = self.bits_per_parameter * self.parameters / self.bandwidth_bps
-        return compute + 2.0 * transfer * math.log2(workers)
-
-    def time(self, workers: int) -> float:
-        """Per-instance time: the paper divides the superstep by ``n``.
-
-        (The fixed per-worker batch ``S`` is a constant factor and cancels
-        in speedups, as the paper notes.)
-        """
-        return self.superstep_time(workers) / workers
+        return self._superstep_term().time(workers)
 
 
 @dataclass(frozen=True)
-class WeakScalingLinearCommModel(ScalabilityModel):
+class WeakScalingLinearCommModel(_GradientDescentBase):
     """The contrast case of Section V-A: linear instead of log communication.
 
     ``t = ((C*S)/F + (32W/B) * n) / n`` — as ``n`` grows the per-instance
@@ -208,32 +218,22 @@ class WeakScalingLinearCommModel(ScalabilityModel):
     linear communication model allows only finite scaling".
     """
 
-    operations_per_sample: float
-    batch_size: float
-    flops: float
-    parameters: float
-    bandwidth_bps: float
-    bits_per_parameter: int = 32
-
-    def __post_init__(self) -> None:
-        _validate_common(
-            self.operations_per_sample,
-            self.batch_size,
-            self.flops,
-            self.parameters,
-            self.bandwidth_bps,
-            self.bits_per_parameter,
+    def cost(self) -> CostTerm:
+        # include_self=True gives n serialised rounds (0 at n = 1).
+        comm = CommunicationCost(
+            LinearCommunication(self.bandwidth_bps, include_self=True),
+            bits=self.gradient_bits,
         )
-
-    def time(self, workers: int) -> float:
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
-        compute = self.operations_per_sample * self.batch_size / self.flops
-        transfer = self.bits_per_parameter * self.parameters / self.bandwidth_bps
-        comm = 0.0 if workers == 1 else transfer * workers
-        return (compute + comm) / workers
+        return AmortizedCost(
+            SumCost(
+                (
+                    self._computation_term(parallel=False),
+                    NamedCost("communication", comm, kind="communication"),
+                )
+            )
+        )
 
     @property
     def asymptotic_time(self) -> float:
         """The floor per-instance time ``32W/B`` that caps weak scaling."""
-        return self.bits_per_parameter * self.parameters / self.bandwidth_bps
+        return self._transfer()

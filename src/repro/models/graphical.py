@@ -5,6 +5,10 @@ inference gated by the worker with the most edges.  Communication, for
 distributed (non-shared-memory) deployments, is linear in the replicated
 state: ``tGI_cm = 32/B * r * V * S`` where ``r`` is the replication
 factor and ``V * S`` the per-vertex state size in 32-bit words.
+
+Expressed as a term tree: a tabulated computation term plus a callable
+communication term (the replication curve ``r(n)`` has no closed form —
+the paper estimates it from the partitioning scheme).
 """
 
 from __future__ import annotations
@@ -12,6 +16,14 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 
+from repro.core.complexity import (
+    CallableCost,
+    CostTerm,
+    NamedCost,
+    ScaledCost,
+    SumCost,
+    TabulatedCost,
+)
 from repro.core.errors import ModelError
 from repro.core.model import ScalabilityModel
 from repro.graph.graph import DegreeSequence, Graph
@@ -79,18 +91,8 @@ class GraphInferenceModel(ScalabilityModel):
             replication_of=replication_of,
         )
 
-    def computation_time(self, workers: int) -> float:
-        """``tcp = max_i(E_i) * c(S) / F``."""
-        if workers not in self.max_edges:
-            raise ModelError(
-                f"no max-edges estimate for {workers} workers; grid is {sorted(self.max_edges)}"
-            )
-        return self.max_edges[workers] * self.cost_per_edge / self.flops
-
-    def communication_time(self, workers: int) -> float:
-        """``tcm = 32/B * r * V * S`` (linear shape, Section IV-B)."""
-        if workers < 1:
-            raise ModelError(f"workers must be >= 1, got {workers}")
+    def _replicated_state_seconds(self, workers: int) -> float:
+        """``32/B * r(n) * V * S`` — zero for a single worker."""
         if workers == 1:
             return 0.0
         replication = float(self.replication_of(workers))
@@ -104,5 +106,18 @@ class GraphInferenceModel(ScalabilityModel):
             * self.states
         )
 
-    def time(self, workers: int) -> float:
-        return self.computation_time(workers) + self.communication_time(workers)
+    def cost(self) -> CostTerm:
+        computation = NamedCost(
+            "computation",
+            ScaledCost(
+                TabulatedCost.from_mapping(self.max_edges, description="max-edges"),
+                self.cost_per_edge / self.flops,
+            ),
+            kind="computation",
+        )
+        communication = CallableCost(
+            self._replicated_state_seconds,
+            name="communication",
+            kind="communication",
+        )
+        return SumCost((computation, communication))

@@ -11,6 +11,7 @@ and the bundled examples under ``repro/scenarios/builtin/``.
 """
 
 from repro.scenarios.cache import ResultCache, default_cache_dir
+from repro.scenarios.grids import log_worker_grid, parse_worker_grid, with_workers
 from repro.scenarios.compile import (
     ALGORITHM_KINDS,
     TOPOLOGIES,
@@ -54,7 +55,10 @@ __all__ = [
     "is_stochastic",
     "load_builtin",
     "load_scenario",
+    "log_worker_grid",
     "parse_scenario",
+    "parse_worker_grid",
     "resolve_scenario",
     "run_scenario",
+    "with_workers",
 ]

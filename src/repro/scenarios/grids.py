@@ -1,0 +1,119 @@
+"""Worker-grid syntax shared by the CLI and programmatic callers.
+
+The vectorized evaluation path makes dense grids cheap, so the CLI lets
+users override a scenario's worker grid from the command line:
+
+* ``log:<start>:<stop>:<points>`` — log-spaced integers between
+  ``start`` and ``stop`` (duplicates from rounding collapse, both ends
+  always included).  The natural syntax for ``n = 1..10_000`` studies.
+* ``<min>:<max>[:<step>]`` — a linear range, like the spec's
+  ``{"min": ..., "max": ..., "step": ...}`` mapping.
+* ``1,2,4,8`` — an explicit comma-separated list.
+
+All three forms produce the same validated tuple a spec's ``workers``
+section would, including the :data:`~repro.scenarios.spec.MAX_WORKER_GRID_POINTS`
+cap.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec, parse_scenario
+
+
+def _parse_int(token: str, context: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ScenarioError(f"{context} must be an integer, got {token!r}")
+
+
+def log_worker_grid(start: int, stop: int, points: int) -> tuple[int, ...]:
+    """Log-spaced integer worker counts from ``start`` to ``stop``.
+
+    Rounds ``points`` log-spaced values to integers and drops duplicates,
+    so the result may hold fewer than ``points`` entries at small scales;
+    both endpoints are always present.
+    """
+    if start < 1:
+        raise ScenarioError(f"log grid start must be >= 1, got {start}")
+    if stop < start:
+        raise ScenarioError(f"log grid stop must be >= start, got {start}..{stop}")
+    if points < 2:
+        raise ScenarioError(f"log grid needs at least 2 points, got {points}")
+    raw = np.logspace(np.log10(start), np.log10(stop), num=points)
+    counts = np.unique(np.rint(raw).astype(int))
+    return tuple(int(n) for n in counts)
+
+
+def parse_worker_grid(text: str) -> tuple[int, ...]:
+    """Parse the CLI worker-grid syntax into a validated tuple of counts."""
+    body = text.strip()
+    if not body:
+        raise ScenarioError("worker grid must not be empty")
+    if body.startswith("log:"):
+        parts = body.split(":")
+        if len(parts) != 4:
+            raise ScenarioError(
+                f"log grids are 'log:<start>:<stop>:<points>', got {text!r}"
+            )
+        start, stop, points = (
+            _parse_int(parts[1], "log grid start"),
+            _parse_int(parts[2], "log grid stop"),
+            _parse_int(parts[3], "log grid points"),
+        )
+        grid = log_worker_grid(start, stop, points)
+        return _validate(list(grid))
+    if ":" in body:
+        parts = body.split(":")
+        if len(parts) not in (2, 3):
+            raise ScenarioError(
+                f"linear ranges are '<min>:<max>[:<step>]', got {text!r}"
+            )
+        low = _parse_int(parts[0], "range min")
+        high = _parse_int(parts[1], "range max")
+        step = _parse_int(parts[2], "range step") if len(parts) == 3 else 1
+        if step < 1:
+            raise ScenarioError(f"range step must be >= 1, got {step}")
+        if low < 1 or high < low:
+            raise ScenarioError(
+                f"ranges must satisfy 1 <= min <= max, got {low}..{high}"
+            )
+        return _validate(list(range(low, high + 1, step)))
+    return _validate([_parse_int(token, "worker count") for token in body.split(",")])
+
+
+def _validate(grid: list[int]) -> tuple[int, ...]:
+    """Route through the spec parser so every entry point shares one set
+    of invariants (positive, unique, capped)."""
+    from repro.scenarios.spec import _parse_workers  # shared validation
+
+    return _parse_workers(grid)
+
+
+def with_workers(spec: ScenarioSpec, workers: Sequence[int]) -> ScenarioSpec:
+    """A re-validated copy of ``spec`` evaluated on a different worker grid.
+
+    When the spec's declared baseline falls off the new grid, the
+    smallest new count becomes the baseline (speedups need an on-grid
+    reference point) — with a warning, because every reported speedup
+    changes reference.
+    """
+    data = spec.to_dict()
+    grid = [int(n) for n in workers]
+    data["workers"] = grid
+    if spec.baseline_workers not in grid:
+        data["baseline_workers"] = min(grid)
+        warnings.warn(
+            f"scenario {spec.name!r} declares baseline_workers ="
+            f" {spec.baseline_workers}, which is not on the overridden"
+            f" worker grid; speedups are now relative to {min(grid)} workers",
+            UserWarning,
+            stacklevel=2,
+        )
+    return parse_scenario(data)

@@ -53,7 +53,8 @@ from repro.core.errors import ScenarioError
 SCHEMA_VERSION = 1
 
 #: Bumped whenever evaluation semantics change, to invalidate caches.
-ENGINE_VERSION = 1
+#: 2: curves evaluate through the vectorized cost-term algebra.
+ENGINE_VERSION = 2
 
 #: Hardware fields that may appear inline and be swept over.
 HARDWARE_SCALARS = ("flops", "bandwidth_bps", "latency_s")

@@ -82,11 +82,13 @@ def evaluate_point(spec: ScenarioSpec, overrides: Mapping[str, object]) -> dict:
 
     Returns a JSON-serialisable record: the overrides, the full curve,
     and the headline scalars (optimal workers, peak speedup, whether the
-    point is scalable at all).
+    point is scalable at all).  The curve is one batched ``times()``
+    evaluation — dense grids cost a single numpy call per grid point,
+    not a Python loop over ``n``.
     """
     model = compile_scenario(spec, overrides)
     curve = SpeedupCurve.from_model(
-        model.time, spec.workers, spec.baseline_workers, label=spec.name
+        model, spec.workers, spec.baseline_workers, label=spec.name
     )
     return {
         "overrides": dict(overrides),

@@ -1,0 +1,118 @@
+"""Tests for the CLI worker-grid syntax and spec regridding."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ScenarioError
+from repro.scenarios.grids import log_worker_grid, parse_worker_grid, with_workers
+from repro.scenarios.spec import load_builtin
+
+
+class TestParseWorkerGrid:
+    def test_comma_list(self):
+        assert parse_worker_grid("1,2,4,8") == (1, 2, 4, 8)
+
+    def test_linear_range(self):
+        assert parse_worker_grid("1:5") == (1, 2, 3, 4, 5)
+
+    def test_linear_range_with_step(self):
+        assert parse_worker_grid("2:10:4") == (2, 6, 10)
+
+    def test_log_grid_endpoints_and_monotonicity(self):
+        grid = parse_worker_grid("log:1:10000:40")
+        assert grid[0] == 1
+        assert grid[-1] == 10000
+        assert list(grid) == sorted(set(grid))
+
+    def test_log_grid_collapses_duplicates_at_small_scale(self):
+        grid = parse_worker_grid("log:1:8:20")
+        assert grid == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_log_grid_density_scales_with_points(self):
+        sparse = parse_worker_grid("log:1:10000:10")
+        dense = parse_worker_grid("log:1:10000:100")
+        assert len(dense) > len(sparse)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "log:1:100",  # missing points
+            "log:0:100:5",  # start < 1
+            "log:100:10:5",  # stop < start
+            "log:1:100:1",  # too few points
+            "5:1",  # max < min
+            "1:10:0",  # zero step
+            "a,b",
+            "1,1,2",  # duplicates
+            "0,1",  # below 1
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ScenarioError):
+            parse_worker_grid(text)
+
+    def test_caps_grid_size(self):
+        with pytest.raises(ScenarioError, match="limit"):
+            parse_worker_grid("1:100000")
+
+    def test_log_worker_grid_direct(self):
+        assert log_worker_grid(1, 16, 5) == (1, 2, 4, 8, 16)
+
+
+class TestWithWorkers:
+    def test_replaces_grid(self):
+        spec = load_builtin("figure2")
+        regridded = with_workers(spec, (1, 5, 9, 13))
+        assert regridded.workers == (1, 5, 9, 13)
+        assert regridded.baseline_workers == spec.baseline_workers
+
+    def test_moves_baseline_onto_new_grid_with_warning(self):
+        spec = load_builtin("figure3")  # baseline 50
+        with pytest.warns(UserWarning, match="baseline"):
+            regridded = with_workers(spec, (100, 200, 400))
+        assert regridded.baseline_workers == 100
+
+    def test_changes_content_hash(self):
+        spec = load_builtin("figure2")
+        assert with_workers(spec, (1, 2)).content_hash() != spec.content_hash()
+
+
+class TestCliWorkersOption:
+    def test_run_with_log_grid(self, capsys, tmp_path):
+        code = main(
+            [
+                "scenario",
+                "run",
+                "figure2",
+                "--workers",
+                "log:1:64:8",
+                "--no-cache",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "64" in out
+
+    def test_sweep_with_linear_grid(self, capsys, tmp_path):
+        code = main(
+            [
+                "scenario",
+                "sweep",
+                "capacity-sweep",
+                "--workers",
+                "1:8",
+                "--no-cache",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "scenario sweep" in capsys.readouterr().out
+
+    def test_bad_grid_is_a_clean_error(self, capsys):
+        code = main(["scenario", "run", "figure2", "--workers", "log:9:1:5"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

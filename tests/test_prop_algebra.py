@@ -1,0 +1,337 @@
+"""Property tests for the vectorized cost-term algebra.
+
+Two invariants, asserted for every registered model family:
+
+* **scalar/batched equivalence** — ``times(grid)[i] == time(grid[i])``
+  exactly (the scalar API is a thin wrapper over the batched one, so any
+  drift is a bug), and
+* **decomposition completeness** — the labeled ``decompose()`` arrays
+  sum to ``times()`` within 1e-12 relative.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import AmdahlLaw, ErnestModel, SparksModel
+from repro.core.communication import (
+    CompositeCommunication,
+    NoCommunication,
+    RingAllReduce,
+    TorrentBroadcast,
+    TwoWaveAggregation,
+)
+from repro.core.complexity import (
+    AmortizedCost,
+    CommunicationCost,
+    ComputationCost,
+    FixedCost,
+    MaxCost,
+    NamedCost,
+    OverheadCost,
+    PiecewiseCost,
+    ScaledCost,
+    SumCost,
+    TabulatedCost,
+)
+from repro.core.errors import ModelError
+from repro.core.model import BSPModel, CallableModel, MeasuredModel
+from repro.models.asynchronous import AsyncSGDModel
+from repro.models.belief_propagation import BeliefPropagationModel
+from repro.models.deep_learning import (
+    chen_inception_figure3_model,
+    chen_inception_linear_comm_model,
+    spark_mnist_figure2_model,
+)
+from repro.models.gradient_descent import (
+    GradientDescentModel,
+    SparkGradientDescentModel,
+    WeakScalingLinearCommModel,
+    WeakScalingSGDModel,
+)
+from repro.models.graphical import GraphInferenceModel
+
+TABLE_GRID = (1, 2, 3, 4, 8, 16, 32)
+DENSE_GRID = tuple(range(1, 257))
+
+_GD_KWARGS = dict(
+    operations_per_sample=6e6,
+    batch_size=1000,
+    flops=1e9,
+    parameters=1e6,
+    bandwidth_bps=1e9,
+)
+
+
+def _registered_models() -> list[tuple[str, object, tuple[int, ...]]]:
+    """Every model family with a grid it is defined on."""
+    table = {n: 1000.0 / n + 3.0 * n for n in TABLE_GRID}
+    return [
+        ("gradient_descent", GradientDescentModel(**_GD_KWARGS), DENSE_GRID),
+        ("spark_gradient_descent", SparkGradientDescentModel(**_GD_KWARGS), DENSE_GRID),
+        ("weak_scaling_sgd", WeakScalingSGDModel(**_GD_KWARGS), DENSE_GRID),
+        ("weak_scaling_linear", WeakScalingLinearCommModel(**_GD_KWARGS), DENSE_GRID),
+        ("spark_mnist_preset", spark_mnist_figure2_model(), DENSE_GRID),
+        ("chen_inception_preset", chen_inception_figure3_model(), DENSE_GRID),
+        ("chen_linear_preset", chen_inception_linear_comm_model(), DENSE_GRID),
+        (
+            "async_sgd",
+            AsyncSGDModel(
+                operations_per_sample=15e9,
+                batch_size=128,
+                flops=2.14e12,
+                parameters=25e6,
+                bandwidth_bps=10e9,
+            ),
+            DENSE_GRID,
+        ),
+        (
+            "belief_propagation",
+            BeliefPropagationModel(max_edges=dict(table), states=2, flops=1e9),
+            TABLE_GRID,
+        ),
+        (
+            "belief_propagation_overhead",
+            BeliefPropagationModel(
+                max_edges=dict(table),
+                states=2,
+                flops=1e9,
+                overhead_seconds=1e-3,
+                overhead_seconds_per_worker=1e-4,
+            ),
+            TABLE_GRID,
+        ),
+        (
+            "graph_inference",
+            GraphInferenceModel(
+                max_edges=dict(table),
+                cost_per_edge=14.0,
+                flops=1e9,
+                vertex_count=1000,
+                states=2,
+                bandwidth_bps=1e9,
+                replication_of=lambda n: 0.1 * n,
+            ),
+            TABLE_GRID,
+        ),
+        (
+            "bsp_composite",
+            BSPModel(
+                computation=ComputationCost(total_operations=1e9, flops=1e9),
+                communication=CommunicationCost(
+                    CompositeCommunication(
+                        ((TorrentBroadcast(1e9), 1.0), (TwoWaveAggregation(1e9), 1.0))
+                    ),
+                    bits=1e8,
+                ),
+                iterations=3,
+            ),
+            DENSE_GRID,
+        ),
+        (
+            "bsp_ring",
+            BSPModel(
+                computation=ComputationCost(total_operations=1e9, flops=1e9),
+                communication=CommunicationCost(RingAllReduce(1e9, 1e-5), bits=1e8),
+            ),
+            DENSE_GRID,
+        ),
+        ("measured", MeasuredModel.from_pairs(sorted(table.items())), TABLE_GRID),
+        ("callable", CallableModel(lambda n: 10.0 / n + 0.3 * n), DENSE_GRID),
+        ("amdahl", AmdahlLaw(serial_fraction=0.07, single_node_time=5.0), DENSE_GRID),
+        (
+            "sparks",
+            SparksModel(compute_seconds=100.0, communication_seconds=0.5, fixed_seconds=2.0),
+            DENSE_GRID,
+        ),
+        (
+            "ernest",
+            ErnestModel(
+                fixed_seconds=1.0,
+                compute_seconds=100.0,
+                log_seconds=0.5,
+                linear_seconds=0.01,
+            ),
+            DENSE_GRID,
+        ),
+    ]
+
+
+MODELS = _registered_models()
+MODEL_IDS = [name for name, _model, _grid in MODELS]
+
+
+@pytest.mark.parametrize(("name", "model", "grid"), MODELS, ids=MODEL_IDS)
+class TestScalarBatchedEquivalence:
+    def test_times_matches_time_pointwise(self, name, model, grid):
+        batched = model.times(np.asarray(grid, dtype=float))
+        assert batched.shape == (len(grid),)
+        for index, n in enumerate(grid):
+            assert batched[index] == model.time(n), (
+                f"{name}: times(grid)[{index}] != time({n})"
+            )
+
+    def test_decompose_sums_to_times(self, name, model, grid):
+        batched = model.times(np.asarray(grid, dtype=float))
+        components = model.decompose(grid)
+        assert components, f"{name}: decompose() returned no components"
+        total = sum(components.values())
+        np.testing.assert_allclose(
+            total, batched, rtol=1e-12, atol=0.0,
+            err_msg=f"{name}: decompose() does not sum to times()",
+        )
+
+    def test_curve_uses_batched_path(self, name, model, grid):
+        curve = model.curve(grid)
+        np.testing.assert_allclose(
+            np.asarray(curve.times), model.times(np.asarray(grid, dtype=float))
+        )
+
+
+class TestAlgebraicCombinators:
+    @given(
+        seconds=st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+        factor=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        max_workers=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=50)
+    def test_scaled_distributes(self, seconds, factor, max_workers):
+        grid = np.arange(1, max_workers + 1, dtype=float)
+        term = ScaledCost(FixedCost(seconds), factor)
+        np.testing.assert_allclose(term.times(grid), factor * seconds)
+
+    @given(max_workers=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_amortized_divides_by_workers(self, max_workers):
+        grid = np.arange(1, max_workers + 1, dtype=float)
+        term = AmortizedCost(FixedCost(10.0))
+        np.testing.assert_allclose(term.times(grid), 10.0 / grid)
+
+    @given(max_workers=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_max_is_upper_envelope(self, max_workers):
+        grid = np.arange(1, max_workers + 1, dtype=float)
+        falling = ComputationCost(total_operations=100.0, flops=1.0)
+        rising = OverheadCost(seconds_per_worker=1.0)
+        term = MaxCost((falling, rising))
+        np.testing.assert_allclose(
+            term.times(grid), np.maximum(falling.times(grid), rising.times(grid))
+        )
+
+    def test_piecewise_switches_regimes(self):
+        term = PiecewiseCost(((1, FixedCost(1.0)), (4, FixedCost(2.0))))
+        np.testing.assert_allclose(
+            term.times(np.array([1.0, 3.0, 4.0, 10.0])), [1.0, 1.0, 2.0, 2.0]
+        )
+        assert term.time(3) == 1.0
+        assert term.time(4) == 2.0
+
+    def test_piecewise_requires_threshold_one(self):
+        with pytest.raises(ModelError):
+            PiecewiseCost(((2, FixedCost(1.0)),))
+
+    def test_piecewise_never_evaluates_inactive_pieces(self):
+        # A domain-restricted piece (a table defined only for n >= 2)
+        # must not be asked about grid points outside its regime.
+        term = PiecewiseCost(
+            (
+                (1, FixedCost(0.0)),
+                (2, TabulatedCost(((2, 5.0), (4, 3.0)), description="restricted")),
+            )
+        )
+        np.testing.assert_allclose(term.times(np.array([1.0, 2.0, 4.0])), [0.0, 5.0, 3.0])
+        assert term.time(1) == 0.0
+
+    def test_named_inherits_uniform_kind(self):
+        inner = ComputationCost(total_operations=10.0, flops=1.0)
+        named = NamedCost("work", inner)
+        (component,) = named.components(np.array([2.0]))
+        assert component.name == "work"
+        assert component.kind == "computation"
+
+    def test_sum_merges_duplicate_names(self):
+        term = SumCost(
+            (
+                NamedCost("phase", FixedCost(1.0)),
+                NamedCost("phase", FixedCost(2.0)),
+            )
+        )
+        components = term.decompose([1, 2])
+        np.testing.assert_allclose(components["phase"], [3.0, 3.0])
+
+    def test_tabulated_rejects_off_grid(self):
+        term = TabulatedCost(((1, 1.0), (4, 2.0)), description="demo")
+        with pytest.raises(ModelError, match="demo"):
+            term.times(np.array([2.0]))
+
+    def test_scalar_time_rejects_what_batched_rejects(self):
+        term = ComputationCost(total_operations=10.0, flops=1.0)
+        with pytest.raises(ModelError):
+            term.time(2.5)  # fractional counts fail both paths
+        with pytest.raises(ModelError):
+            term.time(0)
+
+    def test_operator_sugar_builds_trees(self):
+        tree = 2 * (FixedCost(1.0) + ComputationCost(total_operations=4.0, flops=1.0))
+        np.testing.assert_allclose(tree.times(np.array([1.0, 2.0])), [10.0, 6.0])
+
+
+class TestCommunicationScalarGuards:
+    @pytest.mark.parametrize(
+        "model",
+        [TorrentBroadcast(1e9), TwoWaveAggregation(1e9), RingAllReduce(1e9)],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_invalid_worker_count_raises_in_time(self, model):
+        with pytest.raises(ModelError):
+            model.time(1.0, 0)
+
+    @pytest.mark.parametrize(
+        "model",
+        [TorrentBroadcast(1e9), TwoWaveAggregation(1e9)],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_invalid_worker_count_raises_in_rounds(self, model):
+        # The scalar wrapper must not leak -inf/NaN from np.log(0).
+        with pytest.raises(ModelError):
+            model.rounds(0)
+
+
+class TestSpeedupGuards:
+    def test_crossover_early_exit_spares_partial_grids(self):
+        # A table measured only up to the crossover must still report it:
+        # the search may not eagerly evaluate past the first win.
+        from repro.core.speedup import crossover_workers
+
+        slow = MeasuredModel.from_pairs([(1, 10.0), (2, 10.0), (3, 10.0)])
+        fast = MeasuredModel.from_pairs([(1, 12.0), (2, 8.0), (3, 6.0)])
+        assert crossover_workers(slow, fast, 8) == 2
+
+    def test_zero_time_speedup_raises(self):
+        model = BSPModel(
+            computation=ComputationCost(total_operations=0.0, flops=1.0),
+            communication=CommunicationCost(NoCommunication(), bits=0.0),
+        )
+        with pytest.raises(ModelError, match="not positive"):
+            model.speedup(4)
+
+    def test_baseline_cached_across_calls(self):
+        calls = []
+
+        def fn(n):
+            calls.append(n)
+            return 10.0 / n + 1.0
+
+        model = CallableModel(fn)
+        for n in (2, 3, 4, 5):
+            model.speedup(n)
+        assert calls.count(1) == 1  # the baseline evaluated exactly once
+
+    @given(max_workers=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30)
+    def test_speedup_matches_curve(self, max_workers):
+        model = GradientDescentModel(**_GD_KWARGS)
+        curve = model.grid(max_workers)
+        for n in (1, max_workers // 2 + 1, max_workers):
+            assert curve.speedup_at(n) == pytest.approx(model.speedup(n), rel=1e-12)

@@ -1,0 +1,121 @@
+"""Record the vectorized-sweep benchmark as a JSON artifact.
+
+Times scalar-loop vs batched evaluation of representative cost-algebra
+models on a dense worker grid and writes the results (including the
+headline speedup) to ``BENCH_sweep.json`` at the repository root, so the
+perf trajectory of the batched path is tracked in-tree.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_to_json.py [--points 10000] [--output BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.speedup import SpeedupCurve
+from repro.models.deep_learning import (
+    chen_inception_figure3_model,
+    spark_mnist_figure2_model,
+)
+from repro.models.gradient_descent import GradientDescentModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def generic_gd_model() -> GradientDescentModel:
+    """The Figure 1 example constants: a representative tree-comm model."""
+    return GradientDescentModel(
+        operations_per_sample=1e7,
+        batch_size=1000,
+        flops=1e9,
+        parameters=7.8125e6,
+        bandwidth_bps=1e9,
+        bits_per_parameter=32,
+    )
+
+
+CASES = {
+    "spark_gradient_descent": spark_mnist_figure2_model,
+    "gradient_descent": generic_gd_model,
+    "weak_scaling_sgd": chen_inception_figure3_model,
+}
+
+
+def best_of(fn, rounds: int) -> float:
+    """Minimum wall time over ``rounds`` runs (noise-resistant)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_case(name: str, model, grid: np.ndarray, rounds: int) -> dict:
+    scalar = lambda: [model.time(int(n)) for n in grid]  # noqa: E731
+    batched = lambda: model.times(grid)  # noqa: E731
+    # Correctness first: the two paths must agree before we time them.
+    np.testing.assert_allclose(batched(), scalar(), rtol=1e-12)
+    scalar_s = best_of(scalar, rounds)
+    vector_s = best_of(batched, rounds)
+    curve_s = best_of(lambda: SpeedupCurve.from_model(model, grid), rounds)
+    return {
+        "model": name,
+        "grid_points": int(grid.size),
+        "scalar_loop_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup_x": scalar_s / vector_s,
+        "curve_from_model_s": curve_s,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=10_000, help="grid size (default 10000)")
+    parser.add_argument("--rounds", type=int, default=5, help="timing rounds (default 5)")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="output path (default: BENCH_sweep.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    grid = np.arange(1, args.points + 1, dtype=float)
+    results = [
+        bench_case(name, factory(), grid, args.rounds) for name, factory in CASES.items()
+    ]
+    headline = min(result["speedup_x"] for result in results)
+    payload = {
+        "benchmark": "vectorized-sweep",
+        "description": (
+            "scalar-loop vs batched cost-algebra evaluation of a dense"
+            " worker grid (see benchmarks/bench_vectorized_sweep.py)"
+        ),
+        "grid_points": int(grid.size),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "min_speedup_x": headline,
+    }
+    target = Path(args.output)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    for result in results:
+        print(
+            f"{result['model']}: scalar {result['scalar_loop_s']:.4f}s,"
+            f" vectorized {result['vectorized_s']:.6f}s"
+            f" ({result['speedup_x']:.0f}x)"
+        )
+    print(f"wrote {target}")
+    return 0 if headline >= 10.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,7 +62,12 @@ def check_file(path: Path) -> tuple[list[str], int]:
         try:
             for start, source in blocks:
                 try:
-                    code = compile(source, f"{path}:{start}", "exec")
+                    # dont_inherit: without it the blocks inherit this
+                    # module's `from __future__ import annotations` flag,
+                    # which breaks dataclasses defined inside a block
+                    # (their string annotations can't resolve — the block
+                    # namespace is not a real sys.modules entry).
+                    code = compile(source, f"{path}:{start}", "exec", dont_inherit=True)
                     exec(code, namespace)  # noqa: S102 - that is the point
                 except Exception as error:  # noqa: BLE001 - report, don't crash
                     errors.append(f"{path}:{start}: {type(error).__name__}: {error}")
