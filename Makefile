@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-quick lint docs-check bench-sweep check clean
+.PHONY: test test-quick lint docs-check bench-sweep bench-sim check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
@@ -21,15 +21,20 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
 bench-sweep:
 	$(PYTHON) -m pytest -q benchmarks/bench_vectorized_sweep.py
 
+## The simulated-sweep acceptance bench: process-pool vs serial
+## evaluation of a simulated-backend sweep, written to BENCH_sim.json.
+bench-sim:
+	$(PYTHON) tools/bench_sim_to_json.py
+
 ## Everything CI would run.
-check: lint test docs-check bench-sweep
+check: lint test docs-check bench-sweep bench-sim
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,84 @@
+"""Bench: process-pool vs serial evaluation of a simulated sweep.
+
+Simulated-backend grid points are the expensive kind the process pool
+exists for (one discrete-event run per worker count per point), and the
+backend refactor's seed derivation makes pooled results bit-identical to
+serial ones — so the pool is pure win on multi-core machines.
+``tools/bench_sim_to_json.py`` runs the same comparison standalone and
+records it in ``BENCH_sim.json``.
+
+Like every ``bench_*.py`` file, this is not auto-collected by ``make
+test``; run it explicitly via ``make bench-sim`` (wired into CI) or
+``pytest benchmarks/``.
+
+Acceptance floor (CPU-aware): with >= 2 cores the pool must beat serial
+by 1.15x; on a single core it must not be more than 2x slower than
+serial (pool overhead bound).  Payloads must be identical in any case.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.scenarios import SweepRunner, parse_scenario
+
+# tools/ is not a package; the standalone artifact writer owns the spec
+# and the floors, and this bench reuses them verbatim.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tools.bench_sim_to_json import (  # noqa: E402
+    MIN_SPEEDUP_MULTI,
+    MIN_SPEEDUP_SINGLE,
+    bench_spec,
+)
+
+SPEC = parse_scenario(bench_spec(points=12, max_workers=48, iterations=8))
+
+
+def run(mode: str):
+    return SweepRunner(mode=mode, use_cache=False).run(SPEC)
+
+
+def best_of(fn, rounds: int = 2):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_serial_simulated_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run("serial"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert len(result.points) == SPEC.grid_size
+
+
+def test_process_simulated_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run("process"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert len(result.points) == SPEC.grid_size
+
+
+def test_pool_meets_acceptance_floor(benchmark):
+    serial_s, serial_result = best_of(lambda: run("serial"))
+    process_s, process_result = best_of(lambda: run("process"))
+
+    # Determinism first: identical payloads regardless of mode.
+    assert serial_result.payload() == process_result.payload()
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / process_s
+    floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["process_s"] = process_s
+    benchmark.extra_info["speedup_x"] = speedup
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nsimulated sweep: serial {serial_s:.3f}s, process {process_s:.3f}s"
+        f" ({speedup:.2f}x on {cpus} cpu(s); floor {floor}x)"
+    )
+    assert speedup >= floor

@@ -8,7 +8,10 @@ Installed as ``repro-experiments``:
     repro-experiments scenario list
     repro-experiments scenario validate my-spec.json
     repro-experiments scenario run figure2
+    repro-experiments scenario run figure2 --backend simulated
     repro-experiments scenario sweep capacity-sweep --export sweep.csv
+    repro-experiments scenario sweep straggler-sweep --backend simulated
+    repro-experiments scenario calibrate figure2 --source simulated
 """
 
 from __future__ import annotations
@@ -35,6 +38,16 @@ def _add_scenario_run_options(parser: argparse.ArgumentParser) -> None:
             "override the spec's worker grid: 'log:<start>:<stop>:<points>'"
             " (log-spaced, what the vectorized path makes cheap),"
             " '<min>:<max>[:<step>]', or an explicit list '1,2,4'"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("analytic", "simulated", "calibrated"),
+        default=None,
+        help=(
+            "override the spec's evaluation backend: 'analytic' (closed-form"
+            " cost trees), 'simulated' (discrete-event cluster runs), or"
+            " 'calibrated' (measure, fit, evaluate the fitted family)"
         ),
     )
     parser.add_argument(
@@ -107,6 +120,45 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="expand the sweep grid and print one summary row per point"
     )
     _add_scenario_run_options(scenario_sweep)
+
+    calibrate_parser = scenario_sub.add_parser(
+        "calibrate",
+        help=(
+            "measure a scenario through a backend, fit feature families to"
+            " the measurements, and report MAPE/R² per family"
+        ),
+    )
+    calibrate_parser.add_argument(
+        "spec", help="a bundled scenario name (see 'scenario list') or a JSON file path"
+    )
+    calibrate_parser.add_argument(
+        "--source",
+        choices=("analytic", "simulated"),
+        default=None,
+        help=(
+            "backend that takes the measurements (default: the spec's"
+            " calibration block, else simulated when the workload is"
+            " BSP-expressible, else analytic)"
+        ),
+    )
+    calibrate_parser.add_argument(
+        "--features",
+        metavar="NAME[,NAME...]",
+        default=None,
+        help="feature families to fit (default: every library)",
+    )
+    calibrate_parser.add_argument(
+        "--workers",
+        metavar="GRID",
+        default=None,
+        help="override the spec's worker grid (same syntax as 'scenario run')",
+    )
+    calibrate_parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="write the calibration report to PATH (.json)",
+    )
     return parser
 
 
@@ -137,8 +189,29 @@ def _stats_line(stats: dict) -> str:
     return f"[{points} grid point(s) via {mode}{hit} in {elapsed:.3f}s]"
 
 
+def _run_calibrate_command(args: argparse.Namespace, spec) -> int:
+    from repro.scenarios.calibrate import calibrate_scenario
+
+    features = None
+    if args.features:
+        features = tuple(name.strip() for name in args.features.split(",") if name.strip())
+    report = calibrate_scenario(spec, source=args.source, features=features)
+    print(f"== scenario calibrate: {spec.name} (measured via {report.source})")
+    print()
+    print(render_table(report.rows()))
+    best = report.best
+    print(
+        f"best family: {best.features}"
+        f" (MAPE {best.mape_pct:.2f}%, R² {best.r2:.4f})"
+    )
+    if args.export:
+        target = report.to_json(args.export)
+        print(f"exported to {target}")
+    return 0
+
+
 def _run_scenario_command(args: argparse.Namespace) -> int:
-    from repro.scenarios import builtin_names, resolve_scenario
+    from repro.scenarios import builtin_names, resolve_scenario, with_backend
     from repro.scenarios.bridge import scenario_experiment_result
     from repro.scenarios.grids import parse_worker_grid, with_workers
     from repro.scenarios.sweep import export_format
@@ -151,14 +224,24 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     spec = resolve_scenario(args.spec)
     if getattr(args, "workers", None):
         spec = with_workers(spec, parse_worker_grid(args.workers))
+    if getattr(args, "backend", None):
+        # Rewrites the spec's backend block, so the override flows into
+        # the content hash (and hence the result cache) like any other
+        # spec change.
+        spec = with_backend(spec, args.backend)
     if args.scenario_command == "validate":
         print(
             f"ok: scenario {spec.name!r}"
             f" (algorithm {spec.algorithm.kind!r},"
+            f" backend {spec.backend.kind!r},"
             f" {len(spec.workers)} worker counts,"
             f" {spec.grid_size} grid point(s))"
         )
         return 0
+    if args.scenario_command == "calibrate":
+        if args.export and export_format(args.export) != ".json":
+            raise ReproError("calibration reports export as .json only")
+        return _run_calibrate_command(args, spec)
 
     if args.export:
         # Fail before the run, not after: a rejected export target must

@@ -10,6 +10,7 @@ models by MAPE.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -22,6 +23,46 @@ from repro.core.model import CallableModel, ScalabilityModel
 
 #: A parametric time family: ``family(workers, params) -> seconds``.
 TimeFamily = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Named feature sets for :func:`fit_linear_features`, used by the
+#: calibrated evaluation backend and the ``scenario calibrate`` CLI.
+#: Each is a tuple of scalar ``n -> value`` features; the fit finds
+#: non-negative coefficients for ``t(n) = sum_j theta_j * f_j(n)``.
+FEATURE_LIBRARIES: dict[str, tuple[Callable[[float], float], ...]] = {
+    # Venkataraman et al.'s Ernest features: fixed cost, perfectly
+    # parallel work, tree communication, serialised communication.
+    "ernest": (
+        lambda n: 1.0,
+        lambda n: 1.0 / n,
+        lambda n: math.log2(n) if n > 1 else 0.0,
+        lambda n: float(n),
+    ),
+    # The paper's generic gradient-descent shape (Section IV-A).
+    "gd-log": (
+        lambda n: 1.0 / n,
+        lambda n: math.log2(n) if n > 1 else 0.0,
+    ),
+    # The Figure 2 Spark shape: torrent log plus two-wave sqrt waves.
+    "spark": (
+        lambda n: 1.0 / n,
+        lambda n: math.log2(n) if n > 1 else 0.0,
+        lambda n: math.ceil(math.sqrt(n)),
+    ),
+    # Amdahl's law: serial fraction plus parallel remainder.
+    "amdahl": (
+        lambda n: 1.0,
+        lambda n: 1.0 / n,
+    ),
+}
+
+
+def feature_library(name: str) -> tuple[Callable[[float], float], ...]:
+    """The named feature set, with the valid names listed on a miss."""
+    try:
+        return FEATURE_LIBRARIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FEATURE_LIBRARIES))
+        raise CalibrationError(f"unknown feature library {name!r}; known: {known}")
 
 
 @dataclass(frozen=True)
@@ -111,13 +152,22 @@ def fit_linear_features(
     """Fit ``t(n) = sum_j theta_j * feature_j(n)`` with theta >= 0 (NNLS).
 
     This is the Ernest-style fit: the family is linear in its parameters,
-    so non-negative least squares finds the global optimum directly.
+    so non-negative least squares finds the global optimum directly.  The
+    residuals are *relative* (each row is scaled by its measured time),
+    for the same reason :func:`fit_time_family` uses relative residuals:
+    the small-time points at large worker counts must weigh as much as
+    the single-node run, or the fit ignores exactly the regime scaling
+    studies care about.
     """
     if not features:
         raise CalibrationError("need at least one feature")
     workers_arr, times_arr = _validate(workers, times, len(features))
     matrix = np.array([[f(float(n)) for f in features] for n in workers_arr], dtype=float)
-    coeffs, _ = scipy.optimize.nnls(matrix, times_arr)
+    # Row-scaling by 1/t turns ||A0 - t|| into the relative objective
+    # ||A0/t - 1|| while keeping the problem NNLS-solvable.
+    coeffs, _ = scipy.optimize.nnls(
+        matrix / times_arr[:, np.newaxis], np.ones_like(times_arr)
+    )
     predicted = matrix @ coeffs
     if np.any(predicted <= 0):
         raise CalibrationError("NNLS fit predicts non-positive times on the data grid")
@@ -149,7 +199,9 @@ def compare_models(
     workers_arr, times_arr = _validate(workers, times, 1)
     ranking = []
     for name, model in models.items():
-        predicted = [model.time(int(n)) for n in workers_arr]
+        # One batched evaluation per candidate — the cost-algebra path —
+        # instead of the deprecated per-point scalar time() loop.
+        predicted = np.asarray(model.times(workers_arr), dtype=float)
         ranking.append((name, mape(times_arr, predicted)))
     ranking.sort(key=lambda pair: pair[1])
     return ranking

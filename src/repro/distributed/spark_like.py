@@ -4,6 +4,12 @@ Reconstructs the paper's testbed in the simulator: Xeon E3-1240 workers
 (double precision, 80 % of peak), a dedicated driver, 1 Gbit/s Ethernet,
 torrent parameter broadcast, two-wave ``ceil(sqrt(n))`` gradient
 aggregation, JVM-ish scheduling overhead and straggler jitter.
+
+The Figure 2 *driver* now routes through the pluggable evaluation
+backends (the same configuration lives in ``builtin/figure2.json``'s
+``backend.simulation`` block); this module remains the library-level
+entry point for driving the Spark-like testbed directly, as
+``examples/deep_learning_spark.py`` does.
 """
 
 from __future__ import annotations

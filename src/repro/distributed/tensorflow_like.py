@@ -6,6 +6,12 @@ adding workers grows the effective batch — weak scaling.  The paper
 models the gradient exchange logarithmically (``2 * (32W/B) * log n``);
 the simulator realises that with binomial broadcast down and tree
 aggregation up, plus a light in-process framework overhead.
+
+The Figure 3 *driver* now routes through the pluggable evaluation
+backends (the same configuration lives in ``builtin/figure3.json``'s
+``backend.simulation`` block); this module remains the library-level
+entry point for driving the TensorFlow-like testbed directly, as
+``examples/weak_scaling_minibatch.py`` does.
 """
 
 from __future__ import annotations

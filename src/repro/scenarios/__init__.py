@@ -11,15 +11,30 @@ and the bundled examples under ``repro/scenarios/builtin/``.
 """
 
 from repro.scenarios.cache import ResultCache, default_cache_dir
+from repro.scenarios.calibrate import (
+    FamilyFit,
+    ScenarioCalibration,
+    calibrate_scenario,
+    default_calibration_source,
+)
 from repro.scenarios.grids import log_worker_grid, parse_worker_grid, with_workers
 from repro.scenarios.compile import (
     ALGORITHM_KINDS,
+    OVERHEAD_PRESETS,
     TOPOLOGIES,
     algorithm_kinds,
+    compile_backend,
+    compile_point,
     compile_scenario,
+    compile_workload,
+    is_expensive,
     is_stochastic,
+    needs_simulation,
+    simulation_issue,
 )
 from repro.scenarios.spec import (
+    BACKEND_KINDS,
+    BackendSection,
     ScenarioSpec,
     builtin_names,
     builtin_path,
@@ -27,6 +42,7 @@ from repro.scenarios.spec import (
     load_scenario,
     parse_scenario,
     resolve_scenario,
+    with_backend,
 )
 from repro.scenarios.sweep import (
     SweepResult,
@@ -39,26 +55,40 @@ from repro.scenarios.sweep import (
 
 __all__ = [
     "ALGORITHM_KINDS",
+    "BACKEND_KINDS",
+    "OVERHEAD_PRESETS",
     "TOPOLOGIES",
+    "BackendSection",
+    "FamilyFit",
     "ResultCache",
+    "ScenarioCalibration",
     "ScenarioSpec",
     "SweepResult",
     "SweepRunner",
     "algorithm_kinds",
     "builtin_names",
     "builtin_path",
+    "calibrate_scenario",
+    "compile_backend",
+    "compile_point",
     "compile_scenario",
+    "compile_workload",
     "default_cache_dir",
+    "default_calibration_source",
     "evaluate_point",
     "expand_grid",
     "export_format",
+    "is_expensive",
     "is_stochastic",
     "load_builtin",
     "load_scenario",
     "log_worker_grid",
+    "needs_simulation",
     "parse_scenario",
     "parse_worker_grid",
     "resolve_scenario",
     "run_scenario",
+    "simulation_issue",
+    "with_backend",
     "with_workers",
 ]

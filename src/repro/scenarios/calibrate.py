@@ -1,0 +1,200 @@
+"""Scenario calibration: measure a scenario, fit families, rank them.
+
+The paper's conclusion names "incorporating a feedback loop from
+experiments" as future work; :mod:`repro.core.calibration` provides the
+fitting machinery and the backend refactor provides the measurements.
+This module is the thin orchestration layer behind ``repro-experiments
+scenario calibrate``: measure the scenario's base point through a source
+backend (the simulator by default, the analytic evaluator when the
+workload is not BSP-expressible), fit every requested feature family to
+the measured ``(workers, seconds)`` pairs, and rank the fitted families
+by their fit MAPE.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.calibration import (
+    FEATURE_LIBRARIES,
+    feature_library,
+    fit_linear_features,
+)
+from repro.core.errors import CalibrationError, ScenarioError
+from repro.core.model import ScalabilityModel
+from repro.scenarios.compile import compile_point, simulation_issue
+from repro.scenarios.spec import ScenarioSpec, with_backend
+
+
+@dataclass(frozen=True)
+class FamilyFit:
+    """One fitted feature family (or the reason it failed to fit)."""
+
+    features: str
+    params: tuple[float, ...] = ()
+    mape_pct: float = float("nan")
+    rmse_s: float = float("nan")
+    r2: float = float("nan")
+    model: ScalabilityModel | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.model is not None
+
+
+@dataclass(frozen=True)
+class ScenarioCalibration:
+    """The outcome of calibrating one scenario's base point."""
+
+    scenario: str
+    source: str
+    workers: tuple[int, ...]
+    measured: tuple[float, ...]
+    fits: tuple[FamilyFit, ...]
+    ranking: tuple[tuple[str, float], ...]
+
+    @property
+    def best(self) -> FamilyFit:
+        """The fitted family with the lowest MAPE."""
+        winners = [fit for fit in self.fits if fit.ok]
+        if not winners:
+            raise CalibrationError("no feature family produced a valid fit")
+        by_name = {fit.features: fit for fit in winners}
+        return by_name[self.ranking[0][0]]
+
+    def rows(self) -> list[dict[str, object]]:
+        """One table row per family, best first."""
+        order = {name: index for index, (name, _m) in enumerate(self.ranking)}
+        ranked = sorted(
+            self.fits,
+            key=lambda fit: order.get(fit.features, len(order)),
+        )
+        rows: list[dict[str, object]] = []
+        for fit in ranked:
+            if fit.ok:
+                rows.append(
+                    {
+                        "features": fit.features,
+                        "params": ", ".join(f"{p:.4g}" for p in fit.params),
+                        "mape_pct": fit.mape_pct,
+                        "r2": fit.r2,
+                    }
+                )
+            else:
+                rows.append(
+                    {
+                        "features": fit.features,
+                        "params": f"fit failed: {fit.error}",
+                        "mape_pct": "-",
+                        "r2": "-",
+                    }
+                )
+        return rows
+
+    def payload(self) -> dict:
+        """JSON-serialisable form (the ``--export`` document)."""
+        return {
+            "scenario": self.scenario,
+            "source": self.source,
+            "workers": list(self.workers),
+            "measured_s": list(self.measured),
+            "fits": [
+                {
+                    "features": fit.features,
+                    "params": list(fit.params),
+                    "mape_pct": fit.mape_pct,
+                    "rmse_s": fit.rmse_s,
+                    "r2": fit.r2,
+                    "error": fit.error,
+                }
+                for fit in self.fits
+            ],
+            "ranking": [[name, mape] for name, mape in self.ranking],
+        }
+
+    def to_json(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.write_text(json.dumps(self.payload(), indent=2) + "\n")
+        return target
+
+
+def default_calibration_source(spec: ScenarioSpec) -> str:
+    """The measurement source ``scenario calibrate`` picks by default.
+
+    The spec's own calibration block wins; otherwise the simulator when
+    the workload is BSP-expressible, else the analytic evaluator (the
+    right default for Monte-Carlo models like belief propagation, where
+    calibration smooths the stochastic curve).
+    """
+    declared = spec.backend.calibration_dict.get("source")
+    if declared is not None:
+        return str(declared)
+    return "analytic" if simulation_issue(spec) is not None else "simulated"
+
+
+def calibrate_scenario(
+    spec: ScenarioSpec,
+    source: str | None = None,
+    features: Sequence[str] | None = None,
+) -> ScenarioCalibration:
+    """Measure the spec's base point and fit/rank feature families.
+
+    ``source`` names the measuring backend (default: see
+    :func:`default_calibration_source`); ``features`` restricts the
+    families (default: every library).  Families that fail to fit are
+    reported, not fatal — unless all of them fail.
+    """
+    source_name = source or default_calibration_source(spec)
+    if source_name not in ("analytic", "simulated"):
+        raise ScenarioError(
+            f"unknown calibration source {source_name!r}; known: analytic, simulated"
+        )
+    names = tuple(features) if features else tuple(sorted(FEATURE_LIBRARIES))
+    for name in names:
+        feature_library(name)  # fail fast on typos, listing valid names
+
+    # Re-target the spec at the source backend: the point then compiles
+    # with its simulation workload exactly when the source needs one.
+    target, backend = compile_point(with_backend(spec, source_name))
+
+    measured = backend.evaluate(target, spec.workers)
+    fits: list[FamilyFit] = []
+    for name in names:
+        try:
+            result = fit_linear_features(feature_library(name), spec.workers, measured)
+        except CalibrationError as error:
+            fits.append(FamilyFit(features=name, error=str(error)))
+            continue
+        fits.append(
+            FamilyFit(
+                features=name,
+                params=result.params,
+                mape_pct=result.mape_pct,
+                rmse_s=result.rmse_s,
+                r2=result.r2,
+                model=result.model,
+            )
+        )
+    if not any(fit.ok for fit in fits):
+        failures = "; ".join(f"{fit.features}: {fit.error}" for fit in fits)
+        raise CalibrationError(f"every feature family failed to fit ({failures})")
+    # Each fit already carries its MAPE against exactly these
+    # measurements; ranking is a sort, not a re-evaluation.
+    ranking = tuple(
+        sorted(
+            ((fit.features, fit.mape_pct) for fit in fits if fit.ok),
+            key=lambda pair: pair[1],
+        )
+    )
+    return ScenarioCalibration(
+        scenario=spec.name,
+        source=source_name,
+        workers=spec.workers,
+        measured=tuple(float(t) for t in measured),
+        fits=tuple(fits),
+        ranking=ranking,
+    )

@@ -4,7 +4,12 @@ This is where declarative data meets the analytical framework: the
 hardware section resolves against :mod:`repro.hardware.catalog`, the
 algorithm section against a registry of model builders, and sweep-axis
 overrides are applied before compilation so every grid point compiles
-its own model.
+its own model.  Since the backend refactor a grid point compiles to a
+``(target, backend)`` pair (:func:`compile_point`): the target carries
+the analytical model plus — when the kind is BSP-expressible — its
+transfer-level simulation workload, and the backend is whichever
+evaluator the spec's ``backend`` block (or the CLI's ``--backend``
+override) names.
 
 Algorithm kinds
 ---------------
@@ -32,6 +37,13 @@ import math
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, replace
 
+from repro.core.backend import (
+    AnalyticBackend,
+    CalibratedBackend,
+    EvaluationBackend,
+    EvaluationTarget,
+)
+from repro.core.calibration import feature_library
 from repro.core.communication import (
     CommunicationModel,
     LinearCommunication,
@@ -58,7 +70,16 @@ from repro.models.gradient_descent import (
 )
 from repro.nn import architectures
 from repro.nn.flops import DENSE_TRAINING_OPERATIONS_PER_WEIGHT, training_operations
-from repro.scenarios.spec import HARDWARE_SCALARS, ScenarioSpec
+from repro.scenarios.spec import (
+    BACKEND_SWEEP_AXES,
+    HARDWARE_SCALARS,
+    ScenarioSpec,
+    validate_simulation_options,
+)
+from repro.simulate.backend import SimulatedBackend
+from repro.simulate.bsp import SuperstepPlan
+from repro.simulate.overhead import OVERHEAD_PRESETS, FrameworkOverhead
+from repro.simulate.workload import SimulationWorkload
 
 #: Named neural-network architectures resolvable from a spec.
 ARCHITECTURES: dict[str, Callable[[], object]] = {
@@ -354,20 +375,246 @@ def _build_belief_propagation(spec, params, hardware):
     )
 
 
+# --------------------------------------------------------------------------
+# Simulation workloads: the transfer-level counterparts of the models.
+# --------------------------------------------------------------------------
+
+
+def _sim_hardware(
+    hardware: ResolvedHardware, context: str
+) -> tuple[NodeSpec, LinkSpec]:
+    """The simulated cluster's node and link for a resolved point.
+
+    ``effective_flops`` must equal the model's ``F`` exactly, so the node
+    is built at efficiency 1.0 from the already-derated throughput.  A
+    bandwidth-free scenario (compute-only BSP) gets a placeholder link
+    that never carries a bit.
+    """
+    node = NodeSpec(name=f"{context} (simulated)", peak_flops=hardware.flops)
+    bandwidth = hardware.bandwidth_bps
+    link = LinkSpec(
+        name=f"{context} link (simulated)",
+        bandwidth_bps=bandwidth if bandwidth is not None else 1.0,
+        latency_s=hardware.latency_s,
+    )
+    return node, link
+
+
+def _gd_workload(
+    params: Mapping[str, object],
+    hardware: ResolvedHardware,
+    context: str,
+    default_bits: int,
+    *,
+    weak: bool,
+    aggregation: str,
+    broadcast: bool = True,
+    exact: bool = False,
+    note: str = "",
+) -> SimulationWorkload:
+    """Strong- or weak-scaling gradient-descent supersteps."""
+    inputs = _gd_family_inputs(params, hardware, context, default_bits)
+    bits = float(inputs["bits_per_parameter"]) * float(inputs["parameters"])
+    total_operations = float(inputs["operations_per_sample"]) * float(inputs["batch_size"])
+    node, link = _sim_hardware(hardware, context)
+
+    def plan_for(workers: int) -> SuperstepPlan:
+        per_worker = total_operations if weak else total_operations / workers
+        return SuperstepPlan(
+            operations_per_worker=per_worker,
+            broadcast_bits=bits if broadcast else 0.0,
+            aggregate_bits=bits,
+            aggregation=aggregation,
+        )
+
+    return SimulationWorkload(
+        node=node,
+        link=link,
+        plan_for=plan_for,
+        amortized=weak,
+        exact=exact,
+        note=note,
+    )
+
+
+_SMOOTH_LOG_NOTE = (
+    "the model's smooth log2(n) communication term has no transfer-level"
+    " schedule; the discrete collective deviates by up to one round"
+)
+
+
+def _workload_gd(spec, params, hardware):
+    return _gd_workload(
+        params,
+        hardware,
+        "gradient_descent",
+        default_bits=32,
+        weak=False,
+        aggregation="tree",
+        note=_SMOOTH_LOG_NOTE,
+    )
+
+
+def _workload_spark_gd(spec, params, hardware):
+    return _gd_workload(
+        params,
+        hardware,
+        "spark_gradient_descent",
+        default_bits=64,
+        weak=False,
+        aggregation="two_wave",
+        note=(
+            _SMOOTH_LOG_NOTE
+            + "; the simulator's two-wave schedule also overlaps wave-1 groups"
+        ),
+    )
+
+
+def _workload_weak_scaling(spec, params, hardware):
+    return _gd_workload(
+        params,
+        hardware,
+        "weak_scaling_sgd",
+        default_bits=32,
+        weak=True,
+        aggregation="tree",
+        note=_SMOOTH_LOG_NOTE,
+    )
+
+
+def _workload_weak_scaling_linear(spec, params, hardware):
+    return _gd_workload(
+        params,
+        hardware,
+        "weak_scaling_linear",
+        default_bits=32,
+        weak=True,
+        aggregation="linear",
+        broadcast=False,
+        note=(
+            "exact for n >= 2; the closed form zeroes the master's own"
+            " serialised transfer at n = 1, the gather schedule does not"
+        ),
+    )
+
+
+#: ``bsp`` topologies with a transfer-level schedule, and whether that
+#: schedule reproduces the closed form exactly under zero jitter.
+_BSP_SIMULATABLE = ("linear", "none", "ring-allreduce", "torrent", "tree", "two-wave")
+
+
+def _bsp_simulation_issue(params: Mapping[str, object]) -> str | None:
+    """Why this ``bsp`` configuration cannot be simulated, or ``None``."""
+    topology = params.get("topology", "tree")
+    if topology not in _BSP_SIMULATABLE:
+        return (
+            f"topology {topology!r} has no transfer-level schedule;"
+            f" simulatable topologies: {', '.join(_BSP_SIMULATABLE)}"
+        )
+    options = params.get("topology_options", {})
+    if isinstance(options, Mapping):
+        if topology == "two-wave" and int(options.get("waves", 2)) != 2:
+            return "the simulated two-wave collective supports exactly 2 waves"
+        if topology == "tree" and int(options.get("fan_out", 2)) != 2:
+            # Simulating a k-ary spec with the binary combining tree
+            # would silently misrepresent the declared topology.
+            return "the simulated combining tree is binary (fan_out must be 2)"
+    return None
+
+
+def _workload_bsp(spec, params, hardware):
+    issue = _bsp_simulation_issue(params)
+    if issue is not None:
+        raise ScenarioError(f"bsp: {issue}")
+    context = "bsp"
+    topology = params.get("topology", "tree")
+    options = params.get("topology_options", {})
+    operations = _param_number(params, "operations_per_superstep", context)
+    payload_bits = _param_number(params, "payload_bits", context, default=0.0)
+    iterations = int(_param_number(params, "iterations", context, default=1))
+    node, link = _sim_hardware(hardware, context)
+
+    broadcast_bits = 0.0
+    aggregate_bits = payload_bits
+    exact, note = False, ""
+    if topology == "none":
+        aggregation, aggregate_bits, exact = "none", 0.0, True
+    elif topology == "linear":
+        if isinstance(options, Mapping) and bool(options.get("include_self", False)):
+            aggregation = "linear"  # driver gather: n serialised transfers
+            note = (
+                "exact for n >= 2; the closed form zeroes the master's own"
+                " serialised transfer at n = 1"
+            )
+        else:
+            aggregation, exact = "gather_root", True
+    elif topology == "tree":
+        # fan_out != 2 was rejected by _bsp_simulation_issue above.
+        aggregation, exact = "tree_root", True
+    elif topology == "ring-allreduce":
+        aggregation, exact = "ring", True
+    elif topology == "torrent":
+        aggregation, broadcast_bits, aggregate_bits = "none", payload_bits, 0.0
+        note = (
+            "the binomial broadcast needs ceil(log2(n + 1)) discrete rounds;"
+            " the model's log2(n) is smooth"
+        )
+    else:  # two-wave
+        aggregation = "two_wave"
+        note = (
+            "the simulator's two-wave schedule overlaps wave-1 groups; the"
+            " closed form serialises 2 * ceil(sqrt(n)) rounds"
+        )
+
+    def plan_for(workers: int) -> SuperstepPlan:
+        return SuperstepPlan(
+            operations_per_worker=operations / workers,
+            broadcast_bits=broadcast_bits,
+            aggregate_bits=aggregate_bits,
+            aggregation=aggregation,
+        )
+
+    return SimulationWorkload(
+        node=node,
+        link=link,
+        plan_for=plan_for,
+        model_iterations=iterations,
+        exact=exact,
+        note=note,
+    )
+
+
 @dataclass(frozen=True)
 class AlgorithmKind:
-    """One entry of the algorithm registry."""
+    """One entry of the algorithm registry.
+
+    ``workload`` builds the kind's BSP-expressible
+    :class:`~repro.simulate.workload.SimulationWorkload` (``None`` when
+    the kind cannot be simulated at the transfer level);
+    ``simulation_issue`` statically explains *why* a given parameter
+    configuration cannot be simulated, without building anything.
+    """
 
     build: Callable[[ScenarioSpec, Mapping, ResolvedHardware], ScalabilityModel]
     params: tuple[str, ...]
     stochastic: bool = False
+    workload: (
+        Callable[[ScenarioSpec, Mapping, ResolvedHardware], SimulationWorkload] | None
+    ) = None
+    simulation_issue: Callable[[Mapping], str | None] | None = None
 
 
 ALGORITHM_KINDS: dict[str, AlgorithmKind] = {
-    "gradient_descent": AlgorithmKind(_build_gd, _GD_PARAMS),
-    "spark_gradient_descent": AlgorithmKind(_build_spark_gd, _GD_PARAMS),
-    "weak_scaling_sgd": AlgorithmKind(_build_weak_scaling, _GD_PARAMS),
-    "weak_scaling_linear": AlgorithmKind(_build_weak_scaling_linear, _GD_PARAMS),
+    "gradient_descent": AlgorithmKind(_build_gd, _GD_PARAMS, workload=_workload_gd),
+    "spark_gradient_descent": AlgorithmKind(
+        _build_spark_gd, _GD_PARAMS, workload=_workload_spark_gd
+    ),
+    "weak_scaling_sgd": AlgorithmKind(
+        _build_weak_scaling, _GD_PARAMS, workload=_workload_weak_scaling
+    ),
+    "weak_scaling_linear": AlgorithmKind(
+        _build_weak_scaling_linear, _GD_PARAMS, workload=_workload_weak_scaling_linear
+    ),
     "bsp": AlgorithmKind(
         _build_bsp,
         (
@@ -377,6 +624,8 @@ ALGORITHM_KINDS: dict[str, AlgorithmKind] = {
             "topology",
             "topology_options",
         ),
+        workload=_workload_bsp,
+        simulation_issue=_bsp_simulation_issue,
     ),
     "belief_propagation": AlgorithmKind(
         _build_belief_propagation,
@@ -395,6 +644,39 @@ def is_stochastic(spec: ScenarioSpec) -> bool:
     """True when evaluation involves Monte-Carlo estimation (worth a pool)."""
     kind = ALGORITHM_KINDS.get(spec.algorithm.kind)
     return bool(kind and kind.stochastic)
+
+
+def simulation_issue(spec: ScenarioSpec) -> str | None:
+    """Why ``spec`` cannot run on the simulated backend, or ``None``.
+
+    A static check — nothing is compiled — so ``scenario validate`` can
+    reject a simulated backend on an unsimulatable scenario up front.
+    """
+    kind = ALGORITHM_KINDS.get(spec.algorithm.kind)
+    if kind is None or kind.workload is None:
+        return (
+            f"algorithm kind {spec.algorithm.kind!r} has no BSP-expressible"
+            " simulation workload"
+        )
+    if kind.simulation_issue is not None:
+        return kind.simulation_issue(spec.algorithm.params_dict)
+    return None
+
+
+def needs_simulation(spec: ScenarioSpec) -> bool:
+    """True when evaluating ``spec`` drives the discrete-event engine."""
+    backend = spec.backend
+    if backend.kind == "simulated":
+        return True
+    return (
+        backend.kind == "calibrated"
+        and backend.calibration_dict.get("source", "analytic") == "simulated"
+    )
+
+
+def is_expensive(spec: ScenarioSpec) -> bool:
+    """True when one grid point costs enough to justify a process pool."""
+    return is_stochastic(spec) or needs_simulation(spec)
 
 
 def validate_spec(spec: ScenarioSpec) -> None:
@@ -416,8 +698,14 @@ def validate_spec(spec: ScenarioSpec) -> None:
             f"unknown parameters {unknown} for algorithm kind"
             f" {spec.algorithm.kind!r}; allowed: {sorted(kind.params)}"
         )
+    _validate_backend(spec)
     sweepable = set(kind.params) | set(HARDWARE_SCALARS) | {"node", "link"}
     sweepable -= {"graph", "topology_options", "architecture"}
+    if needs_simulation(spec):
+        # Simulation knobs become per-point axes only when points
+        # actually simulate; on the analytic path they would be ignored
+        # silently, which a sweep must never do.
+        sweepable |= set(BACKEND_SWEEP_AXES)
     for axis, values in spec.sweep:
         if axis not in sweepable:
             raise ScenarioError(
@@ -433,6 +721,12 @@ def validate_spec(spec: ScenarioSpec) -> None:
         elif axis == "link":
             for value in values:
                 _resolve_link_slug(str(value), context="sweep axis 'link'")
+        elif axis in BACKEND_SWEEP_AXES:
+            base_simulation = spec.backend.simulation_dict
+            for value in values:
+                merged = dict(base_simulation)
+                merged[axis] = value
+                _simulation_options(merged)  # range checks per swept value
         else:
             for value in values:
                 _check_numeric_params({axis: value}, "sweep axis")
@@ -457,18 +751,28 @@ def validate_spec(spec: ScenarioSpec) -> None:
 
 
 def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, object]) -> ScenarioSpec:
-    """Return a copy of ``spec`` with one sweep point's values applied."""
+    """Return a copy of ``spec`` with one sweep point's values applied.
+
+    Hardware axes land in the hardware section, simulation knobs in the
+    backend's simulation block, everything else in the algorithm params.
+    """
     if not overrides:
         return spec
     hardware = spec.hardware
     params = spec.algorithm.params_dict
+    simulation = spec.backend.simulation_dict
     for axis, value in overrides.items():
         if axis in HARDWARE_SCALARS or axis in ("node", "link"):
             hardware = replace(hardware, **{axis: value})
+        elif axis in BACKEND_SWEEP_AXES:
+            simulation[axis] = value
         else:
             params[axis] = value
     algorithm = replace(spec.algorithm, params=tuple(sorted(params.items())))
-    return replace(spec, hardware=hardware, algorithm=algorithm, sweep=())
+    backend = replace(spec.backend, simulation=tuple(sorted(simulation.items())))
+    return replace(
+        spec, hardware=hardware, algorithm=algorithm, backend=backend, sweep=()
+    )
 
 
 def compile_scenario(
@@ -480,3 +784,130 @@ def compile_scenario(
     hardware = resolve_hardware(point)
     kind = ALGORITHM_KINDS[point.algorithm.kind]
     return kind.build(point, point.algorithm.params_dict, hardware)
+
+
+# --------------------------------------------------------------------------
+# Backend compilation: spec -> (EvaluationTarget, EvaluationBackend).
+# --------------------------------------------------------------------------
+
+def _simulation_options(section: Mapping[str, object]) -> dict[str, object]:
+    """Validated simulated-backend constructor arguments with defaults.
+
+    Validation is :func:`repro.scenarios.spec.validate_simulation_options`
+    — the same authority the spec parser uses — re-applied here because
+    sweep axes merge values into the block *after* parsing.  This
+    function only adds defaults and resolves the overhead to its object.
+    """
+    validate_simulation_options(section)
+    overhead = section.get("overhead", "none")
+    if isinstance(overhead, str):
+        overhead_model = OVERHEAD_PRESETS[overhead]
+    else:
+        overhead_model = FrameworkOverhead(
+            superstep_seconds=float(overhead.get("superstep_seconds", 0.0)),
+            per_worker_seconds=float(overhead.get("per_worker_seconds", 0.0)),
+        )
+    return {
+        "iterations": int(section.get("iterations", 3)),
+        "seed": int(section.get("seed", 0)),
+        "jitter_sigma": float(section.get("jitter_sigma", 0.0)),
+        "straggler_fraction": float(section.get("straggler_fraction", 0.0)),
+        "straggler_slowdown": float(section.get("straggler_slowdown", 2.0)),
+        "overhead": overhead_model,
+    }
+
+
+def _validate_backend(spec: ScenarioSpec) -> None:
+    """Semantic checks of the backend block against this scenario."""
+    backend = spec.backend
+    _simulation_options(backend.simulation_dict)
+    calibration = backend.calibration_dict
+    features = calibration.get("features", "ernest")
+    try:
+        feature_library(str(features))
+    except ReproError as error:
+        raise ScenarioError(f"backend.calibration: {error}")
+    if needs_simulation(spec):
+        issue = simulation_issue(spec)
+        if issue is not None:
+            raise ScenarioError(
+                f"backend {backend.kind!r} needs a simulated evaluation, but {issue}"
+            )
+    if backend.kind == "calibrated":
+        library = feature_library(str(features))
+        if len(spec.workers) < len(library):
+            raise ScenarioError(
+                f"backend.calibration: fitting {features!r} needs at least"
+                f" {len(library)} worker counts, the grid has {len(spec.workers)}"
+            )
+
+
+def compile_workload(
+    spec: ScenarioSpec, overrides: Mapping[str, object] | None = None
+) -> SimulationWorkload:
+    """The transfer-level simulation workload of one grid point.
+
+    Raises :class:`~repro.core.errors.ScenarioError` with the reason when
+    the scenario is not BSP-expressible.
+    """
+    point = apply_overrides(spec, overrides or {})
+    validate_spec(point)
+    issue = simulation_issue(point)
+    if issue is not None:
+        raise ScenarioError(issue)
+    hardware = resolve_hardware(point)
+    kind = ALGORITHM_KINDS[point.algorithm.kind]
+    assert kind.workload is not None  # simulation_issue() covered this
+    return kind.workload(point, point.algorithm.params_dict, hardware)
+
+
+def compile_backend(spec: ScenarioSpec) -> EvaluationBackend:
+    """Build the evaluation backend a (point) spec declares."""
+    backend = spec.backend
+    if backend.kind == "analytic":
+        return AnalyticBackend()
+    if backend.kind == "simulated":
+        return SimulatedBackend(**_simulation_options(backend.simulation_dict))
+    if backend.kind == "calibrated":
+        calibration = backend.calibration_dict
+        source_name = str(calibration.get("source", "analytic"))
+        if source_name == "simulated":
+            source: EvaluationBackend = SimulatedBackend(
+                **_simulation_options(backend.simulation_dict)
+            )
+        else:
+            source = AnalyticBackend()
+        return CalibratedBackend(
+            source=source, features=str(calibration.get("features", "ernest"))
+        )
+    raise ScenarioError(f"unknown backend kind {backend.kind!r}")  # pragma: no cover
+
+
+def compile_point(
+    spec: ScenarioSpec, overrides: Mapping[str, object] | None = None
+) -> tuple[EvaluationTarget, EvaluationBackend]:
+    """Compile one grid point into its ``(target, backend)`` pair.
+
+    The target always carries the analytical model; the simulation
+    workload is built only when the point's backend will actually drive
+    the engine (the analytic path keeps its old compile cost).  The
+    target's ``key`` is the point spec's content hash — the identity the
+    simulated backend folds into its seeds, which is what makes serial
+    and process-pool sweeps bit-identical.
+    """
+    point = apply_overrides(spec, overrides or {})
+    validate_spec(point)
+    hardware = resolve_hardware(point)
+    kind = ALGORITHM_KINDS[point.algorithm.kind]
+    model = kind.build(point, point.algorithm.params_dict, hardware)
+    workload = None
+    if needs_simulation(point):
+        assert kind.workload is not None  # _validate_backend covered this
+        workload = kind.workload(point, point.algorithm.params_dict, hardware)
+    target = EvaluationTarget(
+        model=model,
+        workload=workload,
+        key=point.content_hash(),
+        label=point.name,
+    )
+    return target, compile_backend(point)

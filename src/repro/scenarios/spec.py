@@ -30,6 +30,21 @@ The schema (version 1)::
       "sweep": {                          # optional; cartesian product
         "batch_size": [6e3, 6e4, 6e5],
         "bandwidth_bps": [1e9, 1e10]
+      },
+      "backend": {                        # optional; how points evaluate
+        "kind": "analytic",               # analytic | simulated | calibrated
+        "simulation": {                   # knobs of the simulated backend
+          "iterations": 3,
+          "seed": 0,
+          "jitter_sigma": 0.0,
+          "straggler_fraction": 0.0,
+          "straggler_slowdown": 2.0,
+          "overhead": "none"              # preset name or inline mapping
+        },
+        "calibration": {                  # knobs of the calibrated backend
+          "source": "analytic",           # backend that takes measurements
+          "features": "ernest"            # feature family to fit
+        }
       }
     }
 
@@ -48,18 +63,43 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.errors import ScenarioError
+from repro.simulate.overhead import OVERHEAD_PRESETS
 
 #: Current schema version; bumped on incompatible schema changes.
 SCHEMA_VERSION = 1
 
 #: Bumped whenever evaluation semantics change, to invalidate caches.
 #: 2: curves evaluate through the vectorized cost-term algebra.
-ENGINE_VERSION = 2
+#: 3: points evaluate through pluggable backends (backend block joins
+#:    the canonical form and hence the cache key).
+ENGINE_VERSION = 3
 
 #: Hardware fields that may appear inline and be swept over.
 HARDWARE_SCALARS = ("flops", "bandwidth_bps", "latency_s")
 HARDWARE_SLUGS = ("node", "link")
 _HARDWARE_KEYS = HARDWARE_SLUGS + HARDWARE_SCALARS
+
+#: The recognised evaluation backends (see repro.core.backend).
+BACKEND_KINDS = ("analytic", "simulated", "calibrated")
+
+#: Keys of the backend ``simulation`` block.
+SIMULATION_KEYS = (
+    "iterations",
+    "seed",
+    "jitter_sigma",
+    "straggler_fraction",
+    "straggler_slowdown",
+    "overhead",
+)
+
+#: Simulation knobs that may appear as sweep axes (per-point overrides).
+BACKEND_SWEEP_AXES = ("jitter_sigma", "straggler_fraction", "straggler_slowdown")
+
+#: Keys of the backend ``calibration`` block.
+CALIBRATION_KEYS = ("source", "features")
+
+#: Backends a calibrated backend may measure through.
+CALIBRATION_SOURCES = ("analytic", "simulated")
 
 #: Directory holding the bundled scenario specs.
 BUILTIN_DIR = Path(__file__).resolve().parent / "builtin"
@@ -103,6 +143,42 @@ class AlgorithmSection:
 
 
 @dataclass(frozen=True)
+class BackendSection:
+    """How grid points evaluate: a backend kind plus its option blocks.
+
+    ``simulation`` holds the simulated backend's knobs (also consulted
+    when a calibrated backend measures through the simulator);
+    ``calibration`` holds the calibrated backend's.  Both are stored as
+    sorted key/value pairs so the canonical form (and hence the cache
+    key) is order-independent.
+    """
+
+    kind: str = "analytic"
+    simulation: tuple[tuple[str, object], ...] = ()
+    calibration: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def simulation_dict(self) -> dict[str, object]:
+        return dict(self.simulation)
+
+    @property
+    def calibration_dict(self) -> dict[str, object]:
+        return dict(self.calibration)
+
+    def to_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {"kind": self.kind}
+        if self.simulation:
+            data["simulation"] = dict(self.simulation)
+        if self.calibration:
+            data["calibration"] = dict(self.calibration)
+        return data
+
+
+#: The default backend: analytic, no options.
+DEFAULT_BACKEND = BackendSection()
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A fully validated scenario, ready for compilation and sweeping."""
 
@@ -113,6 +189,7 @@ class ScenarioSpec:
     workers: tuple[int, ...]
     baseline_workers: int = 1
     sweep: tuple[tuple[str, tuple[object, ...]], ...] = ()
+    backend: BackendSection = DEFAULT_BACKEND
     schema_version: int = SCHEMA_VERSION
 
     @property
@@ -140,6 +217,8 @@ class ScenarioSpec:
         }
         if self.sweep:
             data["sweep"] = {axis: list(values) for axis, values in self.sweep}
+        if self.backend != DEFAULT_BACKEND:
+            data["backend"] = self.backend.to_dict()
         return data
 
     def content_hash(self) -> str:
@@ -265,6 +344,125 @@ def _parse_workers(data: object) -> tuple[int, ...]:
     )
 
 
+def validate_simulation_options(section: Mapping[str, object]) -> None:
+    """Shape and range checks of a ``backend.simulation`` block.
+
+    The single authority for what a simulation block may contain: the
+    spec parser applies it to declared blocks, and the scenario compiler
+    re-applies it after sweep-axis values merge in (sweeps bypass
+    parsing), so the two layers can never disagree.
+    """
+    _reject_unknown(section, SIMULATION_KEYS, "backend.simulation")
+    if "iterations" in section:
+        iterations = section["iterations"]
+        if isinstance(iterations, bool) or not isinstance(iterations, int) or iterations < 1:
+            raise ScenarioError(
+                f"backend.simulation.iterations must be a positive integer, got {iterations!r}"
+            )
+    if "seed" in section:
+        seed = section["seed"]
+        if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+            raise ScenarioError(
+                f"backend.simulation.seed must be a non-negative integer, got {seed!r}"
+            )
+    for key in ("jitter_sigma", "straggler_fraction", "straggler_slowdown"):
+        if key in section:
+            _parse_number(section[key], f"backend.simulation.{key}", positive=False)
+    if "straggler_fraction" in section and float(section["straggler_fraction"]) > 1.0:
+        raise ScenarioError(
+            "backend.simulation.straggler_fraction must be in [0, 1],"
+            f" got {section['straggler_fraction']}"
+        )
+    if "straggler_slowdown" in section and float(section["straggler_slowdown"]) < 1.0:
+        raise ScenarioError(
+            "backend.simulation.straggler_slowdown must be >= 1,"
+            f" got {section['straggler_slowdown']}"
+        )
+    if "overhead" in section:
+        overhead = section["overhead"]
+        if isinstance(overhead, str):
+            if overhead not in OVERHEAD_PRESETS:
+                raise ScenarioError(
+                    f"unknown overhead preset {overhead!r};"
+                    f" known: {', '.join(sorted(OVERHEAD_PRESETS))}"
+                )
+        elif isinstance(overhead, Mapping):
+            _reject_unknown(
+                overhead,
+                ("superstep_seconds", "per_worker_seconds"),
+                "backend.simulation.overhead",
+            )
+            for key, value in overhead.items():
+                _parse_number(
+                    value, f"backend.simulation.overhead.{key}", positive=False
+                )
+        else:
+            raise ScenarioError(
+                "backend.simulation.overhead must be a preset name or a"
+                f" mapping, got {overhead!r}"
+            )
+
+
+def _parse_simulation(data: object) -> tuple[tuple[str, object], ...]:
+    section = _require_mapping(data, "backend.simulation")
+    validate_simulation_options(section)
+    parsed: dict[str, object] = {}
+    for key in ("iterations", "seed"):
+        if key in section:
+            parsed[key] = section[key]
+    for key in ("jitter_sigma", "straggler_fraction", "straggler_slowdown"):
+        if key in section:
+            parsed[key] = float(section[key])
+    if "overhead" in section:
+        overhead = section["overhead"]
+        parsed["overhead"] = (
+            overhead
+            if isinstance(overhead, str)
+            else {key: float(value) for key, value in overhead.items()}
+        )
+    return tuple(sorted(parsed.items()))
+
+
+def _parse_calibration(data: object) -> tuple[tuple[str, object], ...]:
+    section = _require_mapping(data, "backend.calibration")
+    _reject_unknown(section, CALIBRATION_KEYS, "backend.calibration")
+    parsed: dict[str, object] = {}
+    if "source" in section:
+        source = section["source"]
+        if source not in CALIBRATION_SOURCES:
+            raise ScenarioError(
+                f"backend.calibration.source must be one of"
+                f" {', '.join(CALIBRATION_SOURCES)}; got {source!r}"
+            )
+        parsed["source"] = source
+    if "features" in section:
+        features = section["features"]
+        if not isinstance(features, str) or not features:
+            # Feature-library *names* are validated at compile time
+            # (repro.core.calibration owns the registry).
+            raise ScenarioError(
+                f"backend.calibration.features must be a non-empty string,"
+                f" got {features!r}"
+            )
+        parsed["features"] = features
+    return tuple(sorted(parsed.items()))
+
+
+def _parse_backend(data: object) -> BackendSection:
+    section = _require_mapping(data, "'backend'")
+    _reject_unknown(section, ("kind", "simulation", "calibration"), "backend")
+    kind = section.get("kind", "analytic")
+    if kind not in BACKEND_KINDS:
+        raise ScenarioError(
+            f"unknown backend kind {kind!r}; known: {', '.join(BACKEND_KINDS)}"
+        )
+    return BackendSection(
+        kind=kind,
+        simulation=_parse_simulation(section.get("simulation", {})),
+        calibration=_parse_calibration(section.get("calibration", {})),
+    )
+
+
 def _parse_sweep(data: object) -> tuple[tuple[str, tuple[object, ...]], ...]:
     section = _require_mapping(data, "'sweep'")
     axes = []
@@ -305,6 +503,7 @@ def parse_scenario(data: Mapping) -> ScenarioSpec:
         "workers",
         "baseline_workers",
         "sweep",
+        "backend",
     )
     _reject_unknown(document, allowed, "scenario")
 
@@ -342,6 +541,8 @@ def parse_scenario(data: Mapping) -> ScenarioSpec:
         if axis in ("node", "link") and not all(isinstance(v, str) for v in values):
             raise ScenarioError(f"sweep axis {axis!r} values must be catalog slugs")
 
+    backend = _parse_backend(document.get("backend", {}))
+
     spec = ScenarioSpec(
         name=name,
         description=description,
@@ -350,6 +551,7 @@ def parse_scenario(data: Mapping) -> ScenarioSpec:
         workers=workers,
         baseline_workers=baseline,
         sweep=sweep,
+        backend=backend,
         schema_version=SCHEMA_VERSION,
     )
     # Sweep axes must be resolvable: defer per-kind checking to compile,
@@ -392,6 +594,29 @@ def builtin_path(name: str) -> Path:
 def load_builtin(name: str) -> ScenarioSpec:
     """Load a bundled scenario spec by name."""
     return load_scenario(builtin_path(name))
+
+
+def with_backend(
+    spec: ScenarioSpec, kind: str, **simulation_overrides: object
+) -> ScenarioSpec:
+    """A re-validated copy of ``spec`` evaluated through another backend.
+
+    Keeps the spec's declared ``simulation``/``calibration`` options (a
+    spec may carry its experiment's jitter and overhead settings while
+    defaulting to analytic evaluation); ``simulation_overrides`` merge on
+    top.  This is what the CLI's ``--backend`` flag applies, so the
+    override flows into the content hash and the cache key like any
+    other spec change.
+    """
+    data = spec.to_dict()
+    backend = dict(data.get("backend", {}))
+    backend["kind"] = kind
+    if simulation_overrides:
+        simulation = dict(backend.get("simulation", {}))
+        simulation.update(simulation_overrides)
+        backend["simulation"] = simulation
+    data["backend"] = backend
+    return parse_scenario(data)
 
 
 def resolve_scenario(ref: str | Path | Mapping) -> ScenarioSpec:

@@ -11,16 +11,23 @@ modes:
 ``process``
     A :class:`concurrent.futures.ProcessPoolExecutor`.  Pays off when a
     point is expensive — Monte-Carlo-backed scenarios (the BP estimator
-    re-samples assignments per point) or very large grids.
+    re-samples assignments per point), simulated- or calibrated-backend
+    points (a discrete-event run per worker count), or very large grids.
 ``auto``
-    Picks ``process`` for stochastic scenarios with several points or
-    grids past :data:`PARALLEL_THRESHOLD`; ``serial`` otherwise.
+    Picks ``process`` for expensive scenarios (stochastic models,
+    simulating backends) with several points or grids past
+    :data:`PARALLEL_THRESHOLD`; ``serial`` otherwise.
 
-Results are cached on disk keyed by the scenario content hash (see
-:mod:`repro.scenarios.cache`); a re-run of an identical spec is a pure
-file read.  Evaluation is deterministic (stochastic models derive their
-randomness from spec-declared seeds), so serial and parallel runs of the
-same spec produce identical payloads — a property the test suite pins.
+Simulated points are deterministic regardless of mode: engine seeds
+derive from the spec content and the grid point (see
+:func:`repro.scenarios.compile.compile_point`), never from pool-worker
+identity, so serial and process runs of the same spec produce identical
+payloads — a property the test suite pins.
+
+Results are cached on disk keyed by the scenario content hash — which
+includes the backend block — so a re-run of an identical spec is a pure
+file read and two runs that evaluate differently never share an entry
+(see :mod:`repro.scenarios.cache`).
 """
 
 from __future__ import annotations
@@ -35,9 +42,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.errors import ScenarioError
-from repro.core.speedup import SpeedupCurve
 from repro.scenarios.cache import ResultCache
-from repro.scenarios.compile import compile_scenario, is_stochastic
+from repro.scenarios.compile import compile_point, is_expensive
 from repro.scenarios.spec import ScenarioSpec, parse_scenario
 
 #: Grid size at or above which ``auto`` mode reaches for the pool.
@@ -82,16 +88,20 @@ def evaluate_point(spec: ScenarioSpec, overrides: Mapping[str, object]) -> dict:
 
     Returns a JSON-serialisable record: the overrides, the full curve,
     and the headline scalars (optimal workers, peak speedup, whether the
-    point is scalable at all).  The curve is one batched ``times()``
-    evaluation — dense grids cost a single numpy call per grid point,
-    not a Python loop over ``n``.
+    point is scalable at all).  Evaluation goes through the point's
+    :class:`~repro.core.backend.EvaluationBackend` — one batched
+    cost-tree call on the analytic path, a discrete-event run per worker
+    count on the simulated path, a measure-and-fit on the calibrated
+    path.
     """
-    model = compile_scenario(spec, overrides)
-    curve = SpeedupCurve.from_model(
-        model, spec.workers, spec.baseline_workers, label=spec.name
+    target, backend = compile_point(spec, overrides)
+    curve = backend.curve(
+        target, spec.workers, spec.baseline_workers, label=spec.name
     )
     return {
         "overrides": dict(overrides),
+        "backend": backend.name,
+        "backend_config": backend.config(),
         "workers": list(curve.workers),
         "times_s": list(curve.times),
         "speedups": list(curve.speedups),
@@ -290,7 +300,7 @@ class SweepRunner:
             return self.mode
         if grid_size >= PARALLEL_THRESHOLD:
             return "process"
-        if is_stochastic(spec) and grid_size > 1:
+        if is_expensive(spec) and grid_size > 1:
             return "process"
         return "serial"
 

@@ -8,6 +8,7 @@ schedules, per-task compute time with straggler jitter, and framework
 overhead.  See DESIGN.md ("Substitutions") for the full argument.
 """
 
+from repro.simulate.backend import SimulatedBackend
 from repro.simulate.bsp import AGGREGATIONS, BSPEngine, BSPReport, SuperstepPlan
 from repro.simulate.cluster import SimulatedCluster
 from repro.simulate.collectives import (
@@ -27,13 +28,22 @@ from repro.simulate.overhead import (
     TENSORFLOW_LIKE_OVERHEAD,
     FrameworkOverhead,
 )
-from repro.simulate.rng import LogNormalJitter, stream
+from repro.simulate.rng import (
+    JitterModel,
+    LogNormalJitter,
+    StragglerJitter,
+    derive_seed,
+    stream,
+)
 from repro.simulate.trace import ComputeRecord, Trace, TransferRecord
+from repro.simulate.workload import SimulationWorkload
 
 __all__ = [
     "AGGREGATIONS",
     "BSPEngine",
     "BSPReport",
+    "SimulatedBackend",
+    "SimulationWorkload",
     "SuperstepPlan",
     "SimulatedCluster",
     "all_to_all_shuffle",
@@ -51,7 +61,10 @@ __all__ = [
     "SPARK_LIKE_OVERHEAD",
     "TENSORFLOW_LIKE_OVERHEAD",
     "FrameworkOverhead",
+    "JitterModel",
     "LogNormalJitter",
+    "StragglerJitter",
+    "derive_seed",
     "stream",
     "ComputeRecord",
     "Trace",

@@ -30,11 +30,16 @@ from repro.simulate import collectives
 from repro.simulate.events import EventQueue
 from repro.simulate.network import Network
 from repro.simulate.overhead import NO_OVERHEAD, FrameworkOverhead
-from repro.simulate.rng import LogNormalJitter, stream
+from repro.simulate.rng import JitterModel, LogNormalJitter, stream
 from repro.simulate.trace import ComputeRecord, Trace
 
-#: Aggregation strategies the engine knows how to schedule.
-AGGREGATIONS = ("none", "linear", "tree", "two_wave", "ring")
+#: Aggregation strategies the engine knows how to schedule.  The
+#: ``*_root`` variants aggregate *among the workers* (the lowest worker
+#: acts as master, as the closed-form topologies assume) instead of
+#: shipping the result to the dedicated driver — they are the schedules
+#: whose zero-jitter timing reproduces the analytical
+#: :mod:`repro.core.communication` shapes exactly.
+AGGREGATIONS = ("none", "linear", "gather_root", "tree", "tree_root", "two_wave", "ring")
 
 
 @dataclass(frozen=True)
@@ -111,7 +116,7 @@ class BSPEngine:
         link: LinkSpec,
         workers: int,
         overhead: FrameworkOverhead = NO_OVERHEAD,
-        jitter: LogNormalJitter = LogNormalJitter(0.0),
+        jitter: JitterModel = LogNormalJitter(0.0),
         seed: int = 0,
         keep_trace: bool = True,
     ):
@@ -206,6 +211,16 @@ class BSPEngine:
         if plan.aggregation == "linear":
             end = collectives.linear_gather(
                 self.network, ready, self.driver, plan.aggregate_bits, tag="aggregate"
+            )
+        elif plan.aggregation == "gather_root":
+            # Lowest worker is the master: its own payload never crosses
+            # the network, so n workers cost n - 1 serialised transfers.
+            end = collectives.linear_gather(
+                self.network, ready, min(ready), plan.aggregate_bits, tag="aggregate"
+            )
+        elif plan.aggregation == "tree_root":
+            _root, end = collectives.tree_reduce(
+                self.network, ready, plan.aggregate_bits, tag="aggregate"
             )
         elif plan.aggregation == "tree":
             root, root_time = collectives.tree_reduce(

@@ -10,7 +10,7 @@ from repro.core.model import MeasuredModel
 from repro.hardware.specs import ClusterSpec
 from repro.simulate.bsp import BSPEngine, BSPReport, SuperstepPlan
 from repro.simulate.overhead import NO_OVERHEAD, FrameworkOverhead
-from repro.simulate.rng import LogNormalJitter
+from repro.simulate.rng import JitterModel, LogNormalJitter
 
 
 @dataclass(frozen=True)
@@ -23,7 +23,7 @@ class SimulatedCluster:
 
     spec: ClusterSpec
     overhead: FrameworkOverhead = NO_OVERHEAD
-    jitter: LogNormalJitter = LogNormalJitter(0.0)
+    jitter: JitterModel = LogNormalJitter(0.0)
     seed: int = 0
 
     def engine(self, workers: int | None = None, keep_trace: bool = True) -> BSPEngine:

@@ -57,3 +57,13 @@ TENSORFLOW_LIKE_OVERHEAD = FrameworkOverhead(superstep_seconds=0.004, per_worker
 #: GraphLab-like shared-memory engine: per-superstep fork/join of worker
 #: threads plus lock contention that grows with the worker count.
 GRAPHLAB_LIKE_OVERHEAD = FrameworkOverhead(superstep_seconds=0.01, per_worker_seconds=0.004)
+
+#: The named presets a scenario's ``backend.simulation.overhead`` may
+#: reference — the single registry both the spec parser (names) and the
+#: scenario compiler (objects) read, so they can never drift apart.
+OVERHEAD_PRESETS: dict[str, FrameworkOverhead] = {
+    "none": NO_OVERHEAD,
+    "spark-like": SPARK_LIKE_OVERHEAD,
+    "tensorflow-like": TENSORFLOW_LIKE_OVERHEAD,
+    "graphlab-like": GRAPHLAB_LIKE_OVERHEAD,
+}

@@ -1,0 +1,70 @@
+"""BSP-expressible workloads: what the simulated backend executes.
+
+A :class:`SimulationWorkload` is the transfer-level counterpart of an
+analytical :class:`~repro.core.model.ScalabilityModel`: the hardware the
+supersteps run on plus a ``workers -> SuperstepPlan`` mapping.  The
+scenario compiler builds one per algorithm kind (see
+``repro.scenarios.compile``), and the
+:class:`~repro.simulate.backend.SimulatedBackend` drives the
+:class:`~repro.simulate.bsp.BSPEngine` with it.
+
+``exact`` records whether the discrete-event schedule provably
+reproduces the model's closed form under zero jitter and zero overhead.
+Schedules built from discrete collectives (serialised gathers, binary
+combining trees, chunked rings) match their closed forms transfer for
+transfer; the paper's *smooth*-logarithm communication terms
+(``log2 n`` with fractional rounds) have no transfer-level realisation,
+so their workloads are intrinsically approximate — that gap is exactly
+the model-vs-experiment deviation the paper reports around Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.errors import SimulationError
+from repro.hardware.specs import LinkSpec, NodeSpec
+from repro.simulate.bsp import SuperstepPlan
+
+
+@dataclass(frozen=True)
+class SimulationWorkload:
+    """Everything the discrete-event engine needs to time one scenario.
+
+    Parameters
+    ----------
+    node, link:
+        The homogeneous hardware of the simulated cluster.
+    plan_for:
+        Maps a worker count to the :class:`SuperstepPlan` executed there
+        (strong scaling shrinks per-worker loads, weak scaling keeps
+        them fixed).
+    model_iterations:
+        How many supersteps the analytical model's ``time(n)`` covers
+        (the ``iterations`` factor of a ``bsp`` scenario); the simulated
+        mean superstep time is scaled by it so both backends answer in
+        the same units.
+    amortized:
+        ``True`` for per-instance models (the paper's weak-scaling
+        Figure 3 family): the superstep time is divided by ``n``.
+    exact:
+        Whether the zero-jitter, zero-overhead simulation reproduces the
+        analytical closed form (see the module docstring).
+    note:
+        Human-readable reason when ``exact`` is ``False``.
+    """
+
+    node: NodeSpec
+    link: LinkSpec
+    plan_for: Callable[[int], SuperstepPlan]
+    model_iterations: int = 1
+    amortized: bool = False
+    exact: bool = False
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.model_iterations < 1:
+            raise SimulationError(
+                f"model_iterations must be >= 1, got {self.model_iterations}"
+            )

@@ -1,5 +1,7 @@
 """Tests for text rendering and the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -148,3 +150,87 @@ class TestScenarioCli:
         capsys.readouterr()
         assert main(["scenario", "run", "figure1"]) == 0
         assert "cache hit" in capsys.readouterr().out
+
+
+class TestScenarioBackendCli:
+    def test_run_with_simulated_backend(self, capsys):
+        assert main(["scenario", "run", "figure2", "--backend", "simulated", "--no-cache"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_backend_override_misses_analytic_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path / "cache"))
+        assert main(["scenario", "run", "figure1"]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", "figure1", "--backend", "simulated"]) == 0
+        # A different backend is a different content hash: no cache hit.
+        assert "cache hit" not in capsys.readouterr().out
+
+    def test_simulated_backend_on_bp_fails_cleanly(self, capsys):
+        assert main(["scenario", "run", "bp-dns-16k", "--backend", "simulated"]) == 1
+        assert "BSP-expressible" in capsys.readouterr().err
+
+    def test_validate_reports_backend_kind(self, capsys):
+        assert main(["scenario", "validate", "straggler-sweep"]) == 0
+        assert "backend 'simulated'" in capsys.readouterr().out
+
+    def test_straggler_sweep_runs(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_CACHE", str(tmp_path / "cache"))
+        assert main(["scenario", "sweep", "straggler-sweep", "--parallel", "serial"]) == 0
+        output = capsys.readouterr().out
+        assert "straggler_fraction" in output
+
+    def test_calibrate_builtin(self, capsys, tmp_path):
+        target = tmp_path / "calibration.json"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "calibrate",
+                    "figure2",
+                    "--source",
+                    "simulated",
+                    "--export",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "measured via simulated" in output
+        assert "mape_pct" in output
+        assert "best family:" in output
+        document = json.loads(target.read_text())
+        assert document["scenario"] == "figure2"
+        assert document["ranking"]
+
+    def test_calibrate_restricts_features(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "calibrate",
+                    "figure2",
+                    "--source",
+                    "analytic",
+                    "--features",
+                    "spark,amdahl",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "spark" in output and "amdahl" in output
+        assert "ernest" not in output
+
+    def test_calibrate_unknown_features_fails_cleanly(self, capsys):
+        assert (
+            main(["scenario", "calibrate", "figure2", "--features", "bogus"]) == 1
+        )
+        assert "feature library" in capsys.readouterr().err
+
+    def test_calibrate_csv_export_rejected(self, capsys, tmp_path):
+        target = tmp_path / "out.csv"
+        assert (
+            main(["scenario", "calibrate", "figure2", "--export", str(target)]) == 1
+        )
+        assert ".json" in capsys.readouterr().err

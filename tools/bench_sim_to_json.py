@@ -1,0 +1,138 @@
+"""Record the simulated-sweep benchmark as a JSON artifact.
+
+Times a simulated-backend scenario sweep (the discrete-event engine, one
+run per worker count per grid point) through the serial and process-pool
+sweep paths and writes the results to ``BENCH_sim.json`` at the
+repository root, so the perf trajectory of parallel simulated sweeps is
+tracked in-tree alongside ``BENCH_sweep.json``.
+
+The acceptance floor is CPU-aware: with more than one core the pool must
+beat serial by ``MIN_SPEEDUP_MULTI``; on a single core it must merely
+not collapse (pool overhead bounded by ``MIN_SPEEDUP_SINGLE``).  In both
+cases the two paths must produce *identical* payloads — the
+seed-derivation determinism the backend refactor guarantees.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sim_to_json.py [--points 12] [--output BENCH_sim.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenarios import SweepRunner, parse_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required process-pool speedup when the machine has >= 2 cores.
+MIN_SPEEDUP_MULTI = 1.15
+
+#: Required serial/process ratio on a single core (pool overhead bound).
+MIN_SPEEDUP_SINGLE = 0.5
+
+
+def bench_spec(points: int, max_workers: int, iterations: int) -> dict:
+    """A simulated sweep of the Figure 2 workload across jitter levels."""
+    return {
+        "name": "bench-simulated-sweep",
+        "description": "jitter sweep of the Figure 2 Spark workload (bench)",
+        "hardware": {"node": "xeon-e3-1240", "link": "1gbe"},
+        "algorithm": {
+            "kind": "spark_gradient_descent",
+            "params": {
+                "architecture": "mnist-fc",
+                "batch_size": 60000,
+                "bits_per_parameter": 64,
+            },
+        },
+        "workers": {"min": 1, "max": max_workers},
+        "backend": {
+            "kind": "simulated",
+            "simulation": {
+                "iterations": iterations,
+                "jitter_sigma": 0.05,
+                "overhead": "spark-like",
+            },
+        },
+        "sweep": {"jitter_sigma": [round(0.01 * i, 4) for i in range(1, points + 1)]},
+    }
+
+
+def best_of(fn, rounds: int):
+    """(best seconds, last result) over ``rounds`` runs."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=12, help="sweep grid points")
+    parser.add_argument("--max-workers", type=int, default=48, help="worker-grid top")
+    parser.add_argument("--iterations", type=int, default=8, help="supersteps per point")
+    parser.add_argument("--rounds", type=int, default=2, help="timing rounds")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_sim.json"),
+        help="output path (default: BENCH_sim.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    spec = parse_scenario(bench_spec(args.points, args.max_workers, args.iterations))
+    serial_runner = SweepRunner(mode="serial", use_cache=False)
+    process_runner = SweepRunner(mode="process", use_cache=False)
+
+    serial_s, serial_result = best_of(lambda: serial_runner.run(spec), args.rounds)
+    process_s, process_result = best_of(lambda: process_runner.run(spec), args.rounds)
+
+    # Correctness before timing claims: identical payloads either way.
+    payloads_match = serial_result.payload() == process_result.payload()
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / process_s
+    floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
+    accepted = payloads_match and speedup >= floor
+
+    payload = {
+        "benchmark": "simulated-sweep",
+        "description": (
+            "serial vs process-pool evaluation of a simulated-backend"
+            " scenario sweep (see benchmarks/bench_simulated_sweep.py)"
+        ),
+        "grid_points": spec.grid_size,
+        "worker_counts": len(spec.workers),
+        "iterations_per_point": args.iterations,
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "speedup_x": speedup,
+        "acceptance_floor_x": floor,
+        "payloads_identical": payloads_match,
+    }
+    target = Path(args.output)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"simulated sweep ({spec.grid_size} points x {len(spec.workers)} worker"
+        f" counts): serial {serial_s:.3f}s, process {process_s:.3f}s"
+        f" ({speedup:.2f}x on {cpus} cpu(s); floor {floor}x;"
+        f" payloads {'identical' if payloads_match else 'DIVERGED'})"
+    )
+    print(f"wrote {target}")
+    return 0 if accepted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
