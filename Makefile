@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-quick lint docs-check bench-sweep bench-sim check clean
+.PHONY: test test-quick lint docs-check bench-sweep bench-sim bench-plan check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
@@ -21,7 +21,7 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
@@ -33,8 +33,13 @@ bench-sweep:
 bench-sim:
 	$(PYTHON) tools/bench_sim_to_json.py
 
+## The capacity-planner acceptance bench: serial vs process-pool plan
+## evaluation (byte-identical recommendations), written to BENCH_plan.json.
+bench-plan:
+	$(PYTHON) tools/bench_plan_to_json.py
+
 ## Everything CI would run.
-check: lint test docs-check bench-sweep bench-sim
+check: lint test docs-check bench-sweep bench-sim bench-plan
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,95 @@
+"""Bench: plan-evaluation throughput over the planner's product space.
+
+A capacity plan multiplies configurations (node × link × topology) by
+worker counts; under the simulated backend every candidate point is a
+discrete-event run, which is exactly the workload the process-pool sweep
+path exists for.  The planner inherits the scenario engine's
+determinism, so the pooled recommendation — Pareto frontier included —
+must be byte-identical to the serial one.
+``tools/bench_plan_to_json.py`` runs the same comparison standalone and
+records it in ``BENCH_plan.json``.
+
+Like every ``bench_*.py`` file, this is not auto-collected by ``make
+test``; run it explicitly via ``make bench-plan`` (wired into CI) or
+``pytest benchmarks/``.
+
+Acceptance floor (CPU-aware): with >= 2 cores the pool must beat serial
+by 1.15x; on a single core it must not be more than 2x slower than
+serial (pool overhead bound).  Payloads must be identical in any case.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.planner import parse_plan, run_plan
+from repro.scenarios import SweepRunner
+
+# tools/ is not a package; the standalone artifact writer owns the plan
+# and the floors, and this bench reuses them verbatim.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tools.bench_plan_to_json import (  # noqa: E402
+    MIN_SPEEDUP_MULTI,
+    MIN_SPEEDUP_SINGLE,
+    bench_plan,
+)
+
+MAX_WORKERS = 24
+PLAN = parse_plan(bench_plan(max_workers=MAX_WORKERS, iterations=6))
+
+
+def run(mode: str):
+    return run_plan(PLAN, runner=SweepRunner(mode=mode, use_cache=False))
+
+
+def best_of(fn, rounds: int = 2):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_serial_plan_evaluation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run("serial"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert len(result.candidates) == PLAN.search.configurations * MAX_WORKERS
+
+
+def test_process_plan_evaluation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run("process"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert len(result.candidates) == PLAN.search.configurations * MAX_WORKERS
+
+
+def test_pool_meets_acceptance_floor(benchmark):
+    serial_s, serial_rec = best_of(lambda: run("serial"))
+    process_s, process_rec = best_of(lambda: run("process"))
+
+    # Determinism first: identical recommendation payloads (and hence
+    # byte-identical Pareto frontiers) regardless of mode.
+    assert json.dumps(serial_rec.payload(), sort_keys=True) == json.dumps(
+        process_rec.payload(), sort_keys=True
+    )
+
+    candidate_points = PLAN.search.configurations * MAX_WORKERS
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / process_s
+    floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["process_s"] = process_s
+    benchmark.extra_info["speedup_x"] = speedup
+    benchmark.extra_info["points_per_s"] = candidate_points / process_s
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\ncapacity plan: serial {serial_s:.3f}s, process {process_s:.3f}s"
+        f" ({speedup:.2f}x on {cpus} cpu(s); floor {floor}x;"
+        f" {candidate_points / process_s:.0f} candidate points/s)"
+    )
+    assert speedup >= floor

@@ -12,6 +12,10 @@ Installed as ``repro-experiments``:
     repro-experiments scenario sweep capacity-sweep --export sweep.csv
     repro-experiments scenario sweep straggler-sweep --backend simulated
     repro-experiments scenario calibrate figure2 --source simulated
+    repro-experiments plan list
+    repro-experiments plan run plan-bp-budget --format json
+    repro-experiments plan run plan-gd-deadline --backend simulated
+    repro-experiments hardware list
 """
 
 from __future__ import annotations
@@ -159,6 +163,73 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the calibration report to PATH (.json)",
     )
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="capacity planner: provisioning decisions (see docs/planner.md)"
+    )
+    plan_sub = plan_parser.add_subparsers(dest="plan_command", required=True)
+
+    plan_sub.add_parser("list", help="list bundled capacity plans")
+
+    plan_validate = plan_sub.add_parser(
+        "validate", help="check a plan spec without optimising it"
+    )
+    plan_validate.add_argument("spec", help="a bundled plan name or a JSON file path")
+
+    plan_run = plan_sub.add_parser(
+        "run", help="optimise a plan and print its recommendation"
+    )
+    plan_run.add_argument(
+        "spec", help="a bundled plan name (see 'plan list') or a JSON file path"
+    )
+    plan_run.add_argument(
+        "--backend",
+        choices=("analytic", "simulated", "calibrated"),
+        default=None,
+        help=(
+            "override the evaluation backend candidates are measured"
+            " through (e.g. stress-check a plan under the simulated"
+            " backend's jitter and stragglers)"
+        ),
+    )
+    plan_run.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human-readable text (default) or the JSON payload",
+    )
+    plan_run.add_argument(
+        "--parallel",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help="evaluation mode (default: auto — pool for expensive grids)",
+    )
+    plan_run.add_argument(
+        "--jobs", type=int, default=None, help="process-pool size (default: cpu count)"
+    )
+    plan_run.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: ~/.cache/repro)"
+    )
+    plan_run.add_argument(
+        "--no-cache", action="store_true", help="recompute even if a cached result exists"
+    )
+    plan_run.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the recommendation to PATH (.json: full report;"
+            " .csv: the priced candidate table)"
+        ),
+    )
+
+    hardware_parser = subparsers.add_parser(
+        "hardware", help="the hardware catalog scenario and plan specs draw from"
+    )
+    hardware_sub = hardware_parser.add_subparsers(dest="hardware_command", required=True)
+    hardware_sub.add_parser(
+        "list", help="list catalog entries with their key specs and prices"
+    )
     return parser
 
 
@@ -261,6 +332,62 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_plan_command(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.planner import builtin_plan_names, resolve_plan, run_plan
+    from repro.planner.report import export_format as plan_export_format
+    from repro.scenarios import SweepRunner
+
+    if args.plan_command == "list":
+        for name in builtin_plan_names():
+            print(name)
+        return 0
+
+    plan = resolve_plan(args.spec)
+    if args.plan_command == "validate":
+        constraints = plan.constraints.to_dict()
+        print(
+            f"ok: plan {plan.name!r}"
+            f" (objective {plan.objective!r},"
+            f" scenario {plan.scenario.name!r},"
+            f" {plan.search.configurations} configuration(s) x"
+            f" {len(plan.search.workers or plan.scenario.workers)} worker counts,"
+            f" constraints {sorted(constraints) if constraints else 'none'})"
+        )
+        return 0
+
+    if args.export:
+        # Reject a bad export target before the (possibly expensive) run,
+        # with the exact check Recommendation.export will apply after it.
+        plan_export_format(args.export)
+    runner = SweepRunner(
+        mode=args.parallel,
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    recommendation = run_plan(plan, runner=runner, backend=args.backend)
+    if args.format == "json":
+        print(json.dumps(recommendation.payload(), indent=2))
+    else:
+        print(recommendation.render())
+        print(_stats_line(recommendation.stats))
+    if args.export:
+        target = recommendation.export(args.export)
+        print(f"exported to {target}")
+    return 0
+
+
+def _run_hardware_command(args: argparse.Namespace) -> int:
+    from repro.hardware import catalog_rows
+
+    # args.hardware_command is always "list" today; argparse rejects
+    # anything else before we get here.
+    print(render_table(catalog_rows(), float_format="{:.4g}"))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -289,6 +416,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 0
         if args.command == "scenario":
             return _run_scenario_command(args)
+        if args.command == "plan":
+            return _run_plan_command(args)
+        if args.command == "hardware":
+            return _run_hardware_command(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -295,9 +295,13 @@ class TabulatedCost(CostTerm):
         positions = np.searchsorted(keys, grid)
         missing = (positions >= keys.size) | (keys[np.minimum(positions, keys.size - 1)] != grid)
         if np.any(missing):
-            absent = int(grid[missing][0])
+            # Report the queried value verbatim: truncating a fractional
+            # count (reachable via continuous_times) would name an
+            # on-grid worker count as the missing one.
+            absent = float(grid[missing][0])
+            label = int(absent) if absent == int(absent) else absent
             raise ModelError(
-                f"no {self.description} entry for {absent} workers;"
+                f"no {self.description} entry for {label} workers;"
                 f" grid is {list(int(k) for k in keys)}"
             )
         return values[positions]

@@ -53,3 +53,7 @@ class ExperimentError(ReproError, RuntimeError):
 
 class ScenarioError(ReproError, ValueError):
     """A declarative scenario spec is malformed or cannot be compiled."""
+
+
+class PlanError(ReproError, ValueError):
+    """A capacity-plan spec is malformed or cannot be optimised."""

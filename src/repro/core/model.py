@@ -86,6 +86,33 @@ class ScalabilityModel(ABC):
             raise ModelError(f"workers must be >= 1, got {workers}")
         return float(self.times(np.asarray([workers], dtype=float))[0])
 
+    def continuous_times(self, workers: Iterable[float] | np.ndarray) -> np.ndarray:
+        """Evaluate the cost tree at *real-valued* worker counts ``>= 1``.
+
+        The paper's closed forms are smooth functions of ``n`` (``c/n``,
+        ``log2 n``, …), so between grid points they define the analytic
+        continuation the planner's golden-section refinement searches
+        (:func:`repro.core.scaling.refine_optimal_workers`).  Fractional
+        counts are deliberately rejected by :meth:`times` — a grid
+        evaluation must never silently accept what the scalar API refuses
+        — so continuation is a separate, explicitly-named entry point.
+        Only available for term-tree models; tabulated terms (measured or
+        Monte-Carlo-backed grids) raise off their recorded counts.
+        """
+        array = np.asarray(workers, dtype=float)
+        if array.ndim == 0:
+            array = array.reshape(1)
+        if array.ndim != 1 or array.size == 0:
+            raise ModelError("continuous worker grids must be non-empty and 1-D")
+        if not np.all(np.isfinite(array)) or np.any(array < 1):
+            raise ModelError("continuous worker counts must be finite and >= 1")
+        if not self._has_cost_tree():
+            raise ModelError(
+                f"{type(self).__name__} has no cost tree; continuous_times()"
+                " is only available for term-tree models"
+            )
+        return self._cost_tree()._times(array)
+
     def decompose(self, workers: Iterable[int] | np.ndarray) -> dict[str, np.ndarray]:
         """Labeled component arrays summing to ``times(workers)``.
 

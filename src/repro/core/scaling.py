@@ -14,6 +14,7 @@ and :func:`workers_to_absorb_growth` answer the questions directly.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
@@ -114,6 +115,59 @@ def workers_for_speedup(
         raise ModelError(f"target_speedup must be positive, got {target_speedup}")
     baseline = model.time(1)
     return workers_for_time(model, baseline / target_speedup, max_workers)
+
+
+#: Inverse golden ratio, the interval-shrink factor of golden-section search.
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def refine_optimal_workers(
+    model: ScalabilityModel,
+    lower: int,
+    upper: int,
+    tolerance: float = 1e-3,
+) -> float:
+    """The continuous minimiser of ``t(n)`` on ``[lower, upper]``.
+
+    A grid argmax (:attr:`~repro.core.speedup.SpeedupCurve.optimal_workers`)
+    is only as precise as the grid; the paper's closed forms are smooth in
+    ``n``, so between grid points there is a real-valued optimum.  This is
+    a golden-section search over :meth:`ScalabilityModel.continuous_times`
+    — exact (to ``tolerance``) for the unimodal time curves the paper's
+    models produce (``c/n`` plus non-decreasing communication); on flat
+    plateaus (``ceil`` terms) it converges to a point inside the plateau.
+
+    Returns the continuous worker count; round and clamp to the grid for
+    a provisioning decision.  Raises :class:`~repro.core.errors.ModelError`
+    for models without a cost tree (tabulated or Monte-Carlo-backed
+    models have no continuation to search).
+    """
+    if lower < 1:
+        raise ModelError(f"lower must be >= 1, got {lower}")
+    if upper < lower:
+        raise ModelError(f"upper must be >= lower, got {lower}..{upper}")
+    if tolerance <= 0:
+        raise ModelError(f"tolerance must be positive, got {tolerance}")
+    a, b = float(lower), float(upper)
+    if b - a <= tolerance:
+        return (a + b) / 2.0
+
+    def time_at(x: float) -> float:
+        return float(model.continuous_times([x])[0])
+
+    c = b - (b - a) * _INVPHI
+    d = a + (b - a) * _INVPHI
+    time_c, time_d = time_at(c), time_at(d)
+    while b - a > tolerance:
+        if time_c < time_d:
+            b, d, time_d = d, c, time_c
+            c = b - (b - a) * _INVPHI
+            time_c = time_at(c)
+        else:
+            a, c, time_c = c, d, time_d
+            d = a + (b - a) * _INVPHI
+            time_d = time_at(d)
+    return (a + b) / 2.0
 
 
 def workers_to_absorb_growth(

@@ -127,10 +127,35 @@ class SpeedupCurve:
 
     @property
     def optimal_workers(self) -> int:
-        """``argmax s(n)`` over the grid (the paper's optimal node count)."""
+        """``argmax s(n)`` over the grid (the paper's optimal node count).
+
+        Ties are broken toward the **smallest** worker count reaching the
+        peak: when several counts achieve exactly the same speedup (flat
+        plateaus are common — Spark's ``ceil(sqrt(n))`` aggregation makes
+        whole ranges of ``n`` equivalent), recommending more machines for
+        the same speedup would be indefensible in a provisioning decision.
+        Tie detection uses exact float equality; nearly-equal points are
+        distinct points.
+        """
         speedups = self.speedups
-        best = int(np.argmax(speedups))
-        return self.workers[best]
+        peak = self.peak_speedup
+        return min(n for n, s in zip(self.workers, speedups) if s == peak)
+
+    def knee(self, fraction: float = 0.95) -> int:
+        """Smallest worker count reaching ``fraction`` of the peak speedup.
+
+        The diminishing-returns point: past the knee, the remaining
+        ``(1 - fraction)`` of the peak costs disproportionally many
+        machines.  The capacity planner reports it alongside the argmax
+        because the knee, not the peak, is usually the economic optimum.
+        ``fraction`` must be in ``(0, 1]``; ``knee(1.0)`` equals
+        :attr:`optimal_workers`.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ModelError(f"knee fraction must be in (0, 1], got {fraction}")
+        speedups = self.speedups
+        threshold = fraction * self.peak_speedup
+        return min(n for n, s in zip(self.workers, speedups) if s >= threshold)
 
     @property
     def peak_speedup(self) -> float:

@@ -5,7 +5,14 @@ Beyond the hard-coded figure/table drivers, every bundled scenario spec
 declarative engine's runs are listed and launched the same way.
 """
 
-from repro.experiments import figure1, figure2, figure3, figure4, table1  # noqa: F401  (registration)
+from repro.experiments import (  # noqa: F401  (registration)
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    planning,
+    table1,
+)
 from repro.scenarios.bridge import register_builtin_scenarios
 from repro.experiments.plotting import render_chart, render_table
 from repro.experiments.reference import (

@@ -1,0 +1,107 @@
+"""Planner-driven reproduction of the paper's optimal-scale-out numbers.
+
+The paper's headline observations are provisioning decisions: Figure 2's
+Spark backpropagation on the Table I MNIST network peaks at N = 9
+workers, and the deep-learning analysis (Table I's Inception v3) scales
+only as far as the gradient payload allows.  This experiment derives
+those observations through the capacity planner — each network becomes a
+:class:`~repro.planner.spec.PlanSpec` with an unconstrained ``min-time``
+objective, and the report's grid argmax, golden-section refined optimum
+and knee must all tell the same story the analytic curves do.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reference import FIGURE2
+from repro.experiments.runner import ExperimentResult, register
+from repro.planner import resolve_plan, run_plan
+from repro.scenarios.sweep import SweepRunner
+
+#: The Inception v3 deployment of the planner study: Chen et al.'s K40
+#: workers on the paper's 1 GbE fabric, mini-batch 128.
+_INCEPTION_SCENARIO = {
+    "scenario": 1,
+    "name": "inception-gd",
+    "description": "Inception v3, synchronous data-parallel GD, batch 128",
+    "hardware": {"node": "nvidia-k40", "link": "1gbe"},
+    "algorithm": {
+        "kind": "gradient_descent",
+        "params": {"architecture": "inception-v3", "batch_size": 128},
+    },
+    "workers": {"min": 1, "max": 32},
+    "baseline_workers": 1,
+}
+
+
+def _plan_for(name: str, scenario: object, max_workers: int | None) -> dict:
+    document: dict = {
+        "plan": 1,
+        "name": name,
+        "description": f"optimal scale-out study ({name})",
+        "scenario": scenario,
+        "objective": "min-time",
+        "refine": True,
+        "knee_fraction": 0.95,
+    }
+    if max_workers is not None:
+        document["search"] = {"workers": {"min": 1, "max": max_workers}}
+    return document
+
+
+@register("planner-scale-out")
+def run(quick: bool = False) -> ExperimentResult:
+    """Optimal scale-out for the Table I networks, via the planner."""
+    studies = [
+        ("Fully connected (MNIST)", _plan_for("scale-out-mnist", "figure2", None)),
+        (
+            "Inception v.3 (ImageNet)",
+            _plan_for(
+                "scale-out-inception",
+                _INCEPTION_SCENARIO,
+                16 if quick else None,
+            ),
+        ),
+    ]
+    runner = SweepRunner(mode="serial", use_cache=False)
+    rows = []
+    refined_deltas = []
+    mnist_optimal = None
+    for network, document in studies:
+        recommendation = run_plan(resolve_plan(document), runner=runner)
+        chosen = recommendation.chosen
+        assert chosen is not None  # unconstrained plans always have a choice
+        refined = recommendation.refined_workers
+        delta = abs(round(refined) - recommendation.analytic_optimal_workers)
+        refined_deltas.append(delta)
+        if network.startswith("Fully connected"):
+            mnist_optimal = chosen.workers
+        rows.append(
+            {
+                "network": network,
+                "optimal_workers": chosen.workers,
+                "refined_optimum": refined,
+                "knee_workers": recommendation.knee_workers,
+                "peak_speedup": chosen.speedup,
+                "cost_usd_per_run": chosen.cost_usd,
+            }
+        )
+    return ExperimentResult(
+        experiment="planner-scale-out",
+        description="Optimal scale-out of the Table I networks, derived by the capacity planner",
+        rows=rows,
+        metrics={
+            "mnist_fc_optimal_workers": float(mnist_optimal),
+            "paper_optimal_workers": float(FIGURE2["optimal_workers"]),
+            "max_refined_vs_argmax_delta": float(max(refined_deltas)),
+        },
+        notes=[
+            "The MNIST row reproduces Figure 2's provisioning decision"
+            " (the paper reports N = 9 on 13 available workers) through"
+            " the planner's min-time objective; the refined optimum is"
+            " the golden-section continuous argmax of the same model.",
+            "The Inception row plans Chen et al.'s K40/1GbE deployment:"
+            " the 190 MB gradient payload caps profitable scale-out far"
+            " below the hardware's availability, exactly the paper's"
+            " deep-learning observation.",
+        ],
+    )

@@ -4,6 +4,7 @@ from repro.hardware.catalog import (
     K40_EFFICIENCY,
     XEON_EFFICIENCY,
     catalog_names,
+    catalog_rows,
     forty_gigabit_ethernet,
     gigabit_ethernet,
     infiniband_fdr,
@@ -19,6 +20,7 @@ __all__ = [
     "K40_EFFICIENCY",
     "XEON_EFFICIENCY",
     "catalog_names",
+    "catalog_rows",
     "forty_gigabit_ethernet",
     "gigabit_ethernet",
     "infiniband_fdr",

@@ -11,9 +11,21 @@ Sources (as cited by the paper):
 * The clusters were connected with 1 Gbit/s Ethernet (``B = 1e9`` bit/s).
 * The BP experiments ran on an HP ProLiant DL980 with 80 cores at
   1.9 GHz and 2 TB of memory.
+
+Prices
+------
+
+Compute entries carry a ``price_per_hour`` (USD per node-hour; the DL980
+is priced per machine-hour) so the capacity planner (:mod:`repro.planner`)
+can turn time curves into dollar costs.  The defaults approximate
+public-cloud list prices for comparable instances; their *ratios* are
+what planning decisions depend on, and any study that cares about
+absolute dollars should override them in its plan spec.
 """
 
 from __future__ import annotations
+
+import difflib
 
 from repro.core.errors import UnitError
 from repro.core.units import GIBI, GIGA, TERA
@@ -22,6 +34,11 @@ from repro.hardware.specs import LinkSpec, NodeSpec, SharedMemoryMachineSpec
 #: The paper's efficiency assumptions.
 XEON_EFFICIENCY = 0.80
 K40_EFFICIENCY = 0.50
+
+#: Default planning prices, USD per node-hour (machine-hour for the DL980).
+XEON_PRICE_PER_HOUR = 0.25
+K40_PRICE_PER_HOUR = 0.90
+DL980_PRICE_PER_HOUR = 6.50
 
 
 def xeon_e3_1240(precision: str = "double", efficiency: float = XEON_EFFICIENCY) -> NodeSpec:
@@ -38,6 +55,7 @@ def xeon_e3_1240(precision: str = "double", efficiency: float = XEON_EFFICIENCY)
         efficiency=efficiency,
         cores=4,
         memory_bytes=16 * GIBI,
+        price_per_hour=XEON_PRICE_PER_HOUR,
     )
 
 
@@ -49,6 +67,7 @@ def nvidia_k40(efficiency: float = K40_EFFICIENCY) -> NodeSpec:
         efficiency=efficiency,
         cores=2880,
         memory_bytes=12 * GIBI,
+        price_per_hour=K40_PRICE_PER_HOUR,
     )
 
 
@@ -64,6 +83,7 @@ def proliant_dl980(per_core_flops: float = 7.6 * GIGA) -> SharedMemoryMachineSpe
         name="HP ProLiant DL980 (80 cores @ 1.9 GHz)",
         cores=80,
         core_flops=per_core_flops,
+        price_per_hour=DL980_PRICE_PER_HOUR,
     )
 
 
@@ -101,16 +121,63 @@ _CATALOG = {
 def lookup(name: str):
     """Return a catalog entry by its slug (e.g. ``"xeon-e3-1240"``).
 
-    Raises :class:`~repro.core.errors.UnitError` for unknown slugs, listing
-    the available ones.
+    Raises :class:`~repro.core.errors.UnitError` for unknown slugs.  The
+    message names the closest known slugs first (did-you-mean: a typo'd
+    ``"xeon-e3-1241"`` should point at ``"xeon-e3-1240"``, not at an
+    alphabetical list the reader must scan), then the full set.
     """
     key = name.lower()
     if key not in _CATALOG:
         known = ", ".join(sorted(_CATALOG))
-        raise UnitError(f"unknown hardware {name!r}; known entries: {known}")
+        near = difflib.get_close_matches(key, sorted(_CATALOG), n=3, cutoff=0.4)
+        hint = f" — did you mean {', '.join(near)}?" if near else ""
+        raise UnitError(f"unknown hardware {name!r}{hint} (known entries: {known})")
     return _CATALOG[key]()
 
 
 def catalog_names() -> tuple[str, ...]:
     """All known catalog slugs, sorted."""
     return tuple(sorted(_CATALOG))
+
+
+def catalog_rows() -> list[dict[str, object]]:
+    """One summary row per catalog entry (the ``hardware list`` payload).
+
+    Every row has the same columns so the table renders aligned; fields
+    that do not apply to an entry kind are left empty.
+    """
+    rows = []
+    for slug in catalog_names():
+        entry = _CATALOG[slug]()
+        row: dict[str, object] = {
+            "slug": slug,
+            "kind": "",
+            "name": entry.name,
+            "gflops": "",
+            "cores": "",
+            "usd_per_hour": "",
+            "gbit_per_s": "",
+            "latency_us": "",
+        }
+        if isinstance(entry, NodeSpec):
+            row.update(
+                kind="node",
+                gflops=entry.effective_flops / GIGA,
+                cores=entry.cores,
+                usd_per_hour=entry.price_per_hour,
+            )
+        elif isinstance(entry, SharedMemoryMachineSpec):
+            row.update(
+                kind="shared-memory",
+                gflops=entry.core_flops * entry.cores / GIGA,
+                cores=entry.cores,
+                usd_per_hour=entry.price_per_hour,
+            )
+        else:  # LinkSpec
+            row.update(
+                kind="link",
+                gbit_per_s=entry.bandwidth_bps / GIGA,
+                latency_us=entry.latency_s * 1e6,
+            )
+        rows.append(row)
+    return rows

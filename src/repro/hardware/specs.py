@@ -19,7 +19,10 @@ class NodeSpec:
 
     ``peak_flops`` is the vendor's peak for the precision the workload
     uses; ``efficiency`` is the achievable fraction of peak.  The model
-    input ``F`` is :attr:`effective_flops`.
+    input ``F`` is :attr:`effective_flops`.  ``price_per_hour`` (USD per
+    node-hour) is the capacity planner's cost input; it defaults to zero
+    because the paper's models are price-free — only planning studies
+    (:mod:`repro.planner`) read it.
     """
 
     name: str
@@ -27,6 +30,7 @@ class NodeSpec:
     efficiency: float = 1.0
     cores: int = 1
     memory_bytes: float = 0.0
+    price_per_hour: float = 0.0
 
     def __post_init__(self) -> None:
         if self.peak_flops <= 0:
@@ -37,6 +41,10 @@ class NodeSpec:
             raise UnitError(f"cores must be >= 1, got {self.cores}")
         if self.memory_bytes < 0:
             raise UnitError(f"memory_bytes must be non-negative, got {self.memory_bytes}")
+        if self.price_per_hour < 0:
+            raise UnitError(
+                f"price_per_hour must be non-negative, got {self.price_per_hour}"
+            )
 
     @property
     def effective_flops(self) -> float:
@@ -120,7 +128,9 @@ class SharedMemoryMachineSpec:
     "Workers" are cores; communication happens through memory, which the
     paper models as free.  ``sync_overhead_s`` and ``per_worker_overhead_s``
     capture the execution overhead the paper observed taking over at high
-    core counts.
+    core counts.  ``price_per_hour`` prices the *whole machine* per hour
+    (you rent the host, not its cores one by one) — the capacity planner
+    charges it independently of how many cores a run uses.
     """
 
     name: str
@@ -129,6 +139,7 @@ class SharedMemoryMachineSpec:
     sync_overhead_s: float = 0.0
     per_worker_overhead_s: float = 0.0
     contention_saturation_cores: float = 0.0
+    price_per_hour: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -145,6 +156,10 @@ class SharedMemoryMachineSpec:
             raise UnitError(
                 "contention_saturation_cores must be non-negative,"
                 f" got {self.contention_saturation_cores}"
+            )
+        if self.price_per_hour < 0:
+            raise UnitError(
+                f"price_per_hour must be non-negative, got {self.price_per_hour}"
             )
 
     def overhead_seconds(self, workers: int) -> float:

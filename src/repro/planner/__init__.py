@@ -1,0 +1,59 @@
+"""Capacity planner: scalability models turned into provisioning decisions.
+
+The paper's models exist to answer a decision question — how many
+workers, on what hardware, over which topology, before scaling stops
+paying off.  This package asks it declaratively: a :class:`PlanSpec`
+(JSON, validated, content-hashed) names a base scenario, a search space
+of candidate configurations, an objective and constraints;
+:func:`run_plan` evaluates the whole product space through the scenario
+engine's pluggable backends, prunes with the constraints, reports the
+cost-vs-time Pareto frontier, and refines the optimum beyond the grid on
+the continuous closed form.  See ``docs/planner.md``.
+"""
+
+from repro.planner.pareto import dominates, is_dominated, pareto_frontier
+from repro.planner.report import PlanPoint, Recommendation
+from repro.planner.search import (
+    point_cost_usd,
+    run_plan,
+    work_units_per_run,
+)
+from repro.planner.spec import (
+    CONSTRAINT_KEYS,
+    OBJECTIVES,
+    Constraints,
+    PlanSpec,
+    SearchSpace,
+    builtin_plan_names,
+    builtin_plan_path,
+    derived_scenario,
+    load_builtin_plan,
+    load_plan,
+    parse_plan,
+    resolve_plan,
+    resolve_price,
+)
+
+__all__ = [
+    "CONSTRAINT_KEYS",
+    "OBJECTIVES",
+    "Constraints",
+    "PlanPoint",
+    "PlanSpec",
+    "Recommendation",
+    "SearchSpace",
+    "builtin_plan_names",
+    "builtin_plan_path",
+    "derived_scenario",
+    "dominates",
+    "is_dominated",
+    "load_builtin_plan",
+    "load_plan",
+    "pareto_frontier",
+    "parse_plan",
+    "point_cost_usd",
+    "resolve_plan",
+    "resolve_price",
+    "run_plan",
+    "work_units_per_run",
+]

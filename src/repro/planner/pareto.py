@@ -1,0 +1,84 @@
+"""Cost-vs-time Pareto frontier with dominated-point elimination.
+
+A candidate configuration *dominates* another when it is no worse on
+both axes (cost and time) and strictly better on at least one.  The
+frontier is the set of non-dominated candidates — every point a rational
+planner could defend picking, whatever their exchange rate between
+dollars and seconds.  Points that tie exactly on both axes do not
+dominate each other; all of them are kept (they are genuinely
+interchangeable configurations, and a report should show the choice).
+
+The implementation is the classic sort-and-scan: sort by (cost, time),
+keep a point iff it is strictly faster than everything cheaper already
+kept.  Ordering is deterministic — ties beyond (cost, time) preserve the
+candidate evaluation order — which is what makes frontier payloads
+byte-identical between serial and process-pool plan evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import PlanError
+
+
+def dominates(cost_a: float, time_a: float, cost_b: float, time_b: float) -> bool:
+    """Whether point A dominates point B on (cost, time)."""
+    return (
+        cost_a <= cost_b
+        and time_a <= time_b
+        and (cost_a < cost_b or time_a < time_b)
+    )
+
+
+def pareto_frontier(
+    points: Sequence[Mapping[str, object]],
+    cost_key: str = "cost_usd",
+    time_key: str = "time_s",
+) -> list[dict[str, object]]:
+    """The non-dominated subset of ``points``, sorted by ascending cost.
+
+    Each point is a mapping carrying at least ``cost_key`` and
+    ``time_key``; the returned dicts are shallow copies of the inputs in
+    (cost, time, input-order) order.  Exact (cost, time) duplicates are
+    all kept — see the module docstring.
+    """
+    decorated = []
+    for index, point in enumerate(points):
+        try:
+            cost = float(point[cost_key])  # type: ignore[arg-type]
+            time = float(point[time_key])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            raise PlanError(
+                f"pareto points need numeric {cost_key!r} and {time_key!r}"
+                f" entries; point {index} has keys {sorted(point)}"
+            )
+        decorated.append((cost, time, index, point))
+    decorated.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+
+    frontier: list[dict[str, object]] = []
+    best_time = float("inf")
+    previous: tuple[float, float] | None = None
+    for cost, time, _index, point in decorated:
+        # Strictly faster than every cheaper point already kept, or an
+        # exact (cost, time) tie with the point just kept.
+        if time < best_time or (cost, time) == previous:
+            frontier.append(dict(point))
+            best_time = min(best_time, time)
+            previous = (cost, time)
+    return frontier
+
+
+def is_dominated(
+    candidate: Mapping[str, object],
+    points: Sequence[Mapping[str, object]],
+    cost_key: str = "cost_usd",
+    time_key: str = "time_s",
+) -> bool:
+    """Whether any of ``points`` dominates ``candidate`` on (cost, time)."""
+    cost = float(candidate[cost_key])  # type: ignore[arg-type]
+    time = float(candidate[time_key])  # type: ignore[arg-type]
+    return any(
+        dominates(float(p[cost_key]), float(p[time_key]), cost, time)  # type: ignore[arg-type]
+        for p in points
+    )

@@ -72,7 +72,10 @@ SCHEMA_VERSION = 1
 #: 2: curves evaluate through the vectorized cost-term algebra.
 #: 3: points evaluate through pluggable backends (backend block joins
 #:    the canonical form and hence the cache key).
-ENGINE_VERSION = 3
+#: 4: optimal_workers breaks speedup ties toward the smallest worker
+#:    count (cached payloads store the argmax, so the tie-break is
+#:    evaluation semantics).
+ENGINE_VERSION = 4
 
 #: Hardware fields that may appear inline and be swept over.
 HARDWARE_SCALARS = ("flops", "bandwidth_bps", "latency_s")

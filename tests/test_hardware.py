@@ -9,6 +9,7 @@ from repro.hardware import (
     NodeSpec,
     SharedMemoryMachineSpec,
     catalog_names,
+    catalog_rows,
     gigabit_ethernet,
     lookup,
     nvidia_k40,
@@ -127,3 +128,42 @@ class TestSharedMemoryMachine:
     def test_invalid_cores(self):
         with pytest.raises(UnitError):
             SharedMemoryMachineSpec("host", cores=0, core_flops=1e9)
+
+
+class TestCatalogPricing:
+    def test_compute_entries_carry_positive_prices(self):
+        assert xeon_e3_1240().price_per_hour > 0
+        assert nvidia_k40().price_per_hour > 0
+        assert proliant_dl980().price_per_hour > 0
+
+    def test_links_are_not_priced(self):
+        assert not hasattr(gigabit_ethernet(), "price_per_hour")
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(UnitError):
+            NodeSpec("node", peak_flops=1e9, price_per_hour=-1.0)
+        with pytest.raises(UnitError):
+            SharedMemoryMachineSpec("host", cores=2, core_flops=1e9, price_per_hour=-1.0)
+
+    def test_lookup_suggests_near_misses(self):
+        with pytest.raises(UnitError) as excinfo:
+            lookup("xeon-e3-1241")
+        message = str(excinfo.value)
+        assert "did you mean" in message
+        assert "xeon-e3-1240" in message
+
+    def test_lookup_without_near_miss_still_lists_all(self):
+        with pytest.raises(UnitError) as excinfo:
+            lookup("zzzzzz")
+        assert "known entries" in str(excinfo.value)
+
+    def test_catalog_rows_cover_every_slug_with_uniform_columns(self):
+        rows = catalog_rows()
+        assert [row["slug"] for row in rows] == list(catalog_names())
+        columns = set(rows[0])
+        assert all(set(row) == columns for row in rows)
+        by_slug = {row["slug"]: row for row in rows}
+        assert by_slug["xeon-e3-1240"]["kind"] == "node"
+        assert by_slug["xeon-e3-1240"]["usd_per_hour"] == pytest.approx(0.25)
+        assert by_slug["1gbe"]["kind"] == "link"
+        assert by_slug["dl980"]["kind"] == "shared-memory"

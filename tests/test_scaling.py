@@ -9,6 +9,7 @@ from repro.core.model import BSPModel
 from repro.core.scaling import (
     StrongScalingStudy,
     WeakScalingStudy,
+    refine_optimal_workers,
     workers_for_speedup,
     workers_for_time,
     workers_to_absorb_growth,
@@ -131,3 +132,76 @@ class TestPlanners:
             workers_for_speedup(model, 0.0, 8)
         with pytest.raises(ModelError):
             workers_to_absorb_growth(model_for_size, 0.0, 1, 2.0, 8)
+
+
+def linear_comm_model(total_operations: float = 100.0) -> BSPModel:
+    """A smooth knee model: t(n) = ops/n + 2*(n - 1), optimum sqrt(ops/2)."""
+    from repro.core.communication import LinearCommunication
+
+    return BSPModel(
+        ComputationCost(total_operations=total_operations, flops=1.0),
+        CommunicationCost(LinearCommunication(bandwidth_bps=1.0), bits=2.0),
+    )
+
+
+class TestRefineOptimalWorkers:
+    def test_matches_continuous_optimum(self):
+        # t(n) = 100/n + 2*(n-1): continuous argmin at sqrt(50) ~ 7.07.
+        refined = refine_optimal_workers(linear_comm_model(), 1, 20)
+        assert refined == pytest.approx(50.0**0.5, abs=0.01)
+
+    def test_refined_within_one_step_of_grid_argmax(self):
+        model = linear_comm_model()
+        argmax = model.grid(20).optimal_workers
+        assert abs(refine_optimal_workers(model, 1, 20) - argmax) <= 1.0
+
+    def test_monotone_model_refines_to_the_boundary(self):
+        # Compute-dominated: the optimum lies past the interval's end.
+        model = linear_comm_model(total_operations=1e6)
+        assert refine_optimal_workers(model, 1, 16) == pytest.approx(16.0, abs=0.01)
+
+    def test_plateau_model_stays_near_the_grid_argmax(self):
+        # The ceil(log2 n) tree model is only piecewise smooth: the
+        # search can converge onto a jump, but must still land within one
+        # grid step of the discrete argmax.
+        model = model_for_size(64.0)
+        refined = refine_optimal_workers(model, 1, 64)
+        argmax = model.grid(64).optimal_workers
+        assert abs(refined - argmax) <= 1.0
+
+    def test_degenerate_interval(self):
+        assert refine_optimal_workers(linear_comm_model(), 7, 7) == 7.0
+
+    def test_invalid_bounds_rejected(self):
+        model = linear_comm_model()
+        with pytest.raises(ModelError):
+            refine_optimal_workers(model, 0, 10)
+        with pytest.raises(ModelError):
+            refine_optimal_workers(model, 10, 5)
+        with pytest.raises(ModelError):
+            refine_optimal_workers(model, 1, 10, tolerance=0.0)
+
+    def test_continuous_times_rejects_models_without_cost_tree(self):
+        from repro.core.model import CallableModel
+
+        with pytest.raises(ModelError):
+            CallableModel(lambda n: 1.0).continuous_times([1.5])
+
+    def test_continuous_times_rejects_bad_counts(self):
+        model = linear_comm_model()
+        with pytest.raises(ModelError):
+            model.continuous_times([0.5])
+        with pytest.raises(ModelError):
+            model.continuous_times([])
+
+    def test_continuous_times_extends_the_closed_form(self):
+        model = linear_comm_model()
+        # Integer points agree exactly with the batched grid API ...
+        import numpy as np
+
+        grid = model.times(np.asarray([3.0, 4.0]))
+        assert float(model.continuous_times([4.0])[0]) == pytest.approx(float(grid[1]))
+        # ... and the midpoint evaluates the same closed form.
+        assert float(model.continuous_times([3.5])[0]) == pytest.approx(
+            100.0 / 3.5 + 2.0 * 2.5
+        )

@@ -106,3 +106,47 @@ class TestGridHelpers:
     def test_invalid_max_workers(self):
         with pytest.raises(ModelError):
             speedup_grid(knee_time, 0)
+
+
+class TestOptimalWorkersTieBreaking:
+    def test_ties_prefer_the_smallest_worker_count(self):
+        # A plateau: identical times at n = 3, 4, 5 (ceil-style models
+        # produce these); the provisioning answer is the cheapest point.
+        curve = SpeedupCurve.from_times([1, 2, 3, 4, 5, 6], [10.0, 6.0, 4.0, 4.0, 4.0, 5.0])
+        assert curve.optimal_workers == 3
+
+    def test_tie_detection_is_exact(self):
+        # Nearly-equal speedups are distinct points, not a tie.
+        curve = SpeedupCurve.from_times([1, 2, 3], [10.0, 4.0, 4.0 - 1e-12])
+        assert curve.optimal_workers == 3
+
+    def test_unordered_grid_still_prefers_smallest(self):
+        curve = SpeedupCurve.from_times([5, 1, 3], [4.0, 10.0, 4.0])
+        assert curve.optimal_workers == 3
+
+
+class TestKnee:
+    def test_knee_below_argmax_on_saturating_curve(self):
+        curve = speedup_grid(knee_time, 20)
+        knee = curve.knee(0.9)
+        assert knee < curve.optimal_workers
+        assert curve.speedup_at(knee) >= 0.9 * curve.peak_speedup
+
+    def test_knee_is_the_smallest_qualifying_count(self):
+        curve = speedup_grid(knee_time, 20)
+        knee = curve.knee(0.9)
+        threshold = 0.9 * curve.peak_speedup
+        for n, s in zip(curve.workers, curve.speedups):
+            if n < knee:
+                assert s < threshold
+
+    def test_knee_at_full_fraction_equals_argmax(self):
+        curve = speedup_grid(knee_time, 20)
+        assert curve.knee(1.0) == curve.optimal_workers
+
+    def test_invalid_fraction_rejected(self):
+        curve = speedup_grid(knee_time, 5)
+        with pytest.raises(ModelError):
+            curve.knee(0.0)
+        with pytest.raises(ModelError):
+            curve.knee(1.5)

@@ -1,0 +1,162 @@
+"""Record the capacity-planner benchmark as a JSON artifact.
+
+Times the evaluation of a capacity plan's full product space (node ×
+link × topology configurations, each over the whole worker grid, through
+the simulated backend — the expensive evaluator plans are stress-checked
+with) via the serial and process-pool sweep paths, and writes the
+results to ``BENCH_plan.json`` at the repository root alongside
+``BENCH_sweep.json`` and ``BENCH_sim.json``.
+
+Acceptance is CPU-aware, like ``bench_sim_to_json.py``: with more than
+one core the pool must beat serial by ``MIN_SPEEDUP_MULTI``; on a single
+core it must merely not collapse (``MIN_SPEEDUP_SINGLE``).  In both
+cases the *recommendation payload* — including the Pareto frontier —
+must be byte-identical between the two paths: the planner inherits the
+scenario engine's seed-derivation determinism, and this artifact proves
+it end to end.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_plan_to_json.py [--output BENCH_plan.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.planner import parse_plan, run_plan
+from repro.scenarios import SweepRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required process-pool speedup when the machine has >= 2 cores.
+MIN_SPEEDUP_MULTI = 1.15
+
+#: Required serial/process ratio on a single core (pool overhead bound).
+MIN_SPEEDUP_SINGLE = 0.5
+
+
+def bench_plan(max_workers: int, iterations: int) -> dict:
+    """A stress-checked hetero-fleet plan: 12 simulated configurations."""
+    return {
+        "plan": 1,
+        "name": "bench-plan",
+        "description": "planner benchmark: hetero fleet under the simulated backend",
+        "scenario": {
+            "scenario": 1,
+            "name": "bench-bsp",
+            "description": "generic BSP superstep for the planner bench",
+            "hardware": {"node": "xeon-e3-1240", "link": "1gbe"},
+            "algorithm": {
+                "kind": "bsp",
+                "params": {
+                    "operations_per_superstep": 1e12,
+                    "payload_bits": 8e8,
+                    "topology": "tree",
+                },
+            },
+            "workers": {"min": 1, "max": max_workers},
+            "baseline_workers": 1,
+            "backend": {
+                "kind": "simulated",
+                "simulation": {"iterations": iterations, "jitter_sigma": 0.05},
+            },
+        },
+        "search": {
+            "nodes": ["xeon-e3-1240", "nvidia-k40"],
+            "links": ["1gbe", "10gbe"],
+            "topologies": ["tree", "ring-allreduce", "two-wave"],
+        },
+        "objective": "max-throughput",
+        "constraints": {"min_efficiency": 0.1},
+    }
+
+
+def best_of(fn, rounds: int):
+    """(best seconds, last result) over ``rounds`` runs."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-workers", type=int, default=24, help="worker-grid top")
+    parser.add_argument("--iterations", type=int, default=6, help="supersteps per point")
+    parser.add_argument("--rounds", type=int, default=2, help="timing rounds")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_plan.json"),
+        help="output path (default: BENCH_plan.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    plan = parse_plan(bench_plan(args.max_workers, args.iterations))
+    serial_runner = SweepRunner(mode="serial", use_cache=False)
+    process_runner = SweepRunner(mode="process", use_cache=False)
+
+    serial_s, serial_rec = best_of(
+        lambda: run_plan(plan, runner=serial_runner), args.rounds
+    )
+    process_s, process_rec = best_of(
+        lambda: run_plan(plan, runner=process_runner), args.rounds
+    )
+
+    # Correctness before timing claims: identical recommendations (and
+    # hence identical Pareto frontiers) either way.
+    payloads_match = json.dumps(serial_rec.payload(), sort_keys=True) == json.dumps(
+        process_rec.payload(), sort_keys=True
+    )
+
+    configurations = plan.search.configurations
+    candidate_points = configurations * args.max_workers
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / process_s
+    floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
+    accepted = payloads_match and speedup >= floor
+
+    payload = {
+        "benchmark": "capacity-plan",
+        "description": (
+            "serial vs process-pool evaluation of a simulated-backend"
+            " capacity plan (see benchmarks/bench_planner.py)"
+        ),
+        "configurations": configurations,
+        "worker_counts": args.max_workers,
+        "candidate_points": candidate_points,
+        "iterations_per_point": args.iterations,
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "speedup_x": speedup,
+        "throughput_points_per_s": candidate_points / process_s,
+        "acceptance_floor_x": floor,
+        "payloads_identical": payloads_match,
+    }
+    target = Path(args.output)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"capacity plan ({configurations} configurations x {args.max_workers}"
+        f" worker counts): serial {serial_s:.3f}s, process {process_s:.3f}s"
+        f" ({speedup:.2f}x on {cpus} cpu(s); floor {floor}x;"
+        f" {candidate_points / process_s:.0f} candidate points/s;"
+        f" payloads {'identical' if payloads_match else 'DIVERGED'})"
+    )
+    print(f"wrote {target}")
+    return 0 if accepted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
