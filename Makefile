@@ -4,11 +4,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-quick lint docs-check bench-sweep bench-sim bench-plan check clean
+# Coverage floor CI enforces on src/repro (see `make test-cov`).
+COVERAGE_FLOOR ?= 85
+
+.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## The tier-1 loop without the slow markers (process-pool hammers,
+## multi-process byte-identity sweeps) — the quick inner-loop signal.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## Tier-1 under coverage, enforcing the CI floor on src/repro.
+## Requires the `coverage` package (CI installs it; the offline dev
+## image may not ship it, in which case this target is CI-only).
+test-cov:
+	$(PYTHON) -m coverage run --source=src/repro -m pytest -q
+	$(PYTHON) -m coverage report --fail-under=$(COVERAGE_FLOOR)
 
 ## Fast signal: stop at the first failure, quietest output.
 test-quick:
@@ -21,7 +36,7 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
@@ -38,8 +53,13 @@ bench-sim:
 bench-plan:
 	$(PYTHON) tools/bench_plan_to_json.py
 
+## The evaluation-service acceptance bench: cold vs cache-hit latency
+## and coalesced throughput over real HTTP, written to BENCH_serve.json.
+bench-serve:
+	$(PYTHON) tools/bench_serve_to_json.py
+
 ## Everything CI would run.
-check: lint test docs-check bench-sweep bench-sim bench-plan
+check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

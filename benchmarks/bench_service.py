@@ -1,0 +1,92 @@
+"""Bench: the evaluation service's hot path, over real HTTP.
+
+PRs 1–4 made one evaluation cheap; this bench measures what the serving
+layer adds on top — amortisation.  A cold ``/v1/evaluate`` of a
+compile-heavy scenario pays parse + validate + compile (for the
+Monte-Carlo BP instance used here: generate a 100k-vertex graph and
+build the estimator); a repeat is answered from the request LRU and the
+compiled-target LRU.  The acceptance floor demands the cache hit be at
+least ``10x`` faster — end to end, HTTP included.
+
+The second test hammers one spec from concurrent clients across
+different worker grids and asserts the coalescer actually merged
+requests into union-grid evaluations (with answers bit-identical to
+solo evaluation, which ``tests/test_service.py`` pins).
+
+``tools/bench_serve_to_json.py`` runs the same measurements standalone
+and records them in ``BENCH_serve.json``.  Like every ``bench_*.py``
+file this is not auto-collected by ``make test``; run it via ``make
+bench-serve`` (artifact) or ``pytest benchmarks/bench_service.py``.
+"""
+
+import sys
+import threading
+from pathlib import Path
+
+from repro.service import ServiceClient, create_server
+
+# tools/ is not a package; the standalone artifact writer owns the
+# scenarios and the floor, and this bench reuses them verbatim.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tools.bench_serve_to_json import (  # noqa: E402
+    MIN_HIT_SPEEDUP,
+    measure_latencies,
+    measure_throughput,
+)
+
+
+def _server(**options):
+    instance = create_server(
+        port=0, runner_mode="serial", use_cache=False, **options
+    )
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    return instance
+
+
+def test_cache_hit_meets_acceptance_floor(benchmark):
+    instance = _server()
+    try:
+        client = ServiceClient(instance.url, timeout_s=120.0)
+        cold_s, hit_s = measure_latencies(client, repeats=20)
+    finally:
+        instance.shutdown()
+        instance.server_close()
+    speedup = cold_s / hit_s
+    benchmark.extra_info["cold_ms"] = cold_s * 1e3
+    benchmark.extra_info["cache_hit_ms"] = hit_s * 1e3
+    benchmark.extra_info["hit_speedup_x"] = speedup
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nservice: cold {cold_s * 1e3:.1f}ms, cache-hit {hit_s * 1e3:.2f}ms"
+        f" ({speedup:.0f}x; floor {MIN_HIT_SPEEDUP}x)"
+    )
+    assert speedup >= MIN_HIT_SPEEDUP
+
+
+def test_concurrent_hammer_coalesces(benchmark):
+    threads, requests = 6, 15
+    instance = _server(max_concurrency=threads + 2, coalesce_window_s=0.002)
+    try:
+        throughput, coalescer = measure_throughput(
+            lambda: ServiceClient(instance.url, timeout_s=120.0),
+            threads=threads,
+            requests_per_thread=requests,
+        )
+    finally:
+        instance.shutdown()
+        instance.server_close()
+    benchmark.extra_info["throughput_evals_per_s"] = throughput
+    benchmark.extra_info["coalesced_requests"] = coalescer["coalesced_requests"]
+    benchmark.extra_info["batches"] = coalescer["batches"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nservice hammer: {throughput:.0f} evals/s over {threads} clients;"
+        f" {coalescer['coalesced_requests']} of {coalescer['requests']}"
+        f" requests coalesced into {coalescer['batches']} batches"
+    )
+    # Every request answered, and at least some concurrent ones merged
+    # (the exact count is scheduling-dependent; zero would mean the
+    # coalescer never engaged).
+    assert coalescer["requests"] == threads * requests
+    assert coalescer["coalesced_requests"] > 0

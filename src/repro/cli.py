@@ -16,6 +16,9 @@ Installed as ``repro-experiments``:
     repro-experiments plan run plan-bp-budget --format json
     repro-experiments plan run plan-gd-deadline --backend simulated
     repro-experiments hardware list
+    repro-experiments serve --port 8765
+    repro-experiments client evaluate figure2 --url http://127.0.0.1:8765
+    repro-experiments client sweep capacity-sweep --mode async
 """
 
 from __future__ import annotations
@@ -230,6 +233,166 @@ def build_parser() -> argparse.ArgumentParser:
     hardware_sub.add_parser(
         "list", help="list catalog entries with their key specs and prices"
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-lived evaluation service (see docs/service.md)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, help="bind port (default: 8765; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--parallel",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help="sweep evaluation mode (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None, help="sweep process-pool size (default: cpu count)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, help="result cache directory (default: ~/.cache/repro)"
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true", help="recompute even if a cached result exists"
+    )
+    serve_parser.add_argument(
+        "--target-cache",
+        type=int,
+        default=256,
+        help="compiled-target LRU entries (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.0,
+        help=(
+            "seconds the first of a batch of same-spec requests waits for"
+            " more to join its vectorized evaluation (default: 0)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        help="in-flight request limit before answering 429 (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--job-workers", type=int, default=2, help="async job threads (default: 2)"
+    )
+    serve_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=32,
+        help="queued+running async job limit before answering 429 (default: 32)",
+    )
+    serve_parser.add_argument(
+        "--sync-limit",
+        type=int,
+        default=64,
+        help=(
+            "grid-point budget a sweep/plan may cost synchronously; larger"
+            " requests become 202 jobs (default: 64)"
+        ),
+    )
+
+    client_parser = subparsers.add_parser(
+        "client", help="talk to a running evaluation service"
+    )
+    # Shared by every client subcommand (so '--url' may follow the
+    # subcommand, where people naturally type it).
+    client_common = argparse.ArgumentParser(add_help=False)
+    client_common.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "service base URL (default: $REPRO_SERVICE_URL or"
+            " http://127.0.0.1:8765)"
+        ),
+    )
+    client_common.add_argument(
+        "--timeout", type=float, default=60.0, help="request timeout seconds"
+    )
+    client_sub = client_parser.add_subparsers(dest="client_command", required=True)
+    client_sub.add_parser("health", help="GET /healthz", parents=[client_common])
+    client_sub.add_parser("specs", help="GET /v1/specs", parents=[client_common])
+    client_sub.add_parser("hardware", help="GET /v1/hardware", parents=[client_common])
+
+    client_evaluate = client_sub.add_parser(
+        "evaluate",
+        help="POST /v1/evaluate: one spec's speedup curve",
+        parents=[client_common],
+    )
+    client_evaluate.add_argument(
+        "spec", help="a builtin scenario name or a local JSON file (sent inline)"
+    )
+    client_evaluate.add_argument("--workers", metavar="GRID", default=None)
+    client_evaluate.add_argument(
+        "--backend", choices=("analytic", "simulated", "calibrated"), default=None
+    )
+
+    client_sweep = client_sub.add_parser(
+        "sweep",
+        help="POST /v1/sweep: a whole sweep grid (may run as a job)",
+        parents=[client_common],
+    )
+    client_sweep.add_argument(
+        "spec", help="a builtin scenario name or a local JSON file (sent inline)"
+    )
+    client_sweep.add_argument("--workers", metavar="GRID", default=None)
+    client_sweep.add_argument(
+        "--backend", choices=("analytic", "simulated", "calibrated"), default=None
+    )
+    client_sweep.add_argument("--mode", choices=("auto", "sync", "async"), default=None)
+    client_sweep.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the 202 job handle instead of polling until done",
+    )
+
+    client_plan = client_sub.add_parser(
+        "plan",
+        help="POST /v1/plan: optimise a capacity plan (may run as a job)",
+        parents=[client_common],
+    )
+    client_plan.add_argument(
+        "spec", help="a builtin plan name or a local JSON file (sent inline)"
+    )
+    client_plan.add_argument(
+        "--backend", choices=("analytic", "simulated", "calibrated"), default=None
+    )
+    client_plan.add_argument("--mode", choices=("auto", "sync", "async"), default=None)
+    client_plan.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the 202 job handle instead of polling until done",
+    )
+
+    client_calibrate = client_sub.add_parser(
+        "calibrate",
+        help="POST /v1/calibrate: measure, fit, rank feature families",
+        parents=[client_common],
+    )
+    client_calibrate.add_argument(
+        "spec", help="a builtin scenario name or a local JSON file (sent inline)"
+    )
+    client_calibrate.add_argument("--workers", metavar="GRID", default=None)
+    client_calibrate.add_argument(
+        "--source", choices=("analytic", "simulated"), default=None
+    )
+    client_calibrate.add_argument(
+        "--features", metavar="NAME[,NAME...]", default=None
+    )
+
+    client_job = client_sub.add_parser(
+        "job", help="GET /v1/jobs/<id>: poll a job", parents=[client_common]
+    )
+    client_job.add_argument("job_id", help="the job id a 202 answer returned")
+    client_job.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
     return parser
 
 
@@ -379,6 +542,66 @@ def _run_plan_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_command(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        runner_mode=args.parallel,
+        runner_jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        target_cache_size=args.target_cache,
+        coalesce_window_s=args.coalesce_window,
+        max_concurrency=args.max_concurrency,
+        job_workers=args.job_workers,
+        max_jobs=args.max_jobs,
+        sync_grid_limit=args.sync_limit,
+    )
+
+
+def _run_client_command(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service import ServiceClient, canonical_json
+
+    url = args.url or os.environ.get("REPRO_SERVICE_URL") or "http://127.0.0.1:8765"
+    client = ServiceClient(url, timeout_s=args.timeout)
+    command = args.client_command
+    if command == "health":
+        answer = client.health()
+    elif command == "specs":
+        answer = client.specs()
+    elif command == "hardware":
+        answer = client.hardware()
+    elif command == "evaluate":
+        answer = client.evaluate(args.spec, workers=args.workers, backend=args.backend)
+    elif command == "sweep":
+        answer = client.sweep(
+            args.spec,
+            workers=args.workers,
+            backend=args.backend,
+            mode=args.mode,
+            wait=not args.no_wait,
+        )
+    elif command == "plan":
+        answer = client.plan(
+            args.spec, backend=args.backend, mode=args.mode, wait=not args.no_wait
+        )
+    elif command == "calibrate":
+        features = None
+        if args.features:
+            features = [name.strip() for name in args.features.split(",") if name.strip()]
+        answer = client.calibrate(
+            args.spec, workers=args.workers, source=args.source, features=features
+        )
+    else:  # job
+        answer = client.wait_job(args.job_id) if args.wait else client.job(args.job_id)
+    print(canonical_json(answer), end="")
+    return 0
+
+
 def _run_hardware_command(args: argparse.Namespace) -> int:
     from repro.hardware import catalog_rows
 
@@ -420,6 +643,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_plan_command(args)
         if args.command == "hardware":
             return _run_hardware_command(args)
+        if args.command == "serve":
+            return _run_serve_command(args)
+        if args.command == "client":
+            return _run_client_command(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

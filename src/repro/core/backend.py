@@ -115,6 +115,48 @@ class EvaluationBackend(ABC):
             label=label or target.label,
         )
 
+    def curves(
+        self,
+        target: EvaluationTarget,
+        requests: Iterable[tuple[Iterable[int], int]],
+        label: str = "",
+    ) -> list[SpeedupCurve]:
+        """Answer several ``(workers, baseline_workers)`` queries at once.
+
+        The coalescing primitive behind the evaluation service: all
+        requested grids (and their baselines) merge into one sorted union
+        grid, the target is evaluated *once*, and each request's curve is
+        sliced out of the union.  Sound whenever a grid point's time
+        depends only on its own worker count — true for the analytic
+        backend (element-wise cost trees) and the simulated backend
+        (per-``n`` engines with per-``n`` derived seeds), so the sliced
+        curves are bit-identical to individually evaluated ones.  The
+        calibrated backend overrides this: its fit couples every point of
+        a grid, so its queries must not share evaluations.
+        """
+        queries = [(_as_grid(grid), int(baseline)) for grid, baseline in requests]
+        if not queries:
+            return []
+        union: set[int] = set()
+        for grid, baseline in queries:
+            union.update(grid)
+            union.add(baseline)
+        union_grid = tuple(sorted(union))
+        times = {
+            n: float(t)
+            for n, t in zip(union_grid, self.evaluate(target, union_grid))
+        }
+        return [
+            SpeedupCurve(
+                workers=grid,
+                times=tuple(times[n] for n in grid),
+                baseline_time=times[baseline],
+                baseline_workers=baseline,
+                label=label or target.label,
+            )
+            for grid, baseline in queries
+        ]
+
 
 class AnalyticBackend(EvaluationBackend):
     """The closed-form path: one batched cost-tree evaluation per grid."""
@@ -203,6 +245,19 @@ class CalibratedBackend(EvaluationBackend):
             baseline_workers=baseline_workers,
             label=label or target.label,
         )
+
+    def curves(
+        self,
+        target: EvaluationTarget,
+        requests: Iterable[tuple[Iterable[int], int]],
+        label: str = "",
+    ) -> list[SpeedupCurve]:
+        """Each query fits on its own grid — union evaluation would let
+        one request's worker counts change another's fitted family."""
+        return [
+            self.curve(target, grid, baseline, label=label)
+            for grid, baseline in requests
+        ]
 
     def config(self) -> dict:
         return {

@@ -54,8 +54,13 @@ class ResultCache:
         """Store ``payload`` under ``key`` (atomic rename)."""
         path = self.path_for(key)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # The temp suffix must NOT be ".json": clear() deletes "*.json",
+        # and pathlib's glob matches dotfiles, so a ".tmp-*.json" name
+        # would let a concurrent clear() unlink an in-flight write and
+        # crash this writer's os.replace (found by the cache hammer in
+        # tests/test_cache_concurrency.py).
         handle, temp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
+            dir=self.directory, prefix=".tmp-", suffix=".part"
         )
         try:
             with os.fdopen(handle, "w") as stream:

@@ -511,6 +511,17 @@ def _bsp_simulation_issue(params: Mapping[str, object]) -> str | None:
             f"topology {topology!r} has no transfer-level schedule;"
             f" simulatable topologies: {', '.join(_BSP_SIMULATABLE)}"
         )
+    payload = params.get("payload_bits", 0.0)
+    if topology != "none" and isinstance(payload, (int, float)) and float(payload) == 0:
+        # The engine's superstep plan expresses a collective as payload
+        # movement; a zero-payload synchronisation round (which the
+        # closed forms still charge per-round latency for) has no
+        # transfer-level realisation.  Found by the differential
+        # harness: tests/golden/differential/bsp-zero-payload.json.
+        return (
+            "a zero-payload collective has no transfer-level schedule;"
+            " declare topology 'none' or a positive payload_bits"
+        )
     options = params.get("topology_options", {})
     if isinstance(options, Mapping):
         if topology == "two-wave" and int(options.get("waves", 2)) != 2:

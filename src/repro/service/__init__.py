@@ -1,0 +1,50 @@
+"""The evaluation service: scenarios and plans served over HTTP.
+
+PRs 1–4 built the evaluation stack — spec → compile → backend → sweep →
+plan — but reached it only through one-shot CLI invocations that
+re-import, re-validate and re-compile on every call.  This package is
+the long-lived serving layer the ROADMAP's "heavy traffic" north star
+asks for: a stdlib :class:`ThreadingHTTPServer` daemon whose hot path
+amortises parsing (request LRU), compilation (compiled-target LRU) and
+evaluation (union-grid request coalescing), with bounded-queue async
+jobs for sweeps and plans that exceed the synchronous budget and
+backpressure (429 + ``Retry-After``) past the concurrency limit.
+
+Start one with ``repro-experiments serve``; talk to it with
+``repro-experiments client`` or :class:`ServiceClient`.  The wire
+format is versioned and byte-stable (:mod:`repro.service.wire`), pinned
+by golden files under ``tests/golden/service/``.  See
+``docs/service.md``.
+"""
+
+from repro.service.app import ServiceServer, create_server, serve
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.handlers import Coalescer, EvaluationService, LRUCache, Outcome
+from repro.service.jobs import (
+    Job,
+    JobStore,
+    ServiceError,
+    ServiceNotFound,
+    ServiceOverloaded,
+)
+from repro.service.wire import WIRE_VERSION, canonical_json, golden_bytes
+
+__all__ = [
+    "Coalescer",
+    "EvaluationService",
+    "Job",
+    "JobStore",
+    "LRUCache",
+    "Outcome",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceNotFound",
+    "ServiceOverloaded",
+    "ServiceServer",
+    "WIRE_VERSION",
+    "canonical_json",
+    "create_server",
+    "golden_bytes",
+    "serve",
+]

@@ -1,0 +1,249 @@
+"""A stdlib client for the evaluation service.
+
+:class:`ServiceClient` speaks the wire format of :mod:`repro.service`
+over ``urllib`` — no dependencies, usable from scripts, tests and the
+``repro-experiments client`` subcommand alike.
+
+Two conveniences worth knowing:
+
+* **Client-side file resolution.**  The *server* refuses filesystem
+  paths (a serving layer must not read paths on behalf of callers), so
+  :meth:`ServiceClient.resolve` loads local files / builtin names here
+  and ships the spec inline.  ``client evaluate my-spec.json`` works,
+  but it is this process that reads the file.
+* **Job polling.**  ``sweep``/``plan`` answers may be ``202`` job
+  handles; with ``wait=True`` (the default) the client polls
+  ``/v1/jobs/<id>`` until the job lands and returns the finished result
+  envelope, so callers see one blocking call either way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Mapping, Sequence
+
+from repro.service import wire
+from repro.service.jobs import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """An error answer from the service, with its code and HTTP status."""
+
+    def __init__(self, message: str, status: int = 0, code: str = "") -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class ServiceClient:
+    """Typed access to every service endpoint."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ServiceError(
+                f"base_url must be an http(s) URL, got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                payload = wire.decode(response.read())
+                payload.setdefault("meta", {})
+                payload["meta"]["http_status"] = response.status
+                return payload
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                envelope = wire.decode(raw)
+                detail = envelope.get("error", {})
+                raise ServiceClientError(
+                    str(detail.get("message", raw[:200])),
+                    status=error.code,
+                    code=str(detail.get("code", "")),
+                ) from None
+            except ValueError:
+                raise ServiceClientError(
+                    f"HTTP {error.code}: {raw[:200]!r}", status=error.code
+                ) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                f"cannot reach {url}: {error.reason}"
+            ) from None
+
+    @staticmethod
+    def resolve(ref: str | Mapping) -> str | dict:
+        """Client-side resolution of a scenario reference.
+
+        Builtin names pass through (the server resolves them); anything
+        path-like is loaded *here* and sent inline.
+        """
+        if isinstance(ref, Mapping):
+            return dict(ref)
+        text = str(ref)
+        if text.endswith(".json") or "/" in text or "\\" in text:
+            from repro.scenarios import load_scenario
+
+            return load_scenario(text).to_dict()
+        return text
+
+    @staticmethod
+    def resolve_plan(ref: str | Mapping) -> str | dict:
+        """Client-side resolution of a plan reference (see :meth:`resolve`)."""
+        if isinstance(ref, Mapping):
+            return dict(ref)
+        text = str(ref)
+        if text.endswith(".json") or "/" in text or "\\" in text:
+            from repro.planner.spec import load_plan
+
+            return load_plan(text).to_dict()
+        return text
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def specs(self) -> dict:
+        return self._request("GET", "/v1/specs")
+
+    def hardware(self) -> dict:
+        return self._request("GET", "/v1/hardware")
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def evaluate(
+        self,
+        scenario: str | Mapping,
+        workers: str | Sequence[int] | None = None,
+        backend: str | Mapping | None = None,
+    ) -> dict:
+        body: dict = {"scenario": self.resolve(scenario)}
+        if workers is not None:
+            body["workers"] = list(workers) if not isinstance(workers, str) else workers
+        if backend is not None:
+            body["backend"] = backend
+        return self._request("POST", "/v1/evaluate", body)
+
+    def sweep(
+        self,
+        scenario: str | Mapping,
+        workers: str | Sequence[int] | None = None,
+        backend: str | Mapping | None = None,
+        mode: str | None = None,
+        wait: bool = True,
+        poll_interval_s: float = 0.05,
+        timeout_s: float | None = None,
+    ) -> dict:
+        body: dict = {"scenario": self.resolve(scenario)}
+        if workers is not None:
+            body["workers"] = list(workers) if not isinstance(workers, str) else workers
+        if backend is not None:
+            body["backend"] = backend
+        if mode is not None:
+            body["mode"] = mode
+        answer = self._request("POST", "/v1/sweep", body)
+        return self._maybe_wait(answer, wait, poll_interval_s, timeout_s)
+
+    def plan(
+        self,
+        plan: str | Mapping,
+        backend: str | None = None,
+        mode: str | None = None,
+        wait: bool = True,
+        poll_interval_s: float = 0.05,
+        timeout_s: float | None = None,
+    ) -> dict:
+        body: dict = {"plan": self.resolve_plan(plan)}
+        if backend is not None:
+            body["backend"] = backend
+        if mode is not None:
+            body["mode"] = mode
+        answer = self._request("POST", "/v1/plan", body)
+        return self._maybe_wait(answer, wait, poll_interval_s, timeout_s)
+
+    def calibrate(
+        self,
+        scenario: str | Mapping,
+        workers: str | Sequence[int] | None = None,
+        source: str | None = None,
+        features: Sequence[str] | None = None,
+    ) -> dict:
+        body: dict = {"scenario": self.resolve(scenario)}
+        if workers is not None:
+            body["workers"] = list(workers) if not isinstance(workers, str) else workers
+        if source is not None:
+            body["source"] = source
+        if features is not None:
+            body["features"] = list(features)
+        return self._request("POST", "/v1/calibrate", body)
+
+    # -- job plumbing ------------------------------------------------------
+
+    def wait_job(
+        self,
+        job_id: str,
+        poll_interval_s: float = 0.05,
+        timeout_s: float | None = None,
+    ) -> dict:
+        """Poll a job until done; returns its final envelope.
+
+        A failed job raises :class:`ServiceClientError` carrying the
+        job's recorded error.  A ``429`` on the *poll* is not failure —
+        the server accepted the job and is merely shedding load — so
+        polling backs off and retries instead of abandoning the job.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            try:
+                answer = self.job(job_id)
+            except ServiceClientError as error:
+                if error.status != 429:
+                    raise
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ServiceClientError(
+                        f"job {job_id} unpollable for {timeout_s}s (server overloaded)"
+                    ) from None
+                time.sleep(max(poll_interval_s, 0.5))
+                continue
+            status = answer["result"].get("status")
+            if status == "done":
+                return answer
+            if status == "failed":
+                raise ServiceClientError(
+                    f"job {job_id} failed: {answer['result'].get('error', '')}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still {status} after {timeout_s}s"
+                )
+            time.sleep(poll_interval_s)
+
+    def _maybe_wait(self, answer, wait, poll_interval_s, timeout_s) -> dict:
+        accepted = answer.get("meta", {}).get("http_status") == 202
+        if not accepted or not wait:
+            return answer
+        job_id = answer["result"]["job"]
+        final = self.wait_job(job_id, poll_interval_s, timeout_s)
+        # Unwrap so callers see the same shape sync answers have — the
+        # original endpoint's kind, not "job".
+        return {
+            "wire": final["wire"],
+            "kind": answer["kind"],
+            "result": final["result"]["result"],
+            "meta": {**final.get("meta", {}), "job": job_id},
+        }

@@ -1,0 +1,205 @@
+"""Async job handles for work that exceeds the synchronous budget.
+
+Sweeps and plans can expand to thousands of grid points or drive the
+discrete-event simulator; holding an HTTP connection open for minutes is
+the wrong shape for that.  The service instead answers ``202 Accepted``
+with a job id, runs the work on a small bounded thread pool, and serves
+the result from ``GET /v1/jobs/<id>`` when it lands.
+
+The store is deliberately bounded in both directions:
+
+* **Admission** — at most ``max_jobs`` jobs may be queued or running;
+  past that, :meth:`JobStore.submit` raises :class:`ServiceOverloaded`,
+  which the app layer turns into ``429`` + ``Retry-After``.  Shedding
+  load at admission keeps the accepted jobs' latency predictable instead
+  of letting an unbounded queue grow.
+* **History** — finished jobs are kept for ``history`` entries so
+  clients can fetch results, then evicted oldest-first.  A serving
+  process must not grow without bound because clients forget to collect.
+
+Job ids are sequential (``j000001``, ...) — deterministic within a
+server lifetime, which keeps the job endpoints golden-testable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A request the service rejects (bad input, unknown resource)."""
+
+
+class ServiceNotFound(ServiceError):
+    """An unknown route or job id (HTTP 404)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Backpressure: the service is at capacity; retry after a delay."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+#: The job lifecycle; a job only ever moves rightward.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One asynchronous unit of work and its (eventual) outcome."""
+
+    id: str
+    kind: str
+    status: str = "queued"
+    result: dict | None = None
+    error: str = ""
+    submitted_monotonic: float = field(default_factory=time.monotonic)
+    started_monotonic: float | None = None
+    finished_monotonic: float | None = None
+
+    def payload(self) -> dict:
+        """The deterministic part of the job's wire form.
+
+        ``status`` is read exactly once: a concurrent worker may flip it
+        mid-call, and a payload mixing the old status with the new
+        outcome fields would be self-contradictory.  Workers write
+        ``result``/``error`` *before* ``status`` (see
+        :meth:`JobStore._run`), so whatever status this snapshot sees,
+        its outcome fields are already in place.
+        """
+        status = self.status
+        body: dict = {"job": self.id, "kind": self.kind, "status": status}
+        if status == "done":
+            body["result"] = self.result
+        elif status == "failed":
+            body["error"] = self.error
+        return body
+
+    def timings(self) -> dict:
+        """Volatile wall-clock facts (wire ``meta``, never golden)."""
+        now = time.monotonic()
+        queued_s = (self.started_monotonic or now) - self.submitted_monotonic
+        timings: dict = {"queued_s": queued_s}
+        if self.started_monotonic is not None:
+            timings["ran_s"] = (self.finished_monotonic or now) - self.started_monotonic
+        return timings
+
+
+class JobStore:
+    """A bounded thread-pool executor with queryable job handles."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_jobs: int = 32,
+        history: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"job workers must be >= 1, got {workers}")
+        if max_jobs < 1:
+            raise ServiceError(f"max_jobs must be >= 1, got {max_jobs}")
+        if history < max_jobs:
+            # Finished jobs must survive at least as long as the active
+            # window, or a result could be evicted before its 202 client
+            # ever polls.
+            raise ServiceError(
+                f"history ({history}) must be >= max_jobs ({max_jobs})"
+            )
+        self.max_jobs = max_jobs
+        self.history = history
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._active = 0
+        self._counter = 0
+        self._completed = 0
+        self._failed = 0
+
+    def submit(self, kind: str, work: Callable[[], dict]) -> Job:
+        """Admit ``work`` or raise :class:`ServiceOverloaded` at capacity."""
+        with self._lock:
+            if self._active >= self.max_jobs:
+                raise ServiceOverloaded(
+                    f"job queue is full ({self._active} of {self.max_jobs}"
+                    " jobs in flight); retry shortly",
+                    retry_after_s=1.0,
+                )
+            self._counter += 1
+            job = Job(id=f"j{self._counter:06d}", kind=kind)
+            self._jobs[job.id] = job
+            self._active += 1
+            self._evict_locked()
+        self._pool.submit(self._run, job, work)
+        return job
+
+    def _run(self, job: Job, work: Callable[[], dict]) -> None:
+        with self._lock:
+            job.status = "running"
+            job.started_monotonic = time.monotonic()
+        # Outcome fields are written BEFORE the status flips: readers
+        # (Job.payload) snapshot the status lock-free, so the status
+        # must be the last thing that changes.
+        try:
+            result = work()
+        except Exception as error:  # noqa: BLE001 - job failures are data
+            with self._lock:
+                job.error = f"{type(error).__name__}: {error}"
+                job.finished_monotonic = time.monotonic()
+                job.status = "failed"
+                self._active -= 1
+                self._failed += 1
+        else:
+            with self._lock:
+                job.result = result
+                job.finished_monotonic = time.monotonic()
+                job.status = "done"
+                self._active -= 1
+                self._completed += 1
+
+    def _evict_locked(self) -> None:
+        """Drop the oldest *finished* jobs past the history bound."""
+        while len(self._jobs) > self.history:
+            for job_id, job in self._jobs.items():
+                if job.status in ("done", "failed"):
+                    del self._jobs[job_id]
+                    break
+            else:
+                return  # everything retained is still in flight
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def stats(self) -> dict:
+        with self._lock:
+            queued = sum(1 for job in self._jobs.values() if job.status == "queued")
+            running = sum(1 for job in self._jobs.values() if job.status == "running")
+            return {
+                "queued": queued,
+                "running": running,
+                "completed": self._completed,
+                "failed": self._failed,
+                "capacity": self.max_jobs,
+                "retained": len(self._jobs),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; an impatient shutdown also drops queued jobs.
+
+        Without ``cancel_futures`` a Ctrl-C'd server would still run
+        every queued sweep to completion at interpreter exit (executor
+        threads are joined by the atexit hook), turning shutdown into
+        minutes of invisible work.
+        """
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)

@@ -1,0 +1,121 @@
+"""The service wire format: versioned, canonical, byte-stable JSON.
+
+Every response body the evaluation service emits is built here, so the
+format is a contract rather than an accident of ``json.dumps`` call
+sites.  Three properties make it a contract:
+
+* **Versioned** — every body carries ``"wire": WIRE_VERSION``; the
+  version bumps on incompatible layout changes, exactly like
+  ``ENGINE_VERSION`` guards the result cache.
+* **Canonical** — keys are sorted and the encoder is pinned (2-space
+  indent, trailing newline), so semantically equal payloads are
+  byte-equal and the golden files under ``tests/golden/service/`` can
+  compare raw bytes.
+* **Pinned floats** — every float is round-tripped through 12
+  significant digits before encoding.  Model outputs are IEEE doubles
+  computed by numpy; their last few ulps are not part of the contract,
+  and pinning them keeps golden bytes stable across numpy versions and
+  platforms.
+
+Responses are envelopes: ``{"wire", "kind", "result", "meta"}`` on
+success, ``{"wire", "error": {"code", "message"}}`` on failure.
+``result`` is deterministic for a given request (and is what golden
+tests pin); ``meta`` carries the volatile how-it-ran facts (timings,
+cache hits, coalescing) and is excluded from golden comparison.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Bumped on incompatible changes to the response envelope or to any
+#: endpoint's ``result`` layout.
+WIRE_VERSION = 1
+
+#: Significant digits a served float keeps (see module docstring).
+FLOAT_DIGITS = 12
+
+#: Error codes the service can answer with, mapped to HTTP statuses by
+#: the app layer.  Stable identifiers — clients branch on these, not on
+#: message text.
+ERROR_CODES = (
+    "bad-request",      # malformed body, unknown field, invalid spec
+    "not-found",        # unknown route or job id
+    "method-not-allowed",
+    "overloaded",       # backpressure: retry after the advertised delay
+    "internal",         # unexpected server-side failure
+)
+
+
+def pin_floats(value: object, digits: int = FLOAT_DIGITS) -> object:
+    """A copy of ``value`` with every float pinned to ``digits`` digits.
+
+    Walks mappings and sequences recursively; ints and bools pass
+    through untouched (``bool`` is an ``int`` subclass — check it
+    first).  Non-finite floats survive as-is so an accidental NaN fails
+    loudly at encode time instead of being silently rewritten.
+    """
+    if isinstance(value, bool) or isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        pinned = float(format(value, f".{digits}g"))
+        return pinned
+    if isinstance(value, dict):
+        return {key: pin_floats(inner, digits) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [pin_floats(inner, digits) for inner in value]
+    return value
+
+
+def canonical_json(payload: dict) -> str:
+    """The pinned, sorted, indented encoding every response body uses.
+
+    ``allow_nan=False``: the wire speaks strict JSON — a NaN or infinity
+    reaching the encoder is a server bug, not something to smuggle to
+    clients as the ``NaN`` literal only python accepts.
+    """
+    return (
+        json.dumps(pin_floats(payload), sort_keys=True, indent=2, allow_nan=False)
+        + "\n"
+    )
+
+
+def encode(payload: dict) -> bytes:
+    """Canonical UTF-8 bytes of ``payload`` (the HTTP body)."""
+    return canonical_json(payload).encode("utf-8")
+
+
+def envelope(kind: str, result: object, meta: dict | None = None) -> dict:
+    """A success envelope for one endpoint's deterministic ``result``."""
+    body: dict = {"wire": WIRE_VERSION, "kind": kind, "result": result}
+    if meta is not None:
+        body["meta"] = meta
+    return body
+
+
+def error_envelope(code: str, message: str) -> dict:
+    """A failure envelope; ``code`` must be a registered error code."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown wire error code {code!r}")
+    return {"wire": WIRE_VERSION, "error": {"code": code, "message": message}}
+
+
+def golden_bytes(body: dict) -> bytes:
+    """The golden-comparable bytes of a decoded response body.
+
+    Drops ``meta`` (volatile by design) and re-encodes canonically, so a
+    golden test pins exactly the deterministic part of the contract.
+    """
+    stable = {key: value for key, value in body.items() if key != "meta"}
+    return encode(stable)
+
+
+def decode(body: bytes) -> dict:
+    """Parse a response body, checking the wire version."""
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict) or payload.get("wire") != WIRE_VERSION:
+        raise ValueError(
+            f"response does not speak wire version {WIRE_VERSION}:"
+            f" {body[:120]!r}"
+        )
+    return payload

@@ -418,3 +418,49 @@ class TestCompileScenarioStillWorks:
         spec = parse_scenario(minimal_spec(backend={"kind": "simulated"}))
         model = compile_scenario(spec)
         assert model.time(1) > model.time(4)
+
+
+class TestCurvesBatch:
+    """The union-grid coalescing primitive behind the service hot path."""
+
+    REQUESTS = (((1, 2, 4, 8), 1), ((2, 4), 2), ((1, 8, 13), 1))
+
+    def _target(self, backend_block):
+        spec = parse_scenario(
+            minimal_spec(workers={"min": 1, "max": 13}, backend=backend_block)
+        )
+        return compile_point(spec)
+
+    @pytest.mark.parametrize(
+        "backend_block",
+        (
+            {"kind": "analytic"},
+            {"kind": "simulated", "simulation": {"iterations": 2, "seed": 3}},
+        ),
+        ids=("analytic", "simulated"),
+    )
+    def test_sliced_curves_are_bit_identical_to_solo(self, backend_block):
+        target, backend = self._target(backend_block)
+        batched = backend.curves(target, self.REQUESTS)
+        for (grid, baseline), curve in zip(self.REQUESTS, batched):
+            solo = backend.curve(target, grid, baseline)
+            assert curve.times == solo.times  # exact, not approx
+            assert curve.baseline_time == solo.baseline_time
+            assert curve.workers == tuple(grid)
+            assert curve.baseline_workers == baseline
+
+    def test_calibrated_backend_fits_each_grid_separately(self):
+        # A calibrated fit couples every point of its grid, so curves()
+        # must not share a union evaluation across requests.
+        target, backend = self._target(
+            {"kind": "calibrated", "calibration": {"features": "amdahl"}}
+        )
+        requests = (((1, 2, 4, 8), 1), ((1, 4, 8, 13), 1))
+        batched = backend.curves(target, requests)
+        for (grid, baseline), curve in zip(requests, batched):
+            solo = backend.curve(target, grid, baseline)
+            assert curve.times == solo.times
+
+    def test_empty_request_list_is_empty(self):
+        target, backend = self._target({"kind": "analytic"})
+        assert backend.curves(target, []) == []

@@ -1,0 +1,138 @@
+"""Concurrency hammer for the on-disk result cache.
+
+The sweep runner, the capacity planner and now the evaluation service
+all write to the same content-addressed cache — from multiple threads
+inside one server process and from multiple processes across CLI
+invocations.  The contract under fire:
+
+* a reader sees either *no* entry or a *complete* entry, never a torn
+  write (``put`` stages to a temp file and ``os.replace``s it in);
+* concurrent writers of the same key are idempotent (same content hash
+  ⇒ same payload, so last-writer-wins is indistinguishable);
+* ``clear()`` racing in-flight ``put``s must not crash the writers —
+  which it did before ``put`` staged its temp files with a ``.part``
+  suffix: pathlib's ``*.json`` glob matches dotfiles, so ``clear()``
+  could unlink a ``.tmp-*.json`` staging file between write and rename
+  and the writer's ``os.replace`` would die with ``FileNotFoundError``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.scenarios.cache import ResultCache
+
+#: A payload large enough that a torn write would be observable.
+PAYLOAD = {
+    "content_hash": "k" * 64,
+    "points": [
+        {"workers": list(range(1, 65)), "times_s": [1.0 / n for n in range(1, 65)]}
+        for _ in range(20)
+    ],
+}
+
+KEY = "a" * 64
+
+
+def _hammer_put(directory: str, rounds: int) -> int:
+    cache = ResultCache(directory)
+    for _ in range(rounds):
+        cache.put(KEY, PAYLOAD)
+    return rounds
+
+
+def _hammer_get(directory: str, rounds: int) -> int:
+    """Reads must observe None or the complete payload, never a fragment."""
+    cache = ResultCache(directory)
+    complete = 0
+    for _ in range(rounds):
+        payload = cache.get(KEY)
+        if payload is not None:
+            assert payload == PAYLOAD, "torn or partial cache entry observed"
+            complete += 1
+    return complete
+
+
+class TestThreadHammer:
+    def test_concurrent_writers_and_readers_same_key(self, tmp_path):
+        errors: list[BaseException] = []
+
+        def run(target, *args):
+            try:
+                target(*args)
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(_hammer_put, str(tmp_path), 60))
+            for _ in range(4)
+        ] + [
+            threading.Thread(target=run, args=(_hammer_get, str(tmp_path), 200))
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert ResultCache(tmp_path).get(KEY) == PAYLOAD
+
+    def test_clear_racing_writers_does_not_crash_them(self, tmp_path):
+        """The regression this file exists for (see module docstring)."""
+        cache = ResultCache(tmp_path)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def clear_loop():
+            while not stop.is_set():
+                cache.clear()
+
+        def put_loop():
+            try:
+                for _ in range(150):
+                    cache.put(KEY, PAYLOAD)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        clearer = threading.Thread(target=clear_loop)
+        writers = [threading.Thread(target=put_loop) for _ in range(3)]
+        clearer.start()
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join()
+        stop.set()
+        clearer.join()
+        assert not errors, f"clear() unlinked an in-flight write: {errors}"
+
+    def test_staging_files_survive_clear(self, tmp_path):
+        """The naming contract behind the fix, pinned directly.
+
+        pathlib's ``*.json`` glob matches dotfiles, so staging files must
+        not end in ``.json`` or ``clear()`` would delete them mid-write.
+        """
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        staging = tmp_path / ".tmp-in-flight.part"
+        staging.write_text(json.dumps(PAYLOAD))
+        removed = cache.clear()
+        assert removed == 1  # the real entry, nothing else
+        assert staging.exists()
+        assert cache.get(KEY) is None
+
+
+@pytest.mark.slow
+class TestProcessHammer:
+    def test_cross_process_writers_and_readers(self, tmp_path):
+        directory = str(tmp_path)
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_hammer_put, directory, 25) for _ in range(2)
+            ] + [pool.submit(_hammer_get, directory, 120) for _ in range(2)]
+            for future in futures:
+                future.result(timeout=120)  # raises on torn reads
+        assert ResultCache(directory).get(KEY) == PAYLOAD

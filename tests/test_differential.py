@@ -1,0 +1,248 @@
+"""Cross-backend differential harness over *generated* scenario specs.
+
+The agreement properties in ``test_prop_backend_agreement.py`` pin the
+paper's hand-picked workloads; this harness generalises them to
+adversarially generated specs (see ``tests/strategies.py``) across every
+algorithm kind, topology and backend block:
+
+* **exact** workloads (``workload.exact``) must match the analytic model
+  to machine precision under zero noise — for *any* legal parameters;
+* **inexact** workloads deviate only through their discrete-rounds vs
+  smooth-``log2`` collectives, so the deviation is bounded by the
+  communication term itself (one extra round at worst, overlap at
+  best), and within the documented 35 % band on the paper's regime
+  (``n >= 2``, communication a minority of the point's cost);
+* scalar ``time(n)`` must equal batched ``times(grid)`` on every spec;
+* serial and process-pool sweeps must be byte-identical.
+
+Seeds are pinned (``derandomize=True``), so CI replays the same ≥200
+specs every run.  Minimized counterexamples found while building the
+harness live in ``tests/golden/differential/`` and are replayed here as
+regressions — see ``test_golden_regressions``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    SweepRunner,
+    algorithm_kinds,
+    compile_point,
+    compile_scenario,
+    parse_scenario,
+)
+from repro.scenarios.compile import TOPOLOGIES
+from tests.strategies import (
+    ALL_KINDS,
+    ALL_TOPOLOGIES,
+    noisy_simulation,
+    scenario_documents,
+    simulatable_documents,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "differential"
+
+#: The documented model-vs-simulation band for inexact workloads.
+INEXACT_BAND = 0.35
+
+#: Communication may claim at most this fraction of a point's time for
+#: the 35 % band to be asserted — the paper's workloads are compute-
+#: dominated; a comm-dominated point turns the discrete-round mismatch
+#: into an unbounded *relative* error by construction.
+BAND_COMM_FRACTION = 0.25
+
+
+def _comm_times(model, grid) -> np.ndarray:
+    """The communication-classified seconds at each grid point."""
+    components = model.decompose(np.asarray(grid, dtype=float))
+    total = sum(components.values())
+    computation = components.get("computation", np.zeros_like(total))
+    return np.asarray(total - computation, dtype=float)
+
+
+def assert_backend_agreement(document: dict) -> None:
+    """The cross-backend agreement contract, for one spec document."""
+    spec = parse_scenario(document)
+    grid = spec.workers
+    target, backend = compile_point(spec)
+    workload = target.workload
+    assert workload is not None
+    analytic = target.model.times(np.asarray(grid, dtype=float))
+    simulated = backend.evaluate(target, grid)
+    assert np.all(np.isfinite(simulated)) and np.all(simulated > 0)
+
+    if workload.exact:
+        np.testing.assert_allclose(simulated, analytic, rtol=1e-9)
+        return
+
+    # Inexact workloads: the only modelled discrepancy is the discrete
+    # transfer schedule vs the smooth closed form, so the deviation is
+    # bounded by the communication term — plus a latency allowance: the
+    # discrete schedule pays per-*transfer* latency where the smooth
+    # form pays per-*round* (found by this harness; the regression case
+    # lives in tests/golden/differential/).  At n = 1 the smooth forms
+    # can collapse to ~zero communication while the discrete schedule
+    # still spends a round, so the n = 1 slack is measured in units of
+    # the two-worker communication term (>= one full round).
+    from repro.scenarios.compile import resolve_hardware
+
+    latency = resolve_hardware(spec).latency_s
+    iterations = workload.model_iterations
+    comm = _comm_times(target.model, grid)
+    comm_at_2 = float(_comm_times(target.model, [2])[0])
+    deviation = np.abs(simulated - analytic)
+    for n, dev, comm_n, total_n in zip(grid, deviation, comm, analytic):
+        # <= 4n transfers per superstep (broadcast + aggregate, each at
+        # most ~2n edges for any realised collective), each paying the
+        # link latency the paper's GD closed forms omit.
+        latency_slack = 4.0 * n * iterations * latency
+        slack = (comm_n + 2.0 * comm_at_2 if n == 1 else comm_n) + latency_slack
+        assert dev <= slack + 1e-9 * total_n, (
+            f"n={n}: |simulated - analytic| = {dev:.6g} exceeds the"
+            f" one-communication-round slack {slack:.6g}"
+            f" (analytic {total_n:.6g})"
+        )
+
+    # The documented band, on the documented regime: from two workers
+    # up, compute-dominated points stay within 35 % — once the
+    # per-transfer latency the closed forms do not model is set aside
+    # (tests/golden/differential/gd-latency-dominated.json).
+    for n, dev, comm_n, total_n in zip(grid, deviation, comm, analytic):
+        if n < 2 or comm_n > BAND_COMM_FRACTION * total_n:
+            continue
+        banded_dev = max(0.0, float(dev) - 4.0 * n * iterations * latency)
+        assert banded_dev / total_n <= INEXACT_BAND
+
+
+def assert_scalar_matches_batched(document: dict) -> None:
+    """``time(n)`` and ``times(grid)`` must be the same numbers."""
+    spec = parse_scenario(document)
+    model = compile_scenario(spec)
+    batched = model.times(np.asarray(spec.workers, dtype=float))
+    for n, batched_time in zip(spec.workers, batched):
+        assert model.time(n) == float(batched_time)
+
+
+def assert_roundtrip(document: dict) -> None:
+    """Canonical form re-parses to the same spec and content hash."""
+    spec = parse_scenario(document)
+    reparsed = parse_scenario(spec.to_dict())
+    assert reparsed == spec
+    assert reparsed.content_hash() == spec.content_hash()
+
+
+class TestScalarMatchesBatched:
+    @settings(derandomize=True, deadline=None, max_examples=80)
+    @given(
+        scenario_documents(
+            kinds=tuple(k for k in ALL_KINDS if k != "belief_propagation")
+        )
+    )
+    def test_closed_form_kinds(self, document):
+        assert_scalar_matches_batched(document)
+
+    @settings(derandomize=True, deadline=None, max_examples=6)
+    @given(scenario_documents(kinds=("belief_propagation",), max_workers=8))
+    def test_monte_carlo_belief_propagation(self, document):
+        # The estimator is stochastic at *compile* time; once built, its
+        # tabulated curve must answer scalar and batched queries alike.
+        assert_scalar_matches_batched(document)
+
+
+class TestAnalyticSimulatedAgreement:
+    @settings(derandomize=True, deadline=None, max_examples=100)
+    @given(simulatable_documents())
+    def test_zero_noise_agreement(self, document):
+        assert_backend_agreement(document)
+
+
+class TestSpecRoundtrip:
+    @settings(derandomize=True, deadline=None, max_examples=40)
+    @given(
+        scenario_documents(
+            kinds=tuple(k for k in ALL_KINDS if k != "belief_propagation"),
+            backends=("analytic", "calibrated"),
+        )
+    )
+    def test_canonical_form_roundtrips(self, document):
+        assert_roundtrip(document)
+
+    @settings(derandomize=True, deadline=None, max_examples=20)
+    @given(simulatable_documents())
+    def test_simulated_backend_specs_roundtrip(self, document):
+        # A simulated backend block is only legal on simulatable
+        # configurations, so it gets its own strategy here.
+        assert_roundtrip(document)
+
+
+@pytest.mark.slow
+class TestSweepPathEquivalence:
+    """Serial and process-pool sweeps must produce identical bytes."""
+
+    @settings(derandomize=True, deadline=None, max_examples=3)
+    @given(
+        simulatable_documents(simulation=noisy_simulation(), max_workers=12),
+        st.sampled_from([[0.0, 0.05], [0.0, 0.1, 0.2]]),
+    )
+    def test_serial_and_process_sweeps_are_byte_identical(self, document, jitter_axis):
+        document = {**document, "sweep": {"jitter_sigma": jitter_axis}}
+        spec = parse_scenario(document)
+        serial = SweepRunner(mode="serial", use_cache=False).run(spec)
+        pooled = SweepRunner(mode="process", max_workers=2, use_cache=False).run(spec)
+        serial_bytes = json.dumps(serial.payload(), sort_keys=True)
+        pooled_bytes = json.dumps(pooled.payload(), sort_keys=True)
+        assert serial_bytes == pooled_bytes
+
+
+class TestGoldenRegressions:
+    """Minimized failures found while building the harness, replayed.
+
+    Each file carries the spec document plus which property it once
+    violated; the harness must hold on all of them forever.
+    """
+
+    CHECKS = {
+        "agreement": assert_backend_agreement,
+        "scalar-batched": assert_scalar_matches_batched,
+        "roundtrip": assert_roundtrip,
+        "simulation-rejected": None,  # handled below: the spec must not parse
+    }
+
+    def case_files(self):
+        return sorted(GOLDEN_DIR.glob("*.json"))
+
+    def test_regression_corpus_is_present(self):
+        assert self.case_files(), f"no regression cases in {GOLDEN_DIR}"
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted((Path(__file__).parent / "golden" / "differential").glob("*.json")),
+        ids=lambda p: p.stem,
+    )
+    def test_golden_regressions(self, path):
+        case = json.loads(path.read_text())
+        assert case["property"] in self.CHECKS
+        if case["property"] == "simulation-rejected":
+            from repro.core.errors import ScenarioError
+
+            with pytest.raises(ScenarioError, match="transfer-level"):
+                parse_scenario(case["document"])
+            return
+        self.CHECKS[case["property"]](case["document"])
+
+
+class TestStrategyRegistryCompleteness:
+    """A new kind or topology must join the differential strategies."""
+
+    def test_kinds_covered(self):
+        assert set(ALL_KINDS) == set(algorithm_kinds())
+
+    def test_topologies_covered(self):
+        assert set(ALL_TOPOLOGIES) == set(TOPOLOGIES)

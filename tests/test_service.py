@@ -1,0 +1,425 @@
+"""End-to-end and unit tests of the evaluation service.
+
+The acceptance path runs a real :class:`ThreadingHTTPServer` on an
+ephemeral port and talks to it over actual HTTP through
+:class:`ServiceClient` — every endpoint round-trips, a repeated
+``/v1/evaluate`` hits the compiled-target LRU (hit counter asserted),
+coalescing batches concurrent same-spec requests, and backpressure
+answers 429 with ``Retry-After``.  Unit tests cover the LRU, the
+coalescer, the job store and the request-body validation without
+sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.service import (
+    EvaluationService,
+    LRUCache,
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverloaded,
+    create_server,
+)
+from repro.service.jobs import JobStore, ServiceError
+
+SMALL_SWEEP = {
+    "name": "service-test-sweep",
+    "description": "a tiny analytic sweep",
+    "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+    "algorithm": {
+        "kind": "bsp",
+        "params": {
+            "operations_per_superstep": 1e10,
+            "payload_bits": 2.5e8,
+            "topology": "tree",
+        },
+    },
+    "workers": [1, 2, 4, 8],
+    "sweep": {"bandwidth_bps": [1e9, 1e10]},
+}
+
+SIMULATED_POINT = {
+    "name": "service-test-simulated",
+    "description": "a tiny simulated point (expensive => async sweep)",
+    "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+    "algorithm": {
+        "kind": "bsp",
+        "params": {
+            "operations_per_superstep": 1e9,
+            "payload_bits": 1e6,
+            "topology": "tree",
+        },
+    },
+    "workers": [1, 2, 4],
+    "backend": {"kind": "simulated", "simulation": {"iterations": 1, "seed": 0}},
+}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service-cache")
+    instance = create_server(
+        port=0,
+        cache_dir=str(cache_dir),
+        runner_mode="serial",  # in-server sweeps stay in-process for tests
+        job_workers=1,
+        max_jobs=4,
+        sync_grid_limit=64,
+    )
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url, timeout_s=30.0)
+
+
+class TestEndToEndRoundTrip:
+    """Every endpoint answers over real HTTP (the acceptance property)."""
+
+    def test_healthz(self, client):
+        answer = client.health()
+        assert answer["result"]["status"] == "ok"
+        assert answer["result"]["versions"]["wire"] == 1
+        assert answer["kind"] == "healthz"
+
+    def test_specs(self, client):
+        result = client.specs()["result"]
+        assert "figure2" in result["scenarios"]
+        assert "plan-gd-deadline" in result["plans"]
+        assert set(result["backends"]) == {"analytic", "simulated", "calibrated"}
+
+    def test_hardware(self, client):
+        result = client.hardware()["result"]
+        slugs = {row["slug"] for row in result["catalog"]}
+        assert "xeon-e3-1240" in slugs
+
+    def test_evaluate_builtin(self, client):
+        answer = client.evaluate("figure2")
+        result = answer["result"]
+        assert result["scenario"] == "figure2"
+        assert result["backend"] == "analytic"
+        assert len(result["workers"]) == len(result["times_s"])
+        assert result["optimal_workers"] == 9  # the paper's N for Figure 2
+
+    def test_evaluate_with_overrides(self, client):
+        answer = client.evaluate("figure2", workers=[1, 2, 4], backend="simulated")
+        result = answer["result"]
+        assert result["backend"] == "simulated"
+        assert result["workers"] == [1, 2, 4]
+
+    def test_sweep_inline(self, client):
+        answer = client.sweep(SMALL_SWEEP)
+        result = answer["result"]
+        assert len(result["points"]) == 2
+        assert result["reference"] is not None
+        assert "job" not in answer["meta"]
+
+    def test_sweep_async_job_roundtrip(self, client):
+        # An expensive (simulated) spec in auto mode becomes a 202 job;
+        # the client polls /v1/jobs/<id> to the finished payload.
+        answer = client.sweep(SIMULATED_POINT)
+        assert answer["meta"]["job"].startswith("j")
+        assert len(answer["result"]["points"]) == 1
+        assert answer["kind"] == "sweep"
+
+    def test_plan(self, client):
+        answer = client.plan("plan-gd-deadline")
+        result = answer["result"]
+        assert result["plan"] == "plan-gd-deadline"
+        assert result["recommendation"] is not None
+        assert result["pareto"]
+
+    def test_calibrate(self, client):
+        answer = client.calibrate("figure2", source="analytic", features=["amdahl"])
+        result = answer["result"]
+        assert result["source"] == "analytic"
+        assert result["ranking"][0][0] == "amdahl"
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.job("j999999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not-found"
+
+    def test_unknown_route_is_404(self, client, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/v1/nope")
+        assert excinfo.value.code == 404
+
+    def test_file_path_scenario_is_rejected(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.evaluate({"scenario": 1})  # not a valid spec mapping
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceClientError, match="file path"):
+            # Bypass client-side resolution to hit the server's guard.
+            client._request(
+                "POST", "/v1/evaluate", {"scenario": "../../etc/passwd.json"}
+            )
+
+    def test_unknown_body_field_is_rejected(self, client):
+        with pytest.raises(ServiceClientError, match="unknown evaluate fields"):
+            client._request(
+                "POST", "/v1/evaluate", {"scenario": "figure2", "worker": [1]}
+            )
+
+    def test_unread_error_body_does_not_corrupt_keepalive(self, server):
+        # A POST to an unknown route is answered 404 without the body
+        # being read; on a keep-alive connection the unread bytes would
+        # otherwise be parsed as the next request line.  The server must
+        # close such connections (Connection: close) so the next request
+        # on a fresh connection is answered normally.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/v1/nope", body=json.dumps({"scenario": "figure2"})
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            assert response.headers.get("Connection") == "close"
+            response.read()
+            # http.client reopens the closed connection transparently;
+            # the follow-up must be a clean 200, not request-line soup.
+            connection.request("GET", "/healthz")
+            follow_up = connection.getresponse()
+            assert follow_up.status == 200
+            follow_up.read()
+        finally:
+            connection.close()
+
+    def test_validation_errors_keep_the_connection_alive(self, server):
+        # Errors raised *after* the body was consumed must not force a
+        # close: the connection stays clean and reusable.
+        import http.client
+
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/v1/evaluate",
+                body=json.dumps({"scenario": "figure2", "typo": 1}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.headers.get("Connection") != "close"
+            response.read()
+            connection.request("GET", "/healthz")  # same socket, still clean
+            follow_up = connection.getresponse()
+            assert follow_up.status == 200
+            follow_up.read()
+        finally:
+            connection.close()
+
+
+class TestHotPathCaching:
+    """The acceptance criterion: repeats hit the compiled-target LRU."""
+
+    def test_repeated_evaluate_hits_target_lru(self, client):
+        spec = {**SMALL_SWEEP, "name": "lru-probe"}
+        first = client.evaluate(spec)
+        assert first["meta"]["cache"]["target"] == "miss"
+        before = client.health()["result"]["caches"]["target"]["hits"]
+        again = client.evaluate(spec)
+        assert again["meta"]["cache"]["target"] == "hit"
+        assert again["meta"]["cache"]["request"] == "hit"
+        after = client.health()["result"]["caches"]["target"]["hits"]
+        assert after >= before + 1
+        assert again["result"]["times_s"] == first["result"]["times_s"]
+
+    def test_sweep_and_evaluate_share_the_base_point_target(self, client):
+        # A spec with a sweep block and the same spec without one share
+        # the same compiled base-point target.
+        spec = {**SMALL_SWEEP, "name": "shared-base-point"}
+        client.evaluate(spec)
+        bare = {key: value for key, value in spec.items() if key != "sweep"}
+        answer = client.evaluate(bare)
+        assert answer["meta"]["cache"]["target"] == "hit"
+
+
+class TestCoalescing:
+    def test_concurrent_same_spec_requests_coalesce(self):
+        service = EvaluationService(coalesce_window_s=0.25, use_cache=False)
+        try:
+            outcomes: dict[str, object] = {}
+
+            def hit(grid_name, grid):
+                outcomes[grid_name] = service.handle_evaluate(
+                    {"scenario": "figure2", "workers": grid}
+                )
+
+            leader = threading.Thread(target=hit, args=("a", [1, 2, 4, 8]))
+            leader.start()
+            time.sleep(0.05)  # leader is inside its coalesce window
+            followers = [
+                threading.Thread(target=hit, args=(name, grid))
+                for name, grid in (("b", [1, 2, 13]), ("c", [1, 4, 9]))
+            ]
+            for thread in followers:
+                thread.start()
+            leader.join()
+            for thread in followers:
+                thread.join()
+
+            stats = service.coalescer.stats()
+            assert stats["batches"] == 1
+            assert stats["coalesced_requests"] == 2
+            assert outcomes["b"].meta["batch_size"] == 3
+
+            # Bit-identity: a coalesced answer equals a solo evaluation.
+            solo = service.handle_evaluate(
+                {"scenario": "figure2", "workers": [1, 2, 13]}
+            )
+            assert solo.result["times_s"] == outcomes["b"].result["times_s"]
+        finally:
+            service.close()
+
+    def test_stochastic_specs_do_not_coalesce(self):
+        service = EvaluationService(use_cache=False)
+        try:
+            outcome = service.handle_evaluate({"scenario": "bp-dns-16k"})
+            assert outcome.meta["batch_size"] == 1
+            assert service.coalescer.stats()["requests"] == 0
+        finally:
+            service.close()
+
+
+class TestBackpressure:
+    def test_request_slots_reject_when_exhausted(self):
+        service = EvaluationService(max_concurrency=1)
+        try:
+            with service.request_slot():
+                with pytest.raises(ServiceOverloaded):
+                    with service.request_slot():
+                        pass  # pragma: no cover
+        finally:
+            service.close()
+
+    def test_http_429_with_retry_after(self):
+        instance = create_server(
+            port=0, max_concurrency=1, coalesce_window_s=0.6, use_cache=False
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(instance.url, timeout_s=30.0)
+            errors: list[ServiceClientError] = []
+
+            def occupy():
+                client.evaluate("figure2")  # holds the only slot ~0.6 s
+
+            holder = threading.Thread(target=occupy)
+            holder.start()
+            time.sleep(0.2)
+            # healthz is unmetered: it must answer while the slot is held.
+            assert client.health()["result"]["status"] == "ok"
+            try:
+                client._request("POST", "/v1/evaluate", {"scenario": "capacity-sweep"})
+            except ServiceClientError as error:
+                errors.append(error)
+            holder.join()
+            assert errors, "second request should have been shed"
+            assert errors[0].status == 429
+            assert errors[0].code == "overloaded"
+            rejected = client.health()["result"]["requests"].get("rejected", 0)
+            assert rejected >= 1
+        finally:
+            instance.shutdown()
+            instance.server_close()
+
+    def test_job_store_sheds_past_max_jobs(self):
+        store = JobStore(workers=1, max_jobs=1, history=8)
+        release = threading.Event()
+        try:
+            store.submit("sweep", lambda: release.wait(10) or {"ok": True})
+            with pytest.raises(ServiceOverloaded):
+                store.submit("sweep", lambda: {})
+        finally:
+            release.set()
+            store.shutdown()
+
+
+class TestJobStore:
+    def test_job_lifecycle_and_result(self):
+        store = JobStore(workers=1, max_jobs=4, history=8)
+        try:
+            job = store.submit("sweep", lambda: {"answer": 42})
+            deadline = time.monotonic() + 10
+            while job.status != "done":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert job.payload()["result"] == {"answer": 42}
+            assert store.get(job.id) is job
+        finally:
+            store.shutdown()
+
+    def test_failed_job_reports_its_error(self):
+        store = JobStore(workers=1, max_jobs=4, history=8)
+
+        def explode():
+            raise ScenarioError("boom")
+
+        try:
+            job = store.submit("plan", explode)
+            deadline = time.monotonic() + 10
+            while job.status != "failed":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert "boom" in job.payload()["error"]
+            assert store.stats()["failed"] == 1
+        finally:
+            store.shutdown()
+
+    def test_history_must_cover_active_window(self):
+        with pytest.raises(ServiceError, match="history"):
+            JobStore(workers=1, max_jobs=8, history=4)
+
+
+class TestLRUCache:
+    def test_eviction_and_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes 'a'
+        cache.put("c", 3)  # evicts 'b', the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats == {
+            "size": 2, "maxsize": 2, "hits": 2, "misses": 1, "evictions": 1,
+        }
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ServiceError):
+            LRUCache(0)
+
+
+class TestWirePinning:
+    def test_floats_are_pinned_and_keys_sorted(self):
+        from repro.service import canonical_json
+
+        text = canonical_json({"b": 0.1 + 0.2, "a": 1})
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text)["b"] == 0.3  # 0.30000000000000004 pinned away
+
+    def test_non_finite_floats_fail_loudly(self):
+        from repro.service import canonical_json
+
+        with pytest.raises(ValueError):
+            canonical_json({"bad": float("nan")})

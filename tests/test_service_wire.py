@@ -1,0 +1,169 @@
+"""Golden wire-format tests: the service's responses, byte for byte.
+
+Each case makes a real HTTP request against a live server and compares
+the response's deterministic part (everything except ``meta``) against a
+golden file in ``tests/golden/service/`` — so the wire format is
+versioned and pinned exactly like the planner's Pareto frontiers.  Two
+invariants per case:
+
+* the raw body is *already canonical*: re-encoding the decoded payload
+  reproduces the exact bytes the server sent (sorted keys, pinned
+  floats, trailing newline);
+* the ``{"wire", "kind", "result"}`` envelope matches the golden bytes.
+
+Regenerate after an intentional format change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_service_wire.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, create_server, wire
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "service"
+
+#: A tiny deterministic analytic sweep (also used by test_service.py).
+SWEEP_DOC = {
+    "name": "wire-golden-sweep",
+    "description": "pinned wire-format sweep",
+    "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+    "algorithm": {
+        "kind": "bsp",
+        "params": {
+            "operations_per_superstep": 1e10,
+            "payload_bits": 2.5e8,
+            "topology": "tree",
+        },
+    },
+    "workers": [1, 2, 4, 8],
+    "sweep": {"bandwidth_bps": [1e9, 1e10]},
+}
+
+#: A tiny deterministic simulated point for the async-job golden.
+SIMULATED_DOC = {
+    "name": "wire-golden-simulated",
+    "description": "pinned wire-format async job",
+    "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+    "algorithm": {
+        "kind": "bsp",
+        "params": {
+            "operations_per_superstep": 1e9,
+            "payload_bits": 1e6,
+            "topology": "tree",
+        },
+    },
+    "workers": [1, 2, 4],
+    "backend": {"kind": "simulated", "simulation": {"iterations": 1, "seed": 0}},
+}
+
+
+def _fetch(url: str, body: dict | None = None) -> bytes:
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if body else {},
+        method="POST" if body is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.read()
+    except urllib.error.HTTPError as error:
+        return error.read()  # error envelopes are wire payloads too
+
+
+def _assert_matches_golden(name: str, raw: bytes) -> None:
+    decoded = json.loads(raw.decode("utf-8"))
+    # Invariant 1: the server emits the canonical encoding directly.
+    assert raw == wire.encode(decoded), "response body is not canonical"
+    # Invariant 2: the deterministic envelope matches the golden bytes.
+    stable = wire.golden_bytes(decoded)
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(stable)
+    assert path.exists(), (
+        f"missing golden file {path}; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert stable == path.read_bytes(), (
+        f"wire format drifted from {path.name}; if intentional, bump"
+        " WIRE_VERSION and regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+@pytest.fixture(scope="module")
+def server():
+    instance = create_server(port=0, runner_mode="serial", use_cache=False)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+class TestGoldenResponses:
+    def test_specs(self, server):
+        _assert_matches_golden("specs", _fetch(f"{server.url}/v1/specs"))
+
+    def test_hardware(self, server):
+        _assert_matches_golden("hardware", _fetch(f"{server.url}/v1/hardware"))
+
+    def test_evaluate(self, server):
+        raw = _fetch(f"{server.url}/v1/evaluate", {"scenario": "figure2"})
+        _assert_matches_golden("evaluate", raw)
+
+    def test_sweep(self, server):
+        raw = _fetch(f"{server.url}/v1/sweep", {"scenario": SWEEP_DOC})
+        _assert_matches_golden("sweep", raw)
+
+    def test_plan(self, server):
+        raw = _fetch(
+            f"{server.url}/v1/plan", {"plan": "plan-gd-deadline", "mode": "sync"}
+        )
+        _assert_matches_golden("plan", raw)
+
+    def test_calibrate(self, server):
+        raw = _fetch(
+            f"{server.url}/v1/calibrate",
+            {
+                "scenario": "figure2",
+                "source": "analytic",
+                "features": ["amdahl", "gd-log"],
+            },
+        )
+        _assert_matches_golden("calibrate", raw)
+
+    def test_error_envelope(self, server):
+        raw = _fetch(f"{server.url}/v1/evaluate", {"scenario": "figure2", "typo": 1})
+        _assert_matches_golden("error-bad-request", raw)
+
+
+class TestGoldenJob:
+    def test_finished_job(self):
+        # A dedicated server so the job id is deterministically j000001.
+        instance = create_server(port=0, runner_mode="serial", use_cache=False)
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(instance.url, timeout_s=30.0)
+            accepted = client._request(
+                "POST", "/v1/sweep", {"scenario": SIMULATED_DOC, "mode": "async"}
+            )
+            assert accepted["meta"]["http_status"] == 202
+            job_id = accepted["result"]["job"]
+            assert job_id == "j000001"
+            client.wait_job(job_id, timeout_s=60.0)
+            raw = _fetch(f"{instance.url}/v1/jobs/{job_id}")
+            _assert_matches_golden("job-done", raw)
+        finally:
+            instance.shutdown()
+            instance.server_close()

@@ -1,0 +1,208 @@
+"""Record the evaluation-service benchmark as a JSON artifact.
+
+Starts a real :class:`ThreadingHTTPServer` on an ephemeral port and
+measures, over actual HTTP:
+
+* **cold latency** — the first ``/v1/evaluate`` of a compile-heavy
+  scenario (a Monte-Carlo belief-propagation instance: compiling means
+  generating a graph and building the estimator), with every cache
+  empty;
+* **cache-hit latency** — the same request repeated, answered from the
+  request LRU + compiled-target LRU; the acceptance floor demands a
+  ``>= 10x`` improvement (the serving layer's whole point);
+* **coalesced throughput** — concurrent clients hammering one spec
+  across different worker grids, reported in evaluations/s together
+  with how many union-grid batches the coalescer formed.
+
+Results land in ``BENCH_serve.json`` at the repository root, next to
+the sweep/sim/plan artifacts.  Usage::
+
+    PYTHONPATH=src python tools/bench_serve_to_json.py [--output BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required cold/hit latency ratio — the acceptance criterion.
+MIN_HIT_SPEEDUP = 10.0
+
+#: The compile-heavy scenario the latency benchmark serves.  Compiling
+#: means generating a 100k-vertex power-law graph and building the
+#: Monte-Carlo estimator — tens of milliseconds — while a cache hit is
+#: a dict lookup plus a tabulated-curve read, so the contrast is the
+#: one the serving layer exists to exploit.
+def bench_scenario(vertex_count: int = 100_000, trials: int = 10) -> dict:
+    return {
+        "name": "bench-serve-bp",
+        "description": "compile-heavy Monte-Carlo BP point (service bench)",
+        "hardware": {"node": "dl980"},
+        "algorithm": {
+            "kind": "belief_propagation",
+            "params": {
+                "graph": {
+                    "generator": "power-law",
+                    "vertex_count": vertex_count,
+                    "mean_degree": 6.0,
+                    "max_degree": 60,
+                    "seed": 1,
+                },
+                "states": 2,
+                "trials": trials,
+                "seed": 1,
+            },
+        },
+        "workers": [1, 2, 4, 8, 16, 32, 64],
+    }
+
+
+#: The cheap analytic spec the throughput benchmark hammers.
+def throughput_scenario() -> dict:
+    return {
+        "name": "bench-serve-throughput",
+        "description": "analytic point for coalesced-throughput hammering",
+        "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+        "algorithm": {
+            "kind": "bsp",
+            "params": {
+                "operations_per_superstep": 1e10,
+                "payload_bits": 2.5e8,
+                "topology": "tree",
+            },
+        },
+        "workers": [1, 2, 4, 8, 16, 32],
+    }
+
+
+def measure_latencies(client, repeats: int) -> tuple[float, float]:
+    """(cold seconds, median hit seconds) for the BP scenario."""
+    spec = bench_scenario()
+    started = time.perf_counter()
+    client.evaluate(spec)
+    cold_s = time.perf_counter() - started
+    hits = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        answer = client.evaluate(spec)
+        hits.append(time.perf_counter() - started)
+        assert answer["meta"]["cache"]["target"] == "hit"
+    return cold_s, statistics.median(hits)
+
+
+def measure_throughput(
+    client_factory, threads: int, requests_per_thread: int
+) -> tuple[float, dict]:
+    """(evaluations/s, coalescer stats) hammering one spec concurrently."""
+    spec = throughput_scenario()
+    grids = [[1, 2, 4, 8], [1, 2, 13], [1, 4, 9, 16], [1, 8, 32]]
+    errors: list[BaseException] = []
+
+    def hammer(index: int) -> None:
+        client = client_factory()
+        try:
+            for i in range(requests_per_thread):
+                client.evaluate(spec, workers=grids[(index + i) % len(grids)])
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    workers = [
+        threading.Thread(target=hammer, args=(index,)) for index in range(threads)
+    ]
+    started = time.perf_counter()
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    health = client_factory().health()["result"]
+    total = threads * requests_per_thread
+    return total / elapsed, health["coalescer"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=30, help="cache-hit samples")
+    parser.add_argument("--threads", type=int, default=8, help="throughput clients")
+    parser.add_argument(
+        "--requests", type=int, default=25, help="requests per throughput client"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_serve.json"),
+        help="output path (default: BENCH_serve.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    from repro.service import ServiceClient, create_server
+
+    server = create_server(
+        port=0,
+        runner_mode="serial",
+        use_cache=False,
+        max_concurrency=max(16, args.threads + 2),
+        coalesce_window_s=0.002,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(server.url, timeout_s=120.0)
+        cold_s, hit_s = measure_latencies(client, args.repeats)
+        throughput, coalescer = measure_throughput(
+            lambda: ServiceClient(server.url, timeout_s=120.0),
+            args.threads,
+            args.requests,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    speedup = cold_s / hit_s
+    accepted = speedup >= MIN_HIT_SPEEDUP
+    cpus = os.cpu_count() or 1
+    payload = {
+        "benchmark": "evaluation-service",
+        "description": (
+            "cold vs cache-hit /v1/evaluate latency and coalesced"
+            " throughput over real HTTP (see benchmarks/bench_service.py)"
+        ),
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cold_ms": cold_s * 1e3,
+        "cache_hit_ms": hit_s * 1e3,
+        "hit_speedup_x": speedup,
+        "acceptance_floor_x": MIN_HIT_SPEEDUP,
+        "throughput_evals_per_s": throughput,
+        "throughput_clients": args.threads,
+        "coalesced_batches": coalescer["batches"],
+        "coalesced_requests": coalescer["coalesced_requests"],
+    }
+    target = Path(args.output)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"service: cold {cold_s * 1e3:.1f}ms, cache-hit {hit_s * 1e3:.2f}ms"
+        f" ({speedup:.0f}x; floor {MIN_HIT_SPEEDUP}x);"
+        f" {throughput:.0f} evals/s over {args.threads} clients"
+        f" ({coalescer['coalesced_requests']} of"
+        f" {coalescer['requests']} requests coalesced into"
+        f" {coalescer['batches']} batches)"
+    )
+    print(f"wrote {target}")
+    return 0 if accepted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
