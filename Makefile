@@ -36,20 +36,23 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
 bench-sweep:
 	$(PYTHON) -m pytest -q benchmarks/bench_vectorized_sweep.py
 
-## The simulated-sweep acceptance bench: process-pool vs serial
-## evaluation of a simulated-backend sweep, written to BENCH_sim.json.
+## The simulated-sweep acceptance bench: chunked process-pool vs serial
+## evaluation of a simulated-backend sweep through the task-graph
+## scheduler, written to BENCH_sim.json.  Fails on a payload mismatch
+## regardless of timings — CI uses it as the payload-identity gate.
 bench-sim:
 	$(PYTHON) tools/bench_sim_to_json.py
 
-## The capacity-planner acceptance bench: serial vs process-pool plan
-## evaluation (byte-identical recommendations), written to BENCH_plan.json.
+## The capacity-planner acceptance bench: serial vs chunked process-pool
+## plan evaluation (byte-identical recommendations, including the Pareto
+## frontier), written to BENCH_plan.json.  Also a CI payload-identity gate.
 bench-plan:
 	$(PYTHON) tools/bench_plan_to_json.py
 

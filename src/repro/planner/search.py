@@ -5,8 +5,9 @@ The pipeline:
 1. :func:`~repro.planner.spec.derived_scenario` turns the plan's search
    axes into a scenario sweep, so every candidate configuration is
    evaluated through the scenario engine — batched ``times()`` per grid
-   point, process-pool parallelism for expensive backends, content-hash
-   disk caching, and bit-identical serial vs pooled payloads.
+   point, chunked task-graph scheduling (:mod:`repro.sched`) with
+   process-pool parallelism for expensive backends, content-hash disk
+   caching, and bit-identical serial vs pooled payloads.
 2. Each (configuration × worker count) pair becomes a priced
    :class:`~repro.planner.report.PlanPoint`; constraints mark violations.
 3. The objective picks the recommended point among the feasible ones

@@ -1,28 +1,57 @@
 """The sweep engine: expand a scenario's grid and evaluate every point.
 
 Each grid point is an independent compile-and-evaluate task — the
-cartesian product of the spec's sweep axes applied as overrides — so
-sweeps parallelise embarrassingly.  :class:`SweepRunner` offers three
-modes:
+cartesian product of the spec's sweep axes applied as overrides.  A
+sweep executes as a :mod:`repro.sched` task graph::
+
+    reference        chunk-0000[0:N]  chunk-0001[N:2N]  ...
+        \\                |                /
+         \\               v               v
+          +----------->  merge  <--------+
+                           |
+                           v
+                      crossovers
+
+Grid points are batched into contiguous *chunks* sized by what one
+point costs (:func:`repro.sched.chunks.chunk_size_for`): big chunks for
+cheap closed-form points so the vectorized ``times()`` path stays hot
+inside each dispatched task, load-balancing slices for expensive
+simulated or Monte-Carlo points.  In ``process`` mode the chunks run on
+a :class:`~concurrent.futures.ProcessPoolExecutor` whose initializer
+ships the compiled spec payload to each worker **once**, keyed by spec
+content hash (see :mod:`repro.sched.state`) — a chunk task pickles only
+its override dicts, not the whole spec per point as the old
+point-at-a-time pool did.  ``serial`` mode runs the *same* graph inline.
+
+:class:`SweepRunner` offers three modes:
 
 ``serial``
-    Evaluate points in-process.  The fast path for closed-form models,
-    where a point costs microseconds and pool startup would dominate.
+    Evaluate the graph in-process.  The fast path for closed-form
+    models, where a point costs microseconds and pool startup would
+    dominate.
 ``process``
-    A :class:`concurrent.futures.ProcessPoolExecutor`.  Pays off when a
-    point is expensive — Monte-Carlo-backed scenarios (the BP estimator
-    re-samples assignments per point), simulated- or calibrated-backend
-    points (a discrete-event run per worker count), or very large grids.
+    Chunks on a process pool.  Pays off when a point is expensive —
+    Monte-Carlo-backed scenarios (the BP estimator re-samples
+    assignments per point), simulated- or calibrated-backend points (a
+    discrete-event run per worker count), or very large grids.
 ``auto``
-    Picks ``process`` for expensive scenarios (stochastic models,
-    simulating backends) with several points or grids past
-    :data:`PARALLEL_THRESHOLD`; ``serial`` otherwise.
+    CPU- and cost-aware: ``serial`` on a single CPU (a pool can never
+    beat serial without a second core), ``process`` for expensive
+    scenarios with more than one point or cheap grids past
+    :data:`PARALLEL_THRESHOLD` (enough points for at least two full
+    cheap chunks), ``serial`` otherwise.
 
 Simulated points are deterministic regardless of mode: engine seeds
 derive from the spec content and the grid point (see
 :func:`repro.scenarios.compile.compile_point`), never from pool-worker
-identity, so serial and process runs of the same spec produce identical
-payloads — a property the test suite pins.
+identity, and chunks partition the grid in order — so serial and
+process runs of the same spec produce byte-identical payloads, a
+property the test suite pins across all three backends.
+
+A failing grid point — however deep in the pool — surfaces as one clean
+:class:`~repro.core.errors.ScenarioError` naming the failed chunk;
+downstream tasks never run, so the cache (written only after a fully
+successful run) can never hold a partial sweep.
 
 Results are cached on disk keyed by the scenario content hash — which
 includes the backend block — so a re-run of an identical spec is a pure
@@ -35,6 +64,7 @@ from __future__ import annotations
 import csv
 import itertools
 import json
+import os
 import time
 from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor
@@ -42,17 +72,37 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.errors import ScenarioError
+from repro.sched import (
+    CHEAP_CHUNK_POINTS,
+    Dep,
+    GraphScheduler,
+    TaskFailure,
+    TaskGraph,
+    chunk_size_for,
+    partition,
+    seed_worker_store,
+    worker_store,
+)
 from repro.scenarios.cache import ResultCache
 from repro.scenarios.compile import compile_point, is_expensive
 from repro.scenarios.spec import ScenarioSpec, parse_scenario
 
-#: Grid size at or above which ``auto`` mode reaches for the pool.
-PARALLEL_THRESHOLD = 64
+#: Cheap-grid size at which ``auto`` mode reaches for the pool: below
+#: two full chunks of closed-form points, dispatch cannot amortise.
+PARALLEL_THRESHOLD = 2 * CHEAP_CHUNK_POINTS
 
 MODES = ("auto", "serial", "process")
 
 #: Recognised structured-export formats, by file suffix.
 EXPORT_SUFFIXES = (".json", ".csv")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-linux fallback
+        return os.cpu_count() or 1
 
 
 def export_format(path: str | Path) -> str:
@@ -113,13 +163,80 @@ def evaluate_point(spec: ScenarioSpec, overrides: Mapping[str, object]) -> dict:
     }
 
 
-def _evaluate_payload(spec_payload: dict, overrides: dict) -> dict:
-    """Process-pool entry point: re-parse the spec in the worker.
+# --------------------------------------------------------------------------
+# Task-graph building blocks.  The pool-destined entry points are
+# module-level (they must pickle); the spec itself never rides in a task —
+# workers fetch it from their seeded payload store by content hash.
+# --------------------------------------------------------------------------
 
-    Takes plain dicts so the task pickles cheaply and identically under
-    any start method.
+
+def _evaluate_chunk(spec_key: str, chunk: tuple[dict, ...]) -> list[dict]:
+    """Process-pool chunk task: evaluate a contiguous run of grid points.
+
+    The spec was shipped to this worker once, by the pool initializer;
+    it is parsed on the worker's first chunk and cached for its lifetime
+    (see :class:`repro.sched.state.WorkerPayloadStore`), so a chunk task
+    carries only its override dicts over the pipe.
     """
-    return evaluate_point(parse_scenario(spec_payload), overrides)
+    spec = worker_store().value(spec_key, parse_scenario)
+    return [evaluate_point(spec, overrides) for overrides in chunk]
+
+
+def _evaluate_chunk_inline(spec: ScenarioSpec, chunk: tuple[dict, ...]) -> list[dict]:
+    """Serial-mode chunk task: same batch shape, no transport."""
+    return [evaluate_point(spec, overrides) for overrides in chunk]
+
+
+def _merge_chunks(*chunks: list[dict]) -> list[dict]:
+    """Concatenate chunk results back into grid order.
+
+    Chunks partition the grid contiguously and arrive here as
+    dependency results in chunk-index order, so the merge is exactly the
+    serial ordering whatever order the pool finished in.
+    """
+    return [point for chunk in chunks for point in chunk]
+
+
+def _merged_with_crossovers(points: list[dict], reference: dict | None) -> list[dict]:
+    _attach_crossovers(points, reference)
+    return points
+
+
+def build_sweep_graph(
+    spec: ScenarioSpec,
+    grid: list[dict[str, object]],
+    *,
+    chunk_size: int,
+    pooled: bool,
+) -> tuple[TaskGraph, str]:
+    """The task graph of one sweep; returns ``(graph, final_task_name)``.
+
+    ``compile → N chunk-evaluate → merge → crossovers``: the reference
+    point (a swept scenario's own declared configuration) evaluates
+    inline and in parallel with the pool's chunks; the merge and the
+    crossover annotation depend on everything before them.
+    """
+    graph = TaskGraph()
+    if spec.sweep:
+        # Headline metrics and crossovers are measured against the
+        # spec's own configuration, not an arbitrary grid corner.
+        graph.add("reference", evaluate_point, spec, {})
+    chunk_results = []
+    key = spec.content_hash()
+    for i, (start, stop) in enumerate(partition(len(grid), chunk_size)):
+        name = f"chunk-{i:04d}[{start}:{stop}]"
+        chunk = tuple(grid[start:stop])
+        if pooled:
+            graph.add(name, _evaluate_chunk, key, chunk, pool=True)
+        else:
+            graph.add(name, _evaluate_chunk_inline, spec, chunk)
+        chunk_results.append(Dep(name))
+    final = graph.add("merge", _merge_chunks, *chunk_results)
+    if spec.sweep:
+        final = graph.add(
+            "crossovers", _merged_with_crossovers, Dep("merge"), Dep("reference")
+        )
+    return graph, final
 
 
 def _attach_crossovers(points: list[dict], reference: dict | None) -> None:
@@ -148,7 +265,7 @@ class SweepResult:
 
     ``points`` holds one record per grid point (see
     :func:`evaluate_point`); ``stats`` records how the run happened
-    (mode, cache hit, elapsed seconds, pool size).
+    (mode, cache hit, elapsed seconds, chunk plan).
     """
 
     scenario: str
@@ -265,17 +382,25 @@ class SweepResult:
 class SweepRunner:
     """Evaluates scenario sweeps with caching and optional parallelism.
 
+    Every run — serial or pooled — executes through the
+    :mod:`repro.sched` task graph, so the planner's derived-scenario
+    sweeps and the service's jobs inherit chunked scheduling for free.
+
     Parameters
     ----------
     mode:
         ``"auto"`` (default), ``"serial"`` or ``"process"``.
     max_workers:
-        Pool size for process mode; ``None`` lets the executor decide.
+        Pool size for process mode; ``None`` uses the CPU count.
     cache_dir:
         Cache directory; ``None`` uses the default (see
         :mod:`repro.scenarios.cache`).
     use_cache:
         Set ``False`` to always recompute (results are still not written).
+    cpus:
+        CPUs ``auto`` mode and the chunk planner assume; ``None``
+        detects the affinity-aware count.  Tests pin it for
+        deterministic mode resolution on any machine.
     """
 
     def __init__(
@@ -284,25 +409,44 @@ class SweepRunner:
         max_workers: int | None = None,
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
+        cpus: int | None = None,
     ) -> None:
         if mode not in MODES:
             raise ScenarioError(f"unknown sweep mode {mode!r}; known: {', '.join(MODES)}")
         if max_workers is not None and max_workers < 1:
             raise ScenarioError(f"max_workers must be >= 1, got {max_workers}")
+        if cpus is not None and cpus < 1:
+            raise ScenarioError(f"cpus must be >= 1, got {cpus}")
         self.mode = mode
         self.max_workers = max_workers
         self.use_cache = use_cache
         self.cache = ResultCache(cache_dir)
+        self.cpus = cpus if cpus is not None else available_cpus()
 
     def resolve_mode(self, spec: ScenarioSpec, grid_size: int) -> str:
-        """The concrete mode ``auto`` picks for this spec."""
+        """The concrete mode ``auto`` picks for this spec.
+
+        Cost-class- and CPU-aware: a pool can never beat serial without
+        a second core, an expensive (simulating / Monte-Carlo) grid
+        parallelises from two points up, and a cheap closed-form grid
+        only past :data:`PARALLEL_THRESHOLD` — below that the whole grid
+        fits in one or two chunks and dispatch cannot amortise.
+        """
         if self.mode != "auto":
             return self.mode
-        if grid_size >= PARALLEL_THRESHOLD:
-            return "process"
-        if is_expensive(spec) and grid_size > 1:
-            return "process"
-        return "serial"
+        if self.cpus < 2:
+            return "serial"
+        if is_expensive(spec):
+            return "process" if grid_size > 1 else "serial"
+        return "process" if grid_size >= PARALLEL_THRESHOLD else "serial"
+
+    def chunk_size(self, spec: ScenarioSpec, grid_size: int) -> int:
+        """Points per chunk for this spec's cost class and this pool."""
+        return chunk_size_for(
+            grid_size,
+            expensive=is_expensive(spec),
+            workers=self.max_workers or self.cpus,
+        )
 
     def run(self, spec: ScenarioSpec) -> SweepResult:
         """Evaluate every grid point of ``spec`` (or load it from cache)."""
@@ -325,24 +469,30 @@ class SweepRunner:
         mode = self.resolve_mode(spec, len(grid))
         if mode == "process" and len(grid) <= 1:
             mode = "serial"  # a pool for one task is pure overhead
-        # Swept scenarios also evaluate the spec's own declared
-        # configuration as the reference: headline metrics and crossovers
-        # are measured against it, not against an arbitrary grid corner.
-        reference = evaluate_point(spec, {}) if spec.sweep else None
-        if mode == "process":
-            spec_payload = spec.to_dict()
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                points = list(
-                    pool.map(
-                        _evaluate_payload,
-                        itertools.repeat(spec_payload),
-                        grid,
-                        chunksize=max(1, len(grid) // 32),
-                    )
-                )
-        else:
-            points = [evaluate_point(spec, overrides) for overrides in grid]
-        _attach_crossovers(points, reference)
+        chunk_size = self.chunk_size(spec, len(grid))
+        graph, final = build_sweep_graph(
+            spec, grid, chunk_size=chunk_size, pooled=(mode == "process")
+        )
+        try:
+            if mode == "process":
+                # The spec ships to each worker exactly once, keyed by
+                # content hash — chunk tasks carry only their overrides.
+                with ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=seed_worker_store,
+                    initargs=({key: spec.to_dict()},),
+                ) as pool:
+                    report = GraphScheduler(pool).run(graph)
+            else:
+                report = GraphScheduler().run(graph)
+        except TaskFailure as failure:
+            cause = failure.cause
+            raise ScenarioError(
+                f"sweep of scenario {spec.name!r} failed at task"
+                f" {failure.task!r}: {type(cause).__name__}: {cause}"
+            ) from cause
+        points = report.values[final]
+        reference = report.values.get("reference")
 
         result = SweepResult(
             scenario=spec.name,
@@ -353,6 +503,9 @@ class SweepRunner:
                 "cache_hit": False,
                 "mode": mode,
                 "grid_points": len(grid),
+                "scheduler": "task-graph",
+                "chunks": len(graph) - (3 if spec.sweep else 1),
+                "chunk_size": chunk_size,
                 "elapsed_s": time.perf_counter() - started,
             },
         )

@@ -1,0 +1,56 @@
+"""A small deterministic task-graph scheduler (the sweep engine's core).
+
+The benchmarks exposed the stack's one real perf regression: process-pool
+sweeps dispatched one task *per grid point*, each carrying the full spec
+payload, so per-task pickling and IPC swamped the actual work
+(``BENCH_sim.json`` recorded the pool running at ~0.94x serial).  This
+package is the cure, in the style of dask's chunked task graphs:
+
+* :mod:`repro.sched.graph` — tasks with explicit dependencies, validated
+  into a DAG with a deterministic topological order;
+* :mod:`repro.sched.chunks` — cost-class-aware chunk planning: partition
+  a grid into contiguous chunks sized so each dispatched task amortises
+  its overhead (big chunks for cheap analytic points, load-balancing
+  slices for expensive simulated ones);
+* :mod:`repro.sched.runner` — :class:`GraphScheduler`, which executes a
+  graph dependency-aware, running pool-marked tasks on an executor and
+  everything else inline, and fails *cleanly*: one
+  :class:`~repro.sched.graph.TaskFailure` naming the failed task, every
+  outstanding task cancelled or drained, never a hang;
+* :mod:`repro.sched.state` — the per-worker payload store that ships a
+  compiled spec to each pool worker **once** (pool initializer) instead
+  of once per task.
+
+Scenario sweeps (:class:`repro.scenarios.sweep.SweepRunner`), the
+planner's derived-scenario sweeps and the evaluation service's async
+jobs all execute through this scheduler; ``docs/scheduler.md`` walks
+through the model.
+"""
+
+from repro.sched.chunks import (
+    CHEAP_CHUNK_POINTS,
+    EXPENSIVE_CHUNKS_PER_WORKER,
+    chunk_size_for,
+    partition,
+)
+from repro.sched.graph import Dep, SchedulerError, Task, TaskFailure, TaskGraph
+from repro.sched.runner import ExecutionReport, GraphScheduler, run_single_task
+from repro.sched.state import WorkerPayloadStore, seed_worker_store, worker_store
+
+__all__ = [
+    "CHEAP_CHUNK_POINTS",
+    "Dep",
+    "EXPENSIVE_CHUNKS_PER_WORKER",
+    "ExecutionReport",
+    "GraphScheduler",
+    "SchedulerError",
+    "Task",
+    "TaskFailure",
+    "TaskGraph",
+    "WorkerPayloadStore",
+    "chunk_size_for",
+    "partition",
+    "run_single_task",
+    "seed_worker_store",
+    "worker_store",
+]

@@ -1,0 +1,65 @@
+"""Cost-class-aware chunk planning for grid-shaped work.
+
+The old sweep pool used ``chunksize=max(1, len(grid) // 32)`` — a
+one-size heuristic that degenerated at both ends: a 12-point simulated
+sweep became 12 single-point tasks (maximum dispatch overhead exactly
+where a point is cheap to batch), and a 64-point analytic sweep became
+32 two-point tasks whose per-task pickling dwarfed the microseconds of
+actual work.  Chunks are now sized from what one point *costs*:
+
+* **cheap** (analytic / calibrated-over-analytic) points cost
+  microseconds — the only way a pool ever pays off is shipping hundreds
+  of them per task, so chunks are capped at :data:`CHEAP_CHUNK_POINTS`
+  and never split finer than one chunk per worker;
+* **expensive** (simulated / Monte-Carlo) points cost milliseconds to
+  seconds — dispatch is already amortised, so the goal flips to load
+  balancing: :data:`EXPENSIVE_CHUNKS_PER_WORKER` slices per worker keep
+  a straggling chunk from idling the rest of the pool.
+
+:func:`partition` then cuts the grid into contiguous ranges, preserving
+grid order so chunked results concatenate back into exactly the serial
+ordering — the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sched.graph import SchedulerError
+
+#: Upper bound on a cheap chunk: enough points that the per-task pickle
+#: and IPC round-trip is noise against the work inside the chunk.
+CHEAP_CHUNK_POINTS = 256
+
+#: Expensive chunks per worker: 1 would make the slowest chunk the
+#: critical path; this many slices lets the pool rebalance around
+#: stragglers without re-inflating dispatch costs.
+EXPENSIVE_CHUNKS_PER_WORKER = 4
+
+
+def chunk_size_for(total: int, *, expensive: bool, workers: int) -> int:
+    """Points per chunk for a ``total``-point grid on ``workers`` workers."""
+    if total < 1:
+        raise SchedulerError(f"cannot chunk a grid of {total} points")
+    if workers < 1:
+        raise SchedulerError(f"chunking needs >= 1 worker, got {workers}")
+    if expensive:
+        return max(1, math.ceil(total / (workers * EXPENSIVE_CHUNKS_PER_WORKER)))
+    return max(1, min(CHEAP_CHUNK_POINTS, math.ceil(total / workers)))
+
+
+def partition(total: int, chunk_size: int) -> tuple[tuple[int, int], ...]:
+    """Contiguous ``(start, stop)`` ranges covering ``range(total)`` once.
+
+    Every index lands in exactly one chunk and chunks appear in grid
+    order — the properties the hypothesis suite pins for arbitrary
+    ``(total, chunk_size)``.
+    """
+    if total < 1:
+        raise SchedulerError(f"cannot partition {total} points")
+    if chunk_size < 1:
+        raise SchedulerError(f"chunk size must be >= 1, got {chunk_size}")
+    return tuple(
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    )

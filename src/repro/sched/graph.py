@@ -1,0 +1,177 @@
+"""Task graphs: named tasks, explicit dependencies, deterministic order.
+
+A :class:`TaskGraph` is data, not behaviour: it validates its shape
+(unique names, known dependencies, acyclicity) and answers one question
+— a deterministic topological order — while
+:class:`~repro.sched.runner.GraphScheduler` owns execution.  Keeping the
+two apart is what makes the scheduler testable: properties about
+ordering and chunking hold on the graph alone, without running anything.
+
+Dependencies are declared two ways, and both count:
+
+* ``deps=("other",)`` — a pure ordering constraint;
+* a :class:`Dep` marker among the task's arguments — the dependency's
+  *result* is substituted in its place at call time (the dask idiom of
+  keys-in-task-tuples, without the tuple encoding).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+
+class SchedulerError(ReproError):
+    """A malformed task graph (duplicate name, unknown dep, cycle)."""
+
+
+class TaskFailure(ReproError):
+    """One task raised; the graph run stopped cleanly at that task.
+
+    ``task`` names the failed task and ``cause`` is the original
+    exception — callers that present domain errors (e.g. the sweep
+    engine's :class:`~repro.core.errors.ScenarioError`) re-wrap using
+    both.
+    """
+
+    def __init__(self, task: str, cause: BaseException) -> None:
+        super().__init__(f"task {task!r} failed: {type(cause).__name__}: {cause}")
+        self.task = task
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class Dep:
+    """An argument placeholder: "the result of task ``name`` goes here"."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the graph.
+
+    ``pool`` marks the task as safe for a scheduler-supplied executor:
+    its ``fn`` and ``args`` must then survive that executor's transport
+    (pickling, for a process pool).  Unmarked tasks always run inline in
+    the submitting process — the right home for cheap glue (merges,
+    annotations) and for anything closing over live objects.
+    """
+
+    name: str
+    fn: Callable
+    args: tuple = ()
+    deps: tuple[str, ...] = ()
+    pool: bool = False
+
+
+class TaskGraph:
+    """An insertion-ordered DAG of named tasks."""
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+
+    def add(
+        self,
+        name: str,
+        fn: Callable,
+        *args: object,
+        deps: Iterable[str] = (),
+        pool: bool = False,
+    ) -> str:
+        """Add a task; returns its name (handy for chaining ``Dep``s).
+
+        Dependencies are the union of ``deps`` and every :class:`Dep`
+        marker in ``args``, de-duplicated in first-mention order.
+        """
+        if not name or not isinstance(name, str):
+            raise SchedulerError(f"task name must be a non-empty string, got {name!r}")
+        if name in self._tasks:
+            raise SchedulerError(f"duplicate task name {name!r}")
+        if not callable(fn):
+            raise SchedulerError(f"task {name!r} needs a callable, got {fn!r}")
+        merged = list(deps) + [arg.name for arg in args if isinstance(arg, Dep)]
+        for dep in merged:
+            if dep == name:
+                raise SchedulerError(f"task {name!r} cannot depend on itself")
+        task = Task(
+            name=name,
+            fn=fn,
+            args=tuple(args),
+            deps=tuple(dict.fromkeys(merged)),
+            pool=pool,
+        )
+        self._tasks[name] = task
+        return name
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tasks
+
+    def __getitem__(self, name: str) -> Task:
+        return self._tasks[name]
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        """Every task, in insertion order."""
+        return tuple(self._tasks.values())
+
+    def dependents(self) -> dict[str, tuple[str, ...]]:
+        """The reverse adjacency: task name -> tasks that depend on it."""
+        reverse: dict[str, list[str]] = {name: [] for name in self._tasks}
+        for task in self._tasks.values():
+            for dep in task.deps:
+                if dep in reverse:
+                    reverse[dep].append(task.name)
+        return {name: tuple(children) for name, children in reverse.items()}
+
+    def order(self) -> tuple[str, ...]:
+        """A deterministic topological order (Kahn's algorithm).
+
+        Among simultaneously-ready tasks, insertion order wins — so two
+        runs of the same graph construction schedule identically, a
+        property the sweep engine's byte-identical-payloads contract
+        leans on.  Raises :class:`SchedulerError` on unknown
+        dependencies or cycles, naming the offenders.
+        """
+        index = {name: i for i, name in enumerate(self._tasks)}
+        waiting: dict[str, int] = {}
+        for task in self._tasks.values():
+            unknown = [dep for dep in task.deps if dep not in self._tasks]
+            if unknown:
+                raise SchedulerError(
+                    f"task {task.name!r} depends on unknown task(s)"
+                    f" {sorted(unknown)}"
+                )
+            waiting[task.name] = len(task.deps)
+        dependents = self.dependents()
+        ready = sorted(
+            (name for name, count in waiting.items() if count == 0),
+            key=index.__getitem__,
+        )
+        ordered: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            ordered.append(name)
+            freed = []
+            for child in dependents[name]:
+                waiting[child] -= 1
+                if waiting[child] == 0:
+                    freed.append(child)
+            if freed:
+                ready = sorted(ready + freed, key=index.__getitem__)
+        if len(ordered) != len(self._tasks):
+            stuck = sorted(name for name, count in waiting.items() if count > 0)
+            raise SchedulerError(f"task graph has a cycle through {stuck}")
+        return tuple(ordered)
+
+
+def resolve_args(task: Task, results: dict[str, object]) -> tuple:
+    """Substitute every :class:`Dep` in ``task.args`` with its result."""
+    return tuple(
+        results[arg.name] if isinstance(arg, Dep) else arg for arg in task.args
+    )

@@ -1,0 +1,140 @@
+"""Dependency-aware graph execution, inline or over an executor.
+
+:class:`GraphScheduler` walks a validated :class:`~repro.sched.graph.TaskGraph`:
+pool-marked tasks go to the supplied :class:`concurrent.futures.Executor`
+(submitted eagerly, the moment their dependencies complete), everything
+else runs inline in the calling thread.  Ready pool tasks are always
+submitted *before* inline work runs, so a cheap inline task (a sweep's
+reference point, a merge) overlaps the pool's expensive chunks instead
+of serialising in front of them.
+
+Failure is the design centre, because the callers cache results on
+success: the first task that raises stops the run — every not-yet-started
+future is cancelled, every already-running one is drained (a process
+pool cannot interrupt a running call, but it must not race the caller's
+cleanup) — and one :class:`~repro.sched.graph.TaskFailure` naming the
+task surfaces.  Tasks downstream of the failure are never started, so a
+caller that writes caches only after :meth:`GraphScheduler.run` returns
+can never write a partial result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from dataclasses import dataclass
+
+from repro.sched.graph import Task, TaskFailure, TaskGraph, resolve_args
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What a graph run produced, and in what order it happened.
+
+    ``values`` maps every task name to its result.  ``started`` and
+    ``finished`` record observed scheduling order — the hypothesis suite
+    asserts every task *starts* after all of its dependencies
+    *finished*, for arbitrary graphs and executors.
+    """
+
+    values: dict[str, object]
+    started: tuple[str, ...]
+    finished: tuple[str, ...]
+
+
+class GraphScheduler:
+    """Executes task graphs; one instance is reusable across runs.
+
+    ``executor`` hosts pool-marked tasks; with ``None`` every task runs
+    inline (the serial mode — same graph, same results, no transport).
+    The scheduler never creates or shuts the executor down: lifecycle
+    belongs to the caller, which knows whether the pool is per-run (a
+    sweep's process pool) or long-lived (the service's job threads).
+    """
+
+    def __init__(self, executor: Executor | None = None) -> None:
+        self.executor = executor
+
+    def run(self, graph: TaskGraph) -> ExecutionReport:
+        """Execute ``graph``; raises :class:`TaskFailure` on the first error."""
+        order = graph.order()  # validates the graph (deps, cycles) up front
+        index = {name: i for i, name in enumerate(order)}
+        dependents = graph.dependents()
+        waiting = {task.name: len(task.deps) for task in graph.tasks}
+
+        values: dict[str, object] = {}
+        started: list[str] = []
+        finished: list[str] = []
+        ready: list[str] = sorted(
+            (name for name, count in waiting.items() if count == 0),
+            key=index.__getitem__,
+        )
+        in_flight: dict[Future, str] = {}
+
+        def complete(name: str, value: object) -> None:
+            values[name] = value
+            finished.append(name)
+            freed = []
+            for child in dependents[name]:
+                waiting[child] -= 1
+                if waiting[child] == 0:
+                    freed.append(child)
+            if freed:
+                ready.extend(sorted(freed, key=index.__getitem__))
+                ready.sort(key=index.__getitem__)
+
+        def fail(name: str, error: BaseException) -> None:
+            for future in in_flight:
+                future.cancel()
+            # Drain what could not be cancelled: the caller may tear the
+            # pool down (or write caches) the moment we raise, and a
+            # still-running task must not race that.
+            wait(list(in_flight))
+            raise TaskFailure(name, error) from error
+
+        while len(finished) < len(order):
+            # Pool tasks first: get the executor busy before any inline
+            # work blocks this thread.
+            pooled = [n for n in ready if graph[n].pool and self.executor is not None]
+            for name in pooled:
+                ready.remove(name)
+                task = graph[name]
+                started.append(name)
+                in_flight[self.executor.submit(task.fn, *resolve_args(task, values))] = name
+            if ready:
+                name = ready.pop(0)
+                task = graph[name]
+                started.append(name)
+                try:
+                    value = task.fn(*resolve_args(task, values))
+                except BaseException as error:  # noqa: BLE001 - rewrapped
+                    fail(name, error)
+                complete(name, value)
+                continue
+            if not in_flight:
+                break  # graph.order() guarantees this means "all done"
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                name = in_flight.pop(future)
+                try:
+                    value = future.result()
+                except BaseException as error:  # noqa: BLE001 - rewrapped
+                    fail(name, error)
+                complete(name, value)
+
+        return ExecutionReport(
+            values=values, started=tuple(started), finished=tuple(finished)
+        )
+
+
+def run_single_task(name: str, fn, *args) -> object:
+    """Run one callable through the scheduler, for its failure semantics.
+
+    The evaluation service's async jobs route through this: a job is a
+    one-task graph, so job failures carry the same
+    :class:`TaskFailure`-with-named-task shape as a failed sweep chunk,
+    and anything the sweep layer runs underneath (chunked pools) nests
+    naturally.
+    """
+    graph = TaskGraph()
+    graph.add(name, fn, *args)
+    return GraphScheduler().run(graph).values[name]

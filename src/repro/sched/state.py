@@ -1,0 +1,134 @@
+"""Per-worker shared state: ship a payload once, build its value once.
+
+The old process-pool sweep repeated the full spec payload in *every*
+task (``itertools.repeat(spec_payload)`` zipped against the grid), so a
+1000-point sweep pickled the same spec a thousand times and every worker
+re-parsed it per point.  The store inverts that: the pool initializer
+seeds each worker with the raw payloads exactly once
+(:func:`seed_worker_store`), and tasks ask for the *built* value —
+parsed, compiled, whatever ``build`` does — which is constructed on
+first use and cached for the worker's lifetime.
+
+The store is thread-safe because it is also the parent process's shared
+compiled-spec state when the evaluation service's job threads run
+sweeps concurrently: ``value`` uses double-checked locking so exactly
+one thread pays the build per key, a contract the concurrency hammer in
+``tests/test_sched_faults.py`` fires at.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Mapping
+
+from repro.sched.graph import SchedulerError
+
+
+class WorkerPayloadStore:
+    """Raw payloads keyed by content hash; values built lazily, once."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._payloads: dict[str, object] = {}
+        self._values: dict[str, object] = {}
+        self._building: dict[str, threading.Event] = {}
+        self.builds = 0  # observable: the hammer asserts one build per key
+
+    def seed(self, payloads: Mapping[str, object]) -> None:
+        """Register raw payloads (idempotent for identical content).
+
+        Re-seeding a key drops its built value only when the payload
+        actually changed — two sweeps of the same spec sharing a worker
+        must not rebuild.
+        """
+        with self._lock:
+            for key, payload in payloads.items():
+                if self._payloads.get(key) != payload:
+                    self._payloads[key] = payload
+                    self._values.pop(key, None)
+
+    def payload(self, key: str) -> object:
+        with self._lock:
+            if key not in self._payloads:
+                raise SchedulerError(
+                    f"worker store has no payload for key {key!r}; was the"
+                    " pool started with the seeding initializer?"
+                )
+            return self._payloads[key]
+
+    def value(self, key: str, build: Callable[[object], object]) -> object:
+        """The built value for ``key``, constructing it at most once.
+
+        ``build`` receives the seeded payload.  Double-checked locking:
+        the fast path is a lock-held dict hit; the slow path builds
+        outside the lock (builds can be expensive — parsing a spec,
+        generating a graph) and publishes under it, first writer wins.
+        """
+        with self._lock:
+            if key in self._values:
+                return self._values[key]
+            if key not in self._payloads:
+                raise SchedulerError(
+                    f"worker store has no payload for key {key!r}; was the"
+                    " pool started with the seeding initializer?"
+                )
+            payload = self._payloads[key]
+            pending = self._building.get(key)
+            if pending is None:
+                pending = self._building[key] = threading.Event()
+                builder = True
+            else:
+                builder = False
+        if not builder:
+            pending.wait()
+            with self._lock:
+                if key in self._values:
+                    return self._values[key]
+            # The builder raised; retry (we may become the builder now).
+            return self.value(key, build)
+        try:
+            value = build(payload)
+        except BaseException:
+            with self._lock:
+                self._building.pop(key, None)
+            pending.set()
+            raise
+        # Publish *before* releasing waiters: a reader must never observe
+        # "no value and nobody building" after a successful build, or it
+        # would build a second time.
+        with self._lock:
+            self._values[key] = value
+            self.builds += 1
+            self._building.pop(key, None)
+        pending.set()
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._payloads.clear()
+            self._values.clear()
+            self.builds = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "payloads": len(self._payloads),
+                "values": len(self._values),
+                "builds": self.builds,
+            }
+
+
+#: The per-process store pool initializers seed.  Each pool *worker*
+#: gets its own module instance (fresh interpreter or forked copy); in
+#: the parent process it doubles as the shared compiled-spec state.
+_STORE = WorkerPayloadStore()
+
+
+def worker_store() -> WorkerPayloadStore:
+    """This process's payload store."""
+    return _STORE
+
+
+def seed_worker_store(payloads: Mapping[str, object]) -> None:
+    """Pool initializer: runs once per worker, not once per task."""
+    _STORE.seed(payloads)

@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.errors import ReproError
+from repro.sched import TaskFailure, run_single_task
 
 
 class ServiceError(ReproError):
@@ -150,11 +151,17 @@ class JobStore:
         # Outcome fields are written BEFORE the status flips: readers
         # (Job.payload) snapshot the status lock-free, so the status
         # must be the last thing that changes.
+        #
+        # The work runs through repro.sched as a one-task graph: job
+        # failures get the scheduler's fail-fast semantics and the same
+        # named-task shape as a failed sweep chunk, while the wire error
+        # string stays "ExceptionType: message" for the original cause.
         try:
-            result = work()
-        except Exception as error:  # noqa: BLE001 - job failures are data
+            result = run_single_task(f"{job.kind}:{job.id}", work)
+        except TaskFailure as failure:
+            cause = failure.cause
             with self._lock:
-                job.error = f"{type(error).__name__}: {error}"
+                job.error = f"{type(cause).__name__}: {cause}"
                 job.finished_monotonic = time.monotonic()
                 job.status = "failed"
                 self._active -= 1

@@ -323,7 +323,9 @@ class TestSweepDeterminismAcrossModes:
                 sweep={"jitter_sigma": [0.0, 0.1]},
             )
         )
-        assert SweepRunner(mode="auto").resolve_mode(spec, 2) == "process"
+        # cpus pinned: auto is CPU-aware and would stay serial on 1 CPU.
+        assert SweepRunner(mode="auto", cpus=4).resolve_mode(spec, 2) == "process"
+        assert SweepRunner(mode="auto", cpus=1).resolve_mode(spec, 2) == "serial"
 
     def test_points_record_their_backend(self):
         spec = parse_scenario(minimal_spec(backend={"kind": "simulated"}))

@@ -184,21 +184,53 @@ class TestSpecRoundtrip:
 
 @pytest.mark.slow
 class TestSweepPathEquivalence:
-    """Serial and process-pool sweeps must produce identical bytes."""
+    """Serial and chunked-process sweeps must produce identical bytes.
+
+    One pin per backend — analytic, simulated, calibrated — because each
+    evaluates through a different path (vectorized cost tree, seeded
+    discrete-event runs, measure-and-fit) and any of them could leak
+    pool-worker state into the results.  The process run goes through
+    the task-graph scheduler's chunked dispatch, so these pins also hold
+    chunk boundaries and merge order to the serial ordering.
+    """
+
+    @staticmethod
+    def assert_modes_agree(document):
+        spec = parse_scenario(document)
+        serial = SweepRunner(mode="serial", use_cache=False).run(spec)
+        pooled = SweepRunner(mode="process", max_workers=2, use_cache=False).run(spec)
+        assert pooled.stats["mode"] == "process"
+        serial_bytes = json.dumps(serial.payload(), sort_keys=True)
+        pooled_bytes = json.dumps(pooled.payload(), sort_keys=True)
+        assert serial_bytes == pooled_bytes
 
     @settings(derandomize=True, deadline=None, max_examples=3)
     @given(
         simulatable_documents(simulation=noisy_simulation(), max_workers=12),
         st.sampled_from([[0.0, 0.05], [0.0, 0.1, 0.2]]),
     )
-    def test_serial_and_process_sweeps_are_byte_identical(self, document, jitter_axis):
-        document = {**document, "sweep": {"jitter_sigma": jitter_axis}}
-        spec = parse_scenario(document)
-        serial = SweepRunner(mode="serial", use_cache=False).run(spec)
-        pooled = SweepRunner(mode="process", max_workers=2, use_cache=False).run(spec)
-        serial_bytes = json.dumps(serial.payload(), sort_keys=True)
-        pooled_bytes = json.dumps(pooled.payload(), sort_keys=True)
-        assert serial_bytes == pooled_bytes
+    def test_simulated_sweeps_are_byte_identical(self, document, jitter_axis):
+        self.assert_modes_agree({**document, "sweep": {"jitter_sigma": jitter_axis}})
+
+    @settings(derandomize=True, deadline=None, max_examples=4)
+    @given(
+        scenario_documents(backends=("analytic",), max_workers=12),
+        st.sampled_from([[1e9, 2e9], [5e8, 1e9, 2e9, 4e9]]),
+    )
+    def test_analytic_sweeps_are_byte_identical(self, document, flops_axis):
+        self.assert_modes_agree({**document, "sweep": {"flops": flops_axis}})
+
+    @settings(derandomize=True, deadline=None, max_examples=3)
+    @given(
+        scenario_documents(
+            kinds=tuple(k for k in ALL_KINDS if k != "belief_propagation"),
+            backends=("calibrated",),
+            max_workers=12,
+        ),
+        st.sampled_from([[1e9, 2e9], [1e9, 1.5e9, 3e9]]),
+    )
+    def test_calibrated_sweeps_are_byte_identical(self, document, flops_axis):
+        self.assert_modes_agree({**document, "sweep": {"flops": flops_axis}})
 
 
 class TestGoldenRegressions:

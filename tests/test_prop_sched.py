@@ -1,0 +1,202 @@
+"""Property-based tests for the task-graph scheduler.
+
+Two families of property, both load-bearing for the sweep engine:
+
+* **chunking is a partition** — for arbitrary (grid size, chunk size,
+  worker count), the planned chunks cover every grid index exactly once,
+  in order.  This is what lets chunked results concatenate back into the
+  serial ordering, i.e. the byte-identity contract's combinatorial half.
+* **execution respects the graph** — for arbitrary DAGs (random shape,
+  random pool-marking) run inline or over a real thread pool, every task
+  starts only after all of its declared dependencies have finished, and
+  dependency results are substituted correctly.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    EXPENSIVE_CHUNKS_PER_WORKER,
+    Dep,
+    GraphScheduler,
+    TaskGraph,
+    chunk_size_for,
+    partition,
+)
+
+
+class TestPartitionProperties:
+    @given(
+        total=st.integers(min_value=1, max_value=5000),
+        chunk_size=st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=120)
+    def test_every_index_in_exactly_one_chunk(self, total, chunk_size):
+        chunks = partition(total, chunk_size)
+        covered = [i for start, stop in chunks for i in range(start, stop)]
+        assert covered == list(range(total))  # once each, in grid order
+
+    @given(
+        total=st.integers(min_value=1, max_value=5000),
+        chunk_size=st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=120)
+    def test_chunks_are_contiguous_and_full_sized_but_the_last(self, total, chunk_size):
+        chunks = partition(total, chunk_size)
+        for start, stop in chunks[:-1]:
+            assert stop - start == chunk_size
+        last_start, last_stop = chunks[-1]
+        assert 0 < last_stop - last_start <= chunk_size
+        assert last_stop == total
+
+    @given(
+        total=st.integers(min_value=1, max_value=100_000),
+        workers=st.integers(min_value=1, max_value=64),
+        expensive=st.booleans(),
+    )
+    @settings(max_examples=120)
+    def test_planned_chunking_always_partitions(self, total, workers, expensive):
+        """The composed plan — size from cost class, then cut — is sound."""
+        size = chunk_size_for(total, expensive=expensive, workers=workers)
+        assert 1 <= size <= total
+        chunks = partition(total, size)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == total
+        assert sum(stop - start for start, stop in chunks) == total
+
+    @given(
+        total=st.integers(min_value=1, max_value=100_000),
+        workers=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=80)
+    def test_expensive_chunk_count_bounded_by_slices(self, total, workers):
+        """Expensive grids never explode past the slices-per-worker budget."""
+        size = chunk_size_for(total, expensive=True, workers=workers)
+        chunk_count = len(partition(total, size))
+        assert chunk_count <= workers * EXPENSIVE_CHUNKS_PER_WORKER
+
+
+@st.composite
+def random_dags(draw):
+    """A random DAG: each task depends on a subset of earlier tasks.
+
+    Drawing dependencies only from already-added names guarantees
+    acyclicity by construction, while still covering chains, diamonds,
+    wide fan-outs and disconnected components.  Each dependency is
+    randomly declared either as a ``Dep`` argument (result substitution)
+    or as a pure ordering constraint via ``deps=`` — both must count.
+    """
+    count = draw(st.integers(min_value=1, max_value=14))
+    dag: list[tuple[tuple[int, ...], tuple[int, ...], bool]] = []
+    for i in range(count):
+        upstream = (
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=i - 1),
+                    max_size=min(i, 4),
+                    unique=True,
+                )
+            )
+            if i
+            else []
+        )
+        as_args = tuple(u for u in upstream if draw(st.booleans()))
+        as_deps = tuple(u for u in upstream if u not in as_args)
+        dag.append((as_args, as_deps, draw(st.booleans())))
+    return dag
+
+
+def _build(dag, events=None, lock=None):
+    """Tasks compute ``1 + sum(arg-dep results)`` and log start/end events.
+
+    The event log (when supplied) is the happens-before witness: a task
+    records ``("start", i)`` before doing anything and ``("end", i)``
+    after, under one lock, so "every dependency ended before this task
+    started" is checkable against real execution, not the scheduler's
+    own bookkeeping.
+    """
+    graph = TaskGraph()
+    for i, (as_args, as_deps, pool) in enumerate(dag):
+
+        def fn(*xs, _i=i):
+            if events is not None:
+                with lock:
+                    events.append(("start", _i))
+            value = 1 + sum(xs)
+            if events is not None:
+                with lock:
+                    events.append(("end", _i))
+            return value
+
+        graph.add(
+            f"t{i}",
+            fn,
+            *(Dep(f"t{u}") for u in as_args),
+            deps=tuple(f"t{u}" for u in as_deps),
+            pool=pool,
+        )
+    return graph
+
+
+def _expected_values(dag):
+    values: dict[int, int] = {}
+    for i, (as_args, _as_deps, _pool) in enumerate(dag):
+        values[i] = 1 + sum(values[u] for u in as_args)
+    return {f"t{i}": v for i, v in values.items()}
+
+
+def _assert_events_respect_deps(events, dag):
+    position = {event: i for i, event in enumerate(events)}
+    for i, (as_args, as_deps, _pool) in enumerate(dag):
+        for u in (*as_args, *as_deps):
+            assert position[("end", u)] < position[("start", i)], (
+                f"t{i} started before its dependency t{u} ended: {events}"
+            )
+
+
+class TestExecutionOrderProperties:
+    @given(dag=random_dags())
+    @settings(max_examples=100)
+    def test_inline_execution_respects_dependencies(self, dag):
+        events, lock = [], threading.Lock()
+        report = GraphScheduler().run(_build(dag, events, lock))
+        assert report.values == _expected_values(dag)
+        assert len(report.started) == len(dag)
+        assert set(report.finished) == {f"t{i}" for i in range(len(dag))}
+        _assert_events_respect_deps(events, dag)
+
+    @given(dag=random_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_pooled_execution_respects_dependencies(self, dag):
+        events, lock = [], threading.Lock()
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            report = GraphScheduler(pool).run(_build(dag, events, lock))
+        assert report.values == _expected_values(dag)
+        _assert_events_respect_deps(events, dag)
+
+    @given(dag=random_dags())
+    @settings(max_examples=60)
+    def test_report_orders_are_consistent(self, dag):
+        """The report's own logs agree with the dependency structure."""
+        report = GraphScheduler().run(_build(dag))
+        for i, (as_args, as_deps, _pool) in enumerate(dag):
+            for u in (*as_args, *as_deps):
+                # Within each log a dependency precedes its dependent.
+                assert report.started.index(f"t{u}") < report.started.index(f"t{i}")
+                assert report.finished.index(f"t{u}") < report.finished.index(f"t{i}")
+
+    @given(dag=random_dags())
+    @settings(max_examples=60)
+    def test_order_matches_a_rerun_exactly(self, dag):
+        """Determinism: the same graph schedules identically twice."""
+        graph = _build(dag)
+        assert graph.order() == _build(dag).order()
+        first = GraphScheduler().run(graph)
+        second = GraphScheduler().run(graph)
+        assert first.started == second.started
+        assert first.values == second.values

@@ -450,12 +450,24 @@ class TestSweepRunner:
 
     def test_auto_mode_choices(self):
         closed_form = parse_scenario(minimal_spec())
-        runner = SweepRunner(mode="auto")
+        runner = SweepRunner(mode="auto", cpus=4)  # pinned: auto is CPU-aware
         assert runner.resolve_mode(closed_form, 1) == "serial"
         assert runner.resolve_mode(closed_form, 1000) == "process"
+        # Cheap grids below the threshold stay serial: the whole grid
+        # fits in one or two chunks, so dispatch cannot amortise.
+        assert runner.resolve_mode(closed_form, 100) == "serial"
         stochastic = load_builtin("bp-dns-16k")
         assert runner.resolve_mode(stochastic, 4) == "process"
         assert runner.resolve_mode(stochastic, 1) == "serial"
+
+    def test_auto_mode_is_serial_on_one_cpu(self):
+        """A pool can never beat serial without a second core."""
+        runner = SweepRunner(mode="auto", cpus=1)
+        closed_form = parse_scenario(minimal_spec())
+        assert runner.resolve_mode(closed_form, 100000) == "serial"
+        assert runner.resolve_mode(load_builtin("bp-dns-16k"), 64) == "serial"
+        # An explicit mode request is never second-guessed.
+        assert SweepRunner(mode="process", cpus=1).resolve_mode(closed_form, 4) == "process"
 
     def test_bad_mode_rejected(self):
         with pytest.raises(ScenarioError, match="mode"):

@@ -1,0 +1,285 @@
+"""Fault injection for the chunked sweep scheduler.
+
+The failure contract, under fire from the shapes that actually go wrong:
+
+* a grid point that fails *inside a pool worker* (here: a sweep axis
+  value that passes document validation but fails per-point compilation)
+  surfaces as one clean :class:`ScenarioError` naming the failed chunk —
+  never a hang, never a raw pool traceback;
+* nothing downstream of a failure runs, so a failed sweep leaves **no**
+  cache entry and no staging litter — the cache is written only after a
+  fully successful run;
+* the shared compiled-spec state (:class:`WorkerPayloadStore`) builds
+  each value exactly once under thread contention, including when the
+  first build attempt raises (hammer in the style of
+  ``tests/test_cache_concurrency.py``);
+* (slow) the scheduler survives a stress-sized graph on a real pool and
+  a process-mode sweep still matches serial byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.scenarios import SweepRunner, parse_scenario
+from repro.sched import (
+    Dep,
+    GraphScheduler,
+    SchedulerError,
+    TaskFailure,
+    TaskGraph,
+    WorkerPayloadStore,
+)
+
+from tests.test_scenarios import minimal_spec
+
+
+def failing_sweep_spec():
+    """A spec whose second grid point fails at per-point compile time.
+
+    ``topology`` values are strings, so document validation (which
+    checks numeric axes) admits them; the bogus value only explodes when
+    the worker compiles that grid point — exactly the
+    deep-inside-the-pool failure the sweep must surface cleanly.
+    """
+    return parse_scenario(
+        minimal_spec(
+            algorithm={
+                "kind": "bsp",
+                "params": {
+                    "iterations": 5,
+                    "operations_per_superstep": 1e8,
+                    "payload_bits": 1e6,
+                    "topology": "tree",
+                },
+            },
+            sweep={"topology": ["tree", "definitely-not-a-topology"]},
+        )
+    )
+
+
+class TestFailingChunkSurfacesCleanly:
+    @pytest.mark.parametrize("mode", ["serial", "process"])
+    def test_one_scenario_error_naming_the_chunk(self, mode, tmp_path):
+        runner = SweepRunner(
+            mode=mode, max_workers=2, cache_dir=tmp_path, use_cache=True
+        )
+        with pytest.raises(ScenarioError) as excinfo:
+            runner.run(failing_sweep_spec())
+        message = str(excinfo.value)
+        # The failed chunk is named, with its grid range; the original
+        # cause rides along; no raw TaskFailure/pool noise leaks out.
+        assert "chunk-0001[1:2]" in message
+        assert "definitely-not-a-topology" in message
+        assert excinfo.type is ScenarioError
+
+    @pytest.mark.parametrize("mode", ["serial", "process"])
+    def test_failed_sweep_writes_nothing_to_the_cache(self, mode, tmp_path):
+        runner = SweepRunner(
+            mode=mode, max_workers=2, cache_dir=tmp_path, use_cache=True
+        )
+        with pytest.raises(ScenarioError):
+            runner.run(failing_sweep_spec())
+        leftovers = [p.name for p in tmp_path.iterdir()] if tmp_path.exists() else []
+        assert leftovers == [], f"failed sweep left cache litter: {leftovers}"
+
+    def test_failure_does_not_poison_the_runner(self, tmp_path):
+        """The same runner still evaluates a good spec afterwards."""
+        runner = SweepRunner(mode="serial", cache_dir=tmp_path, use_cache=True)
+        with pytest.raises(ScenarioError):
+            runner.run(failing_sweep_spec())
+        good = parse_scenario(minimal_spec(sweep={"flops": [1e9, 2e9]}))
+        result = runner.run(good)
+        assert len(result.points) == 2
+        assert result.stats["cache_hit"] is False
+
+    def test_downstream_of_failed_dependency_never_runs(self):
+        ran = []
+
+        def explode():
+            raise RuntimeError("injected")
+
+        graph = TaskGraph()
+        graph.add("ok", lambda: ran.append("ok") or 1, pool=True)
+        graph.add("explode", explode, pool=True)
+        graph.add("merge", lambda a, b: ran.append("merge"), Dep("ok"), Dep("explode"))
+        graph.add("after", lambda m: ran.append("after"), Dep("merge"))
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(TaskFailure) as excinfo:
+                GraphScheduler(pool).run(graph)
+        assert excinfo.value.task == "explode"
+        assert "merge" not in ran and "after" not in ran
+
+    def test_failure_drains_running_pool_tasks_before_raising(self):
+        """The scheduler must not raise while pool tasks still run."""
+        release = threading.Event()
+        still_running = threading.Event()
+
+        def slow_ok():
+            still_running.set()
+            release.wait(timeout=30)
+            return 1
+
+        def explode():
+            still_running.wait(timeout=30)  # fail while slow_ok is live
+            raise RuntimeError("injected")
+
+        def unblock():
+            time.sleep(0.2)
+            release.set()
+
+        graph = TaskGraph()
+        graph.add("slow", slow_ok, pool=True)
+        graph.add("explode", explode, pool=True)
+        threading.Thread(target=unblock, daemon=True).start()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(TaskFailure):
+                GraphScheduler(pool).run(graph)
+            # By the time run() raised, the slow task had been drained —
+            # nothing is left to race the executor shutdown.
+            assert release.is_set()
+
+
+class TestWorkerStoreHammer:
+    """Thread contention on the shared compiled-spec state."""
+
+    def test_many_threads_one_build(self):
+        store = WorkerPayloadStore()
+        store.seed({"spec": {"n": 7}})
+        barrier = threading.Barrier(8)
+        results: list[object] = []
+        errors: list[BaseException] = []
+
+        def build(payload):
+            time.sleep(0.01)  # widen the race window
+            return payload["n"] * 2
+
+        def hit():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(50):
+                    results.append(store.value("spec", build))
+            except BaseException as error:  # noqa: BLE001 - collected
+                errors.append(error)
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert set(results) == {14}
+        assert store.stats()["builds"] == 1, "compiled spec was built more than once"
+
+    def test_failed_build_retried_by_waiters_not_lost(self):
+        """First builder raises; exactly one later arrival rebuilds."""
+        store = WorkerPayloadStore()
+        store.seed({"spec": 3})
+        attempts = []
+        attempts_lock = threading.Lock()
+
+        def flaky_build(payload):
+            with attempts_lock:
+                attempts.append(threading.get_ident())
+                first = len(attempts) == 1
+            time.sleep(0.005)
+            if first:
+                raise RuntimeError("injected first-build failure")
+            return payload * 10
+
+        outcomes: list[object] = []
+
+        def hit():
+            try:
+                outcomes.append(store.value("spec", flaky_build))
+            except RuntimeError:
+                outcomes.append("raised")
+
+        threads = [threading.Thread(target=hit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Everyone either saw the injected failure or the built value —
+        # never a hang, never a half-built artefact.
+        assert set(outcomes) <= {30, "raised"}
+        assert 30 in outcomes
+        assert store.stats()["builds"] == 1
+
+    def test_distinct_keys_build_independently(self):
+        store = WorkerPayloadStore()
+        store.seed({f"k{i}": i for i in range(16)})
+        errors: list[BaseException] = []
+
+        def hit(key, expected):
+            try:
+                for _ in range(30):
+                    assert store.value(key, lambda p: p * p) == expected
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hit, args=(f"k{i}", i * i)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert store.stats()["builds"] == 16
+
+    def test_unseeded_key_raises_not_hangs(self):
+        store = WorkerPayloadStore()
+        with pytest.raises(SchedulerError, match="initializer"):
+            store.value("never-seeded", lambda p: p)
+
+
+@pytest.mark.slow
+class TestSchedulerStress:
+    def test_wide_deep_graph_on_a_real_pool(self):
+        """A stress-sized fan-out/fan-in DAG: 4 layers x 60 tasks."""
+        graph = TaskGraph()
+        layers, width = 4, 60
+        for layer in range(layers):
+            for i in range(width):
+                if layer == 0:
+                    graph.add(f"l0-{i}", lambda _i=i: _i, pool=True)
+                else:
+                    # Each task folds two tasks of the previous layer.
+                    a, b = Dep(f"l{layer - 1}-{i}"), Dep(f"l{layer - 1}-{(i + 1) % width}")
+                    graph.add(f"l{layer}-{i}", lambda x, y: x + y, a, b, pool=True)
+        graph.add(
+            "total",
+            lambda *xs: sum(xs),
+            *(Dep(f"l{layers - 1}-{i}") for i in range(width)),
+        )
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            report = GraphScheduler(pool).run(graph)
+        # Each layer doubles the sum of the previous one.
+        expected = sum(range(width)) * 2 ** (layers - 1)
+        assert report.values["total"] == expected
+        assert len(report.finished) == layers * width + 1
+
+    def test_process_sweep_under_stress_matches_serial(self, tmp_path):
+        """A multi-chunk process sweep stays byte-identical to serial."""
+        spec = parse_scenario(
+            minimal_spec(
+                sweep={
+                    "flops": [1e9 * (1 + i / 10) for i in range(6)],
+                    "bandwidth_bps": [1e9, 2e9, 4e9],
+                    "operations_per_sample": [1e7, 2e7],
+                }
+            )
+        )
+        serial = SweepRunner(mode="serial", use_cache=False).run(spec)
+        pooled = SweepRunner(mode="process", max_workers=2, use_cache=False).run(spec)
+        assert json.dumps(serial.payload(), sort_keys=True) == json.dumps(
+            pooled.payload(), sort_keys=True
+        )
+        assert serial.stats["grid_points"] == 36

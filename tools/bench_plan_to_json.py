@@ -7,13 +7,21 @@ with) via the serial and process-pool sweep paths, and writes the
 results to ``BENCH_plan.json`` at the repository root alongside
 ``BENCH_sweep.json`` and ``BENCH_sim.json``.
 
+The planner's derived-scenario sweeps route through the task-graph
+scheduler (``repro.sched``) like every other sweep: chunked dispatch,
+spec shipped to each pool worker once via the initializer.
+
 Acceptance is CPU-aware, like ``bench_sim_to_json.py``: with more than
-one core the pool must beat serial by ``MIN_SPEEDUP_MULTI``; on a single
-core it must merely not collapse (``MIN_SPEEDUP_SINGLE``).  In both
-cases the *recommendation payload* — including the Pareto frontier —
-must be byte-identical between the two paths: the planner inherits the
-scenario engine's seed-derivation determinism, and this artifact proves
-it end to end.
+one core the pool must beat serial by ``MIN_SPEEDUP_MULTI`` (raised
+with the chunked scheduler; >= 1x is the headline criterion on
+multi-core CI runners).  On a single core a pool arithmetically cannot
+beat serial — the documented fallback floor ``MIN_SPEEDUP_SINGLE``
+bounds pool overhead instead.  In both cases the *recommendation
+payload* — including the Pareto frontier — must be byte-identical
+between the two paths: the planner inherits the scenario engine's
+seed-derivation determinism, and this artifact proves it end to end; a
+payload mismatch fails the run regardless of timings, which is what
+makes ``make bench-plan`` a payload-identity gate in CI.
 
 Usage::
 
@@ -24,7 +32,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
 import time
 from pathlib import Path
@@ -33,14 +40,16 @@ import numpy as np
 
 from repro.planner import parse_plan, run_plan
 from repro.scenarios import SweepRunner
+from repro.scenarios.sweep import available_cpus
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Required process-pool speedup when the machine has >= 2 cores.
-MIN_SPEEDUP_MULTI = 1.15
+MIN_SPEEDUP_MULTI = 1.25
 
-#: Required serial/process ratio on a single core (pool overhead bound).
-MIN_SPEEDUP_SINGLE = 0.5
+#: Required serial/process ratio on a single core (pool overhead bound;
+#: a pool cannot beat serial without a second core).
+MIN_SPEEDUP_SINGLE = 0.7
 
 
 def bench_plan(max_workers: int, iterations: int) -> dict:
@@ -120,7 +129,7 @@ def main() -> int:
 
     configurations = plan.search.configurations
     candidate_points = configurations * args.max_workers
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     speedup = serial_s / process_s
     floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
     accepted = payloads_match and speedup >= floor
@@ -128,8 +137,9 @@ def main() -> int:
     payload = {
         "benchmark": "capacity-plan",
         "description": (
-            "serial vs process-pool evaluation of a simulated-backend"
-            " capacity plan (see benchmarks/bench_planner.py)"
+            "serial vs chunked process-pool evaluation of a"
+            " simulated-backend capacity plan through the task-graph"
+            " scheduler (see benchmarks/bench_planner.py)"
         ),
         "configurations": configurations,
         "worker_counts": args.max_workers,
