@@ -7,7 +7,7 @@ export PYTHONPATH := src
 # Coverage floor CI enforces on src/repro (see `make test-cov`).
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve check clean
+.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve bench-net check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
@@ -36,7 +36,7 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md docs/network.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
@@ -61,8 +61,14 @@ bench-plan:
 bench-serve:
 	$(PYTHON) tools/bench_serve_to_json.py
 
+## The network-backend acceptance bench: serial vs process network
+## sweeps (payload-identical) plus the fat-tree-vs-single-switch
+## evaluation overhead ratio, written to BENCH_net.json.
+bench-net:
+	$(PYTHON) tools/bench_net_to_json.py
+
 ## Everything CI would run.
-check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve
+check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve bench-net
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,97 @@
+"""Bench: the flow-level network backend's sweep and topology costs.
+
+The network backend re-solves max-min fair-share rates at every flow
+arrival and finish, so its per-point cost scales with the collective's
+flow count and the topology's route lengths — this bench pins both: a
+full oversubscription sweep stays fast through serial and process
+paths (payload-identical, like every sweep mode pair), and a fat-tree
+evaluation stays within a small constant of the single-switch one.
+``tools/bench_net_to_json.py`` runs the same comparison standalone and
+records it in ``BENCH_net.json``.
+
+Like every ``bench_*.py`` file, this is not auto-collected by ``make
+test``; run it explicitly via ``make bench-net`` (wired into CI) or
+``pytest benchmarks/``.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.scenarios import SweepRunner, parse_scenario
+
+# tools/ is not a package; the standalone artifact writer owns the spec
+# and the floors, and this bench reuses them verbatim.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tools.bench_net_to_json import (  # noqa: E402
+    MAX_FAT_TREE_RATIO,
+    MIN_SPEEDUP_MULTI,
+    MIN_SPEEDUP_SINGLE,
+    bench_spec,
+    evaluate_seconds,
+    topology_spec,
+)
+
+SPEC = parse_scenario(bench_spec(points=10, max_workers=24, iterations=4))
+
+
+def run(mode: str):
+    return SweepRunner(mode=mode, use_cache=False).run(SPEC)
+
+
+def best_of(fn, rounds: int = 2):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_serial_network_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run("serial"), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert len(result.points) == SPEC.grid_size
+
+
+def test_pool_meets_acceptance_floor(benchmark):
+    serial_s, serial_result = best_of(lambda: run("serial"))
+    process_s, process_result = best_of(lambda: run("process"))
+
+    # Determinism first: identical payloads regardless of mode.
+    assert serial_result.payload() == process_result.payload()
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / process_s
+    floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["process_s"] = process_s
+    benchmark.extra_info["speedup_x"] = speedup
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nnetwork sweep: serial {serial_s:.3f}s, process {process_s:.3f}s"
+        f" ({speedup:.2f}x on {cpus} cpu(s); floor {floor}x)"
+    )
+    assert speedup >= floor
+
+
+def test_fat_tree_overhead_is_bounded(benchmark):
+    single_s = evaluate_seconds(
+        topology_spec("single-switch", max_workers=24, iterations=4), rounds=2
+    )
+    fat_tree_s = evaluate_seconds(
+        topology_spec("fat-tree", max_workers=24, iterations=4), rounds=2
+    )
+    ratio = fat_tree_s / single_s
+    benchmark.extra_info["single_switch_s"] = single_s
+    benchmark.extra_info["fat_tree_s"] = fat_tree_s
+    benchmark.extra_info["fat_tree_over_single_switch_x"] = ratio
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\ntopology overhead: single-switch {single_s:.3f}s, fat-tree"
+        f" {fat_tree_s:.3f}s ({ratio:.2f}x; bound {MAX_FAT_TREE_RATIO}x)"
+    )
+    assert ratio <= MAX_FAT_TREE_RATIO

@@ -49,12 +49,13 @@ def _add_scenario_run_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=("analytic", "simulated", "calibrated"),
+        choices=("analytic", "simulated", "calibrated", "network"),
         default=None,
         help=(
             "override the spec's evaluation backend: 'analytic' (closed-form"
-            " cost trees), 'simulated' (discrete-event cluster runs), or"
-            " 'calibrated' (measure, fit, evaluate the fitted family)"
+            " cost trees), 'simulated' (discrete-event cluster runs),"
+            " 'calibrated' (measure, fit, evaluate the fitted family), or"
+            " 'network' (flow-level runs over the spec's topology block)"
         ),
     )
     parser.add_argument(
@@ -187,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan_run.add_argument(
         "--backend",
-        choices=("analytic", "simulated", "calibrated"),
+        choices=("analytic", "simulated", "calibrated", "network"),
         default=None,
         help=(
             "override the evaluation backend candidates are measured"
@@ -330,7 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_evaluate.add_argument("--workers", metavar="GRID", default=None)
     client_evaluate.add_argument(
-        "--backend", choices=("analytic", "simulated", "calibrated"), default=None
+        "--backend", choices=("analytic", "simulated", "calibrated", "network"), default=None
     )
 
     client_sweep = client_sub.add_parser(
@@ -343,7 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_sweep.add_argument("--workers", metavar="GRID", default=None)
     client_sweep.add_argument(
-        "--backend", choices=("analytic", "simulated", "calibrated"), default=None
+        "--backend", choices=("analytic", "simulated", "calibrated", "network"), default=None
     )
     client_sweep.add_argument("--mode", choices=("auto", "sync", "async"), default=None)
     client_sweep.add_argument(
@@ -361,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
         "spec", help="a builtin plan name or a local JSON file (sent inline)"
     )
     client_plan.add_argument(
-        "--backend", choices=("analytic", "simulated", "calibrated"), default=None
+        "--backend", choices=("analytic", "simulated", "calibrated", "network"), default=None
     )
     client_plan.add_argument("--mode", choices=("auto", "sync", "async"), default=None)
     client_plan.add_argument(

@@ -107,6 +107,17 @@ def infiniband_fdr(latency_s: float = 1e-6) -> LinkSpec:
     return LinkSpec(name="InfiniBand FDR", bandwidth_bps=56.0 * GIGA, latency_s=latency_s)
 
 
+def wan_ethernet(latency_s: float = 0.03) -> LinkSpec:
+    """A 10 Gbit/s WAN circuit with metro/continental latency (~30 ms RTT/2).
+
+    The default WAN link of the ``geo`` topology
+    (:mod:`repro.net.topology`): cross-site flows share its capacity and
+    pay its propagation delay, both sweepable from a scenario's
+    ``backend.topology`` block.
+    """
+    return LinkSpec(name="WAN Ethernet", bandwidth_bps=10.0 * GIGA, latency_s=latency_s)
+
+
 _CATALOG = {
     "xeon-e3-1240": xeon_e3_1240,
     "nvidia-k40": nvidia_k40,
@@ -114,6 +125,7 @@ _CATALOG = {
     "10gbe": ten_gigabit_ethernet,
     "40gbe": forty_gigabit_ethernet,
     "infiniband-fdr": infiniband_fdr,
+    "eth-wan": wan_ethernet,
     "dl980": proliant_dl980,
 }
 

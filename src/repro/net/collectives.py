@@ -1,0 +1,237 @@
+"""Collective schedules replayed as flow batches over a topology.
+
+Same communication patterns, same dependency structure and the same
+deterministic orderings as :mod:`repro.simulate.collectives` — but each
+dependency round is issued to a :class:`~repro.net.flows.FlowNetwork`
+as one *batch* of concurrent flows, so transfers of the same round
+share links max-min fairly instead of serialising per NIC port.  On a
+``single-switch`` topology the two disciplines coincide (rounds either
+use disjoint ports, or contend only at a single sink port where both
+disciplines are work-conserving), which the differential harness pins.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import SimulationError
+from repro.net.flows import FlowNetwork, FlowRequest
+
+
+def _validate_nodes(nodes: Sequence[int]) -> list[int]:
+    node_list = list(nodes)
+    if not node_list:
+        raise SimulationError("a collective needs at least one node")
+    if len(set(node_list)) != len(node_list):
+        raise SimulationError(f"duplicate nodes in collective: {node_list}")
+    return node_list
+
+
+def linear_gather(
+    network: FlowNetwork,
+    ready: Mapping[int, float],
+    sink: int,
+    bits: float,
+    tag: str = "gather",
+) -> float:
+    """All sources stream to ``sink`` concurrently; returns the finish time.
+
+    One batch: the sink's ingress links are the shared bottleneck and the
+    solver splits them fairly as sources come and go.
+    """
+    sources = _validate_nodes(list(ready))
+    finish = max(ready[sink], 0.0) if sink in ready else 0.0
+    requests = [
+        FlowRequest(source, sink, bits, not_before=ready[source], tag=tag)
+        for source in sorted(sources, key=lambda node: (ready[node], node))
+        if source != sink
+    ]
+    for outcome in network.batch(requests):
+        finish = max(finish, outcome.end)
+    return finish
+
+
+def tree_reduce(
+    network: FlowNetwork,
+    ready: Mapping[int, float],
+    bits: float,
+    tag: str = "tree-reduce",
+) -> tuple[int, float]:
+    """Binary combining tree; one batch per distance round."""
+    nodes = sorted(_validate_nodes(list(ready)))
+    current_ready = {node: ready[node] for node in nodes}
+    distance = 1
+    while distance < len(nodes):
+        pairs = [
+            (nodes[index + distance], nodes[index])
+            for index in range(0, len(nodes) - distance, 2 * distance)
+        ]
+        outcomes = network.batch(
+            [
+                FlowRequest(sender, receiver, bits, not_before=current_ready[sender], tag=tag)
+                for sender, receiver in pairs
+            ]
+        )
+        for (_sender, receiver), outcome in zip(pairs, outcomes):
+            current_ready[receiver] = max(current_ready[receiver], outcome.end)
+        distance *= 2
+    root = nodes[0]
+    return root, current_ready[root]
+
+
+def binomial_broadcast(
+    network: FlowNetwork,
+    root: int,
+    root_ready: float,
+    targets: Sequence[int],
+    bits: float,
+    tag: str = "broadcast",
+) -> dict[int, float]:
+    """Torrent-like broadcast, one batch per doubling round.
+
+    The holder-to-receiver matching is identical to the endpoint model's
+    (holders sorted by availability each serve the next waiting node);
+    only the contention discipline within a round differs.
+    """
+    if root_ready < 0:
+        raise SimulationError(f"root_ready must be non-negative, got {root_ready}")
+    target_list = _validate_nodes(list(targets))
+    if root in target_list:
+        raise SimulationError(f"root {root} must not appear among broadcast targets")
+    holds_at = {root: root_ready}
+    waiting = list(target_list)
+    while waiting:
+        holders = sorted(holds_at, key=lambda node: (holds_at[node], node))
+        pairs = []
+        for holder in holders:
+            if not waiting:
+                break
+            pairs.append((holder, waiting.pop(0)))
+        outcomes = network.batch(
+            [
+                FlowRequest(holder, receiver, bits, not_before=holds_at[holder], tag=tag)
+                for holder, receiver in pairs
+            ]
+        )
+        for (_holder, receiver), outcome in zip(pairs, outcomes):
+            holds_at[receiver] = outcome.end
+    return holds_at
+
+
+def two_wave_aggregate(
+    network: FlowNetwork,
+    ready: Mapping[int, float],
+    driver: int,
+    bits: float,
+    tag: str = "two-wave",
+) -> float:
+    """Spark ``treeAggregate`` with two waves; returns the driver finish.
+
+    Wave 1 is one batch (all groups' member flows concurrently — each
+    leader's ingress is its group's bottleneck); wave 2 is a second
+    batch of leader-to-driver flows.
+    """
+    workers = sorted(_validate_nodes(list(ready)))
+    if driver in workers:
+        raise SimulationError(f"driver {driver} must not appear among the workers")
+    group_count = max(1, math.ceil(math.sqrt(len(workers))))
+    groups = [workers[start::group_count] for start in range(group_count)]
+    groups = [group for group in groups if group]
+
+    wave_one: list[tuple[int, int]] = []  # (member, leader) in batch order
+    for group in groups:
+        leader = group[0]
+        for member in sorted(group[1:], key=lambda node: (ready[node], node)):
+            wave_one.append((member, leader))
+    outcomes = network.batch(
+        [
+            FlowRequest(member, leader, bits, not_before=ready[member], tag=tag)
+            for member, leader in wave_one
+        ]
+    )
+    leader_ready = {group[0]: ready[group[0]] for group in groups}
+    for (_member, leader), outcome in zip(wave_one, outcomes):
+        leader_ready[leader] = max(leader_ready[leader], outcome.end)
+
+    driver_finish = 0.0
+    leaders = sorted(leader_ready, key=lambda node: (leader_ready[node], node))
+    outcomes = network.batch(
+        [
+            FlowRequest(leader, driver, bits, not_before=leader_ready[leader], tag=tag)
+            for leader in leaders
+        ]
+    )
+    for outcome in outcomes:
+        driver_finish = max(driver_finish, outcome.end)
+    return driver_finish
+
+
+def ring_allreduce(
+    network: FlowNetwork,
+    ready: Mapping[int, float],
+    bits: float,
+    tag: str = "ring",
+) -> dict[int, float]:
+    """Ring all-reduce; one batch per chunk-forwarding round."""
+    nodes = sorted(_validate_nodes(list(ready)))
+    count = len(nodes)
+    current_ready = {node: ready[node] for node in nodes}
+    if count == 1:
+        return current_ready
+    chunk = bits / count
+    for _round in range(2 * (count - 1)):
+        outcomes = network.batch(
+            [
+                FlowRequest(
+                    node,
+                    nodes[(index + 1) % count],
+                    chunk,
+                    not_before=current_ready[node],
+                    tag=tag,
+                )
+                for index, node in enumerate(nodes)
+            ]
+        )
+        ends = {
+            nodes[(index + 1) % count]: outcome.end
+            for index, outcome in enumerate(outcomes)
+        }
+        for node, end in ends.items():
+            current_ready[node] = max(current_ready[node], end)
+    return current_ready
+
+
+def all_to_all_shuffle(
+    network: FlowNetwork,
+    ready: Mapping[int, float],
+    total_bits: float,
+    tag: str = "shuffle",
+) -> dict[int, float]:
+    """Shuffle ``total_bits`` evenly; one batch per matching round."""
+    if total_bits < 0:
+        raise SimulationError(f"total_bits must be non-negative, got {total_bits}")
+    nodes = sorted(_validate_nodes(list(ready)))
+    count = len(nodes)
+    current_ready = {node: ready[node] for node in nodes}
+    if count == 1:
+        return current_ready
+    pair_bits = total_bits / (count * count)
+    finish = dict(current_ready)
+    for offset in range(1, count):
+        outcomes = network.batch(
+            [
+                FlowRequest(
+                    node,
+                    nodes[(index + offset) % count],
+                    pair_bits,
+                    not_before=current_ready[node],
+                    tag=tag,
+                )
+                for index, node in enumerate(nodes)
+            ]
+        )
+        for index, outcome in enumerate(outcomes):
+            receiver = nodes[(index + offset) % count]
+            finish[receiver] = max(finish[receiver], outcome.end)
+    return finish

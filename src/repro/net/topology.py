@@ -1,0 +1,621 @@
+"""Explicit cluster topologies as capacitated link graphs.
+
+The endpoint-contention :class:`~repro.simulate.network.Network` models
+every cluster as one non-blocking switch: transfers only ever queue on
+the NIC of a sender or receiver.  Real clusters are link *graphs* —
+racks behind oversubscribed uplinks, fat-tree fabrics, tori, sites
+joined by WAN circuits — and the dominant scaling limiter is usually a
+shared link in the middle, not a port at the edge.
+
+This module makes the graph explicit.  A :class:`Topology` is a set of
+nodes (hosts ``0..host_count-1`` plus internal switches), a set of
+directed capacitated :class:`Link` edges with propagation delay, and a
+deterministic shortest-path route for every host pair.  Factories build
+the five supported shapes:
+
+* ``single-switch`` — every host on one non-blocking switch; the only
+  capacitated links are the host ports, so this degenerates to the
+  endpoint-contention model (the differential harness pins that).
+* ``oversubscribed-racks`` — hosts in racks behind top-of-rack
+  switches whose core uplinks carry ``hosts_per_rack / ratio`` times
+  the host bandwidth: ``ratio`` is the classic oversubscription knob.
+* ``fat-tree`` — the k-ary Clos fabric with destination-based
+  deterministic routing (one path per pair, as without ECMP).
+* ``torus-2d`` — a wrap-around grid with dimension-ordered (X then Y)
+  routing; every grid cell is a router, the first ``host_count`` cells
+  carry hosts.
+* ``geo`` — sites (each a single switch) fully meshed by WAN links
+  whose latency is a first-class, sweepable parameter.
+
+Routes are pure functions of ``(source, destination)`` — no randomness,
+no load awareness — so a topology contributes nothing to a scenario's
+seed story and sweeps stay byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.errors import ScenarioError, SimulationError
+from repro.hardware.specs import LinkSpec
+
+#: The topology kinds a ``backend.topology`` block may name.
+TOPOLOGY_KINDS = (
+    "single-switch",
+    "fat-tree",
+    "oversubscribed-racks",
+    "torus-2d",
+    "geo",
+)
+
+#: Kind-specific option keys (``kind`` and ``tcp`` are always allowed).
+TOPOLOGY_KIND_OPTIONS: dict[str, tuple[str, ...]] = {
+    "single-switch": (),
+    "fat-tree": ("k",),
+    "oversubscribed-racks": ("racks", "oversubscription_ratio"),
+    "torus-2d": (),
+    "geo": ("sites", "wan_latency_ms", "wan_link"),
+}
+
+#: Topology options that may appear as sweep axes (per-point overrides).
+TOPOLOGY_SWEEP_AXES = ("oversubscription_ratio", "wan_latency_ms")
+
+#: Default WAN circuit of the ``geo`` topology (a hardware-catalog slug).
+DEFAULT_WAN_LINK = "eth-wan"
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed capacitated edge of the topology graph."""
+
+    source: int
+    destination: int
+    capacity_bps: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise SimulationError(
+                f"link capacity must be positive, got {self.capacity_bps}"
+            )
+        if self.latency_s < 0:
+            raise SimulationError(
+                f"link latency must be non-negative, got {self.latency_s}"
+            )
+
+
+class Topology:
+    """A link graph with deterministic per-pair routes.
+
+    ``router(source, destination)`` returns the tuple of link indices a
+    host-to-host flow traverses; routes are computed lazily and cached
+    (grids can be large), and each cached route is checked once to be a
+    connected ``source -> destination`` path.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        host_count: int,
+        links: tuple[Link, ...],
+        router,
+        params: Mapping[str, object] | None = None,
+    ):
+        if host_count < 1:
+            raise SimulationError(f"host_count must be >= 1, got {host_count}")
+        self.kind = kind
+        self.host_count = host_count
+        self.links = links
+        self.params = dict(params or {})
+        self._router = router
+        self._route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    @property
+    def capacities(self) -> dict[int, float]:
+        """Link index -> capacity in bit/s (the solver's capacity map)."""
+        return {index: link.capacity_bps for index, link in enumerate(self.links)}
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.host_count:
+            raise SimulationError(
+                f"host {host} out of range 0..{self.host_count - 1}"
+            )
+
+    def route(self, source: int, destination: int) -> tuple[int, ...]:
+        """Link indices of the ``source -> destination`` path."""
+        self._check_host(source)
+        self._check_host(destination)
+        if source == destination:
+            return ()
+        key = (source, destination)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = tuple(self._router(source, destination))
+            at = source
+            for index in cached:
+                link = self.links[index]
+                if link.source != at:
+                    raise SimulationError(
+                        f"route {source}->{destination} is not a connected path"
+                    )
+                at = link.destination
+            if at != destination:
+                raise SimulationError(
+                    f"route {source}->{destination} ends at node {at}"
+                )
+            self._route_cache[key] = cached
+        return cached
+
+    def route_latency(self, source: int, destination: int) -> float:
+        """Total propagation delay along the route, in seconds."""
+        return sum(self.links[index].latency_s for index in self.route(source, destination))
+
+    def describe(self) -> dict[str, object]:
+        """JSON-serialisable summary (for backend ``config()`` payloads)."""
+        return {
+            "kind": self.kind,
+            "hosts": self.host_count,
+            "links": len(self.links),
+            **self.params,
+        }
+
+
+class _Builder:
+    """Accumulates directed links and a ``(u, v) -> index`` lookup."""
+
+    def __init__(self) -> None:
+        self.links: list[Link] = []
+        self.index: dict[tuple[int, int], int] = {}
+
+    def add(self, source: int, destination: int, capacity_bps: float, latency_s: float) -> int:
+        key = (source, destination)
+        if key in self.index:
+            raise SimulationError(f"duplicate link {source}->{destination}")
+        self.index[key] = len(self.links)
+        self.links.append(Link(source, destination, capacity_bps, latency_s))
+        return self.index[key]
+
+    def duplex(self, a: int, b: int, capacity_bps: float, latency_s: float) -> None:
+        self.add(a, b, capacity_bps, latency_s)
+        self.add(b, a, capacity_bps, latency_s)
+
+
+def single_switch(host_count: int, link: LinkSpec) -> Topology:
+    """Every host port on one non-blocking switch (the paper's testbed)."""
+    switch = host_count
+    builder = _Builder()
+    for host in range(host_count):
+        builder.duplex(host, switch, link.bandwidth_bps, link.latency_s / 2.0)
+
+    def router(source: int, destination: int):
+        return (builder.index[(source, switch)], builder.index[(switch, destination)])
+
+    return Topology("single-switch", host_count, tuple(builder.links), router)
+
+
+def oversubscribed_racks(
+    host_count: int,
+    link: LinkSpec,
+    racks: int = 2,
+    oversubscription_ratio: float = 1.0,
+) -> Topology:
+    """Racks of hosts behind top-of-rack switches and a shared core.
+
+    Hosts are placed contiguously (host 0 — the BSP driver — lands in
+    rack 0).  Each ToR's core uplink carries
+    ``hosts_per_rack * B / ratio``: at ``ratio = 1`` the fabric has full
+    bisection bandwidth, larger ratios starve cross-rack traffic.
+    """
+    if racks < 1:
+        raise SimulationError(f"racks must be >= 1, got {racks}")
+    if oversubscription_ratio <= 0:
+        raise SimulationError(
+            f"oversubscription_ratio must be positive, got {oversubscription_ratio}"
+        )
+    effective_racks = min(racks, host_count)
+    per_rack = math.ceil(host_count / effective_racks)
+    tor = [host_count + rack for rack in range(effective_racks)]
+    core = host_count + effective_racks
+    uplink_bps = per_rack * link.bandwidth_bps / oversubscription_ratio
+    builder = _Builder()
+    for host in range(host_count):
+        builder.duplex(host, tor[host // per_rack], link.bandwidth_bps, link.latency_s / 2.0)
+    for rack in range(effective_racks):
+        builder.duplex(tor[rack], core, uplink_bps, link.latency_s / 2.0)
+
+    def router(source: int, destination: int):
+        src_rack, dst_rack = source // per_rack, destination // per_rack
+        up = builder.index[(source, tor[src_rack])]
+        down = builder.index[(tor[dst_rack], destination)]
+        if src_rack == dst_rack:
+            return (up, down)
+        return (
+            up,
+            builder.index[(tor[src_rack], core)],
+            builder.index[(core, tor[dst_rack])],
+            down,
+        )
+
+    return Topology(
+        "oversubscribed-racks",
+        host_count,
+        tuple(builder.links),
+        router,
+        params={
+            "racks": effective_racks,
+            "hosts_per_rack": per_rack,
+            "oversubscription_ratio": float(oversubscription_ratio),
+            "uplink_bps": uplink_bps,
+        },
+    )
+
+
+def fat_tree_capacity(k: int) -> int:
+    """Hosts a k-ary fat-tree supports (``k^3 / 4``)."""
+    return (k * k * k) // 4
+
+
+def fat_tree_arity(host_count: int) -> int:
+    """The smallest even ``k`` whose fat-tree holds ``host_count`` hosts."""
+    k = 2
+    while fat_tree_capacity(k) < host_count:
+        k += 2
+    return k
+
+
+def fat_tree(host_count: int, link: LinkSpec, k: int | None = None) -> Topology:
+    """The k-ary fat-tree (Al-Fares et al.) with deterministic routing.
+
+    All links share the host bandwidth — a fat-tree's full bisection
+    comes from path *multiplicity*, and with deterministic
+    destination-based routing (no ECMP) collisions on shared upstream
+    links are exactly the contention the flow solver resolves.
+    """
+    if k is None:
+        k = fat_tree_arity(host_count)
+    if k < 2 or k % 2:
+        raise SimulationError(f"fat-tree arity k must be even and >= 2, got {k}")
+    if host_count > fat_tree_capacity(k):
+        raise SimulationError(
+            f"fat-tree with k={k} holds {fat_tree_capacity(k)} hosts,"
+            f" got {host_count}"
+        )
+    half = k // 2
+    base_edge = host_count
+    base_agg = base_edge + k * half
+    base_core = base_agg + k * half
+    builder = _Builder()
+    bandwidth, hop_latency = link.bandwidth_bps, link.latency_s / 2.0
+
+    def pod_of(host: int) -> int:
+        return host // (half * half)
+
+    def edge_of(host: int) -> int:
+        pod = pod_of(host)
+        return base_edge + pod * half + (host % (half * half)) // half
+
+    for host in range(host_count):
+        builder.duplex(host, edge_of(host), bandwidth, hop_latency)
+    for pod in range(k):
+        for edge in range(half):
+            for agg in range(half):
+                builder.duplex(
+                    base_edge + pod * half + edge,
+                    base_agg + pod * half + agg,
+                    bandwidth,
+                    hop_latency,
+                )
+    for agg in range(half):
+        for core in range(half):
+            for pod in range(k):
+                builder.duplex(
+                    base_agg + pod * half + agg,
+                    base_core + agg * half + core,
+                    bandwidth,
+                    hop_latency,
+                )
+
+    def router(source: int, destination: int):
+        src_edge, dst_edge = edge_of(source), edge_of(destination)
+        up = builder.index[(source, src_edge)]
+        down = builder.index[(dst_edge, destination)]
+        if src_edge == dst_edge:
+            return (up, down)
+        # Destination-based deterministic spread, as in the original
+        # fat-tree routing tables: the destination picks the aggregation
+        # and core columns, so every path exists and stays fixed.
+        agg_column = destination % half
+        src_agg = base_agg + pod_of(source) * half + agg_column
+        dst_agg = base_agg + pod_of(destination) * half + agg_column
+        if pod_of(source) == pod_of(destination):
+            return (
+                up,
+                builder.index[(src_edge, src_agg)],
+                builder.index[(src_agg, dst_edge)],
+                down,
+            )
+        core = base_core + agg_column * half + (destination // half) % half
+        return (
+            up,
+            builder.index[(src_edge, src_agg)],
+            builder.index[(src_agg, core)],
+            builder.index[(core, dst_agg)],
+            builder.index[(dst_agg, dst_edge)],
+            down,
+        )
+
+    return Topology(
+        "fat-tree",
+        host_count,
+        tuple(builder.links),
+        router,
+        params={"k": k, "capacity_hosts": fat_tree_capacity(k)},
+    )
+
+
+def torus_2d(host_count: int, link: LinkSpec) -> Topology:
+    """A 2-D wrap-around grid with dimension-ordered (X then Y) routing.
+
+    Every grid cell is a router; the first ``host_count`` cells carry
+    hosts.  Each hop pays the full link latency (hops are physical
+    cables here, not a switch traversal), and a host can drive all four
+    of its ports at once — the direct-connect property tori are built
+    for.  Two-cell rings collapse the direct and wrap-around cables
+    into one link.
+    """
+    cols = max(1, math.ceil(math.sqrt(host_count)))
+    rows = max(1, math.ceil(host_count / cols))
+    builder = _Builder()
+
+    def cell(row: int, col: int) -> int:
+        return row * cols + col
+
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                builder.duplex(cell(row, col), cell(row, col + 1), link.bandwidth_bps, link.latency_s)
+            if row + 1 < rows:
+                builder.duplex(cell(row, col), cell(row + 1, col), link.bandwidth_bps, link.latency_s)
+        if cols > 2:
+            builder.duplex(cell(row, cols - 1), cell(row, 0), link.bandwidth_bps, link.latency_s)
+    if rows > 2:
+        for col in range(cols):
+            builder.duplex(cell(rows - 1, col), cell(0, col), link.bandwidth_bps, link.latency_s)
+
+    def steps(origin: int, target: int, size: int) -> list[int]:
+        """Positions visited moving the shortest wrap-around way."""
+        if origin == target or size == 1:
+            return []
+        forward = (target - origin) % size
+        backward = (origin - target) % size
+        step = 1 if forward <= backward else -1
+        count = min(forward, backward)
+        return [(origin + step * i) % size for i in range(1, count + 1)]
+
+    def router(source: int, destination: int):
+        row, col = source // cols, source % cols
+        dst_row, dst_col = destination // cols, destination % cols
+        path = []
+        at = (row, col)
+        for next_col in steps(col, dst_col, cols):
+            path.append(builder.index[(cell(*at), cell(at[0], next_col))])
+            at = (at[0], next_col)
+        for next_row in steps(at[0], dst_row, rows):
+            path.append(builder.index[(cell(*at), cell(next_row, at[1]))])
+            at = (next_row, at[1])
+        return tuple(path)
+
+    return Topology(
+        "torus-2d",
+        host_count,
+        tuple(builder.links),
+        router,
+        params={"rows": rows, "cols": cols},
+    )
+
+
+def geo(
+    host_count: int,
+    link: LinkSpec,
+    sites: int = 2,
+    wan_latency_s: float = 0.03,
+    wan_bandwidth_bps: float | None = None,
+) -> Topology:
+    """Geo-distributed sites joined by a full mesh of WAN circuits.
+
+    Each site is a single switch (intra-site traffic behaves like
+    ``single-switch``); cross-site flows pay the WAN latency and share
+    the circuit's capacity.  Hosts split contiguously across sites, so
+    the driver and the first workers share site 0.
+    """
+    if sites < 2:
+        raise SimulationError(f"geo needs at least 2 sites, got {sites}")
+    if wan_latency_s < 0:
+        raise SimulationError(f"wan latency must be non-negative, got {wan_latency_s}")
+    wan_bps = link.bandwidth_bps if wan_bandwidth_bps is None else wan_bandwidth_bps
+    if wan_bps <= 0:
+        raise SimulationError(f"wan bandwidth must be positive, got {wan_bps}")
+    effective_sites = max(2, min(sites, host_count)) if host_count > 1 else 1
+    per_site = math.ceil(host_count / effective_sites)
+    switch = [host_count + site for site in range(effective_sites)]
+    builder = _Builder()
+    for host in range(host_count):
+        builder.duplex(host, switch[host // per_site], link.bandwidth_bps, link.latency_s / 2.0)
+    for a in range(effective_sites):
+        for b in range(a + 1, effective_sites):
+            builder.duplex(switch[a], switch[b], wan_bps, wan_latency_s)
+
+    def router(source: int, destination: int):
+        src_site, dst_site = source // per_site, destination // per_site
+        up = builder.index[(source, switch[src_site])]
+        down = builder.index[(switch[dst_site], destination)]
+        if src_site == dst_site:
+            return (up, down)
+        return (up, builder.index[(switch[src_site], switch[dst_site])], down)
+
+    return Topology(
+        "geo",
+        host_count,
+        tuple(builder.links),
+        router,
+        params={
+            "sites": effective_sites,
+            "hosts_per_site": per_site,
+            "wan_latency_s": wan_latency_s,
+            "wan_bps": wan_bps,
+        },
+    )
+
+
+# --------------------------------------------------------------------------
+# Validation and construction from a scenario's ``backend.topology`` block.
+# --------------------------------------------------------------------------
+
+
+def _check_int(section: Mapping[str, object], key: str, minimum: int) -> None:
+    value = section[key]
+    if isinstance(value, bool) or not isinstance(value, int) or value < minimum:
+        raise ScenarioError(
+            f"backend.topology.{key} must be an integer >= {minimum}, got {value!r}"
+        )
+
+
+def _check_number(
+    section: Mapping[str, object], key: str, positive: bool = True
+) -> None:
+    value = section[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"backend.topology.{key} must be a number, got {value!r}")
+    number = float(value)
+    if not math.isfinite(number):
+        raise ScenarioError(f"backend.topology.{key} must be finite, got {number}")
+    if positive and number <= 0:
+        raise ScenarioError(f"backend.topology.{key} must be positive, got {number}")
+    if not positive and number < 0:
+        raise ScenarioError(f"backend.topology.{key} must be non-negative, got {number}")
+
+
+def validate_topology_options(section: Mapping[str, object]) -> None:
+    """Shape and range checks of a ``backend.topology`` block.
+
+    The single authority for what a topology block may contain: the spec
+    parser applies it to declared blocks, and the scenario compiler
+    re-applies it after sweep-axis values (``oversubscription_ratio``,
+    ``wan_latency_ms``) merge in, so the two layers can never disagree.
+    """
+    kind = section.get("kind", "single-switch")
+    if kind not in TOPOLOGY_KINDS:
+        near = difflib.get_close_matches(str(kind), TOPOLOGY_KINDS, n=3, cutoff=0.4)
+        hint = f" — did you mean {', '.join(near)}?" if near else ""
+        raise ScenarioError(
+            f"unknown topology kind {kind!r}{hint}"
+            f" (known kinds: {', '.join(TOPOLOGY_KINDS)})"
+        )
+    allowed = ("kind", "tcp") + TOPOLOGY_KIND_OPTIONS[kind]
+    unknown = sorted(set(section) - set(allowed))
+    if unknown:
+        raise ScenarioError(
+            f"unknown backend.topology keys {unknown} for kind {kind!r};"
+            f" allowed: {sorted(allowed)}"
+        )
+    if "k" in section:
+        _check_int(section, "k", minimum=2)
+        if int(section["k"]) % 2:  # type: ignore[call-overload]
+            raise ScenarioError(
+                f"backend.topology.k must be even, got {section['k']}"
+            )
+    if "racks" in section:
+        _check_int(section, "racks", minimum=1)
+    if "sites" in section:
+        _check_int(section, "sites", minimum=2)
+    if "oversubscription_ratio" in section:
+        _check_number(section, "oversubscription_ratio", positive=True)
+    if "wan_latency_ms" in section:
+        _check_number(section, "wan_latency_ms", positive=False)
+    if "wan_link" in section:
+        wan_link = section["wan_link"]
+        if not isinstance(wan_link, str) or not wan_link:
+            raise ScenarioError(
+                "backend.topology.wan_link must be a catalog link slug string,"
+                f" got {wan_link!r}"
+            )
+    if "tcp" in section:
+        tcp = section["tcp"]
+        if not isinstance(tcp, Mapping):
+            raise ScenarioError(
+                f"backend.topology.tcp must be a mapping, got {tcp!r}"
+            )
+        unknown_tcp = sorted(set(tcp) - {"loss_rate", "mss_bytes"})
+        if unknown_tcp:
+            raise ScenarioError(
+                f"unknown backend.topology.tcp keys {unknown_tcp};"
+                " allowed: ['loss_rate', 'mss_bytes']"
+            )
+        if "loss_rate" not in tcp:
+            raise ScenarioError("backend.topology.tcp requires 'loss_rate'")
+        loss = tcp["loss_rate"]
+        if (
+            isinstance(loss, bool)
+            or not isinstance(loss, (int, float))
+            or not math.isfinite(float(loss))
+            or not 0.0 <= float(loss) < 1.0
+        ):
+            raise ScenarioError(
+                f"backend.topology.tcp.loss_rate must be in [0, 1), got {loss!r}"
+            )
+        if "mss_bytes" in tcp:
+            mss = tcp["mss_bytes"]
+            if isinstance(mss, bool) or not isinstance(mss, int) or mss < 1:
+                raise ScenarioError(
+                    f"backend.topology.tcp.mss_bytes must be a positive integer,"
+                    f" got {mss!r}"
+                )
+
+
+def build_topology(
+    kind: str, host_count: int, link: LinkSpec, options: Mapping[str, object]
+) -> Topology:
+    """Construct the named topology for ``host_count`` hosts.
+
+    ``link`` is the scenario's (resolved) host NIC; ``options`` is the
+    validated ``backend.topology`` block minus ``kind``/``tcp``.  The
+    ``geo`` WAN circuit resolves through the hardware catalog so its
+    capacity rides the same slugs as every other link in a spec.
+    """
+    if kind == "single-switch":
+        return single_switch(host_count, link)
+    if kind == "oversubscribed-racks":
+        return oversubscribed_racks(
+            host_count,
+            link,
+            racks=int(options.get("racks", 2)),
+            oversubscription_ratio=float(options.get("oversubscription_ratio", 1.0)),
+        )
+    if kind == "fat-tree":
+        k = options.get("k")
+        return fat_tree(host_count, link, k=None if k is None else int(k))
+    if kind == "torus-2d":
+        return torus_2d(host_count, link)
+    if kind == "geo":
+        from repro.hardware import catalog
+
+        wan = catalog.lookup(str(options.get("wan_link", DEFAULT_WAN_LINK)))
+        if not isinstance(wan, LinkSpec):
+            raise SimulationError(
+                f"wan_link {options.get('wan_link')!r} is not a network link"
+            )
+        latency_ms = options.get("wan_latency_ms")
+        wan_latency_s = wan.latency_s if latency_ms is None else float(latency_ms) / 1e3
+        return geo(
+            host_count,
+            link,
+            sites=int(options.get("sites", 2)),
+            wan_latency_s=wan_latency_s,
+            wan_bandwidth_bps=wan.bandwidth_bps,
+        )
+    raise SimulationError(
+        f"unknown topology kind {kind!r}; known: {', '.join(TOPOLOGY_KINDS)}"
+    )

@@ -68,6 +68,13 @@ from repro.models.gradient_descent import (
     WeakScalingLinearCommModel,
     WeakScalingSGDModel,
 )
+from repro.net.backend import NetworkBackend, topology_items
+from repro.net.topology import (
+    DEFAULT_WAN_LINK,
+    TOPOLOGY_SWEEP_AXES,
+    fat_tree_capacity,
+    validate_topology_options,
+)
 from repro.nn import architectures
 from repro.nn.flops import DENSE_TRAINING_OPERATIONS_PER_WEIGHT, training_operations
 from repro.scenarios.spec import (
@@ -675,9 +682,9 @@ def simulation_issue(spec: ScenarioSpec) -> str | None:
 
 
 def needs_simulation(spec: ScenarioSpec) -> bool:
-    """True when evaluating ``spec`` drives the discrete-event engine."""
+    """True when evaluating ``spec`` drives a discrete-event engine."""
     backend = spec.backend
-    if backend.kind == "simulated":
+    if backend.kind in ("simulated", "network"):
         return True
     return (
         backend.kind == "calibrated"
@@ -717,6 +724,9 @@ def validate_spec(spec: ScenarioSpec) -> None:
         # actually simulate; on the analytic path they would be ignored
         # silently, which a sweep must never do.
         sweepable |= set(BACKEND_SWEEP_AXES)
+    if spec.backend.kind == "network":
+        # Topology knobs are sweepable only where a topology is built.
+        sweepable |= set(TOPOLOGY_SWEEP_AXES)
     for axis, values in spec.sweep:
         if axis not in sweepable:
             raise ScenarioError(
@@ -738,6 +748,12 @@ def validate_spec(spec: ScenarioSpec) -> None:
                 merged = dict(base_simulation)
                 merged[axis] = value
                 _simulation_options(merged)  # range checks per swept value
+        elif axis in TOPOLOGY_SWEEP_AXES:
+            base_topology = spec.backend.topology_dict
+            for value in values:
+                merged = dict(base_topology)
+                merged[axis] = value
+                validate_topology_options(merged)  # per-kind key/range checks
         else:
             for value in values:
                 _check_numeric_params({axis: value}, "sweep axis")
@@ -772,15 +788,24 @@ def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, object]) -> Scen
     hardware = spec.hardware
     params = spec.algorithm.params_dict
     simulation = spec.backend.simulation_dict
+    topology = dict(spec.backend.topology)
     for axis, value in overrides.items():
         if axis in HARDWARE_SCALARS or axis in ("node", "link"):
             hardware = replace(hardware, **{axis: value})
         elif axis in BACKEND_SWEEP_AXES:
             simulation[axis] = value
+        elif axis in TOPOLOGY_SWEEP_AXES:
+            # Coerced like the parser coerces declared blocks, so a swept
+            # integer and its declared float form hash identically.
+            topology[axis] = float(value)  # type: ignore[arg-type]
         else:
             params[axis] = value
     algorithm = replace(spec.algorithm, params=tuple(sorted(params.items())))
-    backend = replace(spec.backend, simulation=tuple(sorted(simulation.items())))
+    backend = replace(
+        spec.backend,
+        simulation=tuple(sorted(simulation.items())),
+        topology=tuple(sorted(topology.items())),
+    )
     return replace(
         spec, hardware=hardware, algorithm=algorithm, backend=backend, sweep=()
     )
@@ -832,6 +857,25 @@ def _validate_backend(spec: ScenarioSpec) -> None:
     """Semantic checks of the backend block against this scenario."""
     backend = spec.backend
     _simulation_options(backend.simulation_dict)
+    topology = backend.topology_dict
+    validate_topology_options(topology)
+    topology_kind = str(topology.get("kind", "single-switch"))
+    if topology_kind == "geo":
+        # The WAN circuit must resolve in the hardware catalog up front
+        # (the lookup error carries the did-you-mean hint).
+        _resolve_link_slug(
+            str(topology.get("wan_link", DEFAULT_WAN_LINK)),
+            context="backend.topology.wan_link",
+        )
+    if topology_kind == "fat-tree" and "k" in topology:
+        arity = int(topology["k"])  # type: ignore[call-overload]
+        hosts_needed = max(spec.workers) + 1  # driver + widest grid point
+        if fat_tree_capacity(arity) < hosts_needed:
+            raise ScenarioError(
+                f"backend.topology: a fat-tree with k={arity} holds"
+                f" {fat_tree_capacity(arity)} hosts, but the workers grid"
+                f" needs {hosts_needed}; raise k or drop it to auto-size"
+            )
     calibration = backend.calibration_dict
     features = calibration.get("features", "ernest")
     try:
@@ -879,6 +923,16 @@ def compile_backend(spec: ScenarioSpec) -> EvaluationBackend:
         return AnalyticBackend()
     if backend.kind == "simulated":
         return SimulatedBackend(**_simulation_options(backend.simulation_dict))
+    if backend.kind == "network":
+        topology = backend.topology_dict
+        validate_topology_options(topology)
+        return NetworkBackend(
+            topology_kind=str(topology.get("kind", "single-switch")),
+            topology_options=topology_items(
+                {key: value for key, value in topology.items() if key != "kind"}
+            ),
+            **_simulation_options(backend.simulation_dict),
+        )
     if backend.kind == "calibrated":
         calibration = backend.calibration_dict
         source_name = str(calibration.get("source", "analytic"))

@@ -32,7 +32,7 @@ The schema (version 1)::
         "bandwidth_bps": [1e9, 1e10]
       },
       "backend": {                        # optional; how points evaluate
-        "kind": "analytic",               # analytic | simulated | calibrated
+        "kind": "analytic",               # analytic | simulated | calibrated | network
         "simulation": {                   # knobs of the simulated backend
           "iterations": 3,
           "seed": 0,
@@ -44,6 +44,11 @@ The schema (version 1)::
         "calibration": {                  # knobs of the calibrated backend
           "source": "analytic",           # backend that takes measurements
           "features": "ernest"            # feature family to fit
+        },
+        "topology": {                     # fabric of the network backend
+          "kind": "oversubscribed-racks", # see repro.net.topology
+          "racks": 2,
+          "oversubscription_ratio": 4.0   # sweepable, like wan_latency_ms
         }
       }
     }
@@ -63,6 +68,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.errors import ScenarioError
+from repro.net.topology import TOPOLOGY_SWEEP_AXES, validate_topology_options
 from repro.simulate.overhead import OVERHEAD_PRESETS
 
 #: Current schema version; bumped on incompatible schema changes.
@@ -83,7 +89,7 @@ HARDWARE_SLUGS = ("node", "link")
 _HARDWARE_KEYS = HARDWARE_SLUGS + HARDWARE_SCALARS
 
 #: The recognised evaluation backends (see repro.core.backend).
-BACKEND_KINDS = ("analytic", "simulated", "calibrated")
+BACKEND_KINDS = ("analytic", "simulated", "calibrated", "network")
 
 #: Keys of the backend ``simulation`` block.
 SIMULATION_KEYS = (
@@ -97,6 +103,9 @@ SIMULATION_KEYS = (
 
 #: Simulation knobs that may appear as sweep axes (per-point overrides).
 BACKEND_SWEEP_AXES = ("jitter_sigma", "straggler_fraction", "straggler_slowdown")
+
+# TOPOLOGY_SWEEP_AXES (imported from repro.net.topology and re-exported
+# here) plays the same role for the network backend's topology block.
 
 #: Keys of the backend ``calibration`` block.
 CALIBRATION_KEYS = ("source", "features")
@@ -159,6 +168,7 @@ class BackendSection:
     kind: str = "analytic"
     simulation: tuple[tuple[str, object], ...] = ()
     calibration: tuple[tuple[str, object], ...] = ()
+    topology: tuple[tuple[str, object], ...] = ()
 
     @property
     def simulation_dict(self) -> dict[str, object]:
@@ -168,12 +178,21 @@ class BackendSection:
     def calibration_dict(self) -> dict[str, object]:
         return dict(self.calibration)
 
+    @property
+    def topology_dict(self) -> dict[str, object]:
+        return {
+            key: dict(value) if key == "tcp" else value
+            for key, value in self.topology
+        }
+
     def to_dict(self) -> dict[str, object]:
         data: dict[str, object] = {"kind": self.kind}
         if self.simulation:
             data["simulation"] = dict(self.simulation)
         if self.calibration:
             data["calibration"] = dict(self.calibration)
+        if self.topology:
+            data["topology"] = self.topology_dict
         return data
 
 
@@ -451,9 +470,33 @@ def _parse_calibration(data: object) -> tuple[tuple[str, object], ...]:
     return tuple(sorted(parsed.items()))
 
 
+def _parse_topology(data: object) -> tuple[tuple[str, object], ...]:
+    section = _require_mapping(data, "backend.topology")
+    validate_topology_options(section)
+    parsed: dict[str, object] = {}
+    if "kind" in section:
+        parsed["kind"] = section["kind"]
+    for key in ("k", "racks", "sites"):
+        if key in section:
+            parsed[key] = int(section[key])  # type: ignore[call-overload]
+    for key in ("oversubscription_ratio", "wan_latency_ms"):
+        if key in section:
+            parsed[key] = float(section[key])  # type: ignore[arg-type]
+    if "wan_link" in section:
+        parsed["wan_link"] = section["wan_link"]
+    if "tcp" in section:
+        tcp = dict(section["tcp"])  # type: ignore[call-overload]
+        canonical: dict[str, object] = {"loss_rate": float(tcp["loss_rate"])}
+        if "mss_bytes" in tcp:
+            canonical["mss_bytes"] = int(tcp["mss_bytes"])
+        # Stored as a nested item tuple so BackendSection stays hashable.
+        parsed["tcp"] = tuple(sorted(canonical.items()))
+    return tuple(sorted(parsed.items()))
+
+
 def _parse_backend(data: object) -> BackendSection:
     section = _require_mapping(data, "'backend'")
-    _reject_unknown(section, ("kind", "simulation", "calibration"), "backend")
+    _reject_unknown(section, ("kind", "simulation", "calibration", "topology"), "backend")
     kind = section.get("kind", "analytic")
     if kind not in BACKEND_KINDS:
         raise ScenarioError(
@@ -463,6 +506,7 @@ def _parse_backend(data: object) -> BackendSection:
         kind=kind,
         simulation=_parse_simulation(section.get("simulation", {})),
         calibration=_parse_calibration(section.get("calibration", {})),
+        topology=_parse_topology(section.get("topology", {})),
     )
 
 

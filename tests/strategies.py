@@ -64,6 +64,16 @@ SIMULATABLE_KINDS = (
     "bsp",
 )
 
+#: Every network-backend topology kind (kept in sync by a test in
+#: test_differential.py, so a new topology must join the strategies).
+NETWORK_TOPOLOGIES = (
+    "single-switch",
+    "fat-tree",
+    "oversubscribed-racks",
+    "torus-2d",
+    "geo",
+)
+
 
 def magnitudes(low: float, high: float) -> st.SearchStrategy[float]:
     """Log-uniform positive floats — parameter values live on decades."""
@@ -294,3 +304,53 @@ def simulatable_documents(
         simulatable_options=True,
         max_workers=max_workers,
     )
+
+
+def network_topology_sections(
+    kinds: tuple[str, ...] = NETWORK_TOPOLOGIES,
+) -> st.SearchStrategy[dict]:
+    """Valid ``backend.topology`` blocks across every topology kind.
+
+    Sizes stay small (a fat-tree with explicit ``k`` must carry the
+    worker grid, so ``k >= 4`` covers up to 15 workers + driver).
+    """
+
+    def section_for(kind: str) -> st.SearchStrategy[dict]:
+        options: dict = {}
+        if kind == "fat-tree":
+            options["k"] = st.sampled_from([4, 6, 8])
+        elif kind == "oversubscribed-racks":
+            options["racks"] = st.integers(min_value=1, max_value=4)
+            options["oversubscription_ratio"] = st.sampled_from(
+                [1.0, 2.0, 4.0, 8.0]
+            )
+        elif kind == "geo":
+            options["sites"] = st.integers(min_value=2, max_value=4)
+            options["wan_latency_ms"] = st.sampled_from([0.0, 1.0, 10.0, 50.0])
+        return st.fixed_dictionaries({"kind": st.just(kind)}, optional=options)
+
+    return st.sampled_from(kinds).flatmap(section_for)
+
+
+@st.composite
+def network_documents(
+    draw,
+    topologies: tuple[str, ...] = NETWORK_TOPOLOGIES,
+    simulation: st.SearchStrategy[dict] | None = None,
+    max_workers: int = 12,
+) -> dict:
+    """Documents the network backend accepts: a simulatable workload
+    plus a declared ``backend.topology`` block.
+
+    ``max_workers`` defaults to 12 so an explicit fat-tree ``k = 4``
+    (16 hosts) can always carry the grid plus the driver.
+    """
+    document = draw(
+        simulatable_documents(simulation=simulation, max_workers=max_workers)
+    )
+    document["backend"] = {
+        "kind": "network",
+        "topology": draw(network_topology_sections(topologies)),
+        "simulation": document["backend"]["simulation"],
+    }
+    return document

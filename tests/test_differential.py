@@ -38,10 +38,13 @@ from repro.scenarios import (
     compile_scenario,
     parse_scenario,
 )
+from repro.net.topology import TOPOLOGY_KINDS
 from repro.scenarios.compile import TOPOLOGIES
 from tests.strategies import (
     ALL_KINDS,
     ALL_TOPOLOGIES,
+    NETWORK_TOPOLOGIES,
+    network_documents,
     noisy_simulation,
     scenario_documents,
     simulatable_documents,
@@ -163,6 +166,138 @@ class TestAnalyticSimulatedAgreement:
         assert_backend_agreement(document)
 
 
+def _network_pair(document: dict) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate one simulated-backend document through both simulators.
+
+    Returns ``(simulated, network)`` seconds over the spec's grid, with
+    the network backend on a single non-blocking switch — the same
+    physical assumption the endpoint simulator hard-codes, so the two
+    columns disagree only through their queueing disciplines.
+    """
+    spec = parse_scenario(document)
+    grid = spec.workers
+    target, simulated_backend = compile_point(spec)
+    network_document = {
+        **document,
+        "backend": {
+            "kind": "network",
+            "topology": {"kind": "single-switch"},
+            "simulation": document["backend"]["simulation"],
+        },
+    }
+    network_target, network_backend = compile_point(
+        parse_scenario(network_document)
+    )
+    return (
+        simulated_backend.evaluate(target, grid),
+        network_backend.evaluate(network_target, grid),
+    )
+
+
+class TestNetworkSimulatedAgreement:
+    """The single-switch differential pin for the flow-level backend.
+
+    Both simulators replay the *same* compiled BSP schedule; on one
+    non-blocking switch they differ only in queueing discipline: the
+    endpoint model serialises each port in request order (FIFO, so a
+    sink can idle behind a head-of-line transfer whose source is still
+    busy), while the flow model max-min-shares every link and backfills
+    such gaps.  Two consequences, each pinned here:
+
+    * on schedules whose transfers never meet head-of-line — every
+      ``bsp`` collective at zero link latency — the disciplines
+      coincide and the backends must agree to machine precision;
+    * everywhere else the work-conserving flow model can only be
+      *faster*: ``network <= simulated`` on every grid point, for any
+      generated workload (the gap is the endpoint model's idle time).
+    """
+
+    EXACT_CASES = [
+        ("none", None),
+        ("linear", None),
+        ("linear", {"include_self": True}),
+        ("tree", None),
+        ("ring-allreduce", None),
+        ("torrent", None),
+        ("two-wave", None),
+    ]
+
+    @pytest.mark.parametrize(
+        "topology,options",
+        EXACT_CASES,
+        ids=[f"{t}{'-self' if o else ''}" for t, o in EXACT_CASES],
+    )
+    def test_zero_latency_collectives_match_exactly(self, topology, options):
+        params = {
+            "operations_per_superstep": 1e9,
+            "payload_bits": 1e6,
+            "iterations": 2,
+            "topology": topology,
+        }
+        if options:
+            params["topology_options"] = options
+        simulated, network = _network_pair(
+            {
+                "name": "network-exact",
+                "description": "single-switch exactness pin",
+                "hardware": {"flops": 1e10, "bandwidth_bps": 1e9, "latency_s": 0.0},
+                "algorithm": {"kind": "bsp", "params": params},
+                "workers": [1, 2, 3, 5, 8, 13],
+                "baseline_workers": 1,
+                "backend": {
+                    "kind": "simulated",
+                    "simulation": {"iterations": 2, "seed": 3},
+                },
+            }
+        )
+        np.testing.assert_allclose(network, simulated, rtol=1e-9)
+
+    def test_sub_ulp_transfers_terminate(self):
+        # Hypothesis-found hang: a weak-scaling workload whose 32-kbit
+        # gradient pushes take ~7e-7 s on a 46 Gbps link while the clock
+        # sits past accumulated 1 ms latencies — ``time + bits/rate``
+        # rounds back to ``time`` and the solver's event loop used to
+        # spin forever.  Such flows must deliver at the current instant.
+        simulated, network = _network_pair(
+            {
+                "name": "network-sub-ulp",
+                "description": "sub-ulp transfer termination pin",
+                "hardware": {
+                    "flops": 7567885336338.884,
+                    "bandwidth_bps": 46522049386.29772,
+                    "latency_s": 0.001,
+                },
+                "algorithm": {
+                    "kind": "weak_scaling_sgd",
+                    "params": {
+                        "operations_per_sample": 10000000.0,
+                        "batch_size": 64391.0,
+                        "parameters": 1000.0000000000001,
+                    },
+                },
+                "workers": [8, 13],
+                "baseline_workers": 13,
+                "backend": {
+                    "kind": "simulated",
+                    "simulation": {"iterations": 2, "seed": 3},
+                },
+            }
+        )
+        assert np.all(np.isfinite(network)) and np.all(network > 0)
+        assert np.all(network <= simulated * (1 + 1e-9))
+
+    @settings(derandomize=True, deadline=None, max_examples=60)
+    @given(simulatable_documents(max_workers=16))
+    def test_flow_model_never_exceeds_the_endpoint_model(self, document):
+        simulated, network = _network_pair(document)
+        assert np.all(np.isfinite(network)) and np.all(network > 0)
+        assert np.all(network <= simulated * (1 + 1e-9)), (
+            "the work-conserving flow model came out slower than the"
+            f" port-FIFO endpoint model: network={network},"
+            f" simulated={simulated}"
+        )
+
+
 class TestSpecRoundtrip:
     @settings(derandomize=True, deadline=None, max_examples=40)
     @given(
@@ -179,6 +314,13 @@ class TestSpecRoundtrip:
     def test_simulated_backend_specs_roundtrip(self, document):
         # A simulated backend block is only legal on simulatable
         # configurations, so it gets its own strategy here.
+        assert_roundtrip(document)
+
+    @settings(derandomize=True, deadline=None, max_examples=20)
+    @given(network_documents())
+    def test_network_backend_specs_roundtrip(self, document):
+        # The topology block must survive canonicalisation across every
+        # topology kind and option set, hash included.
         assert_roundtrip(document)
 
 
@@ -232,6 +374,19 @@ class TestSweepPathEquivalence:
     def test_calibrated_sweeps_are_byte_identical(self, document, flops_axis):
         self.assert_modes_agree({**document, "sweep": {"flops": flops_axis}})
 
+    @settings(derandomize=True, deadline=None, max_examples=3)
+    @given(
+        network_documents(topologies=("oversubscribed-racks",), max_workers=12),
+        st.sampled_from([[1.0, 4.0], [1.0, 2.0, 8.0]]),
+    )
+    def test_network_sweeps_are_byte_identical(self, document, ratio_axis):
+        # The fourth backend path: topology-axis overrides re-merge into
+        # the topology block inside each pool worker, so this also pins
+        # the canonicalised block (and its hash) across processes.
+        self.assert_modes_agree(
+            {**document, "sweep": {"oversubscription_ratio": ratio_axis}}
+        )
+
 
 class TestGoldenRegressions:
     """Minimized failures found while building the harness, replayed.
@@ -278,3 +433,6 @@ class TestStrategyRegistryCompleteness:
 
     def test_topologies_covered(self):
         assert set(ALL_TOPOLOGIES) == set(TOPOLOGIES)
+
+    def test_network_topologies_covered(self):
+        assert set(NETWORK_TOPOLOGIES) == set(TOPOLOGY_KINDS)

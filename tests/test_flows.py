@@ -1,0 +1,216 @@
+"""The flow-level fair-share solver (``repro.net.flows``).
+
+Hand-computed max-min allocations pin the water-filling pass on the
+textbook configurations (single bottleneck, nested bottlenecks, a
+finish that re-shares freed capacity), and hypothesis properties hold
+the solver to its invariants on random flow sets: no link ever carries
+more than its capacity, no flow ever transmits faster than the
+slowest link it traverses, and every flow delivers exactly its bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flows import (
+    Flow,
+    FlowNetwork,
+    FlowRequest,
+    RateSegment,
+    ReservationLedger,
+    max_min_rates,
+    solve_flows,
+    tcp_throughput_cap_bps,
+)
+from repro.hardware.specs import LinkSpec
+from repro.net.topology import single_switch
+
+TEST_LINK = LinkSpec(name="test", bandwidth_bps=100.0, latency_s=0.0)
+
+
+class TestMaxMinRates:
+    def test_two_flows_one_link_split_evenly(self):
+        rates = max_min_rates(
+            {0: (0,), 1: (0,)}, {0: math.inf, 1: math.inf}, {0: 10.0}
+        )
+        assert rates == {0: 5.0, 1: 5.0}
+
+    def test_nested_bottlenecks(self):
+        # A on l1 only, B on l1+l2, C on l2 only; caps l1=10, l2=6.
+        # l2 is the tighter bottleneck: B = C = 3; A then fills l1 to 7.
+        rates = max_min_rates(
+            {0: (1,), 1: (1, 2), 2: (2,)},
+            {0: math.inf, 1: math.inf, 2: math.inf},
+            {1: 10.0, 2: 6.0},
+        )
+        assert rates[1] == pytest.approx(3.0)
+        assert rates[2] == pytest.approx(3.0)
+        assert rates[0] == pytest.approx(7.0)
+
+    def test_per_flow_cap_frees_share_for_others(self):
+        # The capped flow takes 2; the other inherits the remaining 8.
+        rates = max_min_rates(
+            {0: (0,), 1: (0,)}, {0: 2.0, 1: math.inf}, {0: 10.0}
+        )
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_link_free_flow_is_unbounded_until_capped(self):
+        rates = max_min_rates({0: ()}, {0: math.inf}, {})
+        assert rates[0] == math.inf
+        rates = max_min_rates({0: ()}, {0: 42.0}, {})
+        assert rates[0] == pytest.approx(42.0)
+
+
+class TestSolveFlows:
+    def test_single_bottleneck_then_reshare_on_finish(self):
+        # Two flows share a link of capacity 10; the short one finishes
+        # at t = 2 (10 bits at rate 5), after which the long one runs at
+        # the full 10 and delivers its 30 bits at 2 + 20/10 = 4.
+        short = Flow(route=(0,), bits=10.0)
+        long = Flow(route=(0,), bits=30.0)
+        allocations = solve_flows([short, long], {0: 10.0})
+        assert allocations[0].end == pytest.approx(2.0)
+        assert allocations[1].end == pytest.approx(4.0)
+        assert allocations[1].segments == (
+            RateSegment(0.0, 2.0, pytest.approx(5.0)),
+            RateSegment(2.0, 4.0, pytest.approx(10.0)),
+        )
+
+    def test_late_arrival_shares_from_its_release(self):
+        early = Flow(route=(0,), bits=10.0)
+        late = Flow(route=(0,), bits=10.0, not_before=0.5)
+        allocations = solve_flows([early, late], {0: 10.0})
+        # Early runs alone on [0, 0.5] (5 bits), then shares: each gets
+        # 5 bps; early's remaining 5 bits finish at 1.5.
+        assert allocations[0].end == pytest.approx(1.5)
+        assert allocations[1].segments[0].start == pytest.approx(0.5)
+
+    def test_latency_is_paid_once_per_flow(self):
+        flow = Flow(route=(0,), bits=10.0, latency_s=0.25)
+        (allocation,) = solve_flows([flow], {0: 10.0})
+        assert allocation.start == pytest.approx(0.0)
+        assert allocation.end == pytest.approx(1.0 + 0.25)
+
+    def test_zero_bit_flow_delivers_instantly(self):
+        flow = Flow(route=(0,), bits=0.0, not_before=3.0, latency_s=0.5)
+        (allocation,) = solve_flows([flow], {0: 10.0})
+        assert allocation.start == pytest.approx(3.0)
+        assert allocation.end == pytest.approx(3.5)
+        assert allocation.segments == ()
+
+    def test_reservations_subtract_from_residual(self):
+        ledger = ReservationLedger()
+        ledger.reserve(0, RateSegment(0.0, 1.0, 6.0))
+        (allocation,) = solve_flows([Flow(route=(0,), bits=8.0)], {0: 10.0}, ledger)
+        # 4 bps while the reservation holds (4 bits by t=1), then 10.
+        assert allocation.end == pytest.approx(1.0 + 4.0 / 10.0)
+
+
+class TestTcpCap:
+    def test_matthis_form(self):
+        # MSS 1460 B, RTT 100 ms, loss 1%: the padhye/mathis throughput.
+        expected = 1460 * 8 / (0.1 * math.sqrt(2 * 0.01 / 3))
+        assert tcp_throughput_cap_bps(0.1, 0.01) == pytest.approx(expected)
+
+    def test_zero_loss_or_zero_rtt_is_uncapped(self):
+        assert tcp_throughput_cap_bps(0.1, 0.0) == math.inf
+        assert tcp_throughput_cap_bps(0.0, 0.01) == math.inf
+
+
+def flow_sets() -> st.SearchStrategy[list[Flow]]:
+    """Random flow sets over a small shared link set."""
+    flows = st.builds(
+        Flow,
+        route=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=1, max_size=3, unique=True
+        ).map(tuple),
+        bits=st.floats(min_value=1.0, max_value=1e6),
+        not_before=st.floats(min_value=0.0, max_value=10.0),
+        latency_s=st.sampled_from([0.0, 1e-3]),
+        rate_cap_bps=st.sampled_from([math.inf, 64.0, 1024.0]),
+    )
+    return st.lists(flows, min_size=1, max_size=6)
+
+
+CAPACITY = {0: 100.0, 1: 50.0, 2: 200.0, 3: 75.0}
+
+
+class TestSolverProperties:
+    @settings(derandomize=True, deadline=None, max_examples=200)
+    @given(flow_sets())
+    def test_rates_never_exceed_any_traversed_link(self, flows):
+        allocations = solve_flows(flows, CAPACITY)
+        for allocation in allocations:
+            cap = min(
+                [CAPACITY[link] for link in allocation.flow.route]
+                + [allocation.flow.rate_cap_bps]
+            )
+            for segment in allocation.segments:
+                assert segment.rate_bps <= cap * (1 + 1e-9)
+
+    @settings(derandomize=True, deadline=None, max_examples=200)
+    @given(flow_sets())
+    def test_link_utilization_never_exceeds_capacity(self, flows):
+        allocations = solve_flows(flows, CAPACITY)
+        boundaries = sorted(
+            {s.start for a in allocations for s in a.segments}
+            | {s.end for a in allocations for s in a.segments}
+        )
+        for start, end in zip(boundaries, boundaries[1:]):
+            midpoint = (start + end) / 2
+            for link, capacity in CAPACITY.items():
+                load = sum(
+                    s.rate_bps
+                    for a in allocations
+                    if link in a.flow.route
+                    for s in a.segments
+                    if s.start <= midpoint < s.end
+                )
+                assert load <= capacity * (1 + 1e-9)
+
+    @settings(derandomize=True, deadline=None, max_examples=200)
+    @given(flow_sets())
+    def test_every_flow_delivers_its_bits(self, flows):
+        allocations = solve_flows(flows, CAPACITY)
+        for allocation in allocations:
+            moved = sum(
+                (s.end - s.start) * s.rate_bps for s in allocation.segments
+            )
+            assert moved == pytest.approx(allocation.flow.bits, rel=1e-6)
+            assert allocation.start >= allocation.flow.not_before
+            assert allocation.end >= allocation.start
+
+    @settings(derandomize=True, deadline=None, max_examples=100)
+    @given(flow_sets())
+    def test_request_order_is_preserved(self, flows):
+        allocations = solve_flows(flows, CAPACITY)
+        assert [a.flow for a in allocations] == flows
+
+
+class TestFlowNetwork:
+    def test_loopback_is_free(self):
+        network = FlowNetwork(single_switch(4, TEST_LINK))
+        (outcome,) = network.batch([FlowRequest(2, 2, 1e6, not_before=1.5)])
+        assert outcome.start == pytest.approx(1.5)
+        assert outcome.end == pytest.approx(1.5)
+
+    def test_committed_batch_reserves_capacity_for_the_next(self):
+        # Batch 1 occupies host 0's uplink; batch 2 over the same port
+        # only gets the residual, exactly port-FIFO for disjoint epochs.
+        network = FlowNetwork(single_switch(4, TEST_LINK))
+        (first,) = network.batch([FlowRequest(0, 1, 1000.0)])
+        assert first.end == pytest.approx(10.0)
+        (second,) = network.batch([FlowRequest(0, 2, 1000.0)])
+        assert second.end == pytest.approx(20.0)
+
+    def test_batch_outcomes_keep_request_order(self):
+        network = FlowNetwork(single_switch(4, TEST_LINK))
+        outcomes = network.batch(
+            [FlowRequest(0, 1, 500.0), FlowRequest(2, 3, 2000.0)]
+        )
+        assert outcomes[0].end < outcomes[1].end

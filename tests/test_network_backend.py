@@ -1,0 +1,391 @@
+"""Topology factories and the flow-level network backend.
+
+The endpoint simulator (``repro.simulate``) models every cluster as one
+non-blocking switch; this suite pins the topologies that break that
+assumption — rack oversubscription, fat-trees, tori, geo-distributed
+sites — and the backend that replays compiled BSP schedules over them:
+routes, capacities, validation did-you-means, spec wiring, builtin
+scenario goldens, and the coalesced ``curves()`` service path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ScenarioError, SimulationError, UnitError
+from repro.hardware.catalog import lookup
+from repro.hardware.specs import LinkSpec
+from repro.net import (
+    NetworkBackend,
+    TOPOLOGY_KINDS,
+    build_topology,
+    fat_tree,
+    fat_tree_capacity,
+    geo,
+    oversubscribed_racks,
+    single_switch,
+    torus_2d,
+    validate_topology_options,
+)
+from repro.scenarios import SweepRunner, compile_point, parse_scenario
+from repro.scenarios.spec import load_builtin
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+LINK = LinkSpec(name="test-link", bandwidth_bps=1e9, latency_s=1e-4)
+
+
+def route_capacities(topology, source, destination):
+    return [topology.links[i].capacity_bps for i in topology.route(source, destination)]
+
+
+class TestSingleSwitch:
+    def test_every_pair_is_two_hops_at_line_rate(self):
+        topology = single_switch(5, LINK)
+        for a in range(5):
+            for b in range(5):
+                if a == b:
+                    continue
+                route = topology.route(a, b)
+                assert len(route) == 2
+                assert route_capacities(topology, a, b) == [1e9, 1e9]
+                assert topology.route_latency(a, b) == pytest.approx(1e-4)
+
+    def test_distinct_hosts_use_distinct_ports(self):
+        # The non-blocking property: routes between disjoint host pairs
+        # share no links, so parallel transfers cannot contend.
+        topology = single_switch(6, LINK)
+        assert not set(topology.route(0, 1)) & set(topology.route(2, 3))
+
+
+class TestOversubscribedRacks:
+    def test_cross_rack_traverses_the_thin_uplink(self):
+        topology = oversubscribed_racks(
+            8, LINK, racks=2, oversubscription_ratio=4.0
+        )
+        intra = route_capacities(topology, 0, 1)
+        cross = route_capacities(topology, 0, 4)
+        # Intra-rack stays at line rate; the cross-rack path dips to
+        # per_rack * B / ratio = 4 * 1e9 / 4 on its rack-to-core hops.
+        assert min(intra) == pytest.approx(1e9)
+        assert min(cross) == pytest.approx(1e9)
+        assert len(cross) > len(intra)
+        uplink = sorted(set(cross) - set(intra))
+        assert 1e9 in [topology.links[i].capacity_bps for i in topology.route(0, 4)]
+
+    def test_ratio_scales_the_uplink(self):
+        for ratio, expected in [(1.0, 4e9), (2.0, 2e9), (8.0, 5e8)]:
+            topology = oversubscribed_racks(
+                8, LINK, racks=2, oversubscription_ratio=ratio
+            )
+            assert min(route_capacities(topology, 0, 4)) == pytest.approx(
+                min(expected, 1e9)
+            )
+            # The uplink itself carries per_rack * B / ratio.
+            caps = {link.capacity_bps for link in topology.links}
+            assert any(abs(c - expected) < 1e-6 * expected for c in caps)
+
+    def test_one_rack_degenerates_to_a_switch(self):
+        topology = oversubscribed_racks(4, LINK, racks=1, oversubscription_ratio=8.0)
+        assert len(topology.route(0, 3)) == 2
+
+
+class TestFatTree:
+    def test_capacity_formula(self):
+        assert fat_tree_capacity(4) == 16
+        assert fat_tree_capacity(6) == 54
+
+    def test_routes_stay_at_line_rate(self):
+        # The rearrangeably non-blocking claim: no hop is thinner than
+        # the host links, whatever the distance.
+        topology = fat_tree(16, LINK, k=4)
+        for source, destination in [(0, 1), (0, 3), (0, 15), (5, 10)]:
+            assert min(route_capacities(topology, source, destination)) == 1e9
+
+    def test_route_lengths_by_locality(self):
+        topology = fat_tree(16, LINK, k=4)
+        assert len(topology.route(0, 1)) == 2  # same edge switch
+        assert len(topology.route(0, 3)) == 4  # same pod, other edge
+        assert len(topology.route(0, 15)) == 6  # cross-pod via core
+
+    def test_too_small_arity_rejected(self):
+        with pytest.raises(SimulationError):
+            fat_tree(20, LINK, k=4)  # k=4 carries at most 16 hosts
+
+
+class TestTorus2d:
+    def test_neighbours_are_single_hop(self):
+        topology = torus_2d(9, LINK)  # 3x3
+        assert len(topology.route(0, 1)) == 1
+        assert len(topology.route(0, 3)) == 1
+
+    def test_wraparound_shortens_the_route(self):
+        topology = torus_2d(16, LINK)  # 4x4
+        # Column 0 -> column 3 wraps west: 1 hop, not 3.
+        assert len(topology.route(0, 3)) == 1
+        # The far corner: 2 wrap hops (x then y).
+        assert len(topology.route(0, 15)) == 2
+
+    def test_per_hop_latency_accumulates(self):
+        topology = torus_2d(9, LINK)
+        assert topology.route_latency(0, 4) == pytest.approx(
+            len(topology.route(0, 4)) * 1e-4
+        )
+
+
+class TestGeo:
+    def test_cross_site_traverses_the_wan(self):
+        topology = geo(8, LINK, sites=2, wan_bandwidth_bps=1e8)
+        intra = route_capacities(topology, 0, 1)
+        cross = route_capacities(topology, 0, 4)
+        assert min(intra) == pytest.approx(1e9)
+        assert min(cross) == pytest.approx(1e8)
+        assert topology.route_latency(0, 4) > topology.route_latency(0, 1)
+
+    def test_wan_latency_dominates_cross_site_routes(self):
+        base = geo(8, LINK, sites=2, wan_latency_s=0.03)
+        slow = geo(8, LINK, sites=2, wan_latency_s=0.2)
+        assert slow.route_latency(0, 4) > base.route_latency(0, 4)
+        # Intra-site routes never pay the WAN.
+        assert slow.route_latency(0, 1) == base.route_latency(0, 1)
+
+
+class TestValidation:
+    def test_unknown_kind_suggests_the_closest(self):
+        with pytest.raises(ScenarioError, match="fat-tree"):
+            validate_topology_options({"kind": "fat-trie"})
+
+    def test_unknown_option_names_the_allowed_set(self):
+        with pytest.raises(ScenarioError, match="oversubscription_ratio"):
+            validate_topology_options(
+                {"kind": "oversubscribed-racks", "oversub": 4.0}
+            )
+
+    def test_odd_fat_tree_arity_rejected(self):
+        with pytest.raises(ScenarioError, match="even"):
+            validate_topology_options({"kind": "fat-tree", "k": 3})
+
+    def test_tcp_loss_rate_must_be_a_probability(self):
+        with pytest.raises(ScenarioError, match="loss_rate"):
+            validate_topology_options(
+                {"kind": "single-switch", "tcp": {"loss_rate": 1.5}}
+            )
+
+    def test_geo_wan_link_resolves_through_the_catalog(self):
+        # A 40 GbE host NIC makes the 10 Gbps eth-wan circuit the
+        # bottleneck, proving the slug resolved through the catalog.
+        fast = LinkSpec(name="fast", bandwidth_bps=40e9, latency_s=0.0)
+        topology = build_topology(
+            "geo", 8, fast, {"sites": 2, "wan_link": "eth-wan"}
+        )
+        assert min(route_capacities(topology, 0, 4)) == pytest.approx(
+            lookup("eth-wan").bandwidth_bps
+        )
+
+    def test_catalog_near_miss_names_the_wan_slug(self):
+        with pytest.raises(UnitError, match="eth-wan"):
+            lookup("eth-wann")
+
+    def test_every_kind_builds(self):
+        for kind in TOPOLOGY_KINDS:
+            topology = build_topology(kind, 6, LINK, {})
+            assert topology.host_count == 6
+            assert topology.route(0, 5)
+
+
+NETWORK_DOCUMENT = {
+    "name": "net-backend-unit",
+    "description": "network backend unit scenario",
+    "hardware": {"node": "xeon-e3-1240", "link": "1gbe"},
+    "algorithm": {
+        "kind": "gradient_descent",
+        "params": {
+            "operations_per_sample": 1e5,
+            "batch_size": 10000.0,
+            "parameters": 1e6,
+        },
+    },
+    "workers": [1, 2, 4, 8],
+    "baseline_workers": 1,
+    "backend": {
+        "kind": "network",
+        "topology": {"kind": "oversubscribed-racks", "racks": 2},
+        "simulation": {"iterations": 2, "seed": 5},
+    },
+}
+
+
+class TestNetworkBackend:
+    def test_compiles_from_a_spec_and_evaluates(self):
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        target, backend = compile_point(spec)
+        assert isinstance(backend, NetworkBackend)
+        assert backend.topology_kind == "oversubscribed-racks"
+        times = backend.evaluate(target, spec.workers)
+        assert np.all(np.isfinite(times)) and np.all(times > 0)
+
+    def test_evaluate_is_deterministic(self):
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        target, backend = compile_point(spec)
+        first = backend.evaluate(target, spec.workers)
+        second = backend.evaluate(target, spec.workers)
+        np.testing.assert_array_equal(first, second)
+
+    def test_curves_coalescing_matches_individual_queries(self):
+        # The service path: one union-grid evaluation, sliced per query,
+        # must be bit-identical to separate curve() calls.
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        target, backend = compile_point(spec)
+        requests = [((1, 2, 4), 1), ((2, 8), 2)]
+        coalesced = backend.curves(target, requests)
+        for curve, (grid, baseline) in zip(coalesced, requests):
+            alone = backend.curve(target, grid, baseline_workers=baseline)
+            assert curve.times == alone.times
+            assert curve.baseline_time == alone.baseline_time
+
+    def test_oversubscription_slows_the_exchange(self):
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        target, backend = compile_point(spec)
+        contended = NetworkBackend(
+            topology_kind=backend.topology_kind,
+            topology_options=(("oversubscription_ratio", 16.0), ("racks", 2)),
+            iterations=backend.iterations,
+            seed=backend.seed,
+        )
+        baseline = backend.evaluate(target, [8])[0]
+        squeezed = contended.evaluate(target, [8])[0]
+        assert squeezed > baseline
+
+    def test_tcp_cap_slows_lossy_paths(self):
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        target, _ = compile_point(spec)
+        clean = NetworkBackend(topology_kind="geo", topology_options=(("sites", 2),))
+        lossy = NetworkBackend(
+            topology_kind="geo",
+            topology_options=(
+                ("sites", 2),
+                ("tcp", (("loss_rate", 0.02),)),
+                ("wan_latency_ms", 50.0),
+            ),
+        )
+        assert lossy.evaluate(target, [8])[0] > clean.evaluate(target, [8])[0]
+
+    def test_config_reports_the_topology_block(self):
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        _, backend = compile_point(spec)
+        config = backend.config()
+        assert config["backend"] == "network"
+        assert config["topology"]["kind"] == "oversubscribed-racks"
+        assert config["topology"]["racks"] == 2
+
+
+class TestSpecWiring:
+    def test_topology_block_roundtrips_and_hashes(self):
+        spec = parse_scenario(NETWORK_DOCUMENT)
+        reparsed = parse_scenario(spec.to_dict())
+        assert reparsed == spec
+        assert reparsed.content_hash() == spec.content_hash()
+        assert spec.to_dict()["backend"]["topology"]["kind"] == "oversubscribed-racks"
+
+    def test_topology_axes_sweep_only_under_the_network_backend(self):
+        document = json.loads(json.dumps(NETWORK_DOCUMENT))
+        document["backend"] = {"kind": "simulated", "simulation": {"iterations": 2}}
+        document["sweep"] = {"oversubscription_ratio": [1.0, 4.0]}
+        with pytest.raises(ScenarioError, match="oversubscription_ratio"):
+            parse_scenario(document)
+
+    def test_fat_tree_must_carry_the_worker_grid(self):
+        document = json.loads(json.dumps(NETWORK_DOCUMENT))
+        document["workers"] = [1, 2, 4, 8, 16]
+        document["backend"]["topology"] = {"kind": "fat-tree", "k": 4}
+        with pytest.raises(ScenarioError, match="fat-tree"):
+            parse_scenario(document)
+
+    def test_bad_topology_kind_is_a_scenario_error(self):
+        document = json.loads(json.dumps(NETWORK_DOCUMENT))
+        document["backend"]["topology"] = {"kind": "hypercube"}
+        with pytest.raises(ScenarioError):
+            parse_scenario(document)
+
+
+def _assert_payload_close(actual, expected, path="$"):
+    """Structural equality with tolerant floats (golden-file comparison)."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict) and set(actual) == set(expected), path
+        for key in expected:
+            _assert_payload_close(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), path
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_payload_close(a, e, f"{path}[{index}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-9), path
+    else:
+        assert actual == expected, path
+
+
+class TestBuiltinScenarios:
+    @pytest.mark.parametrize("name", ["rack-oversubscription", "geo-training"])
+    def test_sweep_matches_golden_file(self, name):
+        golden = json.loads((GOLDEN_DIR / f"{name}.sweep.json").read_text())
+        result = SweepRunner(mode="serial", use_cache=False).run(load_builtin(name))
+        _assert_payload_close(result.payload(), golden)
+
+    def test_rack_sweep_has_a_contention_knee(self):
+        # The acceptance property: as the uplink thins, the optimum
+        # retreats to fewer workers and the peak speedup decays — the
+        # knee the paper's single-switch models cannot produce.
+        result = SweepRunner(mode="serial", use_cache=False).run(
+            load_builtin("rack-oversubscription")
+        )
+        points = sorted(
+            result.payload()["points"],
+            key=lambda p: p["overrides"]["oversubscription_ratio"],
+        )
+        peaks = [p["peak_speedup"] for p in points]
+        optima = [p["optimal_workers"] for p in points]
+        assert peaks == sorted(peaks, reverse=True)
+        assert optima[-1] < optima[0]
+
+    def test_geo_sweep_degrades_monotonically_with_wan_latency(self):
+        result = SweepRunner(mode="serial", use_cache=False).run(
+            load_builtin("geo-training")
+        )
+        points = sorted(
+            result.payload()["points"],
+            key=lambda p: p["overrides"]["wan_latency_ms"],
+        )
+        peaks = [p["peak_speedup"] for p in points]
+        assert peaks == sorted(peaks, reverse=True)
+
+
+class TestCli:
+    def test_scenario_sweep_network_backend(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "sweep", "rack-oversubscription", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "oversubscription_ratio" in out
+
+    def test_backend_flag_reroutes_a_simulated_spec(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    "figure2",
+                    "--backend",
+                    "network",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        assert "figure2" in capsys.readouterr().out

@@ -331,7 +331,9 @@ class TestPlannerDeterminism:
 
 
 class TestRefinedOptimum:
-    @pytest.mark.parametrize("backend", ["analytic", "simulated", "calibrated"])
+    @pytest.mark.parametrize(
+        "backend", ["analytic", "simulated", "calibrated", "network"]
+    )
     def test_refined_agrees_with_analytic_argmax_on_figure2(self, backend):
         # The acceptance property: the planner-refined optimum of the
         # paper's Figure 2 scenario stays within one grid step of the

@@ -99,7 +99,12 @@ class TestEndToEndRoundTrip:
         result = client.specs()["result"]
         assert "figure2" in result["scenarios"]
         assert "plan-gd-deadline" in result["plans"]
-        assert set(result["backends"]) == {"analytic", "simulated", "calibrated"}
+        assert set(result["backends"]) == {
+            "analytic",
+            "simulated",
+            "calibrated",
+            "network",
+        }
 
     def test_hardware(self, client):
         result = client.hardware()["result"]

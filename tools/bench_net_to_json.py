@@ -1,0 +1,189 @@
+"""Record the network-backend benchmark as a JSON artifact.
+
+Two measurements, written to ``BENCH_net.json`` at the repository root
+so the flow-level backend's perf trajectory is tracked in-tree
+alongside ``BENCH_sim.json``:
+
+* **sweep throughput** — a network-backend scenario sweep (one flow
+  simulation per worker count per grid point, re-solving max-min rates
+  at every arrival/finish event) through the serial and process-pool
+  paths.  Like the simulated bench, payload identity across modes is a
+  hard gate: topology-axis overrides re-merge into the topology block
+  inside each pool worker, so a divergence means the canonicalisation
+  (and the content hash) broke.  The pool floor is CPU-aware — with
+  >= 2 cores the pool must beat serial by ``MIN_SPEEDUP_MULTI``; on a
+  single core it must stay within ``MIN_SPEEDUP_SINGLE`` of serial.
+
+* **topology overhead** — the same workload evaluated on a single
+  switch (2-link routes, the endpoint simulator's regime) vs a fat-tree
+  (up to 6-link routes through shared aggregation and core layers).
+  The fat-tree costs more per event — more links per flow in every
+  water-filling pass — and ``MAX_FAT_TREE_RATIO`` bounds how much more,
+  so a routing or solver regression that blows up multi-hop topologies
+  fails the artifact run even when the single-switch path stays fast.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_net_to_json.py [--points 10] [--output BENCH_net.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.scenarios import SweepRunner, compile_point, parse_scenario
+from repro.scenarios.sweep import available_cpus
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required process-pool speedup when the machine has >= 2 cores.
+MIN_SPEEDUP_MULTI = 1.15
+
+#: Required serial/process ratio on a single core (pool overhead bound).
+MIN_SPEEDUP_SINGLE = 0.7
+
+#: The fat-tree evaluation may cost at most this multiple of the
+#: single-switch evaluation of the same workload (routes grow from 2 to
+#: at most 6 links, so the per-event work grows by a small constant).
+MAX_FAT_TREE_RATIO = 15.0
+
+
+def bench_spec(points: int, max_workers: int, iterations: int) -> dict:
+    """A network sweep of the Figure 2 workload across uplink ratios."""
+    return {
+        "name": "bench-network-sweep",
+        "description": "oversubscription sweep of the Figure 2 workload (bench)",
+        "hardware": {"node": "xeon-e3-1240", "link": "1gbe"},
+        "algorithm": {
+            "kind": "spark_gradient_descent",
+            "params": {
+                "architecture": "mnist-fc",
+                "batch_size": 60000,
+                "bits_per_parameter": 64,
+            },
+        },
+        "workers": {"min": 1, "max": max_workers},
+        "backend": {
+            "kind": "network",
+            "topology": {"kind": "oversubscribed-racks", "racks": 4},
+            "simulation": {"iterations": iterations, "seed": 0},
+        },
+        "sweep": {
+            "oversubscription_ratio": [float(1 + i) for i in range(points)]
+        },
+    }
+
+
+def topology_spec(kind: str, max_workers: int, iterations: int) -> dict:
+    """The sweep-free workload for the topology-overhead comparison."""
+    spec = bench_spec(points=1, max_workers=max_workers, iterations=iterations)
+    spec["name"] = f"bench-network-{kind}"
+    spec["backend"]["topology"] = {"kind": kind}
+    del spec["sweep"]
+    return spec
+
+
+def best_of(fn, rounds: int):
+    """(best seconds, last result) over ``rounds`` runs."""
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def evaluate_seconds(document: dict, rounds: int) -> float:
+    """Best wall seconds to evaluate the document's full worker grid."""
+    spec = parse_scenario(document)
+    target, backend = compile_point(spec)
+    seconds, _ = best_of(lambda: backend.evaluate(target, spec.workers), rounds)
+    return seconds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=10, help="sweep grid points")
+    parser.add_argument("--max-workers", type=int, default=24, help="worker-grid top")
+    parser.add_argument("--iterations", type=int, default=4, help="supersteps per point")
+    parser.add_argument("--rounds", type=int, default=2, help="timing rounds")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_net.json"),
+        help="output path (default: BENCH_net.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    spec = parse_scenario(bench_spec(args.points, args.max_workers, args.iterations))
+    serial_runner = SweepRunner(mode="serial", use_cache=False)
+    process_runner = SweepRunner(mode="process", use_cache=False)
+
+    serial_s, serial_result = best_of(lambda: serial_runner.run(spec), args.rounds)
+    process_s, process_result = best_of(lambda: process_runner.run(spec), args.rounds)
+
+    # Correctness before timing claims: identical payloads either way.
+    payloads_match = serial_result.payload() == process_result.payload()
+
+    cpus = available_cpus()
+    speedup = serial_s / process_s
+    floor = MIN_SPEEDUP_MULTI if cpus >= 2 else MIN_SPEEDUP_SINGLE
+
+    single_s = evaluate_seconds(
+        topology_spec("single-switch", args.max_workers, args.iterations), args.rounds
+    )
+    fat_tree_s = evaluate_seconds(
+        topology_spec("fat-tree", args.max_workers, args.iterations), args.rounds
+    )
+    ratio = fat_tree_s / single_s
+
+    accepted = payloads_match and speedup >= floor and ratio <= MAX_FAT_TREE_RATIO
+
+    payload = {
+        "benchmark": "network-sweep",
+        "description": (
+            "serial vs process-pool evaluation of a network-backend"
+            " scenario sweep, plus the per-evaluation overhead of"
+            " multi-hop topologies (see benchmarks/bench_network.py)"
+        ),
+        "grid_points": spec.grid_size,
+        "worker_counts": len(spec.workers),
+        "iterations_per_point": args.iterations,
+        "cpus": cpus,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "serial_s": serial_s,
+        "process_s": process_s,
+        "speedup_x": speedup,
+        "acceptance_floor_x": floor,
+        "points_per_s_serial": spec.grid_size / serial_s,
+        "single_switch_s": single_s,
+        "fat_tree_s": fat_tree_s,
+        "fat_tree_over_single_switch_x": ratio,
+        "max_fat_tree_ratio_x": MAX_FAT_TREE_RATIO,
+        "payloads_identical": payloads_match,
+    }
+    target = Path(args.output)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"network sweep ({spec.grid_size} points x {len(spec.workers)} worker"
+        f" counts): serial {serial_s:.3f}s, process {process_s:.3f}s"
+        f" ({speedup:.2f}x on {cpus} cpu(s); floor {floor}x;"
+        f" payloads {'identical' if payloads_match else 'DIVERGED'})"
+    )
+    print(
+        f"topology overhead: single-switch {single_s:.3f}s,"
+        f" fat-tree {fat_tree_s:.3f}s ({ratio:.2f}x; bound"
+        f" {MAX_FAT_TREE_RATIO}x)"
+    )
+    print(f"wrote {target}")
+    return 0 if accepted else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
