@@ -7,7 +7,7 @@ export PYTHONPATH := src
 # Coverage floor CI enforces on src/repro (see `make test-cov`).
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve bench-net check clean
+.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve bench-net bench-store check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
@@ -36,7 +36,7 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md docs/network.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md docs/network.md docs/store.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
@@ -67,8 +67,14 @@ bench-serve:
 bench-net:
 	$(PYTHON) tools/bench_net_to_json.py
 
+## The columnar-store acceptance bench: cached-hit latency vs grid size,
+## delta-sweep cost vs full recompute (byte-identical payloads) and
+## progressive refinement coverage, written to BENCH_store.json.
+bench-store:
+	$(PYTHON) tools/bench_store_to_json.py
+
 ## Everything CI would run.
-check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve bench-net
+check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve bench-net bench-store
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,85 @@
+"""Bench: the columnar result store vs recomputation.
+
+PR 6 made sweeps cheap to *run*; the store makes them cheap to *re-run*.
+This bench measures the three claims the store is built on, at the
+1M-curve-point scale where they matter:
+
+* a cached sweep is served from a memory-mapped chunk — the hit must be
+  at least ``50x`` faster than recomputing, and scale O(manifest) rather
+  than O(grid) (the 1M-point hit at most ``10x`` the 1k-point hit);
+* growing a stored sweep by ~10 % new grid points is a *delta*: only
+  the new points compute, so it must cost at most ``25 %`` of a full
+  recompute — with the merged payload byte-identical to a fresh run;
+* ``refine`` mode evaluates at most ``25 %`` of a dense worker grid
+  while finding the same optimal worker count and speedup knee.
+
+``tools/bench_store_to_json.py`` runs the same measurements standalone
+and records them in ``BENCH_store.json``.  Like every ``bench_*.py``
+file this is not auto-collected by ``make test``; run it via ``make
+bench-store`` (artifact) or ``pytest benchmarks/bench_store.py``.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+# tools/ is not a package; the standalone artifact writer owns the
+# grids and the floors, and this bench reuses them verbatim.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tools.bench_store_to_json import (  # noqa: E402
+    DELTA_EXTRA,
+    LARGE_VALUES,
+    LARGE_WORKERS,
+    MAX_DELTA_FRACTION,
+    MAX_HIT_SCALING,
+    MAX_REFINE_FRACTION,
+    MIN_HIT_SPEEDUP,
+    REFINE_WORKERS,
+    SMALL_VALUES,
+    SMALL_WORKERS,
+    measure_delta,
+    measure_grid,
+    measure_refine,
+    scratch_root,
+)
+
+
+def test_hit_and_delta_meet_acceptance_floors(benchmark):
+    with tempfile.TemporaryDirectory(dir=scratch_root()) as small_dir:
+        small = measure_grid(SMALL_VALUES, SMALL_WORKERS, small_dir)
+    with tempfile.TemporaryDirectory(dir=scratch_root()) as large_dir:
+        large = measure_grid(LARGE_VALUES, LARGE_WORKERS, large_dir)
+        delta = measure_delta(LARGE_VALUES, DELTA_EXTRA, LARGE_WORKERS, large_dir)
+    hit_scaling = large["hit_s"] / small["hit_s"]
+    benchmark.extra_info["hit_1m_ms"] = large["hit_s"] * 1e3
+    benchmark.extra_info["full_1m_ms"] = large["full_s"] * 1e3
+    benchmark.extra_info["hit_speedup_x"] = large["hit_speedup_x"]
+    benchmark.extra_info["hit_scaling_x"] = hit_scaling
+    benchmark.extra_info["delta_fraction"] = delta["delta_fraction"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nstore: 1M-point hit {large['hit_s'] * 1e3:.1f}ms vs recompute"
+        f" {large['full_s'] * 1e3:.0f}ms ({large['hit_speedup_x']:.0f}x;"
+        f" floor {MIN_HIT_SPEEDUP:.0f}x); scaling {hit_scaling:.1f}x"
+        f" (cap {MAX_HIT_SCALING:.0f}x); delta {delta['delta_fraction']:.1%}"
+        f" (cap {MAX_DELTA_FRACTION:.0%})"
+    )
+    assert large["hit_speedup_x"] >= MIN_HIT_SPEEDUP
+    assert hit_scaling <= MAX_HIT_SCALING
+    assert delta["delta_fraction"] <= MAX_DELTA_FRACTION
+    assert delta["payload_identical"]
+
+
+def test_refinement_matches_dense_grid(benchmark):
+    refine = measure_refine(REFINE_WORKERS)
+    benchmark.extra_info["refine_fraction"] = refine["refine_fraction"]
+    benchmark.extra_info["evaluated_points"] = refine["evaluated_points"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nrefine: {refine['evaluated_points']} of {refine['dense_points']}"
+        f" dense points ({refine['refine_fraction']:.1%}, cap"
+        f" {MAX_REFINE_FRACTION:.0%})"
+    )
+    assert refine["refine_fraction"] <= MAX_REFINE_FRACTION
+    assert refine["optimal_matches"]
+    assert refine["knee_matches"]

@@ -128,6 +128,47 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="expand the sweep grid and print one summary row per point"
     )
     _add_scenario_run_options(scenario_sweep)
+    scenario_sweep.add_argument(
+        "--refine",
+        action="store_true",
+        help=(
+            "progressive refinement: evaluate a coarse worker subset per"
+            " grid point and densify only around the time minimum and the"
+            " speedup knee (pointwise backends only)"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--stats",
+        action="store_true",
+        help="report store effectiveness (points reused vs computed)",
+    )
+
+    cache_parser = scenario_sub.add_parser(
+        "cache", help="inspect or clean the on-disk result store"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="what is stored: families, views, points, bytes"
+    )
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every stored result (and stale staging files)"
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="remove garbage only: stale temps, orphan chunks"
+    )
+    for cache_command in (cache_stats, cache_clear, cache_gc):
+        cache_command.add_argument(
+            "--cache-dir",
+            default=None,
+            help="result cache directory (default: ~/.cache/repro)",
+        )
+    cache_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="age past which unreferenced files count as garbage (default: 3600)",
+    )
 
     calibrate_parser = scenario_sub.add_parser(
         "calibrate",
@@ -216,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan_run.add_argument(
         "--no-cache", action="store_true", help="recompute even if a cached result exists"
+    )
+    plan_run.add_argument(
+        "--refine",
+        action="store_true",
+        help=(
+            "progressive refinement: candidates evaluate a coarse worker"
+            " subset and densify only around the optimum and the knee"
+            " (pointwise backends only)"
+        ),
     )
     plan_run.add_argument(
         "--export",
@@ -413,6 +463,7 @@ def _scenario_runner(args: argparse.Namespace):
         max_workers=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        refine=getattr(args, "refine", False),
     )
 
 
@@ -422,6 +473,57 @@ def _stats_line(stats: dict) -> str:
     elapsed = stats.get("elapsed_s", 0.0)
     hit = " (cache hit)" if stats.get("cache_hit") else ""
     return f"[{points} grid point(s) via {mode}{hit} in {elapsed:.3f}s]"
+
+
+def _store_stats_line(stats: dict) -> str:
+    """The ``scenario sweep --stats`` line: store effectiveness."""
+    reused = stats.get("points_reused", 0)
+    computed = stats.get("points_computed", 0)
+    line = f"[store: {reused} point(s) reused, {computed} computed]"
+    if stats.get("mode") == "refine":
+        evaluated = stats.get("evaluated_curve_points", 0)
+        dense = stats.get("dense_total_curve_points", 0)
+        fraction = stats.get("refine_fraction", 0.0)
+        line += (
+            f" [refine: evaluated {evaluated} of {dense} dense curve"
+            f" point(s) ({fraction:.1%})]"
+        )
+    return line
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    """``scenario cache stats|clear|gc`` over both storage layers."""
+    from repro.scenarios.cache import ResultCache
+    from repro.store import ResultStore
+
+    cache = ResultCache(args.cache_dir)
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "stats":
+        disk = store.disk_stats()
+        blobs = (
+            len(list(cache.directory.glob("*.json")))
+            if cache.directory.exists()
+            else 0
+        )
+        print(f"store directory: {store.directory}")
+        print(f"  families:    {disk['families']}")
+        print(f"  views:       {disk['views']}")
+        print(f"  grid points: {disk['grid_points']}")
+        print(f"  chunk bytes: {disk['chunk_bytes']}")
+        print(f"  temp files:  {disk['temp_files']}")
+        print(f"blob entries:  {blobs}")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear() + cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    # gc: garbage only — live entries and fresh staging files survive.
+    max_age = args.max_age if args.max_age is not None else 3600.0
+    counts = store.gc(max_age_s=max_age)
+    counts["stale_temps"] += cache.gc(max_age_s=max_age)
+    for name, count in counts.items():
+        print(f"{name.replace('_', ' ')}: {count}")
+    return 0
 
 
 def _run_calibrate_command(args: argparse.Namespace, spec) -> int:
@@ -455,6 +557,8 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         for name in builtin_names():
             print(name)
         return 0
+    if args.scenario_command == "cache":
+        return _run_cache_command(args)
 
     spec = resolve_scenario(args.spec)
     if getattr(args, "workers", None):
@@ -490,6 +594,8 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         print()
         print(render_table(result.summary_rows()))
     print(_stats_line(result.stats))
+    if getattr(args, "stats", False):
+        print(_store_stats_line(result.stats))
     if args.export:
         target = result.export(args.export)
         print(f"exported to {target}")
@@ -530,6 +636,7 @@ def _run_plan_command(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        refine=getattr(args, "refine", False),
     )
     recommendation = run_plan(plan, runner=runner, backend=args.backend)
     if args.format == "json":

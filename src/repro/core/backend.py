@@ -74,6 +74,13 @@ class EvaluationBackend(ABC):
     #: Short identifier, also used in scenario specs and cache keys.
     name: ClassVar[str] = "abstract"
 
+    #: True when a grid point's time depends only on its own worker
+    #: count — the property that makes union evaluation (``curves``),
+    #: shared-buffer serving (:mod:`repro.store.union`) and progressive
+    #: refinement (:mod:`repro.store.refine`) sound.  The calibrated
+    #: backend opts out: its fit couples every point of a grid.
+    pointwise: ClassVar[bool] = True
+
     @abstractmethod
     def evaluate(self, target: EvaluationTarget, workers: Iterable[int]) -> np.ndarray:
         """Execution time at every grid point, in the model's units."""
@@ -198,6 +205,11 @@ class CalibratedBackend(EvaluationBackend):
     features: str = "ernest"
 
     name: ClassVar[str] = "calibrated"
+
+    #: A fit couples every point of its grid: which workers are
+    #: requested changes the fitted family, so union grids, shared
+    #: buffers and refinement subsets would all change the answers.
+    pointwise: ClassVar[bool] = False
 
     def calibrate(
         self, target: EvaluationTarget, workers: Iterable[int]

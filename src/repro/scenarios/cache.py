@@ -12,12 +12,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core.errors import ScenarioError
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_SCENARIO_CACHE"
+
+#: A ``.tmp-*.part`` staging file older than this is a crashed writer's
+#: leak, not an in-flight write; ``clear()`` and ``gc()`` remove it.
+#: Fresh staging files always survive — a concurrent ``clear()`` must
+#: never break a live writer (pinned by tests/test_cache_concurrency.py).
+STALE_TEMP_AGE_S = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -75,11 +82,39 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many *entries* were removed.
+
+        Stale staging leaks from crashed writers go too, but the count
+        reflects cache entries only — callers read it as "how much was
+        cached", not "how many files were touched".
+        """
         if not self.directory.exists():
             return 0
         removed = 0
         for entry in self.directory.glob("*.json"):
             entry.unlink(missing_ok=True)
             removed += 1
+        self.gc()
+        return removed
+
+    def gc(self, max_age_s: float = STALE_TEMP_AGE_S) -> int:
+        """Remove stale ``.tmp-*.part`` leaks; returns how many.
+
+        A writer that died between ``mkstemp`` and ``os.replace`` leaks
+        its staging file forever — nothing ever renames or reuses it.
+        Anything older than ``max_age_s`` cannot be in flight; younger
+        files are left for their (possibly live) writers.
+        """
+        if not self.directory.exists():
+            return 0
+        now = time.time()
+        removed = 0
+        for temp in self.directory.glob(".tmp-*.part"):
+            try:
+                if now - temp.stat().st_mtime <= max_age_s:
+                    continue
+                temp.unlink()
+                removed += 1
+            except OSError:
+                continue  # the writer finished (renamed) or another cleaner won
         return removed

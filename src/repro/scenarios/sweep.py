@@ -53,10 +53,15 @@ A failing grid point — however deep in the pool — surfaces as one clean
 downstream tasks never run, so the cache (written only after a fully
 successful run) can never hold a partial sweep.
 
-Results are cached on disk keyed by the scenario content hash — which
-includes the backend block — so a re-run of an identical spec is a pure
-file read and two runs that evaluate differently never share an entry
-(see :mod:`repro.scenarios.cache`).
+Results persist in the columnar store (:mod:`repro.store.columnar`):
+point curves land in memory-mapped structured arrays keyed at **point**
+level, so a re-run of an identical spec is a pure file map, and a run
+whose grid merely *overlaps* a stored one schedules only the missing
+points and merges the rest column-wise (``stats["points_reused"]``
+proves the delta).  ``refine`` mode trades grid density for targeted
+evaluations instead (:mod:`repro.store.refine`).  The older whole-blob
+JSON cache (:mod:`repro.scenarios.cache`) remains for service request
+payloads.
 """
 
 from __future__ import annotations
@@ -83,9 +88,12 @@ from repro.sched import (
     seed_worker_store,
     worker_store,
 )
+from repro.core.speedup import SpeedupCurve
 from repro.scenarios.cache import ResultCache
 from repro.scenarios.compile import compile_point, is_expensive
 from repro.scenarios.spec import ScenarioSpec, parse_scenario
+from repro.store.columnar import LazyPoints, ResultStore, StorePlan
+from repro.store.refine import refine_worker_grid
 
 #: Cheap-grid size at which ``auto`` mode reaches for the pool: below
 #: two full chunks of closed-form points, dispatch cannot amortise.
@@ -208,6 +216,7 @@ def build_sweep_graph(
     *,
     chunk_size: int,
     pooled: bool,
+    attach_crossovers: bool = True,
 ) -> tuple[TaskGraph, str]:
     """The task graph of one sweep; returns ``(graph, final_task_name)``.
 
@@ -215,6 +224,11 @@ def build_sweep_graph(
     point (a swept scenario's own declared configuration) evaluates
     inline and in parallel with the pool's chunks; the merge and the
     crossover annotation depend on everything before them.
+
+    A delta run (computing only a stored grid's missing points) passes
+    ``attach_crossovers=False``: its ``grid`` is a subset, so crossovers
+    are attached later, over the merged full grid.  The reference task
+    still runs — every grid signature needs its own reference.
     """
     graph = TaskGraph()
     if spec.sweep:
@@ -232,7 +246,7 @@ def build_sweep_graph(
             graph.add(name, _evaluate_chunk_inline, spec, chunk)
         chunk_results.append(Dep(name))
     final = graph.add("merge", _merge_chunks, *chunk_results)
-    if spec.sweep:
+    if spec.sweep and attach_crossovers:
         final = graph.add(
             "crossovers", _merged_with_crossovers, Dep("merge"), Dep("reference")
         )
@@ -259,6 +273,26 @@ def _attach_crossovers(points: list[dict], reference: dict | None) -> None:
         point["crossover_workers"] = crossover
 
 
+def _attach_refined_crossovers(points: list[dict], reference: dict) -> None:
+    """Crossovers between refined curves with *different* worker subsets.
+
+    Dense sweeps compare positionally — every point shares the grid.
+    Refined points each evaluated their own subset, so comparison runs
+    over the worker counts both curves actually contain; the semantics
+    are unchanged (smallest shared count where the point beats the
+    reference, else ``None``).
+    """
+    reference_times = dict(zip(reference["workers"], reference["times_s"]))
+    for point in points:
+        crossover = None
+        for n, t in zip(point["workers"], point["times_s"]):
+            reference_t = reference_times.get(n)
+            if reference_t is not None and t < reference_t:
+                crossover = n
+                break
+        point["crossover_workers"] = crossover
+
+
 @dataclass(frozen=True)
 class SweepResult:
     """The outcome of running one scenario sweep.
@@ -268,9 +302,13 @@ class SweepResult:
     (mode, cache hit, elapsed seconds, chunk plan).
     """
 
+    #: ``points`` is a sequence of per-grid-point dicts: a tuple on a
+    #: fresh compute, a :class:`repro.store.LazyPoints` view over the
+    #: memory-mapped chunk on a store hit (materialised per point, on
+    #: access — indexing, iteration and equality all behave identically).
     scenario: str
     content_hash: str
-    points: tuple[dict, ...]
+    points: tuple[dict, ...] | LazyPoints
     reference: dict | None = None
     stats: dict = field(default_factory=dict)
 
@@ -401,6 +439,17 @@ class SweepRunner:
         CPUs ``auto`` mode and the chunk planner assume; ``None``
         detects the affinity-aware count.  Tests pin it for
         deterministic mode resolution on any machine.
+    refine:
+        Progressive refinement: evaluate a coarse log-spaced worker
+        subset per grid point and densify only around the time minimum
+        and the speedup knee (see :mod:`repro.store.refine`).  Points
+        then carry *subsets* of ``spec.workers``; refined results bypass
+        the store (every refined value equals its dense-grid value, but
+        views index full grids).  Pointwise backends only.
+    store:
+        Share a :class:`repro.store.ResultStore` (and its counters) with
+        other runners — the service passes its own; ``None`` builds one
+        over ``cache_dir``.
     """
 
     def __init__(
@@ -410,6 +459,8 @@ class SweepRunner:
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
         cpus: int | None = None,
+        refine: bool = False,
+        store: ResultStore | None = None,
     ) -> None:
         if mode not in MODES:
             raise ScenarioError(f"unknown sweep mode {mode!r}; known: {', '.join(MODES)}")
@@ -421,6 +472,8 @@ class SweepRunner:
         self.max_workers = max_workers
         self.use_cache = use_cache
         self.cache = ResultCache(cache_dir)
+        self.store = store if store is not None else ResultStore(cache_dir)
+        self.refine = refine
         self.cpus = cpus if cpus is not None else available_cpus()
 
     def resolve_mode(self, spec: ScenarioSpec, grid_size: int) -> str:
@@ -449,30 +502,44 @@ class SweepRunner:
         )
 
     def run(self, spec: ScenarioSpec) -> SweepResult:
-        """Evaluate every grid point of ``spec`` (or load it from cache)."""
+        """Evaluate every grid point of ``spec`` (or load it from the store).
+
+        With caching on, the columnar store plans the run first: an
+        exact-grid **hit** memory-maps the stored chunk (no evaluation at
+        all), a **delta** schedules only the missing grid points and
+        merges them with the stored columns, and a **miss** computes the
+        full grid and commits it.  Every path yields byte-identical
+        payloads — the store keeps points, not artifacts, and
+        re-materialises them exactly as :func:`evaluate_point` built them.
+        """
         key = spec.content_hash()
         started = time.perf_counter()
-        if self.use_cache:
-            cached = self.cache.get(key)
-            if cached is not None and cached.get("content_hash") == key:
-                return SweepResult.from_payload(
-                    cached,
-                    stats={
-                        "cache_hit": True,
-                        "mode": "cache",
-                        "grid_points": len(cached.get("points", ())),
-                        "elapsed_s": time.perf_counter() - started,
-                    },
-                )
+        if self.refine:
+            return self._run_refined(spec, key, started)
+        plan = self.store.plan(spec) if self.use_cache else None
+        if plan is not None and plan.state == "hit":
+            return SweepResult(
+                scenario=spec.name,
+                content_hash=key,
+                points=self.store.points(spec, plan.chunk),
+                reference=plan.reference,
+                stats={
+                    "cache_hit": True,
+                    "mode": "store",
+                    "grid_points": plan.n_rows,
+                    "points_reused": plan.n_rows,
+                    "points_computed": 0,
+                    "elapsed_s": time.perf_counter() - started,
+                },
+            )
+        if plan is not None and plan.state == "delta":
+            return self._run_delta(spec, key, started, plan)
+        return self._run_full(spec, key, started, plan)
 
-        grid = expand_grid(spec)
-        mode = self.resolve_mode(spec, len(grid))
-        if mode == "process" and len(grid) <= 1:
-            mode = "serial"  # a pool for one task is pure overhead
-        chunk_size = self.chunk_size(spec, len(grid))
-        graph, final = build_sweep_graph(
-            spec, grid, chunk_size=chunk_size, pooled=(mode == "process")
-        )
+    def _execute(
+        self, spec: ScenarioSpec, key: str, graph: TaskGraph, mode: str
+    ) -> "GraphScheduler.Report":
+        """Run one sweep graph in the resolved mode, with clean failure."""
         try:
             if mode == "process":
                 # The spec ships to each worker exactly once, keyed by
@@ -482,15 +549,28 @@ class SweepRunner:
                     initializer=seed_worker_store,
                     initargs=({key: spec.to_dict()},),
                 ) as pool:
-                    report = GraphScheduler(pool).run(graph)
-            else:
-                report = GraphScheduler().run(graph)
+                    return GraphScheduler(pool).run(graph)
+            return GraphScheduler().run(graph)
         except TaskFailure as failure:
             cause = failure.cause
             raise ScenarioError(
                 f"sweep of scenario {spec.name!r} failed at task"
                 f" {failure.task!r}: {type(cause).__name__}: {cause}"
             ) from cause
+
+    def _run_full(
+        self, spec: ScenarioSpec, key: str, started: float, plan: StorePlan | None
+    ) -> SweepResult:
+        """Evaluate the whole grid; commit the view when caching is on."""
+        grid = expand_grid(spec)
+        mode = self.resolve_mode(spec, len(grid))
+        if mode == "process" and len(grid) <= 1:
+            mode = "serial"  # a pool for one task is pure overhead
+        chunk_size = self.chunk_size(spec, len(grid))
+        graph, final = build_sweep_graph(
+            spec, grid, chunk_size=chunk_size, pooled=(mode == "process")
+        )
+        report = self._execute(spec, key, graph, mode)
         points = report.values[final]
         reference = report.values.get("reference")
 
@@ -506,12 +586,151 @@ class SweepRunner:
                 "scheduler": "task-graph",
                 "chunks": len(graph) - (3 if spec.sweep else 1),
                 "chunk_size": chunk_size,
+                "points_reused": 0,
+                "points_computed": len(grid),
                 "elapsed_s": time.perf_counter() - started,
             },
         )
-        if self.use_cache:
-            self.cache.put(key, result.payload())
+        if plan is not None:
+            # Only after a fully successful run — a failed chunk raised
+            # above, so the store can never hold a partial sweep.
+            self.store.commit(spec, plan, dict(enumerate(points)), reference)
         return result
+
+    def _run_delta(
+        self, spec: ScenarioSpec, key: str, started: float, plan: StorePlan
+    ) -> SweepResult:
+        """Compute only the grid points the store is missing.
+
+        The missing points run through the same chunked task graph as a
+        full sweep (minus the crossover stage — crossovers need the full
+        merged grid); the reference re-evaluates regardless, because a
+        reference's identity includes the sweep block, so each grid
+        signature owns its own reference times (and hence crossovers).
+        """
+        grid = expand_grid(spec)
+        missing_grid = [grid[i] for i in plan.missing]
+        reference = None
+        chunks = 0
+        chunk_size = 0
+        mode = "store"
+        if missing_grid:
+            mode = self.resolve_mode(spec, len(missing_grid))
+            if mode == "process" and len(missing_grid) <= 1:
+                mode = "serial"
+            chunk_size = self.chunk_size(spec, len(missing_grid))
+            graph, final = build_sweep_graph(
+                spec,
+                missing_grid,
+                chunk_size=chunk_size,
+                pooled=(mode == "process"),
+                attach_crossovers=False,
+            )
+            report = self._execute(spec, key, graph, mode)
+            new_points = report.values[final]
+            reference = report.values.get("reference")
+            chunks = len(graph) - (2 if spec.sweep else 1)
+        else:
+            new_points = []
+            if spec.sweep:
+                reference = evaluate_point(spec, {})
+        chunk = self.store.commit(
+            spec, plan, dict(zip(plan.missing, new_points)), reference
+        )
+        stats = {
+            "cache_hit": False,
+            "mode": mode,
+            "grid_points": len(grid),
+            "scheduler": "task-graph",
+            "chunks": chunks,
+            "chunk_size": chunk_size,
+            "points_reused": len(grid) - len(missing_grid),
+            "points_computed": len(missing_grid),
+            "elapsed_s": time.perf_counter() - started,
+        }
+        return SweepResult(
+            scenario=spec.name,
+            content_hash=key,
+            points=self.store.points(spec, chunk),
+            reference=reference,
+            stats=stats,
+        )
+
+    def _run_refined(
+        self, spec: ScenarioSpec, key: str, started: float
+    ) -> SweepResult:
+        """Progressively refine each grid point's worker subset.
+
+        Results bypass the store: refined points carry per-point worker
+        *subsets*, while store views index full grids.  Every refined
+        value still equals its dense-grid value exactly — refinement
+        chooses which points to evaluate, never what they evaluate to —
+        a property the differential suite pins per backend.
+        """
+        grid = expand_grid(spec)
+        dense = len(spec.workers)
+        evaluated = 0
+
+        def refined_point(overrides: Mapping[str, object]) -> dict:
+            nonlocal evaluated
+            target, backend = compile_point(spec, overrides)
+            if not getattr(backend, "pointwise", True):
+                raise ScenarioError(
+                    f"cannot refine scenario {spec.name!r}: the"
+                    f" {backend.name!r} backend fits against its whole"
+                    " grid, so a refined subset would change its answers"
+                )
+            refined = refine_worker_grid(
+                lambda subset: backend.evaluate(target, subset),
+                spec.workers,
+                spec.baseline_workers,
+            )
+            evaluated += refined.evaluations
+            curve = SpeedupCurve(
+                workers=refined.workers,
+                times=refined.times_s,
+                baseline_time=refined.baseline_time,
+                baseline_workers=spec.baseline_workers,
+                label=spec.name,
+            )
+            return {
+                "overrides": dict(overrides),
+                "backend": backend.name,
+                "backend_config": backend.config(),
+                "workers": list(curve.workers),
+                "times_s": list(curve.times),
+                "speedups": list(curve.speedups),
+                "efficiencies": list(curve.efficiencies),
+                "baseline_workers": curve.baseline_workers,
+                "optimal_workers": curve.optimal_workers,
+                "peak_speedup": curve.peak_speedup,
+                "is_scalable": curve.is_scalable,
+            }
+
+        points = [refined_point(overrides) for overrides in grid]
+        reference = None
+        if spec.sweep:
+            reference = refined_point({})
+            _attach_refined_crossovers(points, reference)
+        curves = len(grid) + (1 if spec.sweep else 0)
+        return SweepResult(
+            scenario=spec.name,
+            content_hash=key,
+            points=tuple(points),
+            reference=reference,
+            stats={
+                "cache_hit": False,
+                "mode": "refine",
+                "grid_points": len(grid),
+                "dense_curve_points": dense,
+                "dense_total_curve_points": dense * curves,
+                "evaluated_curve_points": evaluated,
+                "refine_fraction": evaluated / (dense * curves),
+                "points_reused": 0,
+                "points_computed": len(grid),
+                "elapsed_s": time.perf_counter() - started,
+            },
+        )
 
 
 def run_scenario(

@@ -60,6 +60,7 @@ from repro.service.jobs import (
     ServiceOverloaded,
 )
 from repro.service.wire import WIRE_VERSION
+from repro.store import ResultStore, evaluate_union
 
 #: Body keys each POST endpoint accepts (unknown keys are rejected —
 #: a typo'd option must fail, not be silently ignored).
@@ -174,6 +175,7 @@ class Coalescer:
         self.batches = 0
         self.requests = 0
         self.coalesced_requests = 0
+        self.shared_buffer_points = 0
 
     def evaluate(self, key, grid, baseline, compile_fn, label=""):
         """One request's curve, possibly answered by another's evaluation.
@@ -211,9 +213,21 @@ class Coalescer:
             raise
         members = self._close(key, batch)
         try:
-            curves = backend.curves(
-                target, [(m.grid, m.baseline) for m in members], label=label
-            )
+            requests = [(m.grid, m.baseline) for m in members]
+            if getattr(backend, "pointwise", True):
+                # Zero-copy serving: the union grid lands in ONE shared
+                # time buffer and every member's curve is an index view
+                # into it (repro.store.union) — same evaluation the old
+                # curves() union did, minus the per-member array copies.
+                curves, union_size = evaluate_union(
+                    backend, target, requests, label=label or target.label
+                )
+                with self._lock:
+                    self.shared_buffer_points += union_size
+            else:
+                # A calibrated fit couples every point of its grid;
+                # each member keeps its own evaluation.
+                curves = backend.curves(target, requests, label=label)
             for waiting, curve in zip(members, curves):
                 waiting.curve = curve
             batch.backend = backend
@@ -239,6 +253,7 @@ class Coalescer:
                 "batches": self.batches,
                 "requests": self.requests,
                 "coalesced_requests": self.coalesced_requests,
+                "shared_buffer_points": self.shared_buffer_points,
             }
 
 
@@ -300,6 +315,9 @@ class EvaluationService:
         self.target_cache = LRUCache(target_cache_size)
         self.coalescer = Coalescer(coalesce_window_s)
         self.jobs = JobStore(workers=job_workers, max_jobs=max_jobs)
+        # One columnar store shared by every runner this service builds,
+        # so /healthz reports hit/miss/delta counters across requests.
+        self.store = ResultStore(cache_dir)
         self.max_concurrency = max_concurrency
         self._slots = threading.BoundedSemaphore(max_concurrency)
         self._counters_lock = threading.Lock()
@@ -337,6 +355,7 @@ class EvaluationService:
             max_workers=self.runner_jobs,
             cache_dir=self.cache_dir,
             use_cache=self.use_cache,
+            store=self.store,
         )
 
     def close(self) -> None:
@@ -633,6 +652,7 @@ class EvaluationService:
                 "target": self.target_cache.stats(),
             },
             "coalescer": self.coalescer.stats(),
+            "store": self.store.stats(),
             "jobs": self.jobs.stats(),
             "versions": {
                 "schema": SCHEMA_VERSION,

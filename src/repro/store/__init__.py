@@ -1,0 +1,38 @@
+"""Columnar result store, zero-copy union serving, grid refinement.
+
+``repro.store`` is a leaf package: it imports numpy and ``repro.core``
+errors only, never ``repro.scenarios`` (which imports *it*).  The three
+modules are independently useful:
+
+- :mod:`repro.store.columnar` — the memory-mapped point-level store
+  under :class:`repro.scenarios.sweep.SweepRunner`;
+- :mod:`repro.store.union` — shared-buffer curve views for the service
+  coalescer;
+- :mod:`repro.store.refine` — progressive worker-grid refinement.
+"""
+
+from repro.store.columnar import (
+    LazyPoints,
+    ResultStore,
+    StorePlan,
+    family_key,
+    grid_geometry,
+    materialize_point,
+    sweep_signature,
+)
+from repro.store.refine import RefinedCurve, refine_worker_grid
+from repro.store.union import CurveView, evaluate_union
+
+__all__ = [
+    "CurveView",
+    "LazyPoints",
+    "RefinedCurve",
+    "ResultStore",
+    "StorePlan",
+    "evaluate_union",
+    "family_key",
+    "grid_geometry",
+    "materialize_point",
+    "refine_worker_grid",
+    "sweep_signature",
+]

@@ -1,0 +1,173 @@
+"""Progressive grid refinement: spend evaluations only where the curve
+is uncertain.
+
+A dense worker grid spends most of its evaluations where the curve is
+boring — the long tail past the knee, the smooth ramp before it.  The
+interesting structure is the minimum of ``t(n)`` (the optimal worker
+count) and the *knee* where the speedup first reaches a fraction of its
+peak.  :func:`refine_worker_grid` evaluates a coarse log-spaced subset
+first, then subdivides golden-section style — the same interval-shrink
+factor ``_INVPHI`` that :func:`repro.core.scaling.refine_optimal_workers`
+uses over the continuous model, applied here in *index space* over the
+dense grid — only around those two features, until the brackets are
+tight.
+
+The module is deliberately spec-free: the caller hands in an evaluate
+callback (``subset -> times``) and the dense grid; refinement neither
+knows nor cares whether the times come from the analytic, simulated or
+network backend.  It is only *sound* for pointwise backends (a point's
+time must not depend on which other points are requested) — the sweep
+runner enforces that before calling in.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ScenarioError
+
+#: Inverse golden ratio — interval-shrink factor shared with
+#: :func:`repro.core.scaling.refine_optimal_workers`.
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+#: Points in the initial coarse pass (endpoints + log-spaced interior).
+COARSE_POINTS = 7
+
+#: "Knee" speedup fraction: the smallest worker count reaching this
+#: fraction of the peak speedup is the curve's practical elbow.
+KNEE_FRACTION = 0.95
+
+
+@dataclass(frozen=True)
+class RefinedCurve:
+    """The outcome of a progressive refinement over one dense grid.
+
+    ``workers`` is the ascending subset actually evaluated (always
+    containing both grid endpoints), ``times_s`` their times in the same
+    order, ``baseline_time`` the time at the baseline worker count, and
+    ``evaluations`` the total number of point evaluations spent —
+    including an off-grid baseline, when the baseline is not in the
+    dense grid.
+    """
+
+    workers: tuple[int, ...]
+    times_s: tuple[float, ...]
+    baseline_time: float
+    evaluations: int
+
+
+def _golden_split(a: int, b: int) -> int:
+    """An interior index splitting ``(a, b)`` at the golden point.
+
+    Clamped to land strictly inside the bracket; callers only split
+    non-adjacent brackets, so an interior index always exists.
+    """
+    split = a + round((b - a) * (1.0 - _INVPHI))
+    return min(max(split, a + 1), b - 1)
+
+
+def _coarse_indices(count: int, baseline_index: int | None) -> list[int]:
+    """Endpoints, the baseline and a log-spaced interior skeleton."""
+    picks = {0, count - 1}
+    if baseline_index is not None:
+        picks.add(baseline_index)
+    for x in np.geomspace(1, count, num=COARSE_POINTS):
+        picks.add(min(int(round(x)) - 1, count - 1))
+    return sorted(picks)
+
+
+def refine_worker_grid(
+    evaluate: Callable[[Sequence[int]], Sequence[float]],
+    workers: Sequence[int],
+    baseline_workers: int,
+    knee_fraction: float = KNEE_FRACTION,
+) -> RefinedCurve:
+    """Progressively evaluate ``workers``, densifying only near the
+    time minimum and the speedup knee.
+
+    ``evaluate`` maps a list of worker counts to their times (one
+    batched backend call per round).  The returned curve matches a dense
+    evaluation at every point it contains — refinement decides *which*
+    points to evaluate, never *what* their values are.
+
+    The loop keeps two moving targets: the index of the best (lowest)
+    time, and the knee — the smallest evaluated worker count whose
+    speedup reaches ``knee_fraction`` of the evaluated peak.  Each round
+    golden-splits every non-adjacent evaluated bracket surrounding a
+    target; when all surrounding brackets are adjacent (no dense-grid
+    point remains between the neighbours), the features are pinned
+    exactly and the loop stops.
+    """
+    grid = [int(n) for n in workers]
+    if not grid:
+        raise ScenarioError("refinement needs a non-empty worker grid")
+    if sorted(set(grid)) != grid:
+        raise ScenarioError("refinement needs a strictly increasing worker grid")
+    if not 0.0 < knee_fraction <= 1.0:
+        raise ScenarioError(
+            f"knee_fraction must be in (0, 1], got {knee_fraction}"
+        )
+    count = len(grid)
+    baseline_index = None
+    baseline = int(baseline_workers)
+    if baseline in grid:
+        baseline_index = grid.index(baseline)
+
+    times: dict[int, float] = {}
+    evaluations = 0
+
+    def evaluate_indices(indices: Sequence[int]) -> None:
+        nonlocal evaluations
+        fresh = [i for i in indices if i not in times]
+        if not fresh:
+            return
+        values = evaluate([grid[i] for i in fresh])
+        evaluations += len(fresh)
+        for i, value in zip(fresh, values):
+            times[i] = float(value)
+
+    evaluate_indices(_coarse_indices(count, baseline_index))
+    if baseline_index is not None:
+        baseline_time = times[baseline_index]
+    else:
+        baseline_time = float(evaluate([baseline])[0])
+        evaluations += 1
+
+    # Bounded by the dense grid size: every round evaluates at least one
+    # new index or stops, so 2 * count rounds can never be exhausted.
+    for _round in range(2 * count):
+        known = sorted(times)
+        # Feature 1: the time minimum (leftmost on plateaus — matches
+        # SpeedupCurve.optimal_workers' smallest-n tie-break).
+        best = min(known, key=lambda i: (times[i], i))
+        # Feature 2: the knee — smallest n reaching knee_fraction of
+        # the currently known peak speedup.
+        speedups = {i: baseline_time / times[i] for i in known}
+        peak = max(speedups.values())
+        knee = min(
+            (i for i in known if speedups[i] >= knee_fraction * peak),
+            default=best,
+        )
+        targets = []
+        for feature in {best, knee}:
+            at = known.index(feature)
+            if at > 0 and feature - known[at - 1] > 1:
+                targets.append(_golden_split(known[at - 1], feature))
+            if at < len(known) - 1 and known[at + 1] - feature > 1:
+                targets.append(_golden_split(feature, known[at + 1]))
+        targets = [i for i in set(targets) if i not in times]
+        if not targets:
+            break
+        evaluate_indices(sorted(targets))
+
+    ordered = sorted(times)
+    return RefinedCurve(
+        workers=tuple(grid[i] for i in ordered),
+        times_s=tuple(times[i] for i in ordered),
+        baseline_time=baseline_time,
+        evaluations=evaluations,
+    )

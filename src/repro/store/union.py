@@ -1,0 +1,125 @@
+"""Zero-copy union serving: one shared buffer, per-member views.
+
+The service coalescer batches requests for the same evaluation target
+and evaluates the union of their grids once.  Before the store, that
+union came back as per-request ``SpeedupCurve`` objects — every member
+got its own arrays.  Here the union lands in **one** shared time buffer
+and each member's response is a :class:`CurveView`: index arrays into
+that buffer, with speedups/efficiencies derived on serialisation using
+exactly the :class:`repro.core.speedup.SpeedupCurve` arithmetic, so the
+wire bytes cannot drift from the non-coalesced path.
+
+Only sound for *pointwise* backends (``backend.pointwise`` is True): a
+grid point's time must depend only on its own worker count.  The
+calibrated backend fits its model against the requested grid, so it
+opts out and keeps the per-member ``curves()`` path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class CurveView:
+    """One member's curve, sliced out of the coalesced union buffer.
+
+    Mirrors the ``SpeedupCurve`` fields the service serialises; every
+    derived quantity reproduces ``repro.core.speedup`` exactly —
+    same operation order, same tie-breaks, same tolerance — so a view's
+    payload is byte-identical to a standalone evaluation of its grid.
+    """
+
+    __slots__ = ("workers", "baseline_workers", "label", "_buffer", "_indices", "_baseline_index")
+
+    def __init__(
+        self,
+        workers: tuple[int, ...],
+        baseline_workers: int,
+        label: str,
+        buffer: np.ndarray,
+        indices: np.ndarray,
+        baseline_index: int,
+    ) -> None:
+        self.workers = workers
+        self.baseline_workers = baseline_workers
+        self.label = label
+        self._buffer = buffer
+        self._indices = indices
+        self._baseline_index = baseline_index
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._buffer[self._indices]
+
+    @property
+    def baseline_time(self) -> float:
+        return float(self._buffer[self._baseline_index])
+
+    @property
+    def speedups(self) -> np.ndarray:
+        return self.baseline_time / self.times
+
+    @property
+    def efficiencies(self) -> np.ndarray:
+        workers = np.asarray(self.workers, dtype=float)
+        return self.speedups * self.baseline_workers / workers
+
+    @property
+    def optimal_workers(self) -> int:
+        speedups = self.speedups
+        workers = np.asarray(self.workers)
+        return int(np.min(workers[speedups == speedups.max()]))
+
+    @property
+    def peak_speedup(self) -> float:
+        return float(self.speedups.max())
+
+    @property
+    def is_scalable(self) -> bool:
+        return bool((self.speedups > 1.0 + 1e-12).any())
+
+
+def evaluate_union(
+    backend,
+    target,
+    requests: Sequence[tuple[Sequence[int], int]],
+    label: str = "",
+) -> tuple[list[CurveView], int]:
+    """Evaluate the union grid once; return per-request views into it.
+
+    ``requests`` is ``[(workers, baseline_workers), ...]``.  The union
+    of all grids and baselines is evaluated in one ``backend.evaluate``
+    call into a single float64 buffer; each request gets a
+    :class:`CurveView` of its own grid.  Returns the views and the
+    union size (the shared-buffer point count, for the coalescer's
+    savings counter).
+
+    Byte-identity argument: the pre-store coalescer already evaluated
+    the sorted union of grids+baselines in one call (``curves()`` does
+    the same internally), so the buffer holds the very same times; the
+    views merely index it instead of copying slices per member.
+    """
+    union: set[int] = set()
+    for workers, baseline in requests:
+        union.update(int(n) for n in workers)
+        union.add(int(baseline))
+    grid = sorted(union)
+    position = {n: i for i, n in enumerate(grid)}
+    buffer = np.asarray(backend.evaluate(target, grid), dtype=float)
+    views = []
+    for workers, baseline in requests:
+        workers = tuple(int(n) for n in workers)
+        indices = np.array([position[n] for n in workers], dtype=np.intp)
+        views.append(
+            CurveView(
+                workers=workers,
+                baseline_workers=int(baseline),
+                label=label,
+                buffer=buffer,
+                indices=indices,
+                baseline_index=position[int(baseline)],
+            )
+        )
+    return views, len(grid)

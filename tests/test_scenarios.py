@@ -425,16 +425,26 @@ class TestSweepRunner:
         spec = parse_scenario(minimal_spec())
         runner = SweepRunner(mode="serial", cache_dir=tmp_path, use_cache=False)
         runner.run(spec)
-        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.iterdir())
 
     def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
         spec = parse_scenario(minimal_spec())
         runner = SweepRunner(mode="serial", cache_dir=tmp_path)
         runner.run(spec)
-        entry = next(tmp_path.glob("*.json"))
-        entry.write_text("{corrupt")
+        manifest = next((tmp_path / "store").rglob("manifest.json"))
+        manifest.write_text("{corrupt")
         rerun = runner.run(spec)
         assert rerun.stats["cache_hit"] is False
+
+    def test_corrupt_chunk_is_a_miss(self, tmp_path):
+        spec = parse_scenario(minimal_spec(sweep={"batch_size": [500, 2000]}))
+        runner = SweepRunner(mode="serial", cache_dir=tmp_path)
+        first = runner.run(spec)
+        chunk = next((tmp_path / "store").rglob("grid-*.npy"))
+        chunk.write_bytes(b"not a numpy file")
+        rerun = runner.run(spec)
+        assert rerun.stats["cache_hit"] is False
+        assert list(rerun.points) == list(first.points)
 
     def test_hundred_point_grid_with_process_pool(self, tmp_path):
         """The acceptance criterion: >= 100 points through the pool, then a hit."""

@@ -94,6 +94,17 @@ class TestEndToEndRoundTrip:
         assert answer["result"]["status"] == "ok"
         assert answer["result"]["versions"]["wire"] == 1
         assert answer["kind"] == "healthz"
+        store = answer["result"]["store"]
+        for counter in (
+            "hits",
+            "misses",
+            "deltas",
+            "delta_points",
+            "points_reused",
+            "points_computed",
+            "bytes_mapped",
+        ):
+            assert isinstance(store[counter], int) and store[counter] >= 0
 
     def test_specs(self, client):
         result = client.specs()["result"]
@@ -131,6 +142,26 @@ class TestEndToEndRoundTrip:
         assert len(result["points"]) == 2
         assert result["reference"] is not None
         assert "job" not in answer["meta"]
+
+    def test_healthz_store_counters_track_sweeps(self, client):
+        """The columnar store's hit/miss/delta counters are observable."""
+        spec = {
+            **SMALL_SWEEP,
+            "name": "store-counter-sweep",
+            "sweep": {"bandwidth_bps": [1e9, 2e9, 4e9]},
+        }
+        before = client.health()["result"]["store"]
+        client.sweep(spec)  # fresh grid: a miss
+        client.sweep(spec)  # identical grid: a pure store hit
+        grown = {**spec, "sweep": {"bandwidth_bps": [1e9, 2e9, 4e9, 8e9]}}
+        client.sweep(grown)  # one new point: a delta commit
+        after = client.health()["result"]["store"]
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+        assert after["deltas"] == before["deltas"] + 1
+        assert after["delta_points"] == before["delta_points"] + 1
+        assert after["points_reused"] >= before["points_reused"] + 6
+        assert after["bytes_mapped"] > before["bytes_mapped"]
 
     def test_sweep_async_job_roundtrip(self, client):
         # An expensive (simulated) spec in auto mode becomes a 202 job;
@@ -286,6 +317,11 @@ class TestCoalescing:
             assert stats["batches"] == 1
             assert stats["coalesced_requests"] == 2
             assert outcomes["b"].meta["batch_size"] == 3
+            # Zero-copy serving: the batch landed in one shared buffer
+            # sized to the union of the three grids (plus baselines).
+            assert stats["shared_buffer_points"] == len(
+                {1, 2, 4, 8, 13, 9}
+            )
 
             # Bit-identity: a coalesced answer equals a solo evaluation.
             solo = service.handle_evaluate(
