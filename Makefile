@@ -7,7 +7,7 @@ export PYTHONPATH := src
 # Coverage floor CI enforces on src/repro (see `make test-cov`).
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve bench-net bench-store check clean
+.PHONY: test test-fast test-cov test-quick lint docs-check bench-sweep bench-sim bench-plan bench-serve bench-net bench-store bench-obs check clean
 
 ## Run the full test suite (tier-1 verification).
 test:
@@ -36,7 +36,7 @@ lint:
 
 ## Execute every fenced python block in the documentation.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md docs/network.md docs/store.md
+	$(PYTHON) tools/check_docs.py README.md docs/architecture.md docs/scenarios.md docs/cost-algebra.md docs/backends.md docs/planner.md docs/service.md docs/scheduler.md docs/network.md docs/store.md docs/observability.md
 
 ## The vectorized-sweep acceptance bench (bench_*.py is not collected
 ## by 'make test'; this target runs it explicitly).
@@ -73,8 +73,15 @@ bench-net:
 bench-store:
 	$(PYTHON) tools/bench_store_to_json.py
 
+## The telemetry-overhead acceptance bench: the sweep hot path with
+## metrics hard-off (baseline), metrics on (the default), and metrics +
+## tracing on, written to BENCH_obs.json.  Enforces the overhead floors
+## (<= 2% always-on, <= 10% traced).
+bench-obs:
+	$(PYTHON) tools/bench_obs_to_json.py
+
 ## Everything CI would run.
-check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve bench-net bench-store
+check: lint test docs-check bench-sweep bench-sim bench-plan bench-serve bench-net bench-store bench-obs
 
 clean:
 	find . -name '__pycache__' -type d -exec rm -rf {} +

@@ -1,0 +1,47 @@
+"""Bench: what the telemetry layer costs on the sweep hot path.
+
+The observability PR's acceptance floors: with metrics hard-off as the
+baseline (``repro.obs.set_enabled(False)``, tracing off — the closest
+thing to an uninstrumented build),
+
+* the shipped default (metrics on, tracing off) costs at most ``2 %``;
+* metrics plus span tracing costs at most ``10 %``.
+
+Minimum-of-N runs on a serial analytic sweep — the same hot path
+``BENCH_sweep`` prices — so the floors gauge the instrumentation, not
+the scheduler's noise.  ``tools/bench_obs_to_json.py`` runs the same
+measurements standalone and records them in ``BENCH_obs.json``.  Like
+every ``bench_*.py`` file this is not auto-collected by ``make test``;
+run it via ``make bench-obs`` (artifact) or ``pytest
+benchmarks/bench_obs.py``.
+"""
+
+import sys
+from pathlib import Path
+
+# tools/ is not a package; the standalone artifact writer owns the
+# grid and the floors, and this bench reuses them verbatim.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tools.bench_obs_to_json import (  # noqa: E402
+    MAX_METRICS_OVERHEAD,
+    MAX_TRACING_OVERHEAD,
+    measure_all,
+)
+
+
+def test_telemetry_overhead_meets_acceptance_floors(benchmark):
+    measured = measure_all()
+    benchmark.extra_info["baseline_ms"] = measured["baseline"]["best_s"] * 1e3
+    benchmark.extra_info["metrics_overhead"] = measured["metrics_overhead"]
+    benchmark.extra_info["tracing_overhead"] = measured["tracing_overhead"]
+    benchmark.extra_info["spans_per_run"] = measured["traced"]["spans_per_run"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nobs: baseline {measured['baseline']['best_s'] * 1e3:.1f}ms;"
+        f" metrics on {measured['metrics_overhead']:+.2%}"
+        f" (cap {MAX_METRICS_OVERHEAD:.0%}); traced"
+        f" {measured['tracing_overhead']:+.2%} (cap {MAX_TRACING_OVERHEAD:.0%})"
+    )
+    assert measured["traced"]["spans_per_run"] > 0
+    assert measured["metrics_overhead"] <= MAX_METRICS_OVERHEAD
+    assert measured["tracing_overhead"] <= MAX_TRACING_OVERHEAD

@@ -142,6 +142,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report store effectiveness (points reused vs computed)",
     )
+    scenario_sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        nargs="?",
+        const="trace-spans.json",
+        default=None,
+        help=(
+            "record spans for the whole run (compile, chunks, backend"
+            " evaluations, store commits) and write them to PATH"
+            " (default: trace-spans.json); view with 'repro-experiments"
+            " trace export'"
+        ),
+    )
 
     cache_parser = scenario_sub.add_parser(
         "cache", help="inspect or clean the on-disk result store"
@@ -285,6 +298,26 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list catalog entries with their key specs and prices"
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect span files written by 'scenario sweep --trace'"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a span file to Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    trace_export.add_argument("spans", help="a span file (repro-trace-v1 JSON)")
+    trace_export.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output path (default: <spans>.chrome.json)",
+    )
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-span-name wall/CPU time table for a span file"
+    )
+    trace_summary.add_argument("spans", help="a span file (repro-trace-v1 JSON)")
+
     serve_parser = subparsers.add_parser(
         "serve", help="run the long-lived evaluation service (see docs/service.md)"
     )
@@ -346,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "grid-point budget a sweep/plan may cost synchronously; larger"
             " requests become 202 jobs (default: 64)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record request spans (bounded buffer); clients root them in"
+            " their own traces via the X-Repro-Trace-Id header"
         ),
     )
 
@@ -491,6 +532,46 @@ def _store_stats_line(stats: dict) -> str:
     return line
 
 
+def _phase_stats_line(stats: dict) -> str:
+    """The ``--stats`` phase line: where the scheduler spent the run."""
+    phases = stats.get("phases") or {}
+    chunks = phases.get("chunk_count", 0)
+    parts = [
+        f"{chunks} chunk(s)",
+        f"run {phases.get('chunk_run_s', 0.0):.3f}s",
+        f"queue-wait {phases.get('chunk_queue_wait_s', 0.0):.3f}s",
+        f"slowest {phases.get('slowest_chunk_s', 0.0):.3f}s",
+    ]
+    named = {
+        name[:-len("_s")]: value
+        for name, value in sorted(phases.items())
+        if name.endswith("_s") and not name.startswith(("chunk_", "slowest_"))
+    }
+    for name, value in named.items():
+        parts.append(f"{name} {value:.3f}s")
+    return f"[tasks: {', '.join(parts)}]"
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    """``trace export|summary`` over a span file from ``--trace``."""
+    import json
+
+    from repro.obs import chrome_trace, load_spans, render_span_summary
+
+    trace_id, records = load_spans(args.spans)
+    if args.trace_command == "summary":
+        print(f"== trace {trace_id}: {len(records)} span(s)")
+        print()
+        print(render_span_summary(records))
+        return 0
+    # export: Chrome trace-event JSON for chrome://tracing / Perfetto.
+    out = args.out or f"{args.spans.removesuffix('.json')}.chrome.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(records), handle)
+    print(f"wrote {len(records)} span(s) to {out}")
+    return 0
+
+
 def _run_cache_command(args: argparse.Namespace) -> int:
     """``scenario cache stats|clear|gc`` over both storage layers."""
     from repro.scenarios.cache import ResultCache
@@ -506,12 +587,12 @@ def _run_cache_command(args: argparse.Namespace) -> int:
             else 0
         )
         print(f"store directory: {store.directory}")
-        print(f"  families:    {disk['families']}")
-        print(f"  views:       {disk['views']}")
-        print(f"  grid points: {disk['grid_points']}")
-        print(f"  chunk bytes: {disk['chunk_bytes']}")
-        print(f"  temp files:  {disk['temp_files']}")
-        print(f"blob entries:  {blobs}")
+        print(f"  families:      {disk['families']}")
+        print(f"  views:         {disk['views']}")
+        print(f"  points stored: {disk['points_stored']}")
+        print(f"  bytes stored:  {disk['bytes_stored']}")
+        print(f"  temp files:    {disk['temp_files']}")
+        print(f"blob entries:    {blobs}")
         return 0
     if args.cache_command == "clear":
         removed = store.clear() + cache.clear()
@@ -586,7 +667,22 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         # Fail before the run, not after: a rejected export target must
         # not cost a full (possibly expensive, uncached) sweep first.
         export_format(args.export)
-    result = _scenario_runner(args).run(spec)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import tracer
+
+        tracer().start()
+    try:
+        result = _scenario_runner(args).run(spec)
+    finally:
+        if trace_path:
+            from repro.obs import render_span_summary, tracer, write_spans
+
+            trace_id = tracer().trace_id
+            records = tracer().drain()
+            tracer().stop()
+            if records:
+                write_spans(trace_path, records, trace_id)
     if args.scenario_command == "run":
         print(scenario_experiment_result(spec, result).render())
     else:  # sweep
@@ -596,6 +692,11 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     print(_stats_line(result.stats))
     if getattr(args, "stats", False):
         print(_store_stats_line(result.stats))
+        if result.stats.get("phases"):
+            print(_phase_stats_line(result.stats))
+    if trace_path:
+        print(f"[trace: {len(records)} span(s) written to {trace_path}]")
+        print(render_span_summary(records))
     if args.export:
         target = result.export(args.export)
         print(f"exported to {target}")
@@ -653,6 +754,10 @@ def _run_plan_command(args: argparse.Namespace) -> int:
 def _run_serve_command(args: argparse.Namespace) -> int:
     from repro.service import serve
 
+    if args.trace:
+        from repro.obs import tracer
+
+        tracer().start()
     return serve(
         host=args.host,
         port=args.port,
@@ -751,6 +856,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_plan_command(args)
         if args.command == "hardware":
             return _run_hardware_command(args)
+        if args.command == "trace":
+            return _run_trace_command(args)
         if args.command == "serve":
             return _run_serve_command(args)
         if args.command == "client":

@@ -25,6 +25,8 @@ regardless of which backend answers.
 
 from __future__ import annotations
 
+import functools
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -36,9 +38,66 @@ from repro.core.calibration import CalibrationResult, feature_library, fit_linea
 from repro.core.errors import ModelError
 from repro.core.model import ScalabilityModel
 from repro.core.speedup import SpeedupCurve
+from repro.obs.metrics import get_registry
+from repro.obs.trace import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, keeps core import-light
     from repro.simulate.workload import SimulationWorkload
+
+# Every concrete backend's ``evaluate`` is wrapped (see
+# ``EvaluationBackend.__init_subclass__``) to feed these: batch spans
+# when tracing is on, counters + a latency histogram always.
+_REG = get_registry()
+_EVALUATIONS = _REG.counter(
+    "repro_backends_evaluations_total", "Backend evaluate() batches"
+)
+_POINTS = _REG.counter(
+    "repro_backends_points_total", "Grid points evaluated across all backends"
+)
+_EVAL_SECONDS = _REG.histogram(
+    "repro_backends_evaluate_seconds", "Wall time of backend evaluate() batches"
+)
+_KIND_COUNTERS: dict[str, object] = {}
+
+
+def _kind_counter(name: str):
+    counter = _KIND_COUNTERS.get(name)
+    if counter is None:
+        counter = _REG.counter(
+            f"repro_backends_{name}_evaluations_total",
+            f"evaluate() batches answered by the {name} backend",
+        )
+        _KIND_COUNTERS[name] = counter
+    return counter
+
+
+def _instrumented(fn):
+    """Wrap a backend ``evaluate`` with telemetry.
+
+    Tracing off costs one attribute check plus two counter increments
+    per *batch* (a batch is a whole worker grid, >= 100us of numpy
+    work), which is what keeps the disabled-overhead bench under its
+    2% floor.
+    """
+
+    @functools.wraps(fn)
+    def evaluate(self, target, workers):
+        start = time.perf_counter()
+        span = tracer().span(
+            "backends.evaluate",
+            {"backend": self.name, "target": target.label or target.key},
+        )
+        with span:
+            result = fn(self, target, workers)
+            span.set(points=int(np.size(result)))
+        _EVAL_SECONDS.observe(time.perf_counter() - start)
+        _EVALUATIONS.inc()
+        _POINTS.inc(int(np.size(result)))
+        _kind_counter(self.name).inc()
+        return result
+
+    evaluate.__instrumented__ = True
+    return evaluate
 
 
 @dataclass(frozen=True)
@@ -80,6 +139,12 @@ class EvaluationBackend(ABC):
     #: refinement (:mod:`repro.store.refine`) sound.  The calibrated
     #: backend opts out: its fit couples every point of a grid.
     pointwise: ClassVar[bool] = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("evaluate")
+        if impl is not None and not getattr(impl, "__instrumented__", False):
+            cls.evaluate = _instrumented(impl)
 
     @abstractmethod
     def evaluate(self, target: EvaluationTarget, workers: Iterable[int]) -> np.ndarray:

@@ -23,8 +23,18 @@ from repro.core.errors import SimulationError
 from repro.net.engine import FlowBSPEngine
 from repro.net.flows import TcpThroughputModel
 from repro.net.topology import TOPOLOGY_KINDS, build_topology
+from repro.obs.metrics import get_registry
 from repro.simulate.overhead import NO_OVERHEAD, FrameworkOverhead
 from repro.simulate.rng import StragglerJitter, derive_seed
+
+_FLOW_ROUNDS = get_registry().counter(
+    "repro_backends_flow_rounds_total",
+    "Max-min sharing rounds solved by network-backend engines",
+)
+_FLOWS = get_registry().counter(
+    "repro_backends_flows_total",
+    "Individual flows routed by network-backend engines",
+)
 
 
 def topology_items(options: Mapping[str, object]) -> tuple[tuple[str, object], ...]:
@@ -131,6 +141,8 @@ class NetworkBackend(EvaluationBackend):
                 keep_trace=False,
             )
             report = engine.run(workload.plan_for(n), self.iterations)
+            _FLOW_ROUNDS.inc(engine.network.batches_solved)
+            _FLOWS.inc(engine.network.flows_solved)
             seconds = report.mean_iteration_seconds * workload.model_iterations
             if workload.amortized:
                 seconds /= n

@@ -353,6 +353,9 @@ class FlowNetwork:
         self.tcp = tcp
         self.ledger = ReservationLedger()
         self._capacity = topology.capacities
+        # Telemetry tallies, read by the network backend after a run.
+        self.batches_solved = 0
+        self.flows_solved = 0
 
     def reset(self) -> None:
         """Forget all reservations (new simulation epoch)."""
@@ -395,6 +398,8 @@ class FlowNetwork:
                 )
             )
             flow_slots.append(slot)
+        self.batches_solved += 1
+        self.flows_solved += len(flows)
         if flows:
             allocations = solve_flows(flows, self._capacity, self.ledger)
             for allocation, slot in zip(allocations, flow_slots):

@@ -1,0 +1,55 @@
+"""repro.obs — unified telemetry: metrics registry, span tracer, exporters.
+
+Stdlib-only.  Metrics are always-on (cheap atomic counters under one
+``repro_<subsystem>_<name>`` scheme; a global kill switch exists for
+benchmarking); span tracing is opt-in and zero-cost when off.  See
+docs/observability.md.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    load_spans,
+    parse_prometheus,
+    render_prometheus,
+    render_span_summary,
+    span_summary,
+    validate_span_tree,
+    write_spans,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    set_enabled,
+)
+from repro.obs.trace import NOOP_SPAN, SpanRecord, Tracer, new_id, tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "get_registry",
+    "load_spans",
+    "metrics_enabled",
+    "new_id",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_span_summary",
+    "set_enabled",
+    "span_summary",
+    "tracer",
+    "validate_span_tree",
+    "write_spans",
+]

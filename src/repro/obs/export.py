@@ -1,0 +1,285 @@
+"""Exporters for the telemetry layer.
+
+- :func:`render_prometheus` — Prometheus text exposition format over one
+  or more registries (same-named metrics are merged by summing), served
+  by ``GET /metrics``;
+- :func:`parse_prometheus` — a small parser for the same format, used by
+  tests and the CLI so scrapes are verified mechanically;
+- :func:`chrome_trace` — Chrome trace-event JSON ("ph": "X" complete
+  events) loadable in Perfetto / chrome://tracing;
+- :func:`span_summary` / :func:`render_span_summary` — per-span-name
+  aggregates and the human table behind ``repro trace summary``;
+- :func:`write_spans` / :func:`load_spans` — the on-disk span file
+  written by ``scenario sweep --trace``;
+- :func:`validate_span_tree` — structural well-formedness (unique ids,
+  parents exist, no cycles), shared by tests and the trace CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "load_spans",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_span_summary",
+    "span_summary",
+    "validate_span_tree",
+    "write_spans",
+]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample formatting: integers bare, floats via repr."""
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Render registries in Prometheus text exposition format (v0.0.4).
+
+    Metrics registered in several registries under the same name are
+    merged by summing (the service merges its private registry with the
+    process-global one); a name registered with conflicting types
+    raises :class:`MetricError`.
+    """
+    merged: dict[str, list] = {}
+    for registry in registries:
+        for metric in registry.metrics():
+            bucket = merged.setdefault(metric.name, [])
+            if bucket and bucket[0].kind != metric.kind:
+                raise MetricError(
+                    f"metric {metric.name} registered as both "
+                    f"{bucket[0].kind} and {metric.kind}"
+                )
+            bucket.append(metric)
+
+    lines: list[str] = []
+    for name in sorted(merged):
+        group = merged[name]
+        first = group[0]
+        help_text = next((m.help for m in group if m.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {first.kind}")
+        if isinstance(first, (Counter, Gauge)):
+            total = sum(m.value for m in group)
+            lines.append(f"{name} {_fmt(total)}")
+        elif isinstance(first, Histogram):
+            buckets = first.buckets
+            counts = [0] * (len(buckets) + 1)
+            total_sum = 0.0
+            total_count = 0
+            for metric in group:
+                if metric.buckets != buckets:
+                    raise MetricError(
+                        f"histogram {name} registered with conflicting buckets"
+                    )
+                snap_counts, snap_sum, snap_count = metric.snapshot()
+                counts = [a + b for a, b in zip(counts, snap_counts)]
+                total_sum += snap_sum
+                total_count += snap_count
+            cumulative = 0
+            for bound, count in zip(buckets, counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            cumulative += counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(total_sum)}")
+            lines.append(f"{name}_count {total_count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text format into ``{name: {...}}``.
+
+    Counters/gauges map to ``{"type", "value"}``; histograms to
+    ``{"type", "buckets": {le: cumulative}, "sum", "count"}``.
+    Raises ``ValueError`` on lines that fit neither shape.
+    """
+    metrics: dict[str, dict[str, Any]] = {}
+    types: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"unparseable sample line: {raw!r}")
+        value = float(value_part)
+        if "{" in name_part:
+            name, _, labels = name_part.partition("{")
+            labels = labels.rstrip("}")
+            if not name.endswith("_bucket"):
+                raise ValueError(f"unexpected labelled sample: {raw!r}")
+            base = name[: -len("_bucket")]
+            entry = metrics.setdefault(
+                base, {"type": "histogram", "buckets": {}, "sum": 0.0, "count": 0}
+            )
+            le = labels.partition("=")[2].strip('"')
+            entry["buckets"][le] = value
+        elif name_part.endswith("_sum") and name_part[: -len("_sum")] in types:
+            base = name_part[: -len("_sum")]
+            metrics.setdefault(
+                base, {"type": "histogram", "buckets": {}, "sum": 0.0, "count": 0}
+            )["sum"] = value
+        elif name_part.endswith("_count") and name_part[: -len("_count")] in types:
+            base = name_part[: -len("_count")]
+            metrics.setdefault(
+                base, {"type": "histogram", "buckets": {}, "sum": 0.0, "count": 0}
+            )["count"] = int(value)
+        else:
+            metrics[name_part] = {
+                "type": types.get(name_part, "untyped"),
+                "value": value,
+            }
+    return metrics
+
+
+# -- spans ------------------------------------------------------------
+
+
+def _as_records(spans: Iterable[SpanRecord | Mapping[str, Any]]) -> list[SpanRecord]:
+    return [
+        s if isinstance(s, SpanRecord) else SpanRecord.from_dict(s) for s in spans
+    ]
+
+
+def write_spans(
+    path: str | Path, spans: Sequence[SpanRecord | Mapping[str, Any]], trace_id: str
+) -> Path:
+    """Write the raw span file produced by ``scenario sweep --trace``."""
+    records = _as_records(spans)
+    payload = {
+        "schema": "repro-trace-v1",
+        "trace_id": trace_id,
+        "spans": [r.to_dict() for r in records],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_spans(path: str | Path) -> tuple[str, list[SpanRecord]]:
+    """Load a span file; returns (trace_id, records)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != "repro-trace-v1":
+        raise ValueError(f"{path}: not a repro trace file")
+    return payload["trace_id"], [SpanRecord.from_dict(s) for s in payload["spans"]]
+
+
+def validate_span_tree(spans: Iterable[SpanRecord | Mapping[str, Any]]) -> list[str]:
+    """Check structural well-formedness; returns a list of problems.
+
+    A healthy trace has unique span ids, every non-null parent id
+    present in the trace, and no parent cycles.
+    """
+    records = _as_records(spans)
+    problems: list[str] = []
+    by_id: dict[str, SpanRecord] = {}
+    for record in records:
+        if record.span_id in by_id:
+            problems.append(f"duplicate span id {record.span_id} ({record.name})")
+        by_id[record.span_id] = record
+    for record in records:
+        if record.parent_id is not None and record.parent_id not in by_id:
+            problems.append(
+                f"span {record.span_id} ({record.name}) has missing parent "
+                f"{record.parent_id}"
+            )
+    for record in records:
+        seen = set()
+        node: SpanRecord | None = record
+        while node is not None and node.parent_id is not None:
+            if node.span_id in seen:
+                problems.append(f"parent cycle through span {record.span_id}")
+                break
+            seen.add(node.span_id)
+            node = by_id.get(node.parent_id)
+    return problems
+
+
+def chrome_trace(spans: Iterable[SpanRecord | Mapping[str, Any]]) -> dict[str, Any]:
+    """Convert spans to Chrome trace-event JSON (Perfetto-loadable).
+
+    Spans become "ph": "X" complete events; timestamps are microseconds
+    relative to the earliest span so the viewer opens at t=0.
+    """
+    records = _as_records(spans)
+    base = min((r.start_s for r in records), default=0.0)
+    events = []
+    for r in sorted(records, key=lambda r: r.start_s):
+        events.append(
+            {
+                "name": r.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((r.start_s - base) * 1e6, 3),
+                "dur": round(r.wall_s * 1e6, 3),
+                "pid": r.pid,
+                "tid": r.thread,
+                "args": {
+                    "span_id": r.span_id,
+                    "parent_id": r.parent_id,
+                    "cpu_ms": round(r.cpu_s * 1e3, 6),
+                    **r.attrs,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_summary(
+    spans: Iterable[SpanRecord | Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Aggregate spans by name: count, total/mean/max wall, total CPU."""
+    records = _as_records(spans)
+    groups: dict[str, list[SpanRecord]] = {}
+    for r in records:
+        groups.setdefault(r.name, []).append(r)
+    rows = []
+    for name, members in groups.items():
+        walls = [r.wall_s for r in members]
+        rows.append(
+            {
+                "name": name,
+                "count": len(members),
+                "total_wall_s": sum(walls),
+                "mean_wall_s": sum(walls) / len(walls),
+                "max_wall_s": max(walls),
+                "total_cpu_s": sum(r.cpu_s for r in members),
+            }
+        )
+    rows.sort(key=lambda row: row["total_wall_s"], reverse=True)
+    return rows
+
+
+def render_span_summary(spans: Iterable[SpanRecord | Mapping[str, Any]]) -> str:
+    """The human summary table behind ``repro trace summary``."""
+    rows = span_summary(spans)
+    if not rows:
+        return "(no spans recorded)\n"
+    header = f"{'span':<24} {'count':>6} {'total ms':>10} {'mean ms':>10} {'max ms':>10} {'cpu ms':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<24} {row['count']:>6} "
+            f"{row['total_wall_s'] * 1e3:>10.3f} {row['mean_wall_s'] * 1e3:>10.3f} "
+            f"{row['max_wall_s'] * 1e3:>10.3f} {row['total_cpu_s'] * 1e3:>10.3f}"
+        )
+    return "\n".join(lines) + "\n"

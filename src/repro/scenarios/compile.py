@@ -77,6 +77,8 @@ from repro.net.topology import (
 )
 from repro.nn import architectures
 from repro.nn.flops import DENSE_TRAINING_OPERATIONS_PER_WEIGHT, training_operations
+from repro.obs.metrics import get_registry
+from repro.obs.trace import tracer
 from repro.scenarios.spec import (
     BACKEND_SWEEP_AXES,
     HARDWARE_SCALARS,
@@ -948,6 +950,11 @@ def compile_backend(spec: ScenarioSpec) -> EvaluationBackend:
     raise ScenarioError(f"unknown backend kind {backend.kind!r}")  # pragma: no cover
 
 
+_COMPILES = get_registry().counter(
+    "repro_scenarios_compiles_total", "Grid points compiled into (target, backend)"
+)
+
+
 def compile_point(
     spec: ScenarioSpec, overrides: Mapping[str, object] | None = None
 ) -> tuple[EvaluationTarget, EvaluationBackend]:
@@ -960,19 +967,22 @@ def compile_point(
     simulated backend folds into its seeds, which is what makes serial
     and process-pool sweeps bit-identical.
     """
-    point = apply_overrides(spec, overrides or {})
-    validate_spec(point)
-    hardware = resolve_hardware(point)
-    kind = ALGORITHM_KINDS[point.algorithm.kind]
-    model = kind.build(point, point.algorithm.params_dict, hardware)
-    workload = None
-    if needs_simulation(point):
-        assert kind.workload is not None  # _validate_backend covered this
-        workload = kind.workload(point, point.algorithm.params_dict, hardware)
-    target = EvaluationTarget(
-        model=model,
-        workload=workload,
-        key=point.content_hash(),
-        label=point.name,
-    )
-    return target, compile_backend(point)
+    with tracer().span("scenarios.compile", {"scenario": spec.name}) as span:
+        point = apply_overrides(spec, overrides or {})
+        validate_spec(point)
+        hardware = resolve_hardware(point)
+        kind = ALGORITHM_KINDS[point.algorithm.kind]
+        model = kind.build(point, point.algorithm.params_dict, hardware)
+        workload = None
+        if needs_simulation(point):
+            assert kind.workload is not None  # _validate_backend covered this
+            workload = kind.workload(point, point.algorithm.params_dict, hardware)
+        target = EvaluationTarget(
+            model=model,
+            workload=workload,
+            key=point.content_hash(),
+            label=point.name,
+        )
+        span.set(kind=point.algorithm.kind, backend=point.backend.kind)
+        _COMPILES.inc()
+        return target, compile_backend(point)

@@ -77,9 +77,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.errors import ScenarioError
+from repro.obs.trace import tracer
 from repro.sched import (
     CHEAP_CHUNK_POINTS,
     Dep,
+    ExecutionReport,
     GraphScheduler,
     TaskFailure,
     TaskGraph,
@@ -195,6 +197,38 @@ def _evaluate_chunk_inline(spec: ScenarioSpec, chunk: tuple[dict, ...]) -> list[
     return [evaluate_point(spec, overrides) for overrides in chunk]
 
 
+def _init_pool_worker(payloads: dict[str, dict]) -> None:
+    """Pool initializer: seed the payload store, reset inherited telemetry.
+
+    Fork-started workers inherit the parent's tracer buffer; without the
+    reset a traced chunk would re-export the parent's spans (duplicate
+    span ids in the tree).  Traced chunk tasks then re-join the parent's
+    trace per task via :func:`_evaluate_chunk_traced`.
+    """
+    seed_worker_store(payloads)
+    tracer().reset()
+
+
+def _evaluate_chunk_traced(
+    spec_key: str,
+    chunk: tuple[dict, ...],
+    name: str,
+    context: tuple[str, str | None],
+) -> dict:
+    """Pool chunk task under tracing: adopt the submitting trace.
+
+    ``context`` carries ``(trace_id, parent_span_id)`` captured when the
+    graph was built; the worker's spans (this chunk, its compiles, its
+    backend batches) re-parent under the submitting sweep and ride home
+    with the points, where the traced merge absorbs them.
+    """
+    trace = tracer()
+    trace.adopt(*context)
+    with trace.span("sched.task", {"task": name, "pooled": True, "points": len(chunk)}):
+        points = _evaluate_chunk(spec_key, chunk)
+    return {"points": points, "spans": [r.to_dict() for r in trace.drain()]}
+
+
 def _merge_chunks(*chunks: list[dict]) -> list[dict]:
     """Concatenate chunk results back into grid order.
 
@@ -203,6 +237,16 @@ def _merge_chunks(*chunks: list[dict]) -> list[dict]:
     serial ordering whatever order the pool finished in.
     """
     return [point for chunk in chunks for point in chunk]
+
+
+def _merge_chunks_traced(*chunks: dict) -> list[dict]:
+    """Merge traced pool chunks: fold worker spans back, keep grid order."""
+    trace = tracer()
+    points: list[dict] = []
+    for chunk in chunks:
+        trace.absorb(chunk["spans"])
+        points.extend(chunk["points"])
+    return points
 
 
 def _merged_with_crossovers(points: list[dict], reference: dict | None) -> list[dict]:
@@ -237,15 +281,25 @@ def build_sweep_graph(
         graph.add("reference", evaluate_point, spec, {})
     chunk_results = []
     key = spec.content_hash()
+    # Under tracing, pooled chunks carry the sweep's (trace id, parent
+    # span) so worker-side spans land in the submitting trace; serial
+    # chunks need nothing — the scheduler's inline spans nest naturally.
+    traced = pooled and tracer().enabled
+    if traced:
+        current = tracer().current()
+        context = current if current is not None else (tracer().trace_id, None)
     for i, (start, stop) in enumerate(partition(len(grid), chunk_size)):
         name = f"chunk-{i:04d}[{start}:{stop}]"
         chunk = tuple(grid[start:stop])
-        if pooled:
+        if traced:
+            graph.add(name, _evaluate_chunk_traced, key, chunk, name, context, pool=True)
+        elif pooled:
             graph.add(name, _evaluate_chunk, key, chunk, pool=True)
         else:
             graph.add(name, _evaluate_chunk_inline, spec, chunk)
         chunk_results.append(Dep(name))
-    final = graph.add("merge", _merge_chunks, *chunk_results)
+    merge = _merge_chunks_traced if traced else _merge_chunks
+    final = graph.add("merge", merge, *chunk_results)
     if spec.sweep and attach_crossovers:
         final = graph.add(
             "crossovers", _merged_with_crossovers, Dep("merge"), Dep("reference")
@@ -291,6 +345,30 @@ def _attach_refined_crossovers(points: list[dict], reference: dict) -> None:
                 crossover = n
                 break
         point["crossover_workers"] = crossover
+
+
+def _task_stats(report: ExecutionReport) -> dict:
+    """Aggregate the scheduler's per-task timings into a phase breakdown.
+
+    Chunk tasks aggregate (a big sweep has hundreds); the named phases
+    (reference, merge, crossovers) report individually.  This rides in
+    ``stats`` — never in the payload — so it is free to evolve.
+    """
+    phases: dict[str, object] = {
+        "chunk_count": 0,
+        "chunk_run_s": 0.0,
+        "chunk_queue_wait_s": 0.0,
+        "slowest_chunk_s": 0.0,
+    }
+    for name, timing in report.timings.items():
+        if name.startswith("chunk-"):
+            phases["chunk_count"] += 1
+            phases["chunk_run_s"] += timing.run_s
+            phases["chunk_queue_wait_s"] += timing.queue_wait_s
+            phases["slowest_chunk_s"] = max(phases["slowest_chunk_s"], timing.run_s)
+        else:
+            phases[f"{name}_s"] = timing.run_s
+    return phases
 
 
 @dataclass(frozen=True)
@@ -511,7 +589,20 @@ class SweepRunner:
         full grid and commits it.  Every path yields byte-identical
         payloads — the store keeps points, not artifacts, and
         re-materialises them exactly as :func:`evaluate_point` built them.
+
+        When tracing is on, the whole run records under one
+        ``sweep.run`` root span; telemetry never changes the payload.
         """
+        with tracer().span("sweep.run", {"scenario": spec.name}) as span:
+            result = self._run(spec)
+            span.set(
+                mode=result.stats.get("mode", ""),
+                grid_points=result.stats.get("grid_points", 0),
+                cache_hit=bool(result.stats.get("cache_hit", False)),
+            )
+            return result
+
+    def _run(self, spec: ScenarioSpec) -> SweepResult:
         key = spec.content_hash()
         started = time.perf_counter()
         if self.refine:
@@ -544,9 +635,11 @@ class SweepRunner:
             if mode == "process":
                 # The spec ships to each worker exactly once, keyed by
                 # content hash — chunk tasks carry only their overrides.
+                # The initializer also resets each worker's telemetry so
+                # fork-inherited spans are never re-exported.
                 with ProcessPoolExecutor(
                     max_workers=self.max_workers,
-                    initializer=seed_worker_store,
+                    initializer=_init_pool_worker,
                     initargs=({key: spec.to_dict()},),
                 ) as pool:
                     return GraphScheduler(pool).run(graph)
@@ -589,6 +682,7 @@ class SweepRunner:
                 "points_reused": 0,
                 "points_computed": len(grid),
                 "elapsed_s": time.perf_counter() - started,
+                "phases": _task_stats(report),
             },
         )
         if plan is not None:
@@ -614,6 +708,7 @@ class SweepRunner:
         chunks = 0
         chunk_size = 0
         mode = "store"
+        phases: dict | None = None
         if missing_grid:
             mode = self.resolve_mode(spec, len(missing_grid))
             if mode == "process" and len(missing_grid) <= 1:
@@ -630,6 +725,7 @@ class SweepRunner:
             new_points = report.values[final]
             reference = report.values.get("reference")
             chunks = len(graph) - (2 if spec.sweep else 1)
+            phases = _task_stats(report)
         else:
             new_points = []
             if spec.sweep:
@@ -648,6 +744,8 @@ class SweepRunner:
             "points_computed": len(missing_grid),
             "elapsed_s": time.perf_counter() - started,
         }
+        if phases is not None:
+            stats["phases"] = phases
         return SweepResult(
             scenario=spec.name,
             content_hash=key,

@@ -34,7 +34,12 @@ from repro.sched.chunks import (
     partition,
 )
 from repro.sched.graph import Dep, SchedulerError, Task, TaskFailure, TaskGraph
-from repro.sched.runner import ExecutionReport, GraphScheduler, run_single_task
+from repro.sched.runner import (
+    ExecutionReport,
+    GraphScheduler,
+    TaskTiming,
+    run_single_task,
+)
 from repro.sched.state import WorkerPayloadStore, seed_worker_store, worker_store
 
 __all__ = [
@@ -47,6 +52,7 @@ __all__ = [
     "Task",
     "TaskFailure",
     "TaskGraph",
+    "TaskTiming",
     "WorkerPayloadStore",
     "chunk_size_for",
     "partition",

@@ -16,14 +16,50 @@ cleanup) — and one :class:`~repro.sched.graph.TaskFailure` naming the
 task surfaces.  Tasks downstream of the failure are never started, so a
 caller that writes caches only after :meth:`GraphScheduler.run` returns
 can never write a partial result.
+
+Every run also answers "where did the time go": the report carries
+per-task queue-wait (ready → started) and run durations, inline tasks
+record ``sched.task`` spans when tracing is on, and the scheduler
+feeds ``repro_sched_*`` counters/histograms on the global registry.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import tracer
 from repro.sched.graph import Task, TaskFailure, TaskGraph, resolve_args
+
+_REG = get_registry()
+_TASKS = _REG.counter("repro_sched_tasks_total", "Graph tasks completed")
+_POOL_TASKS = _REG.counter(
+    "repro_sched_pool_tasks_total", "Graph tasks executed on an executor"
+)
+_FAILURES = _REG.counter("repro_sched_failures_total", "Graph tasks that raised")
+_QUEUE_WAIT = _REG.histogram(
+    "repro_sched_queue_wait_seconds", "Task wait between ready and started"
+)
+_RUN_SECONDS = _REG.histogram(
+    "repro_sched_task_run_seconds", "Task run duration (inline call or pool round-trip)"
+)
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Where one task's wall-clock went.
+
+    ``queue_wait_s`` is ready → started (how long the task sat behind
+    other work once its dependencies finished); ``run_s`` is the inline
+    call duration, or the submit → completion round-trip for pool tasks
+    (transport included — that is the price the caller actually paid).
+    """
+
+    queue_wait_s: float
+    run_s: float
+    pooled: bool
 
 
 @dataclass(frozen=True)
@@ -33,12 +69,14 @@ class ExecutionReport:
     ``values`` maps every task name to its result.  ``started`` and
     ``finished`` record observed scheduling order — the hypothesis suite
     asserts every task *starts* after all of its dependencies
-    *finished*, for arbitrary graphs and executors.
+    *finished*, for arbitrary graphs and executors.  ``timings`` holds a
+    :class:`TaskTiming` per completed task.
     """
 
     values: dict[str, object]
     started: tuple[str, ...]
     finished: tuple[str, ...]
+    timings: dict[str, TaskTiming] = field(default_factory=dict)
 
 
 class GraphScheduler:
@@ -64,25 +102,49 @@ class GraphScheduler:
         values: dict[str, object] = {}
         started: list[str] = []
         finished: list[str] = []
+        timings: dict[str, TaskTiming] = {}
         ready: list[str] = sorted(
             (name for name, count in waiting.items() if count == 0),
             key=index.__getitem__,
         )
+        ready_at: dict[str, float] = {name: time.perf_counter() for name in ready}
+        queue_waits: dict[str, float] = {}
         in_flight: dict[Future, str] = {}
+        submitted_at: dict[str, float] = {}
 
-        def complete(name: str, value: object) -> None:
+        def complete(name: str, value: object, run_s: float, pooled: bool) -> None:
             values[name] = value
             finished.append(name)
+            timings[name] = TaskTiming(
+                queue_wait_s=queue_waits.get(name, 0.0), run_s=run_s, pooled=pooled
+            )
+            _TASKS.inc()
+            if pooled:
+                _POOL_TASKS.inc()
+            _RUN_SECONDS.observe(run_s)
+            now = time.perf_counter()
             freed = []
             for child in dependents[name]:
                 waiting[child] -= 1
                 if waiting[child] == 0:
                     freed.append(child)
             if freed:
+                for child in freed:
+                    ready_at[child] = now
                 ready.extend(sorted(freed, key=index.__getitem__))
                 ready.sort(key=index.__getitem__)
 
+        def mark_started(name: str) -> float:
+            """Record queue wait; returns the start timestamp."""
+            now = time.perf_counter()
+            queue_wait = now - ready_at.get(name, now)
+            _QUEUE_WAIT.observe(queue_wait)
+            queue_waits[name] = queue_wait
+            started.append(name)
+            return now
+
         def fail(name: str, error: BaseException) -> None:
+            _FAILURES.inc()
             for future in in_flight:
                 future.cancel()
             # Drain what could not be cancelled: the caller may tear the
@@ -98,17 +160,18 @@ class GraphScheduler:
             for name in pooled:
                 ready.remove(name)
                 task = graph[name]
-                started.append(name)
+                submitted_at[name] = mark_started(name)
                 in_flight[self.executor.submit(task.fn, *resolve_args(task, values))] = name
             if ready:
                 name = ready.pop(0)
                 task = graph[name]
-                started.append(name)
+                t0 = mark_started(name)
                 try:
-                    value = task.fn(*resolve_args(task, values))
+                    with tracer().span("sched.task", {"task": name, "pooled": False}):
+                        value = task.fn(*resolve_args(task, values))
                 except BaseException as error:  # noqa: BLE001 - rewrapped
                     fail(name, error)
-                complete(name, value)
+                complete(name, value, time.perf_counter() - t0, pooled=False)
                 continue
             if not in_flight:
                 break  # graph.order() guarantees this means "all done"
@@ -119,10 +182,18 @@ class GraphScheduler:
                     value = future.result()
                 except BaseException as error:  # noqa: BLE001 - rewrapped
                     fail(name, error)
-                complete(name, value)
+                complete(
+                    name,
+                    value,
+                    time.perf_counter() - submitted_at[name],
+                    pooled=True,
+                )
 
         return ExecutionReport(
-            values=values, started=tuple(started), finished=tuple(finished)
+            values=values,
+            started=tuple(started),
+            finished=tuple(finished),
+            timings=timings,
         )
 
 

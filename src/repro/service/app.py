@@ -17,6 +17,7 @@ module owns exactly the HTTP-shaped concerns:
 Endpoints::
 
     GET  /healthz          liveness + serving counters
+    GET  /metrics          Prometheus text exposition of every registry
     GET  /v1/specs         builtins, kinds, topologies, versions
     GET  /v1/hardware      the priced hardware catalog
     GET  /v1/jobs/<id>     poll an async sweep/plan job
@@ -30,9 +31,13 @@ from __future__ import annotations
 
 import json
 import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.errors import ReproError
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import get_registry
+from repro.obs.trace import tracer
 from repro.service import wire
 from repro.service.handlers import EvaluationService, Outcome
 from repro.service.jobs import ServiceNotFound, ServiceOverloaded
@@ -73,6 +78,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _send_outcome(self, kind: str, outcome: Outcome) -> None:
         self.service.count(kind)
         self._send(outcome.status, wire.envelope(kind, outcome.result, outcome.meta))
@@ -108,12 +121,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, kind: str, handle, metered: bool = True) -> None:
         """Admission, execution, and the full error-to-status mapping."""
+        started = time.perf_counter()
+        # A caller-supplied trace id roots this request's span in the
+        # caller's trace, so a client-side sweep and the server work it
+        # triggers export as one tree.
+        span = tracer().span(
+            "service.request",
+            {"endpoint": kind},
+            trace_id=self.headers.get("X-Repro-Trace-Id") or None,
+        )
         try:
-            if metered:
-                with self.service.request_slot():
+            with span:
+                if metered:
+                    with self.service.request_slot():
+                        outcome = handle()
+                else:
                     outcome = handle()
-            else:
-                outcome = handle()
             self._send_outcome(kind, outcome)
         except ServiceOverloaded as error:
             self._send_error(
@@ -131,6 +154,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - a server must answer
             logger.exception("internal error serving %s", kind)
             self._send_error(500, "internal", f"{type(error).__name__}: {error}")
+        finally:
+            self.service.request_seconds.observe(time.perf_counter() - started)
 
     # -- verbs -------------------------------------------------------------
 
@@ -142,6 +167,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # an operator needs the counters.
             self._dispatch(
                 "healthz", lambda: Outcome(self.service.handle_health()), metered=False
+            )
+        elif path == "/metrics":
+            # Prometheus scrape: raw text exposition, unmetered for the
+            # same reason as /healthz.  The service registry (caches,
+            # coalescer, jobs, store) merges with the process-global one
+            # (scheduler, backends, compile) into a single page.
+            self.service.count("metrics")
+            self._send_text(
+                200,
+                render_prometheus(self.service.metrics, get_registry()),
+                "text/plain; version=0.0.4; charset=utf-8",
             )
         elif path == "/v1/specs":
             self._dispatch("specs", lambda: Outcome(self.service.handle_specs()))
@@ -164,7 +200,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "/v1/calibrate": ("calibrate", self.service.handle_calibrate),
         }
         if path not in routes:
-            if path in ("/healthz", "/v1/specs", "/v1/hardware"):
+            if path in ("/healthz", "/metrics", "/v1/specs", "/v1/hardware"):
                 self._send_error(405, "method-not-allowed", f"GET {path}")
             else:
                 self._send_error(404, "not-found", f"unknown route {path!r}")
@@ -214,7 +250,7 @@ def serve(host: str = "127.0.0.1", port: int = 8765, **service_options) -> int:
     """Run the service until interrupted (the ``repro serve`` command)."""
     server = create_server(host, port, **service_options)
     print(f"repro evaluation service listening on {server.url}")
-    print("endpoints: /healthz /v1/specs /v1/hardware /v1/evaluate"
+    print("endpoints: /healthz /metrics /v1/specs /v1/hardware /v1/evaluate"
           " /v1/sweep /v1/plan /v1/calibrate /v1/jobs/<id>")
     try:
         server.serve_forever()

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.backend import EvaluationBackend, EvaluationTarget
 from repro.core.calibration import FEATURE_LIBRARIES
+from repro.obs.metrics import MetricsRegistry
 from repro.planner.spec import PLANNER_VERSION, PlanSpec, parse_plan
 from repro.scenarios import (
     BACKEND_KINDS,
@@ -91,26 +92,42 @@ class LRUCache:
 
     Deliberately tiny: the service needs bounded memory and observable
     stats (``/healthz`` reports them; the acceptance test asserts the
-    hit counter), not a general caching framework.
+    hit counter), not a general caching framework.  Counters live on a
+    metrics registry (private by default); ``name`` namespaces them, so
+    a service exporting two caches through one registry gets
+    ``repro_service_request_cache_hits_total`` and
+    ``repro_service_target_cache_hits_total`` rather than a collision.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(
+        self,
+        maxsize: int,
+        name: str = "cache",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if maxsize < 1:
             raise ServiceError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, object] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            f"repro_service_{name}_hits_total", f"{name} lookups answered"
+        )
+        self._misses = registry.counter(
+            f"repro_service_{name}_misses_total", f"{name} lookups missed"
+        )
+        self._evictions = registry.counter(
+            f"repro_service_{name}_evictions_total", f"{name} entries evicted"
+        )
 
     def get(self, key: str) -> object | None:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._hits.inc()
                 return self._entries[key]
-            self.misses += 1
+            self._misses.inc()
             return None
 
     def put(self, key: str, value: object) -> None:
@@ -119,16 +136,16 @@ class LRUCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
 
     def stats(self) -> dict:
         with self._lock:
             return {
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
+                "hits": int(self._hits.value),
+                "misses": int(self._misses.value),
+                "evictions": int(self._evictions.value),
             }
 
 
@@ -166,16 +183,34 @@ class Coalescer:
     deployments; the default of 0 adds no latency.
     """
 
-    def __init__(self, window_s: float = 0.0) -> None:
+    def __init__(
+        self, window_s: float = 0.0, registry: MetricsRegistry | None = None
+    ) -> None:
         if window_s < 0:
             raise ServiceError(f"coalesce window must be >= 0, got {window_s}")
         self.window_s = window_s
         self._lock = threading.Lock()
         self._pending: dict[str, _Batch] = {}
-        self.batches = 0
-        self.requests = 0
-        self.coalesced_requests = 0
-        self.shared_buffer_points = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._batches = registry.counter(
+            "repro_service_coalesce_batches_total", "Coalesced evaluation batches"
+        )
+        self._requests = registry.counter(
+            "repro_service_coalesce_requests_total", "Requests seen by the coalescer"
+        )
+        self._coalesced = registry.counter(
+            "repro_service_coalesce_coalesced_requests_total",
+            "Requests answered by another request's evaluation",
+        )
+        self._shared_points = registry.counter(
+            "repro_service_coalesce_shared_buffer_points_total",
+            "Union-grid points served from a shared buffer",
+        )
+        self._batch_size = registry.histogram(
+            "repro_service_coalesce_batch_size",
+            "Members per coalesced batch",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+        )
 
     def evaluate(self, key, grid, baseline, compile_fn, label=""):
         """One request's curve, possibly answered by another's evaluation.
@@ -184,16 +219,16 @@ class Coalescer:
         """
         member = _Member(grid=tuple(grid), baseline=int(baseline))
         with self._lock:
-            self.requests += 1
+            self._requests.inc()
             batch = self._pending.get(key)
             if batch is not None and not batch.closed:
                 batch.members.append(member)
-                self.coalesced_requests += 1
+                self._coalesced.inc()
                 is_leader = False
             else:
                 batch = _Batch(members=[member])
                 self._pending[key] = batch
-                self.batches += 1
+                self._batches.inc()
                 is_leader = True
         if not is_leader:
             batch.event.wait()
@@ -222,8 +257,7 @@ class Coalescer:
                 curves, union_size = evaluate_union(
                     backend, target, requests, label=label or target.label
                 )
-                with self._lock:
-                    self.shared_buffer_points += union_size
+                self._shared_points.inc(union_size)
             else:
                 # A calibrated fit couples every point of its grid;
                 # each member keeps its own evaluation.
@@ -245,16 +279,16 @@ class Coalescer:
             batch.closed = True
             if self._pending.get(key) is batch:
                 del self._pending[key]
+            self._batch_size.observe(float(len(batch.members)))
             return list(batch.members)
 
     def stats(self) -> dict:
-        with self._lock:
-            return {
-                "batches": self.batches,
-                "requests": self.requests,
-                "coalesced_requests": self.coalesced_requests,
-                "shared_buffer_points": self.shared_buffer_points,
-            }
+        return {
+            "batches": int(self._batches.value),
+            "requests": int(self._requests.value),
+            "coalesced_requests": int(self._coalesced.value),
+            "shared_buffer_points": int(self._shared_points.value),
+        }
 
 
 def _canonical_request_key(body: Mapping) -> str:
@@ -311,17 +345,28 @@ class EvaluationService:
         self.cache_dir = cache_dir
         self.use_cache = use_cache
         self.sync_grid_limit = sync_grid_limit
-        self.request_cache = LRUCache(request_cache_size)
-        self.target_cache = LRUCache(target_cache_size)
-        self.coalescer = Coalescer(coalesce_window_s)
-        self.jobs = JobStore(workers=job_workers, max_jobs=max_jobs)
+        # One registry spans every serving component, so ``GET /metrics``
+        # exports caches, coalescer, jobs and store in a single scrape.
+        self.metrics = MetricsRegistry()
+        self.request_cache = LRUCache(
+            request_cache_size, name="request_cache", registry=self.metrics
+        )
+        self.target_cache = LRUCache(
+            target_cache_size, name="target_cache", registry=self.metrics
+        )
+        self.coalescer = Coalescer(coalesce_window_s, registry=self.metrics)
+        self.jobs = JobStore(
+            workers=job_workers, max_jobs=max_jobs, registry=self.metrics
+        )
         # One columnar store shared by every runner this service builds,
         # so /healthz reports hit/miss/delta counters across requests.
-        self.store = ResultStore(cache_dir)
+        self.store = ResultStore(cache_dir, registry=self.metrics)
         self.max_concurrency = max_concurrency
         self._slots = threading.BoundedSemaphore(max_concurrency)
         self._counters_lock = threading.Lock()
-        self._counters: dict[str, int] = {}
+        self.request_seconds = self.metrics.histogram(
+            "repro_service_request_seconds", "HTTP request handling duration"
+        )
         self._started_monotonic = time.monotonic()
         # Validate the runner configuration eagerly: a serve process must
         # refuse to start with a bad mode, not fail on the first request.
@@ -346,8 +391,22 @@ class EvaluationService:
             self._slots.release()
 
     def count(self, counter: str) -> None:
+        """Bump a request-kind counter (created on first use, so the
+        ``/healthz`` ``requests`` map only lists kinds actually seen)."""
         with self._counters_lock:
-            self._counters[counter] = self._counters.get(counter, 0) + 1
+            self.metrics.counter(
+                f"repro_service_requests_{counter}_total",
+                f"'{counter}' requests served",
+            ).inc()
+
+    def request_counts(self) -> dict:
+        """The ``/healthz`` ``requests`` map, read back off the registry."""
+        prefix = "repro_service_requests_"
+        return {
+            metric.name[len(prefix):-len("_total")]: int(metric.value)
+            for metric in self.metrics.metrics()
+            if metric.kind == "counter" and metric.name.startswith(prefix)
+        }
 
     def _runner(self) -> SweepRunner:
         return SweepRunner(
@@ -641,12 +700,10 @@ class EvaluationService:
 
     def handle_health(self) -> dict:
         """``GET /healthz`` — liveness plus the serving counters."""
-        with self._counters_lock:
-            counters = dict(self._counters)
         return {
             "status": "ok",
             "uptime_s": time.monotonic() - self._started_monotonic,
-            "requests": counters,
+            "requests": self.request_counts(),
             "caches": {
                 "request": self.request_cache.stats(),
                 "target": self.target_cache.stats(),

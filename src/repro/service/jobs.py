@@ -31,6 +31,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import tracer
 from repro.sched import TaskFailure, run_single_task
 
 
@@ -103,6 +105,7 @@ class JobStore:
         workers: int = 2,
         max_jobs: int = 32,
         history: int = 256,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"job workers must be >= 1, got {workers}")
@@ -124,8 +127,22 @@ class JobStore:
         self._jobs: OrderedDict[str, Job] = OrderedDict()
         self._active = 0
         self._counter = 0
-        self._completed = 0
-        self._failed = 0
+        # Lifecycle counters and the queue-depth gauge live on a metrics
+        # registry (private by default; the service shares its own so
+        # /metrics exports them).
+        registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = registry.counter(
+            "repro_service_jobs_submitted_total", "Async jobs admitted"
+        )
+        self._completed = registry.counter(
+            "repro_service_jobs_completed_total", "Async jobs finished successfully"
+        )
+        self._failed = registry.counter(
+            "repro_service_jobs_failed_total", "Async jobs that raised"
+        )
+        self._queue_depth = registry.gauge(
+            "repro_service_jobs_queue_depth", "Jobs queued or running right now"
+        )
 
     def submit(self, kind: str, work: Callable[[], dict]) -> Job:
         """Admit ``work`` or raise :class:`ServiceOverloaded` at capacity."""
@@ -140,7 +157,9 @@ class JobStore:
             job = Job(id=f"j{self._counter:06d}", kind=kind)
             self._jobs[job.id] = job
             self._active += 1
+            self._queue_depth.set(self._active)
             self._evict_locked()
+        self._submitted.inc()
         self._pool.submit(self._run, job, work)
         return job
 
@@ -157,7 +176,8 @@ class JobStore:
         # named-task shape as a failed sweep chunk, while the wire error
         # string stays "ExceptionType: message" for the original cause.
         try:
-            result = run_single_task(f"{job.kind}:{job.id}", work)
+            with tracer().span("service.job", {"kind": job.kind, "job": job.id}):
+                result = run_single_task(f"{job.kind}:{job.id}", work)
         except TaskFailure as failure:
             cause = failure.cause
             with self._lock:
@@ -165,14 +185,16 @@ class JobStore:
                 job.finished_monotonic = time.monotonic()
                 job.status = "failed"
                 self._active -= 1
-                self._failed += 1
+                self._queue_depth.set(self._active)
+            self._failed.inc()
         else:
             with self._lock:
                 job.result = result
                 job.finished_monotonic = time.monotonic()
                 job.status = "done"
                 self._active -= 1
-                self._completed += 1
+                self._queue_depth.set(self._active)
+            self._completed.inc()
 
     def _evict_locked(self) -> None:
         """Drop the oldest *finished* jobs past the history bound."""
@@ -195,8 +217,8 @@ class JobStore:
             return {
                 "queued": queued,
                 "running": running,
-                "completed": self._completed,
-                "failed": self._failed,
+                "completed": int(self._completed.value),
+                "failed": int(self._failed.value),
                 "capacity": self.max_jobs,
                 "retained": len(self._jobs),
             }

@@ -55,9 +55,34 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.errors import ScenarioError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, keeps store import-light
     from repro.scenarios.spec import ScenarioSpec
+
+#: The serving counters, in registry naming.  ``stats()`` keeps its
+#: historical short keys (``/healthz`` shape is golden-pinned) by
+#: reading back through these.
+_COUNTER_NAMES = {
+    "hits": "repro_store_hits_total",
+    "misses": "repro_store_misses_total",
+    "deltas": "repro_store_deltas_total",
+    "delta_points": "repro_store_delta_points_total",
+    "points_reused": "repro_store_points_reused_total",
+    "points_computed": "repro_store_points_computed_total",
+    "bytes_mapped": "repro_store_bytes_mapped_total",
+}
+
+# Plan latency is dominated by the manifest scan — the store's promise
+# is hit cost O(manifest), so the histogram lives on the global
+# registry where a regression shows up across every instance.
+_PLAN_SECONDS = get_registry().histogram(
+    "repro_store_plan_seconds", "Store plan (manifest scan + diff) wall time"
+)
+_COMMIT_SECONDS = get_registry().histogram(
+    "repro_store_commit_seconds", "Store commit (assemble + write) wall time"
+)
 
 #: Bumped when the chunk dtype or manifest schema changes — older
 #: manifests are then treated as absent and rebuilt, like a key bump.
@@ -424,31 +449,34 @@ class ResultStore:
     source of truth, instances only hold counters.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         base = Path(directory) if directory is not None else _default_root()
         self.directory = base / STORE_SUBDIR
-        self._lock = threading.Lock()
+        # Counters live on a metrics registry: private by default (unit
+        # tests assert exact values on fresh instances), shared when the
+        # service passes its own so ``GET /metrics`` sees them.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._counters = {
-            "hits": 0,
-            "misses": 0,
-            "deltas": 0,
-            "delta_points": 0,
-            "points_reused": 0,
-            "points_computed": 0,
-            "bytes_mapped": 0,
+            short: self.registry.counter(name, f"Store {short.replace('_', ' ')}")
+            for short, name in _COUNTER_NAMES.items()
         }
 
     # -- counters ----------------------------------------------------------
 
     def _count(self, **deltas: int) -> None:
-        with self._lock:
-            for name, delta in deltas.items():
-                self._counters[name] += delta
+        for name, delta in deltas.items():
+            self._counters[name].inc(delta)
 
     def stats(self) -> dict:
-        """The serving counters (the ``/healthz`` ``store`` block)."""
-        with self._lock:
-            return dict(self._counters)
+        """The serving counters (the ``/healthz`` ``store`` block).
+
+        Historical short keys, read through the registry counters.
+        """
+        return {short: int(c.value) for short, c in self._counters.items()}
 
     # -- manifest and chunk I/O --------------------------------------------
 
@@ -509,6 +537,19 @@ class ResultStore:
         and a full compute, exactly the blob cache's corrupt-entry
         contract.
         """
+        start = time.perf_counter()
+        span = tracer().span("store.plan")
+        with span:
+            plan = self._plan(spec)
+            span.set(
+                state=plan.state,
+                rows=plan.n_rows,
+                missing=len(plan.missing),
+            )
+        _PLAN_SECONDS.observe(time.perf_counter() - start)
+        return plan
+
+    def _plan(self, spec: "ScenarioSpec") -> StorePlan:
         family = family_key(spec)
         directory = self.family_dir(family)
         axes, values, shape = grid_geometry(spec)
@@ -606,6 +647,26 @@ class ResultStore:
         belonged to another grid's reference (seeded backends give each
         grid its own reference times), so it must never be carried over.
         """
+        start = time.perf_counter()
+        span = tracer().span("store.commit")
+        with span:
+            out = self._commit(spec, plan, computed, reference)
+            span.set(
+                state=plan.state,
+                rows=plan.n_rows,
+                computed=len(computed),
+                reused=plan.reused,
+            )
+        _COMMIT_SECONDS.observe(time.perf_counter() - start)
+        return out
+
+    def _commit(
+        self,
+        spec: "ScenarioSpec",
+        plan: StorePlan,
+        computed: dict[int, dict],
+        reference: dict | None = None,
+    ) -> np.ndarray:
         worker_count = len(spec.workers)
         if spec.sweep and reference is None:
             raise ScenarioError(
@@ -833,7 +894,14 @@ class ResultStore:
         return counts
 
     def disk_stats(self) -> dict:
-        """What is on disk (the ``scenario cache stats`` report)."""
+        """What is on disk (the ``scenario cache stats`` report).
+
+        Canonical field names follow the registry scheme's nouns:
+        ``points_stored`` and ``bytes_stored``.  The pre-telemetry names
+        (``grid_points``, ``chunk_bytes``) ride along as deprecated
+        aliases — ``scenario cache stats`` and ``/healthz`` used to
+        disagree on what to call the same quantities.
+        """
         families = views = rows = 0
         chunk_bytes = 0
         temp_files = 0
@@ -860,7 +928,10 @@ class ResultStore:
         return {
             "families": families,
             "views": views,
+            "points_stored": rows,
+            "bytes_stored": chunk_bytes,
+            "temp_files": temp_files,
+            # Deprecated aliases (pre-telemetry names), kept one release.
             "grid_points": rows,
             "chunk_bytes": chunk_bytes,
-            "temp_files": temp_files,
         }

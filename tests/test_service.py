@@ -464,3 +464,62 @@ class TestWirePinning:
 
         with pytest.raises(ValueError):
             canonical_json({"bad": float("nan")})
+
+
+class TestMetricsEndpoint:
+    """``GET /metrics``: one scrape covers every instrumented subsystem."""
+
+    def test_scrape_parses_and_spans_subsystems(self, client, server):
+        from repro.obs import parse_prometheus
+
+        client.evaluate("figure2")  # traffic through compile/backends/store
+        client.sweep(SMALL_SWEEP, mode="sync")  # traffic through sched
+        text = (
+            urllib.request.urlopen(f"{server.url}/metrics").read().decode("utf-8")
+        )
+        parsed = parse_prometheus(text)
+        subsystems = {name.split("_")[1] for name in parsed}
+        assert {"sched", "store", "service", "backends"} <= subsystems
+        assert parsed["repro_service_requests_metrics_total"]["value"] >= 1
+        assert parsed["repro_service_requests_evaluate_total"]["value"] >= 1
+        assert parsed["repro_sched_tasks_total"]["value"] >= 1
+        assert parsed["repro_backends_evaluations_total"]["value"] >= 1
+        assert parsed["repro_service_request_seconds"]["count"] >= 1
+
+    def test_healthz_counters_read_through_the_registry(self, client, server):
+        urllib.request.urlopen(f"{server.url}/metrics").read()
+        health = client.health()["result"]
+        requests = health["requests"]
+        assert requests["metrics"] >= 1
+        value = server.service.metrics.value("repro_service_requests_metrics_total")
+        assert requests["metrics"] == int(value)
+
+    def test_post_to_metrics_is_405(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/metrics", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 405
+
+    def test_trace_header_roots_request_span_in_caller_trace(self, server):
+        from repro.obs import tracer
+
+        trace = tracer()
+        trace.reset()
+        trace.start()
+        try:
+            request = urllib.request.Request(
+                f"{server.url}/v1/specs",
+                headers={"X-Repro-Trace-Id": "cafe0123cafe0123"},
+            )
+            urllib.request.urlopen(request).read()
+            records = trace.drain()
+        finally:
+            trace.reset()
+        spans = [
+            r
+            for r in records
+            if r.name == "service.request" and r.trace_id == "cafe0123cafe0123"
+        ]
+        assert spans and spans[0].attrs["endpoint"] == "specs"

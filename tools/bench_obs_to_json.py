@@ -1,0 +1,192 @@
+"""Record the telemetry-overhead benchmark as a JSON artifact.
+
+The observability layer's contract is "never the bottleneck": metrics
+are always-on, tracing is opt-in, and neither may tax the sweep hot
+path.  This bench prices both switches on the same serial analytic
+sweep ``BENCH_sweep`` exercises:
+
+* **baseline** — metrics hard-off (``repro.obs.set_enabled(False)``)
+  and tracing off: the closest thing to an uninstrumented build;
+* **metrics on** — the shipped default.  Must cost at most **2 %**
+  over baseline;
+* **metrics + tracing** — ``tracer().start()`` around every run, spans
+  drained after each.  Must cost at most **10 %** over baseline.
+
+Each configuration takes the *minimum* over repeats (the scheduler's
+noise floor dwarfs the instrumentation cost, and minimum-of-N is the
+standard estimator for a lower-bound cost).  Results land in
+``BENCH_obs.json`` at the repository root.  Usage::
+
+    PYTHONPATH=src python tools/bench_obs_to_json.py [--output BENCH_obs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Always-on metrics may cost at most this fraction over hard-off.
+MAX_METRICS_OVERHEAD = 0.02
+
+#: Metrics plus span tracing may cost at most this fraction over hard-off.
+MAX_TRACING_OVERHEAD = 0.10
+
+#: Sweep grid: values x worker counts (the hot path being priced).
+#: Worker counts match the vectorized-sweep bench's dense grids: the
+#: instrumentation cost is per grid *point* (compile + evaluate + task
+#: bookkeeping), so the floors gauge it against realistic per-point
+#: work, not against a toy curve.
+SWEEP_VALUES, SWEEP_WORKERS = 64, 4096
+
+#: Timed repeats per configuration (minimum taken).
+REPEATS = 7
+
+#: Untimed warmup runs before the first measurement.
+WARMUP = 2
+
+
+def obs_scenario() -> dict:
+    """A closed-form sweep spec (analytic backend, no caching)."""
+    return {
+        "name": "bench-obs",
+        "description": "telemetry overhead benchmark sweep (analytic)",
+        "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+        "algorithm": {
+            "kind": "gradient_descent",
+            "params": {
+                "operations_per_sample": 1e7,
+                "batch_size": 1000,
+                "parameters": 7812500,
+            },
+        },
+        "workers": {"min": 1, "max": SWEEP_WORKERS},
+        "sweep": {"flops": [1e9 + i * 1e7 for i in range(SWEEP_VALUES)]},
+    }
+
+
+def _once(runner, spec) -> float:
+    started = time.perf_counter()
+    result = runner.run(spec)
+    elapsed = time.perf_counter() - started
+    assert result.stats["cache_hit"] is False
+    return elapsed
+
+
+def _measure_once(runner, spec, tracing: bool, metrics: bool) -> tuple[float, int]:
+    """One timed hot-path run under a telemetry configuration."""
+    from repro.obs import set_enabled, tracer
+
+    span_count = 0
+    set_enabled(metrics)
+    try:
+        if tracing:
+            tracer().start()
+        elapsed = _once(runner, spec)
+        if tracing:
+            span_count = len(tracer().stop())
+    finally:
+        set_enabled(True)
+        tracer().reset()
+    return elapsed, span_count
+
+
+def measure_all() -> dict:
+    """The three configurations and their overhead ratios.
+
+    Configurations are *interleaved* round-robin: the instrumentation
+    costs microseconds per grid point, so a sequential A-then-B-then-C
+    design would attribute any machine drift (page cache, CPU clocks,
+    a noisy neighbour) to whichever configuration ran last.  Each round
+    runs all three back to back; minima are taken per configuration.
+    """
+    from repro.scenarios import SweepRunner, parse_scenario
+
+    spec = parse_scenario(obs_scenario())
+    runner = SweepRunner(mode="serial", use_cache=False)
+    configs = {
+        "baseline": {"tracing": False, "metrics": False},
+        "metrics_on": {"tracing": False, "metrics": True},
+        "traced": {"tracing": True, "metrics": True},
+    }
+    samples: dict[str, list[float]] = {name: [] for name in configs}
+    spans_per_run = 0
+    for index in range(WARMUP + REPEATS):
+        for name, config in configs.items():
+            elapsed, span_count = _measure_once(runner, spec, **config)
+            spans_per_run = max(spans_per_run, span_count)
+            if index >= WARMUP:
+                samples[name].append(elapsed)
+    results = {
+        name: {
+            **configs[name],
+            "best_s": min(times),
+            "mean_s": sum(times) / len(times),
+        }
+        for name, times in samples.items()
+    }
+    results["traced"]["spans_per_run"] = spans_per_run
+    baseline_s = results["baseline"]["best_s"]
+    metrics_overhead = results["metrics_on"]["best_s"] / baseline_s - 1.0
+    tracing_overhead = results["traced"]["best_s"] / baseline_s - 1.0
+    return {
+        **results,
+        "metrics_overhead": metrics_overhead,
+        "tracing_overhead": tracing_overhead,
+        "accepted": (
+            metrics_overhead <= MAX_METRICS_OVERHEAD
+            and tracing_overhead <= MAX_TRACING_OVERHEAD
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_obs.json"),
+        help="output path (default: BENCH_obs.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    measured = measure_all()
+    payload = {
+        "benchmark": "telemetry-overhead",
+        "description": (
+            "sweep hot-path cost with metrics hard-off (baseline), metrics"
+            " on (default), and metrics + span tracing"
+            " (see benchmarks/bench_obs.py)"
+        ),
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "grid": {"sweep_values": SWEEP_VALUES, "workers": SWEEP_WORKERS},
+        "repeats": REPEATS,
+        **measured,
+        "floors": {
+            "max_metrics_overhead": MAX_METRICS_OVERHEAD,
+            "max_tracing_overhead": MAX_TRACING_OVERHEAD,
+        },
+    }
+    target = Path(args.output)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"obs: baseline {measured['baseline']['best_s'] * 1e3:.1f}ms;"
+        f" metrics on {measured['metrics_overhead']:+.2%}"
+        f" (cap {MAX_METRICS_OVERHEAD:.0%}); traced"
+        f" {measured['tracing_overhead']:+.2%} (cap {MAX_TRACING_OVERHEAD:.0%},"
+        f" {measured['traced']['spans_per_run']} span(s)/run)"
+    )
+    print(f"wrote {target}")
+    return 0 if payload["accepted"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
