@@ -31,7 +31,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from tools.bench_serve_to_json import (  # noqa: E402
     MIN_HIT_SPEEDUP,
     measure_latencies,
+    measure_sharded_throughput,
     measure_throughput,
+    sharded_floor,
+    sharded_worker_count,
 )
 
 
@@ -90,3 +93,38 @@ def test_concurrent_hammer_coalesces(benchmark):
     # coalescer never engaged).
     assert coalescer["requests"] == threads * requests
     assert coalescer["coalesced_requests"] > 0
+
+
+def test_sharded_throughput_meets_floor(benchmark):
+    """Pre-fork sharding vs one process, CPU-aware acceptance floor.
+
+    Client processes (not threads) drive both servers so the measurement
+    is of the serving tier, not the measuring client's GIL.  On 4+ cores
+    the shard must at least double single-process throughput; a 1-CPU
+    runner can only time-slice, so there the floor (0.35x) just catches
+    pathological collapse — same convention as BENCH_sim.
+    """
+    import multiprocessing
+    import os
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        import pytest
+
+        pytest.skip("sharded serving requires the fork start method")
+    cpus = os.cpu_count() or 1
+    workers = sharded_worker_count(cpus)
+    floor = sharded_floor(cpus)
+    single, sharded = measure_sharded_throughput(
+        workers=workers, processes=2, threads=3, requests_per_thread=10
+    )
+    speedup = sharded / single
+    benchmark.extra_info["sharded_workers"] = workers
+    benchmark.extra_info["single_evals_per_s"] = single
+    benchmark.extra_info["sharded_evals_per_s"] = sharded
+    benchmark.extra_info["sharded_speedup_x"] = speedup
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print(
+        f"\nsharded serve ({workers} workers, {cpus} cpu):"
+        f" {sharded:.0f} vs {single:.0f} evals/s ({speedup:.2f}x; floor {floor}x)"
+    )
+    assert speedup >= floor

@@ -389,6 +389,33 @@ def build_parser() -> argparse.ArgumentParser:
             " their own traces via the X-Repro-Trace-Id header"
         ),
     )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes accepting on the shared port; >1 enables the"
+            " pre-fork sharded mode with a respawning supervisor"
+            " (default: 1 = classic single-process serving)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--control-dir",
+        default=None,
+        help=(
+            "sharded mode: directory for the worker registry and mirrored"
+            " job state (default: a fresh temp directory)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help=(
+            "sharded mode: seconds a SIGTERM'd worker may spend finishing"
+            " in-flight requests before being killed (default: 10)"
+        ),
+    )
 
     client_parser = subparsers.add_parser(
         "client", help="talk to a running evaluation service"
@@ -752,15 +779,18 @@ def _run_plan_command(args: argparse.Namespace) -> int:
 
 
 def _run_serve_command(args: argparse.Namespace) -> int:
-    from repro.service import serve
+    from repro.service import serve, serve_sharded
 
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     if args.trace:
         from repro.obs import tracer
 
+        # Started pre-fork in sharded mode: workers inherit the running
+        # tracer across the fork, so every process records spans.
         tracer().start()
-    return serve(
-        host=args.host,
-        port=args.port,
+    service_options = dict(
         runner_mode=args.parallel,
         runner_jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -772,6 +802,16 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         sync_grid_limit=args.sync_limit,
     )
+    if args.workers > 1:
+        return serve_sharded(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            control_dir=args.control_dir,
+            drain_timeout_s=args.drain_timeout,
+            **service_options,
+        )
+    return serve(host=args.host, port=args.port, **service_options)
 
 
 def _run_client_command(args: argparse.Namespace) -> int:

@@ -5,6 +5,11 @@
   by ``GET /metrics``;
 - :func:`parse_prometheus` — a small parser for the same format, used by
   tests and the CLI so scrapes are verified mechanically;
+- :func:`merge_parsed` / :func:`render_parsed` — sum parsed scrapes and
+  render the merged view back to text.  The sharded service aggregates
+  per-worker ``/metrics`` this way: worker registries live in separate
+  processes, so the merge has to happen at the exposition level rather
+  than over live registry objects;
 - :func:`chrome_trace` — Chrome trace-event JSON ("ph": "X" complete
   events) loadable in Perfetto / chrome://tracing;
 - :func:`span_summary` / :func:`render_span_summary` — per-span-name
@@ -18,6 +23,7 @@
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -27,7 +33,9 @@ from repro.obs.trace import SpanRecord
 __all__ = [
     "chrome_trace",
     "load_spans",
+    "merge_parsed",
     "parse_prometheus",
+    "render_parsed",
     "render_prometheus",
     "render_span_summary",
     "span_summary",
@@ -102,8 +110,10 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
     """Parse Prometheus text format into ``{name: {...}}``.
 
     Counters/gauges map to ``{"type", "value"}``; histograms to
-    ``{"type", "buckets": {le: cumulative}, "sum", "count"}``.
-    Raises ``ValueError`` on lines that fit neither shape.
+    ``{"type", "buckets": {le: cumulative}, "sum", "count"}``; labelled
+    non-histogram samples (``repro_service_workers{state="alive"} 2``)
+    to ``{"type", "samples": {label_text: value}}``.  Raises
+    ``ValueError`` on lines that fit none of those shapes.
     """
     metrics: dict[str, dict[str, Any]] = {}
     types: dict[str, str] = {}
@@ -125,14 +135,20 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
         if "{" in name_part:
             name, _, labels = name_part.partition("{")
             labels = labels.rstrip("}")
-            if not name.endswith("_bucket"):
+            if not name:
                 raise ValueError(f"unexpected labelled sample: {raw!r}")
-            base = name[: -len("_bucket")]
-            entry = metrics.setdefault(
-                base, {"type": "histogram", "buckets": {}, "sum": 0.0, "count": 0}
-            )
-            le = labels.partition("=")[2].strip('"')
-            entry["buckets"][le] = value
+            if name.endswith("_bucket"):
+                base = name[: -len("_bucket")]
+                entry = metrics.setdefault(
+                    base, {"type": "histogram", "buckets": {}, "sum": 0.0, "count": 0}
+                )
+                le = labels.partition("=")[2].strip('"')
+                entry["buckets"][le] = value
+            else:
+                entry = metrics.setdefault(
+                    name, {"type": types.get(name, "untyped"), "samples": {}}
+                )
+                entry.setdefault("samples", {})[labels] = value
         elif name_part.endswith("_sum") and name_part[: -len("_sum")] in types:
             base = name_part[: -len("_sum")]
             metrics.setdefault(
@@ -149,6 +165,82 @@ def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
                 "value": value,
             }
     return metrics
+
+
+def merge_parsed(
+    *scrapes: Mapping[str, Mapping[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """Sum same-named metrics across parsed scrapes.
+
+    Input is :func:`parse_prometheus` output.  Counters and gauges sum
+    their values, labelled samples sum label-wise, and histograms sum
+    bucket-wise (cumulative bucket counts stay cumulative under
+    addition).  One name carrying conflicting shapes across scrapes
+    raises :class:`MetricError` — that is a registry bug, not a merge
+    policy decision.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for scrape in scrapes:
+        for name, entry in scrape.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {
+                    key: dict(value) if isinstance(value, dict) else value
+                    for key, value in entry.items()
+                }
+                continue
+            same_shape = (
+                into["type"] == entry["type"]
+                and ("buckets" in into) == ("buckets" in entry)
+                and ("samples" in into) == ("samples" in entry)
+            )
+            if not same_shape:
+                raise MetricError(
+                    f"metric {name} has conflicting shapes across scrapes"
+                )
+            if "buckets" in entry:
+                for le, count in entry["buckets"].items():
+                    into["buckets"][le] = into["buckets"].get(le, 0.0) + count
+                into["sum"] = into.get("sum", 0.0) + entry.get("sum", 0.0)
+                into["count"] = into.get("count", 0) + entry.get("count", 0)
+            elif "samples" in entry:
+                for labels, value in entry["samples"].items():
+                    into["samples"][labels] = (
+                        into["samples"].get(labels, 0.0) + value
+                    )
+            else:
+                into["value"] = into.get("value", 0.0) + entry.get("value", 0.0)
+    return merged
+
+
+def _le_order(le: str) -> float:
+    return math.inf if le in ("+Inf", "inf") else float(le)
+
+
+def render_parsed(metrics: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render parsed (or merged) metrics back to exposition text.
+
+    ``parse_prometheus(render_parsed(parse_prometheus(text)))`` is a
+    fixed point, which is what lets the sharded ``/metrics`` endpoint
+    scrape its siblings, merge, and re-serve without a live registry.
+    """
+    lines: list[str] = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        lines.append(f"# TYPE {name} {entry.get('type', 'untyped')}")
+        if "buckets" in entry:
+            for le in sorted(entry["buckets"], key=_le_order):
+                lines.append(
+                    f'{name}_bucket{{le="{le}"}} {_fmt(entry["buckets"][le])}'
+                )
+            lines.append(f"{name}_sum {_fmt(entry.get('sum', 0.0))}")
+            lines.append(f"{name}_count {int(entry.get('count', 0))}")
+        elif "samples" in entry:
+            for labels in sorted(entry["samples"]):
+                lines.append(f"{name}{{{labels}}} {_fmt(entry['samples'][labels])}")
+        else:
+            lines.append(f"{name} {_fmt(entry.get('value', 0.0))}")
+    return "\n".join(lines) + "\n"
 
 
 # -- spans ------------------------------------------------------------

@@ -19,7 +19,11 @@ package is the cure, in the style of dask's chunked task graphs:
   outstanding task cancelled or drained, never a hang;
 * :mod:`repro.sched.state` — the per-worker payload store that ships a
   compiled spec to each pool worker **once** (pool initializer) instead
-  of once per task.
+  of once per task.  Payloads are keyed by content hash, so the same
+  seeding seam serves the sharded HTTP tier
+  (:mod:`repro.service.shard`): pre-forked serving workers pointed at
+  one cache directory dedupe compiled targets through the columnar
+  store exactly like pool workers dedupe seeded payloads.
 
 Scenario sweeps (:class:`repro.scenarios.sweep.SweepRunner`), the
 planner's derived-scenario sweeps and the evaluation service's async

@@ -15,6 +15,12 @@ Start one with ``repro-experiments serve``; talk to it with
 format is versioned and byte-stable (:mod:`repro.service.wire`), pinned
 by golden files under ``tests/golden/service/``.  See
 ``docs/service.md``.
+
+``serve --workers N`` (PR 10) shards the same handler stack across N
+pre-forked worker processes accepting on one listening socket, with a
+respawning supervisor, graceful SIGTERM drain, cross-worker job
+handles, and fleet-merged ``/metrics`` — see
+:class:`~repro.service.shard.ShardSupervisor`.
 """
 
 from repro.service.app import ServiceServer, create_server, serve
@@ -27,6 +33,7 @@ from repro.service.jobs import (
     ServiceNotFound,
     ServiceOverloaded,
 )
+from repro.service.shard import ShardSupervisor, serve_sharded
 from repro.service.wire import WIRE_VERSION, canonical_json, golden_bytes
 
 __all__ = [
@@ -42,9 +49,11 @@ __all__ = [
     "ServiceNotFound",
     "ServiceOverloaded",
     "ServiceServer",
+    "ShardSupervisor",
     "WIRE_VERSION",
     "canonical_json",
     "create_server",
     "golden_bytes",
     "serve",
+    "serve_sharded",
 ]

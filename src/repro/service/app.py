@@ -172,12 +172,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # Prometheus scrape: raw text exposition, unmetered for the
             # same reason as /healthz.  The service registry (caches,
             # coalescer, jobs, store) merges with the process-global one
-            # (scheduler, backends, compile) into a single page.
+            # (scheduler, backends, compile) into a single page.  A
+            # sharded worker additionally merges its siblings' scrapes
+            # unless the caller asked for ``?scope=local`` — which is
+            # exactly what sibling scrapes ask for, stopping recursion.
             self.service.count("metrics")
+            query = self.path.partition("?")[2]
+            local_only = "scope=local" in query.split("&")
+            if self.service.shard is not None and not local_only:
+                from repro.service.shard import aggregated_metrics
+
+                text = aggregated_metrics(self.service)
+            else:
+                text = render_prometheus(self.service.metrics, get_registry())
             self._send_text(
-                200,
-                render_prometheus(self.service.metrics, get_registry()),
-                "text/plain; version=0.0.4; charset=utf-8",
+                200, text, "text/plain; version=0.0.4; charset=utf-8"
             )
         elif path == "/v1/specs":
             self._dispatch("specs", lambda: Outcome(self.service.handle_specs()))

@@ -19,6 +19,7 @@ Two conveniences worth knowing:
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -30,28 +31,54 @@ from repro.service.jobs import ServiceError
 
 
 class ServiceClientError(ServiceError):
-    """An error answer from the service, with its code and HTTP status."""
+    """An error answer from the service, with its code and HTTP status.
+
+    ``retryable`` marks failures where the request may simply be sent
+    again: ``429`` backpressure, and connections a dying sharded worker
+    closed mid-request (``code="connection-closed"``) — the supervisor's
+    socket stays open, so a retry lands on a live sibling.
+    """
 
     def __init__(self, message: str, status: int = 0, code: str = "") -> None:
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retryable = status == 429 or code == "connection-closed"
 
 
 class ServiceClient:
-    """Typed access to every service endpoint."""
+    """Typed access to every service endpoint.
 
-    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+    ``retries`` (default 0) re-sends *idempotent GETs* that fail with a
+    retryable error; POSTs are never auto-retried — the work may have
+    executed before the connection died.
+    """
+
+    def __init__(
+        self, base_url: str, timeout_s: float = 60.0, retries: int = 0
+    ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ServiceError(
                 f"base_url must be an http(s) URL, got {base_url!r}"
             )
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
 
     # -- transport ---------------------------------------------------------
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        attempts = self.retries + 1 if method == "GET" else 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, body)
+            except ServiceClientError as error:
+                if attempt + 1 >= attempts or not error.retryable:
+                    raise
+                time.sleep(min(0.05 * (2**attempt), 1.0))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str, body: dict | None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -80,8 +107,25 @@ class ServiceClient:
                     f"HTTP {error.code}: {raw[:200]!r}", status=error.code
                 ) from None
         except urllib.error.URLError as error:
+            if isinstance(error.reason, ConnectionError):
+                raise ServiceClientError(
+                    f"connection to {url} closed mid-request: {error.reason}",
+                    code="connection-closed",
+                ) from None
             raise ServiceClientError(
                 f"cannot reach {url}: {error.reason}"
+            ) from None
+        except (http.client.BadStatusLine, http.client.IncompleteRead) as error:
+            # A worker killed mid-response: urllib surfaces these raw.
+            raise ServiceClientError(
+                f"connection to {url} closed mid-request: "
+                f"{type(error).__name__}: {error}",
+                code="connection-closed",
+            ) from None
+        except ConnectionError as error:
+            raise ServiceClientError(
+                f"connection to {url} closed mid-request: {error}",
+                code="connection-closed",
             ) from None
 
     @staticmethod

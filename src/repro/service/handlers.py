@@ -335,6 +335,8 @@ class EvaluationService:
         job_workers: int = 2,
         max_jobs: int = 32,
         sync_grid_limit: int = 64,
+        job_id_prefix: str = "",
+        jobs_state_dir: str | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ServiceError(f"max_concurrency must be >= 1, got {max_concurrency}")
@@ -356,8 +358,17 @@ class EvaluationService:
         )
         self.coalescer = Coalescer(coalesce_window_s, registry=self.metrics)
         self.jobs = JobStore(
-            workers=job_workers, max_jobs=max_jobs, registry=self.metrics
+            workers=job_workers,
+            max_jobs=max_jobs,
+            registry=self.metrics,
+            id_prefix=job_id_prefix,
+            state_dir=jobs_state_dir,
         )
+        # Set by repro.service.shard when this service runs inside a
+        # sharded worker; single-process mode leaves it None.  The app
+        # layer and /healthz only duck-type against it, so there is no
+        # import cycle with the shard module.
+        self.shard = None
         # One columnar store shared by every runner this service builds,
         # so /healthz reports hit/miss/delta counters across requests.
         self.store = ResultStore(cache_dir, registry=self.metrics)
@@ -692,15 +703,25 @@ class EvaluationService:
         return {"catalog": [dict(row) for row in catalog_rows()]}
 
     def handle_job(self, job_id: str) -> Outcome:
-        """``GET /v1/jobs/<id>`` — poll an async sweep or plan."""
-        job = self.jobs.get(job_id)
-        if job is None:
+        """``GET /v1/jobs/<id>`` — poll an async sweep or plan.
+
+        Resolution goes through :meth:`JobStore.lookup`, so in sharded
+        mode a poll landing on any worker finds jobs owned by a sibling
+        through the shared state mirror.
+        """
+        record = self.jobs.lookup(job_id)
+        if record is None:
             raise ServiceNotFound(f"unknown job {job_id!r}")
-        return Outcome(job.payload(), {"timings": job.timings()})
+        return Outcome(record["payload"], {"timings": record["timings"]})
 
     def handle_health(self) -> dict:
-        """``GET /healthz`` — liveness plus the serving counters."""
-        return {
+        """``GET /healthz`` — liveness plus the serving counters.
+
+        In sharded mode the payload gains a ``workers`` block (answering
+        slot, fleet size, alive count, respawns) read from the shard
+        control directory.
+        """
+        health = {
             "status": "ok",
             "uptime_s": time.monotonic() - self._started_monotonic,
             "requests": self.request_counts(),
@@ -718,3 +739,6 @@ class EvaluationService:
                 "wire": WIRE_VERSION,
             },
         }
+        if self.shard is not None:
+            health["workers"] = self.shard.health_block()
+        return health

@@ -18,17 +18,27 @@ The store is deliberately bounded in both directions:
   process must not grow without bound because clients forget to collect.
 
 Job ids are sequential (``j000001``, ...) — deterministic within a
-server lifetime, which keeps the job endpoints golden-testable.
+server lifetime, which keeps the job endpoints golden-testable.  A
+sharded worker prepends its slot (``w2-j000001`` via ``id_prefix``) so
+ids stay unique across the fleet, and mirrors every status transition to
+``state_dir`` so ``GET /v1/jobs/<id>`` works no matter which worker the
+poll lands on (see :mod:`repro.service.shard`).
 """
 
 from __future__ import annotations
 
+import json
+import logging
+import os
+import re
+import tempfile
 import threading
 import time
 from collections import OrderedDict
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.errors import ReproError
 from repro.obs.metrics import MetricsRegistry
@@ -52,8 +62,15 @@ class ServiceOverloaded(ServiceError):
         self.retry_after_s = retry_after_s
 
 
+logger = logging.getLogger("repro.service")
+
 #: The job lifecycle; a job only ever moves rightward.
 JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Job ids (and id prefixes) stay in this alphabet; ``lookup`` uses ids
+#: as file names under ``state_dir``, so anything resembling a path
+#: component separator must never pass.
+_JOB_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
 
 
 @dataclass
@@ -106,9 +123,13 @@ class JobStore:
         max_jobs: int = 32,
         history: int = 256,
         registry: MetricsRegistry | None = None,
+        id_prefix: str = "",
+        state_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"job workers must be >= 1, got {workers}")
+        if id_prefix and not _JOB_ID_RE.match(id_prefix):
+            raise ServiceError(f"invalid job id prefix {id_prefix!r}")
         if max_jobs < 1:
             raise ServiceError(f"max_jobs must be >= 1, got {max_jobs}")
         if history < max_jobs:
@@ -120,6 +141,10 @@ class JobStore:
             )
         self.max_jobs = max_jobs
         self.history = history
+        self.id_prefix = id_prefix
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
@@ -154,12 +179,16 @@ class JobStore:
                     retry_after_s=1.0,
                 )
             self._counter += 1
-            job = Job(id=f"j{self._counter:06d}", kind=kind)
+            job = Job(id=f"{self.id_prefix}j{self._counter:06d}", kind=kind)
             self._jobs[job.id] = job
             self._active += 1
             self._queue_depth.set(self._active)
             self._evict_locked()
         self._submitted.inc()
+        # Persist "queued" BEFORE the pool may run the job: the 202
+        # response races the worker thread, and a sharded client polling
+        # a sibling must find the id from its very first poll.
+        self._persist(job)
         self._pool.submit(self._run, job, work)
         return job
 
@@ -187,6 +216,7 @@ class JobStore:
                 self._active -= 1
                 self._queue_depth.set(self._active)
             self._failed.inc()
+            self._persist(job)
         else:
             with self._lock:
                 job.result = result
@@ -195,6 +225,7 @@ class JobStore:
                 self._active -= 1
                 self._queue_depth.set(self._active)
             self._completed.inc()
+            self._persist(job)
 
     def _evict_locked(self) -> None:
         """Drop the oldest *finished* jobs past the history bound."""
@@ -209,6 +240,71 @@ class JobStore:
     def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def _persist(self, job: Job) -> None:
+        """Mirror a job's wire form to ``state_dir`` (atomic replace).
+
+        A persistence failure must not fail the job itself — the result
+        was computed and is servable from this worker's memory — so disk
+        errors are logged and swallowed.
+        """
+        if self.state_dir is None:
+            return
+        payload = {"payload": job.payload(), "timings": job.timings()}
+        try:
+            handle, temp = tempfile.mkstemp(
+                dir=self.state_dir, prefix=f".tmp-{job.id}-", suffix=".part"
+            )
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    json.dump(payload, stream)
+                os.replace(temp, self.state_dir / f"{job.id}.json")
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            logger.exception("failed to persist job %s state", job.id)
+
+    def lookup(self, job_id: str) -> dict | None:
+        """Resolve a job to ``{"payload", "timings"}``, local or mirrored.
+
+        Jobs owned by this process come from memory (fresh timings);
+        jobs owned by a sibling worker come from the shared ``state_dir``
+        mirror.  Unknown, unparseable, or path-shaped ids are ``None``
+        (the handler's 404), never an exception.
+        """
+        job = self.get(job_id)
+        if job is not None:
+            return {"payload": job.payload(), "timings": job.timings()}
+        if self.state_dir is None or not _JOB_ID_RE.match(job_id):
+            return None
+        try:
+            raw = json.loads((self.state_dir / f"{job_id}.json").read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(raw, dict) or not isinstance(raw.get("payload"), dict):
+            return None
+        timings = raw.get("timings")
+        return {
+            "payload": raw["payload"],
+            "timings": timings if isinstance(timings, dict) else {},
+        }
+
+    def flush(self) -> int:
+        """Persist every retained job; returns how many were written.
+
+        Called by a draining sharded worker so in-flight 202 handles
+        survive the process: after the respawn, polls served by any
+        sibling still resolve from the mirror.
+        """
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            self._persist(job)
+        return len(jobs)
 
     def stats(self) -> dict:
         with self._lock:

@@ -523,3 +523,211 @@ class TestMetricsEndpoint:
             if r.name == "service.request" and r.trace_id == "cafe0123cafe0123"
         ]
         assert spans and spans[0].attrs["endpoint"] == "specs"
+
+
+# -- sharded-vs-single differential ------------------------------------
+#
+# The sharding consistency contract (Petuum-style: explicit, pinned):
+# the SAME request battery against a single-process server and a
+# 4-worker shard produces byte-identical wire payloads, across all four
+# backends, no matter which worker answers.
+
+CALIBRATED_SWEEP = {
+    "name": "service-test-calibrated",
+    "description": "a tiny calibrated sweep",
+    "hardware": {"flops": 1e9, "bandwidth_bps": 1e9},
+    "algorithm": {
+        "kind": "bsp",
+        "params": {
+            "operations_per_superstep": 1e10,
+            "payload_bits": 2.5e8,
+            "topology": "tree",
+        },
+    },
+    "workers": [1, 2, 4, 8, 16],
+    "backend": {
+        "kind": "calibrated",
+        "calibration": {"source": "analytic", "features": "ernest"},
+    },
+    "sweep": {"flops": [1e9, 2e9]},
+}
+
+NETWORK_SWEEP = {
+    "name": "service-test-network",
+    "description": "a tiny network-contention sweep",
+    "hardware": {"node": "xeon-e3-1240", "link": "1gbe"},
+    "algorithm": {
+        "kind": "gradient_descent",
+        "params": {
+            "operations_per_sample": 1e5,
+            "batch_size": 10000.0,
+            "parameters": 1e6,
+        },
+    },
+    "workers": [1, 2, 4, 8],
+    "baseline_workers": 1,
+    "backend": {
+        "kind": "network",
+        "topology": {"kind": "oversubscribed-racks", "racks": 2},
+        "simulation": {"iterations": 2, "seed": 5},
+    },
+    "sweep": {"oversubscription_ratio": [1.0, 4.0]},
+}
+
+SIMULATED_SWEEP = {
+    **SIMULATED_POINT,
+    "name": "service-test-simulated-sweep",
+    "sweep": {"bandwidth_bps": [1e9, 2e9]},
+}
+
+
+def _request_battery(client: ServiceClient) -> list[tuple[str, bytes]]:
+    """Evaluate/sweep/plan across all four backends; golden bytes out.
+
+    Sweeps force ``mode="sync"``: auto mode would answer expensive
+    backends with 202 job envelopes whose ids differ per worker slot —
+    a *deliberate* wire difference, tested separately.
+    """
+    from repro.service import golden_bytes
+
+    answers = [
+        ("evaluate-analytic", client.evaluate(SMALL_SWEEP)),
+        ("evaluate-simulated", client.evaluate(SIMULATED_POINT)),
+        ("evaluate-calibrated", client.evaluate(CALIBRATED_SWEEP)),
+        ("evaluate-network", client.evaluate(NETWORK_SWEEP)),
+        ("sweep-analytic", client.sweep(SMALL_SWEEP, mode="sync")),
+        ("sweep-simulated", client.sweep(SIMULATED_SWEEP, mode="sync")),
+        ("sweep-calibrated", client.sweep(CALIBRATED_SWEEP, mode="sync")),
+        ("sweep-network", client.sweep(NETWORK_SWEEP, mode="sync")),
+        ("plan", client.plan("plan-gd-deadline", mode="sync")),
+    ]
+    return [(label, golden_bytes(answer)) for label, answer in answers]
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="sharded serving requires the fork start method",
+)
+class TestShardedDifferential:
+    @pytest.fixture(scope="class")
+    def shard(self, tmp_path_factory):
+        from repro.service.shard import ShardSupervisor
+
+        base = tmp_path_factory.mktemp("shard-diff")
+        supervisor = ShardSupervisor(
+            port=0,
+            workers=4,
+            control_dir=str(base / "control"),
+            cache_dir=str(base / "cache"),
+            runner_mode="serial",
+            daemon_workers=True,
+        )
+        supervisor.start()
+        supervisor.wait_ready()
+        try:
+            yield supervisor
+        finally:
+            supervisor.stop()
+
+    def test_battery_is_byte_identical_across_modes(self, shard, tmp_path_factory):
+        single_dir = tmp_path_factory.mktemp("single-diff")
+        instance = create_server(
+            port=0, cache_dir=str(single_dir), runner_mode="serial"
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        try:
+            single = _request_battery(ServiceClient(instance.url, timeout_s=60.0))
+            # urllib opens a fresh connection per request, so these
+            # spread across all four workers' accept() races.
+            sharded = _request_battery(ServiceClient(shard.url, timeout_s=60.0))
+        finally:
+            instance.shutdown()
+            instance.server_close()
+        for (label_a, bytes_a), (label_b, bytes_b) in zip(single, sharded):
+            assert label_a == label_b
+            assert bytes_a == bytes_b, f"{label_a} differs between modes"
+
+    def test_concurrent_same_spec_requests_are_each_correct(self, shard):
+        from repro.service import golden_bytes
+
+        grids = [[1, 2, 4], [1, 2, 8], [1, 4, 8], [1, 2, 4, 8]] * 2
+        reference_client = ServiceClient(shard.url, timeout_s=60.0)
+        expected = {
+            tuple(grid): golden_bytes(
+                reference_client.evaluate(SMALL_SWEEP, workers=grid)
+            )
+            for grid in grids
+        }
+        results: dict[int, bytes] = {}
+        errors: list[Exception] = []
+
+        def hit(index: int, grid: list[int]) -> None:
+            try:
+                client = ServiceClient(shard.url, timeout_s=60.0)
+                results[index] = golden_bytes(
+                    client.evaluate(SMALL_SWEEP, workers=grid)
+                )
+            except Exception as error:  # noqa: BLE001 - recorded for the assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hit, args=(index, grid))
+            for index, grid in enumerate(grids)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == len(grids)
+        for index, grid in enumerate(grids):
+            assert results[index] == expected[tuple(grid)]
+
+    def test_cross_worker_store_dedup(self, shard):
+        """A sweep computed by one worker is a store hit on another.
+
+        Coalescing is per-worker, but result dedup crosses workers
+        through the shared columnar store: worker B's *own* hit counter
+        moves when it sweeps a spec worker A already committed.
+        """
+        from repro.service.shard import worker_records
+
+        spec = {**SMALL_SWEEP, "name": "service-test-xworker-dedup"}
+        records = sorted(worker_records(shard.control_dir), key=lambda r: r["slot"])
+        assert len(records) >= 2
+        first = ServiceClient(records[0]["control_url"], timeout_s=60.0)
+        second = ServiceClient(records[1]["control_url"], timeout_s=60.0)
+        baseline = second.health()["result"]["store"]["hits"]
+        answer_a = first.sweep(spec, mode="sync")
+        answer_b = second.sweep(spec, mode="sync")
+        from repro.service import golden_bytes
+
+        assert golden_bytes(answer_a) == golden_bytes(answer_b)
+        assert second.health()["result"]["store"]["hits"] > baseline
+
+    def test_sharded_healthz_reports_the_fleet(self, shard):
+        health = ServiceClient(shard.url).health()["result"]
+        workers = health["workers"]
+        assert workers["count"] == 4
+        assert workers["alive"] == 4
+        assert workers["respawns"] == 0
+        assert workers["slot"] in (0, 1, 2, 3)
+
+    def test_sharded_metrics_aggregate_the_fleet(self, shard):
+        from repro.obs import parse_prometheus
+
+        # Touch every worker's own /metrics so per-slot counters exist,
+        # then check the shared-port scrape saw all of them.
+        from repro.service.shard import worker_records
+
+        for record in worker_records(shard.control_dir):
+            urllib.request.urlopen(
+                f"{record['control_url']}/metrics?scope=local"
+            ).read()
+        text = urllib.request.urlopen(f"{shard.url}/metrics").read().decode("utf-8")
+        parsed = parse_prometheus(text)
+        gauge = parsed["repro_service_workers"]["samples"]
+        assert gauge['state="alive"'] == 4
+        assert gauge['state="dead"'] == 0
+        assert parsed["repro_service_requests_metrics_total"]["value"] >= 4

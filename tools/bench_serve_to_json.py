@@ -12,7 +12,16 @@ measures, over actual HTTP:
   ``>= 10x`` improvement (the serving layer's whole point);
 * **coalesced throughput** — concurrent clients hammering one spec
   across different worker grids, reported in evaluations/s together
-  with how many union-grid batches the coalescer formed.
+  with how many union-grid batches the coalescer formed;
+* **sharded throughput** — the same hammer against ``--workers N``
+  pre-fork sharded serving vs a single-process server, both driven from
+  client *processes* (thread clients would share one GIL and measure
+  themselves, not the server).  The acceptance floor is CPU-aware:
+  ``>= 2x`` single-process on 4+ cores, ``>= 1.2x`` on 2–3 cores, and a
+  documented ``>= 0.35x`` fallback on a single CPU — one core cannot run
+  N workers faster than one process runs itself, so there the floor
+  only guards against pathological collapse (same convention as
+  ``BENCH_sim``'s pool-vs-serial floor).
 
 Results land in ``BENCH_serve.json`` at the repository root, next to
 the sweep/sim/plan artifacts.  Usage::
@@ -24,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import platform
 import statistics
@@ -37,6 +47,21 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Required cold/hit latency ratio — the acceptance criterion.
 MIN_HIT_SPEEDUP = 10.0
+
+
+def sharded_floor(cpus: int) -> float:
+    """The CPU-aware sharded-vs-single acceptance floor (see module doc)."""
+    if cpus >= 4:
+        return 2.0
+    if cpus >= 2:
+        return 1.2
+    return 0.35
+
+
+def sharded_worker_count(cpus: int) -> int:
+    """Workers for the sharded run: one per core, floor 2 (sharding must
+    actually be exercised even on one CPU), capped at 8."""
+    return max(2, min(cpus, 8))
 
 #: The compile-heavy scenario the latency benchmark serves.  Compiling
 #: means generating a 100k-vertex power-law graph and building the
@@ -132,6 +157,101 @@ def measure_throughput(
     return total / elapsed, health["coalescer"]
 
 
+def _hammer_process(url: str, threads: int, requests_per_thread: int, queue) -> None:
+    """One client process of the sharded hammer (fork target)."""
+    from repro.service import ServiceClient
+
+    spec = throughput_scenario()
+    grids = [[1, 2, 4, 8], [1, 2, 13], [1, 4, 9, 16], [1, 8, 32]]
+    errors: list[str] = []
+
+    def hammer(index: int) -> None:
+        client = ServiceClient(url, timeout_s=120.0)
+        try:
+            for i in range(requests_per_thread):
+                client.evaluate(spec, workers=grids[(index + i) % len(grids)])
+        except BaseException as error:  # noqa: BLE001 - surfaced in parent
+            errors.append(f"{type(error).__name__}: {error}")
+
+    workers = [
+        threading.Thread(target=hammer, args=(index,)) for index in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    queue.put(errors)
+
+
+def measure_process_hammer(
+    url: str, processes: int, threads: int, requests_per_thread: int
+) -> float:
+    """Evaluations/s hammering ``url`` from separate client processes."""
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    clients = [
+        ctx.Process(
+            target=_hammer_process, args=(url, threads, requests_per_thread, queue)
+        )
+        for _ in range(processes)
+    ]
+    started = time.perf_counter()
+    for process in clients:
+        process.start()
+    failures = [error for _ in clients for error in queue.get()]
+    for process in clients:
+        process.join()
+    elapsed = time.perf_counter() - started
+    if failures:
+        raise RuntimeError(f"hammer client failed: {failures[0]}")
+    return processes * threads * requests_per_thread / elapsed
+
+
+def measure_sharded_throughput(
+    workers: int,
+    processes: int = 2,
+    threads: int = 4,
+    requests_per_thread: int = 15,
+) -> tuple[float, float]:
+    """(single-process, sharded) evaluations/s under the process hammer.
+
+    Both servers get identical options; only the process topology
+    differs, so the ratio isolates what sharding buys (or costs).
+    """
+    from repro.service import create_server
+    from repro.service.shard import ShardSupervisor
+
+    options = dict(
+        runner_mode="serial",
+        use_cache=False,
+        max_concurrency=max(16, processes * threads + 2),
+        coalesce_window_s=0.002,
+    )
+    server = create_server(port=0, **options)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        single = measure_process_hammer(
+            server.url, processes, threads, requests_per_thread
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    supervisor = ShardSupervisor(
+        port=0, workers=workers, daemon_workers=True, **options
+    )
+    supervisor.start()
+    supervisor.wait_ready()
+    try:
+        sharded = measure_process_hammer(
+            supervisor.url, processes, threads, requests_per_thread
+        )
+    finally:
+        supervisor.stop()
+    return single, sharded
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=30, help="cache-hit samples")
@@ -169,9 +289,19 @@ def main() -> int:
         server.shutdown()
         server.server_close()
 
-    speedup = cold_s / hit_s
-    accepted = speedup >= MIN_HIT_SPEEDUP
     cpus = os.cpu_count() or 1
+    shard_workers = sharded_worker_count(cpus)
+    single_mp, sharded = measure_sharded_throughput(
+        workers=shard_workers,
+        processes=max(2, min(cpus, 4)),
+        threads=4,
+        requests_per_thread=args.requests,
+    )
+    sharded_speedup = sharded / single_mp
+    floor = sharded_floor(cpus)
+
+    speedup = cold_s / hit_s
+    accepted = speedup >= MIN_HIT_SPEEDUP and sharded_speedup >= floor
     payload = {
         "benchmark": "evaluation-service",
         "description": (
@@ -189,6 +319,16 @@ def main() -> int:
         "throughput_clients": args.threads,
         "coalesced_batches": coalescer["batches"],
         "coalesced_requests": coalescer["coalesced_requests"],
+        "sharded_workers": shard_workers,
+        "sharded_single_throughput_evals_per_s": single_mp,
+        "sharded_throughput_evals_per_s": sharded,
+        "sharded_speedup_x": sharded_speedup,
+        "sharded_floor_x": floor,
+        "sharded_note": (
+            "process-client hammer; floor is CPU-aware (>=2x on 4+ cores,"
+            " >=1.2x on 2-3, 0.35x single-CPU fallback where N workers"
+            " time-slice one core)"
+        ),
     }
     target = Path(args.output)
     target.write_text(json.dumps(payload, indent=2) + "\n")
@@ -199,6 +339,11 @@ def main() -> int:
         f" ({coalescer['coalesced_requests']} of"
         f" {coalescer['requests']} requests coalesced into"
         f" {coalescer['batches']} batches)"
+    )
+    print(
+        f"sharded ({shard_workers} workers, {cpus} cpu):"
+        f" {sharded:.0f} vs {single_mp:.0f} evals/s single-process"
+        f" ({sharded_speedup:.2f}x; floor {floor}x)"
     )
     print(f"wrote {target}")
     return 0 if accepted else 1
