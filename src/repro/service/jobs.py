@@ -23,6 +23,13 @@ sharded worker prepends its slot (``w2-j000001`` via ``id_prefix``) so
 ids stay unique across the fleet, and mirrors every status transition to
 ``state_dir`` so ``GET /v1/jobs/<id>`` works no matter which worker the
 poll lands on (see :mod:`repro.service.shard`).
+
+With a ``state_dir`` the counter is also *seeded* at construction from
+whatever that prefix already issued (mirror files plus a high-water
+sequence file written on every submit): a respawned worker inherits its
+dead predecessor's slot and prefix, and restarting at ``j000001`` would
+re-issue ids that live 202 handles still point at — ``_persist`` would
+then silently overwrite another job's mirror.
 """
 
 from __future__ import annotations
@@ -151,7 +158,9 @@ class JobStore:
         self._lock = threading.Lock()
         self._jobs: OrderedDict[str, Job] = OrderedDict()
         self._active = 0
-        self._counter = 0
+        self._counter = self._seed_counter()
+        self._seq_lock = threading.Lock()
+        self._seq_written = self._counter
         # Lifecycle counters and the queue-depth gauge live on a metrics
         # registry (private by default; the service shares its own so
         # /metrics exports them).
@@ -169,6 +178,44 @@ class JobStore:
             "repro_service_jobs_queue_depth", "Jobs queued or running right now"
         )
 
+    @property
+    def _seq_path(self) -> Path | None:
+        """The high-water sequence file for this prefix.
+
+        The leading dot keeps it outside both the ``<prefix>j*.json``
+        mirror namespace and ``lookup``'s id alphabet.
+        """
+        if self.state_dir is None:
+            return None
+        return self.state_dir / f".seq-{self.id_prefix}.json"
+
+    def _seed_counter(self) -> int:
+        """The highest counter this prefix has ever issued, per disk.
+
+        A respawned sharded worker reuses its slot's prefix; starting
+        below a live id would collide with handles clients still hold.
+        Mirror files alone are not enough — eviction deletes them — so
+        the max also covers the high-water file written on every submit.
+        """
+        if self.state_dir is None:
+            return 0
+        highest = 0
+        pattern = re.compile(rf"^{re.escape(self.id_prefix)}j(\d+)\.json$")
+        for path in self.state_dir.glob(f"{self.id_prefix}j*.json"):
+            match = pattern.match(path.name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        seq = self._seq_path
+        record = None
+        if seq is not None:
+            try:
+                record = json.loads(seq.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                record = None
+        if isinstance(record, dict) and isinstance(record.get("counter"), int):
+            highest = max(highest, record["counter"])
+        return highest
+
     def submit(self, kind: str, work: Callable[[], dict]) -> Job:
         """Admit ``work`` or raise :class:`ServiceOverloaded` at capacity."""
         with self._lock:
@@ -183,14 +230,51 @@ class JobStore:
             self._jobs[job.id] = job
             self._active += 1
             self._queue_depth.set(self._active)
-            self._evict_locked()
+            evicted = self._evict_locked()
         self._submitted.inc()
-        # Persist "queued" BEFORE the pool may run the job: the 202
-        # response races the worker thread, and a sharded client polling
-        # a sibling must find the id from its very first poll.
+        # Persist the high-water mark, then "queued", BEFORE the pool
+        # may run the job: the 202 response races the worker thread, a
+        # sharded client polling a sibling must find the id from its
+        # very first poll, and a successor store must never re-issue it.
+        # The mark lands before evicted mirrors are deleted so a crash
+        # in between can never shrink what a successor seeds from.
+        self._persist_seq()
+        self._discard_mirror(evicted)
         self._persist(job)
         self._pool.submit(self._run, job, work)
         return job
+
+    def _persist_seq(self) -> None:
+        """Advance the on-disk high-water mark to the current counter.
+
+        Guarded by its own lock so two racing submits cannot land their
+        writes out of order and leave the file *below* an issued id.
+        """
+        seq = self._seq_path
+        if seq is None:
+            return
+        with self._seq_lock:
+            counter = self._counter
+            if counter <= self._seq_written:
+                return
+            try:
+                handle, temp = tempfile.mkstemp(
+                    dir=self.state_dir, prefix=".tmp-seq-", suffix=".part"
+                )
+                try:
+                    with os.fdopen(handle, "w") as stream:
+                        json.dump({"counter": counter}, stream)
+                    os.replace(temp, seq)
+                except BaseException:
+                    try:
+                        os.unlink(temp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                logger.exception("failed to persist job sequence high-water")
+                return
+            self._seq_written = counter
 
     def _run(self, job: Job, work: Callable[[], dict]) -> None:
         with self._lock:
@@ -227,15 +311,34 @@ class JobStore:
             self._completed.inc()
             self._persist(job)
 
-    def _evict_locked(self) -> None:
-        """Drop the oldest *finished* jobs past the history bound."""
+    def _evict_locked(self) -> list[str]:
+        """Drop the oldest *finished* jobs past the history bound.
+
+        Returns the evicted ids so the caller can delete their mirror
+        files *outside* the lock — an evicted job is past its retention
+        window everywhere, and keeping the file would grow ``state_dir``
+        without bound over a long-lived shard.
+        """
+        evicted: list[str] = []
         while len(self._jobs) > self.history:
             for job_id, job in self._jobs.items():
                 if job.status in ("done", "failed"):
                     del self._jobs[job_id]
+                    evicted.append(job_id)
                     break
             else:
-                return  # everything retained is still in flight
+                break  # everything retained is still in flight
+        return evicted
+
+    def _discard_mirror(self, job_ids: list[str]) -> None:
+        """Remove evicted jobs' mirror files (missing files are fine)."""
+        if self.state_dir is None:
+            return
+        for job_id in job_ids:
+            try:
+                (self.state_dir / f"{job_id}.json").unlink()
+            except OSError:
+                pass
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:

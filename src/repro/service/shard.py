@@ -408,6 +408,26 @@ class ShardSupervisor:
         else:
             self.control_dir = Path(control_dir)
             self.control_dir.mkdir(parents=True, exist_ok=True)
+        # A reused control dir may still hold the previous run's fleet
+        # records; a stale pid that os.kill(pid, 0) happens to accept
+        # (pid reuse, an old fleet) would let wait_ready return before
+        # *this* run's workers registered and would pad the /healthz and
+        # repro_service_workers counts with phantom siblings.  Job
+        # mirrors are deliberately kept: old handles stay resolvable and
+        # they seed the respawn-safe id counters.
+        for stale in self.control_dir.glob(f"{WORKER_FILE_PREFIX}*.json"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        for stale in (
+            self.control_dir / SUPERVISOR_FILE,
+            *self.control_dir.glob(".tmp-*.part"),
+        ):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
         (self.control_dir / JOBS_SUBDIR).mkdir(exist_ok=True)
 
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -492,6 +512,40 @@ class ShardSupervisor:
             },
         )
 
+    def _fail_orphaned_jobs(self, slot: int) -> None:
+        """Mark a dead worker's unfinished mirrored jobs as failed.
+
+        A SIGKILLed worker leaves its queued/running jobs frozen in the
+        mirror; without a terminal transition, any client polling such a
+        handle would spin until its own timeout.  The respawned worker
+        seeds its id counter from these files, so the ids are never
+        reused and the failed verdict stays authoritative.
+        """
+        jobs_dir = self.control_dir / JOBS_SUBDIR
+        for path in jobs_dir.glob(f"w{slot}-j*.json"):
+            record = _read_json(path)
+            if record is None or not isinstance(record.get("payload"), dict):
+                continue
+            payload = dict(record["payload"])
+            if payload.get("status") in ("done", "failed"):
+                continue
+            payload.pop("result", None)
+            payload["status"] = "failed"
+            payload["error"] = (
+                f"WorkerDied: worker slot {slot} exited before finishing this job"
+            )
+            timings = record.get("timings")
+            try:
+                _write_json(
+                    path,
+                    {
+                        "payload": payload,
+                        "timings": timings if isinstance(timings, dict) else {},
+                    },
+                )
+            except OSError:
+                logger.exception("failed to fail-mark orphaned job %s", path.name)
+
     def _monitor_loop(self) -> None:
         while not self._stop.wait(0.05):
             with self._lock:
@@ -514,6 +568,7 @@ class ShardSupervisor:
                                 process.pid,
                                 process.exitcode,
                             )
+                        self._fail_orphaned_jobs(slot.slot)
                         delay = min(
                             self.backoff_base_s * (2**slot.consecutive_failures),
                             self.backoff_cap_s,

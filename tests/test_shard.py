@@ -425,6 +425,182 @@ class TestJobRouting:
         finally:
             supervisor.stop()
 
+    def test_respawned_worker_never_reuses_job_ids(self, tmp_path):
+        # The collision the mirror exists to prevent: kill a worker,
+        # then SUBMIT on its respawn.  Without counter seeding the new
+        # JobStore would restart at w<slot>-j000001 and os.replace() the
+        # pre-crash job's mirror, so a client polling the old handle
+        # would silently read a different job's payload.
+        supervisor = make_supervisor(tmp_path, workers=2)
+        try:
+            records = sorted(
+                worker_records(supervisor.control_dir), key=lambda r: r["slot"]
+            )
+            owner = records[0]
+            client = ServiceClient(owner["control_url"], timeout_s=30)
+            accepted = client.sweep(SIMULATED_SWEEP, mode="async", wait=False)
+            old_id = accepted["result"]["job"]
+            shared = ServiceClient(supervisor.url, timeout_s=30, retries=3)
+            before = shared.wait_job(old_id, timeout_s=30)
+            assert before["result"]["status"] == "done"
+
+            os.kill(owner["pid"], signal.SIGKILL)
+            wait_for(
+                lambda: slot_pids(supervisor.control_dir).get(owner["slot"])
+                not in (None, owner["pid"]),
+                timeout_s=10,
+                message="owner respawn",
+            )
+            respawned = slot_pids(supervisor.control_dir)[owner["slot"]]
+            record = next(
+                r
+                for r in worker_records(supervisor.control_dir)
+                if r["pid"] == respawned
+            )
+            fresh = ServiceClient(record["control_url"], timeout_s=30).sweep(
+                {**SIMULATED_SWEEP, "name": "shard-respawn-submit"},
+                mode="async",
+                wait=False,
+            )
+            new_id = fresh["result"]["job"]
+            assert new_id.startswith(f"w{owner['slot']}-j")
+            assert new_id != old_id
+            # The pre-crash handle still answers with ITS payload.
+            after = shared.wait_job(old_id, timeout_s=30)
+            assert golden_bytes(after) == golden_bytes(before)
+        finally:
+            supervisor.stop()
+
+    def test_dead_worker_jobs_reach_a_terminal_state(self, tmp_path):
+        # Jobs that die with their worker must be fail-marked by the
+        # supervisor, not left 'queued'/'running' in the mirror forever
+        # (a poll would spin until the client's own timeout).
+        supervisor = make_supervisor(tmp_path, workers=2, job_workers=1)
+        try:
+            records = sorted(
+                worker_records(supervisor.control_dir), key=lambda r: r["slot"]
+            )
+            owner = records[0]
+            client = ServiceClient(owner["control_url"], timeout_s=30)
+            # job_workers=1: the second and third submits queue behind
+            # the first, so at least two jobs are non-terminal when the
+            # owner dies.
+            job_ids = [
+                client.sweep(
+                    {**SIMULATED_SWEEP, "name": f"shard-orphan-{index}"},
+                    mode="async",
+                    wait=False,
+                )["result"]["job"]
+                for index in range(3)
+            ]
+            os.kill(owner["pid"], signal.SIGKILL)
+            wait_for(
+                lambda: slot_pids(supervisor.control_dir).get(owner["slot"])
+                not in (None, owner["pid"]),
+                timeout_s=10,
+                message="owner respawn",
+            )
+            shared = ServiceClient(supervisor.url, timeout_s=30, retries=3)
+            outcomes = []
+            for job_id in job_ids:
+                try:
+                    final = shared.wait_job(job_id, timeout_s=15)
+                    outcomes.append(final["result"]["status"])
+                except ServiceClientError as error:
+                    assert "WorkerDied" in str(error), error
+                    outcomes.append("failed")
+            assert all(status in ("done", "failed") for status in outcomes)
+            assert "failed" in outcomes  # the kill landed mid-queue
+        finally:
+            supervisor.stop()
+
+    def test_stale_control_dir_records_are_cleared_on_start(self, tmp_path):
+        # A reused --control-dir may hold a previous run's records whose
+        # pids pass os.kill(pid, 0) (pid reuse, an old fleet).  The
+        # supervisor must not count them: wait_ready would return before
+        # this run's workers registered, and /healthz would report
+        # phantom siblings.
+        control = tmp_path / "control"
+        control.mkdir()
+        (control / "worker-7.json").write_text(
+            json.dumps(
+                {
+                    "slot": 7,
+                    "pid": os.getpid(),  # very much alive, never ours
+                    "control_url": "http://127.0.0.1:1/",
+                    "shared_port": 1,
+                }
+            )
+        )
+        (control / "supervisor.json").write_text(
+            json.dumps({"pid": os.getpid(), "workers": 99, "respawns": 41})
+        )
+        supervisor = make_supervisor(tmp_path, workers=2)
+        try:
+            records = worker_records(supervisor.control_dir)
+            assert sorted(r["slot"] for r in records) == [0, 1]
+            record = supervisor_record(supervisor.control_dir)
+            assert record["workers"] == 2
+            assert record["respawns"] == 0
+            health = ServiceClient(supervisor.url).health()["result"]
+            assert health["workers"]["alive"] == 2
+            assert health["workers"]["count"] == 2
+        finally:
+            supervisor.stop()
+
+    def test_eviction_deletes_mirror_files_but_not_the_sequence(self, tmp_path):
+        state = tmp_path / "jobs"
+        store = JobStore(
+            workers=1, max_jobs=2, history=2, state_dir=state, id_prefix="w0-"
+        )
+        ids = []
+        try:
+            for _ in range(3):
+                job = store.submit("evaluate", lambda: {"ok": True})
+                wait_for(
+                    lambda: job.status == "done",
+                    timeout_s=10,
+                    message="job completion",
+                )
+                ids.append(job.id)
+        finally:
+            store.shutdown()
+        # The third submit evicted the first job AND its mirror file.
+        assert not (state / f"{ids[0]}.json").exists()
+        assert (state / f"{ids[1]}.json").exists()
+        assert (state / f"{ids[2]}.json").exists()
+        fresh = JobStore(workers=1, state_dir=state, id_prefix="w0-")
+        try:
+            assert fresh.lookup(ids[0]) is None
+            # Even with mirror files gone, the high-water file stops a
+            # successor from re-issuing any of the three ids.
+            job = fresh.submit("evaluate", lambda: {"ok": True})
+            assert job.id == "w0-j000004"
+        finally:
+            fresh.shutdown()
+
+    def test_fresh_store_continues_the_id_sequence(self, tmp_path):
+        state = tmp_path / "jobs"
+        first = JobStore(workers=1, state_dir=state, id_prefix="w0-")
+        try:
+            job = first.submit("evaluate", lambda: {"n": 1})
+            wait_for(
+                lambda: job.status == "done", timeout_s=10, message="job completion"
+            )
+            assert job.id == "w0-j000001"
+        finally:
+            first.shutdown()
+        # Same prefix (a respawned slot) continues; a different prefix
+        # (a sibling slot) is an independent sequence.
+        respawned = JobStore(workers=1, state_dir=state, id_prefix="w0-")
+        sibling = JobStore(workers=1, state_dir=state, id_prefix="w1-")
+        try:
+            assert respawned.submit("evaluate", lambda: {"n": 2}).id == "w0-j000002"
+            assert sibling.submit("evaluate", lambda: {"n": 3}).id == "w1-j000001"
+        finally:
+            respawned.shutdown()
+            sibling.shutdown()
+
     def test_lookup_never_escapes_the_state_dir(self, tmp_path):
         store = JobStore(workers=1, state_dir=tmp_path / "jobs")
         try:
